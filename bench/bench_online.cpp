@@ -1,0 +1,95 @@
+// Online-vs-offline study: how much does not knowing the future cost?
+//
+// The paper's models assume the context-requirement sequence is known (or
+// worst-case bounded) in advance; at runtime the demand may be data
+// dependent.  This bench runs the rent-or-buy online controller (no
+// lookahead) against the offline optimal DP across workload families and α
+// settings, reporting the empirical competitive ratio.
+#include <cstdio>
+#include <iostream>
+
+#include "core/interval_dp.hpp"
+#include "online/rent_or_buy.hpp"
+#include "support/table.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+using namespace hyperrec;
+}
+
+int main() {
+  std::printf("=== Online rent-or-buy vs offline optimum "
+              "(single task, n=200, |X|=24, v=24) ===\n\n");
+
+  const Cost v = 24;
+  const std::size_t universe = 24;
+
+  struct Family {
+    const char* name;
+    TaskTrace trace;
+  };
+  std::vector<Family> families;
+  {
+    workload::PhasedConfig config;
+    config.steps = 200;
+    config.universe = universe;
+    config.phases = 8;
+    Xoshiro256 rng(61);
+    families.push_back({"phased", workload::make_phased(config, rng)});
+  }
+  {
+    workload::RandomWalkConfig config;
+    config.steps = 200;
+    config.universe = universe;
+    config.window = 8;
+    Xoshiro256 rng(62);
+    families.push_back({"random-walk", workload::make_random_walk(config,
+                                                                  rng)});
+  }
+  {
+    workload::BurstyConfig config;
+    config.steps = 200;
+    config.universe = universe;
+    Xoshiro256 rng(63);
+    families.push_back({"bursty", workload::make_bursty(config, rng)});
+  }
+  {
+    workload::RandomConfig config;
+    config.steps = 200;
+    config.universe = universe;
+    config.density = 0.3;
+    Xoshiro256 rng(64);
+    families.push_back({"random (hostile)", workload::make_random(config,
+                                                                  rng)});
+  }
+
+  Table table;
+  table.headers({"workload", "offline opt", "online a=0.5", "online a=1",
+                 "online a=2", "worst ratio"});
+  for (const Family& family : families) {
+    const auto offline = solve_single_task_switch(family.trace, v);
+    std::vector<Cost> online_costs;
+    for (const double alpha : {0.5, 1.0, 2.0}) {
+      online::RentOrBuyConfig config;
+      config.alpha = alpha;
+      online::RentOrBuyScheduler scheduler(universe, v, config);
+      for (std::size_t i = 0; i < family.trace.size(); ++i) {
+        scheduler.step(family.trace.at(i));
+      }
+      online_costs.push_back(scheduler.total_cost());
+    }
+    const Cost worst =
+        *std::max_element(online_costs.begin(), online_costs.end());
+    char ratio[32];
+    std::snprintf(ratio, sizeof ratio, "%.2fx",
+                  static_cast<double>(worst) /
+                      static_cast<double>(offline.total));
+    table.row(family.name, offline.total, online_costs[0], online_costs[1],
+              online_costs[2], ratio);
+  }
+  table.print(std::cout);
+  std::printf("\nExpected shape: near-offline on phased/drifting loads, "
+              "bounded overhead elsewhere; alpha trades refit frequency "
+              "against tracking lag.\n");
+  return 0;
+}

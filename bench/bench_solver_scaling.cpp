@@ -1,0 +1,115 @@
+// Scaling study backing Theorem 1's message: the switch-model interval DPs
+// are polynomial while the exhaustive/partial and implicitly-specified
+// general problems blow up exponentially.
+//
+// Google-benchmark timings:
+//   * BM_SingleTaskDp    — O(n²) in the trace length,
+//   * BM_AlignedDp       — O(m·n²),
+//   * BM_CoordDescent    — polynomial local search on partial schedules,
+//   * BM_Exhaustive      — 2^{m(n−1)} schedules (tiny n only),
+//   * BM_ImplicitGeneral — 2^{|X|} hypercontexts per interval (tiny |X|).
+#include <benchmark/benchmark.h>
+
+#include "core/aligned_dp.hpp"
+#include "core/coordinate_descent.hpp"
+#include "core/exhaustive.hpp"
+#include "core/implicit_general.hpp"
+#include "core/interval_dp.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace hyperrec;
+
+TaskTrace phased_trace(std::size_t steps, std::size_t universe,
+                       std::uint64_t seed) {
+  workload::PhasedConfig config;
+  config.steps = steps;
+  config.universe = universe;
+  config.phases = std::max<std::size_t>(2, steps / 32);
+  Xoshiro256 rng(seed);
+  return workload::make_phased(config, rng);
+}
+
+void BM_SingleTaskDp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const TaskTrace trace = phased_trace(n, 48, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_single_task_switch(trace, 48).total);
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_SingleTaskDp)->RangeMultiplier(2)->Range(64, 2048)->Complexity();
+
+void BM_AlignedDp(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  workload::MultiPhasedConfig config;
+  config.tasks = m;
+  config.task_config.steps = 256;
+  config.task_config.universe = 16;
+  const auto trace = workload::make_multi_phased(config, 11);
+  const auto machine = MachineSpec::uniform_local(m, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_aligned_dp(trace, machine, {}).total());
+  }
+}
+BENCHMARK(BM_AlignedDp)->DenseRange(1, 8, 1);
+
+void BM_CoordDescent(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  workload::MultiPhasedConfig config;
+  config.tasks = 4;
+  config.task_config.steps = n;
+  config.task_config.universe = 12;
+  const auto trace = workload::make_multi_phased(config, 5);
+  const auto machine = MachineSpec::uniform_local(4, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solve_coordinate_descent(trace, machine, {}).total());
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_CoordDescent)->RangeMultiplier(2)->Range(32, 256)->Complexity();
+
+void BM_Exhaustive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  workload::MultiPhasedConfig config;
+  config.tasks = 2;
+  config.task_config.steps = n;
+  config.task_config.universe = 6;
+  const auto trace = workload::make_multi_phased(config, 3);
+  const auto machine = MachineSpec::uniform_local(2, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_exhaustive(trace, machine, {}).total());
+  }
+  state.SetLabel("2^{2(n-1)} schedules");
+}
+BENCHMARK(BM_Exhaustive)->DenseRange(4, 10, 1);
+
+void BM_ImplicitGeneral(benchmark::State& state) {
+  const auto universe = static_cast<std::size_t>(state.range(0));
+  workload::PhasedConfig config;
+  config.steps = 12;
+  config.universe = universe;
+  Xoshiro256 rng(13);
+  const TaskTrace trace = workload::make_phased(config, rng);
+  std::vector<DynamicBitset> sequence;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    sequence.push_back(trace.at(i).local);
+  }
+  ImplicitGeneralModel model;
+  model.universe = universe;
+  model.cost = [](const DynamicBitset& h) {
+    return static_cast<Cost>(h.count());
+  };
+  model.init = [](const DynamicBitset&) { return Cost{8}; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_implicit_general(model, sequence).total);
+  }
+  state.SetLabel("2^{|X|} hypercontexts");
+}
+BENCHMARK(BM_ImplicitGeneral)->DenseRange(6, 16, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Theorem 1 in practice: the polynomial DP vs the exponential alternatives.
+//
+//   * correctness: DP total == exhaustive total where both run,
+//   * reach: instance sizes where exhaustive becomes impossible but the DP
+//     still answers exactly (m=2, n up to 64),
+//   * optimality gaps of the heuristics measured against the DP at sizes
+//     the exhaustive solver cannot certify.
+#include <cstdio>
+#include <iostream>
+
+#include <chrono>
+
+#include "core/coordinate_descent.hpp"
+#include "core/exhaustive.hpp"
+#include "core/genetic.hpp"
+#include "core/theorem1.hpp"
+#include "support/table.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace hyperrec;
+
+double seconds(const std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const EvalOptions options{UploadMode::kTaskParallel,
+                            UploadMode::kTaskSequential, false};
+
+  std::printf("=== Theorem 1 DP: correctness & reach (m=2 tasks) ===\n\n");
+  Table table;
+  table.headers({"n", "exhaustive cost", "exhaustive s", "theorem1 cost",
+                 "theorem1 s", "agree"});
+  for (const std::size_t n : {6, 8, 10, 12}) {
+    workload::MultiPhasedConfig config;
+    config.tasks = 2;
+    config.task_config.steps = n;
+    config.task_config.universe = 6;
+    const auto trace = workload::make_multi_phased(config, 7);
+    const auto machine = MachineSpec::uniform_local(2, 6);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto exhaustive = solve_exhaustive(trace, machine, options);
+    const double exhaustive_s = seconds(t0);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto dp = solve_theorem1_dp(trace, machine, options);
+    const double dp_s = seconds(t1);
+
+    table.row(n, exhaustive.total(), exhaustive_s, dp.total(), dp_s,
+              exhaustive.total() == dp.total() ? "yes" : "NO");
+  }
+  table.print(std::cout);
+
+  std::printf("\nbeyond exhaustive reach (2^{2(n-1)} schedules):\n");
+  Table reach;
+  reach.headers({"n", "search space", "theorem1 cost", "theorem1 s",
+                 "coord-descent", "genetic", "CD gap %", "GA gap %"});
+  for (const std::size_t n : {24, 40, 56, 64}) {
+    workload::MultiPhasedConfig config;
+    config.tasks = 2;
+    config.task_config.steps = n;
+    config.task_config.universe = 8;
+    config.task_config.phases = 4;
+    const auto trace = workload::make_multi_phased(config, 13);
+    const auto machine = MachineSpec::uniform_local(2, 8);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto dp = solve_theorem1_dp(trace, machine, options);
+    const double dp_s = seconds(t0);
+
+    const auto descent = solve_coordinate_descent(trace, machine, options);
+    GaConfig ga_config;
+    ga_config.population = 64;
+    ga_config.generations = 200;
+    ga_config.seed = 3;
+    const auto ga = solve_genetic(trace, machine, options, ga_config);
+
+    char space[32];
+    std::snprintf(space, sizeof space, "2^%zu", 2 * (n - 1));
+    auto gap = [&dp](Cost cost) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.2f%%",
+                    100.0 * static_cast<double>(cost - dp.total()) /
+                        static_cast<double>(dp.total()));
+      return std::string(buf);
+    };
+    reach.row(n, space, dp.total(), dp_s, descent.total(), ga.best.total(),
+              gap(descent.total()), gap(ga.best.total()));
+  }
+  reach.print(std::cout);
+  std::printf("\nThe heuristics' certified gaps at sizes only the "
+              "polynomial DP can certify — the practical content of "
+              "Theorem 1.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Online control scenario: the context requirements arrive one by one at
+// runtime (data-dependent demand, cf. paper §2: worst-case bounds vs actual
+// demand) and the controller must decide on the fly when to
+// hyperreconfigure.
+//
+// Runs the rent-or-buy controller over a drifting workload and compares
+// against (a) never adapting and (b) the offline optimal DP that sees the
+// whole future.
+#include <cstdio>
+
+#include "core/interval_dp.hpp"
+#include "online/rent_or_buy.hpp"
+#include "workload/generators.hpp"
+
+int main() {
+  using namespace hyperrec;
+
+  workload::RandomWalkConfig config;
+  config.steps = 120;
+  config.universe = 20;
+  config.window = 6;
+  config.drift = 0.25;
+  Xoshiro256 rng(2024);
+  const TaskTrace trace = workload::make_random_walk(config, rng);
+  const Cost v = 20;
+
+  // Online: no lookahead.
+  online::RentOrBuyScheduler controller(config.universe, v);
+  std::size_t refits = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (controller.step(trace.at(i))) ++refits;
+  }
+
+  // Offline references.
+  const auto offline = solve_single_task_switch(trace, v);
+  const Cost never = v + static_cast<Cost>(
+                             trace.local_union(0, trace.size()).count()) *
+                             static_cast<Cost>(trace.size());
+
+  std::printf("drifting workload, %zu steps over %zu switches, v = %lld\n\n",
+              trace.size(), static_cast<std::size_t>(config.universe),
+              static_cast<long long>(v));
+  std::printf("never adapt (one wide hypercontext): %5lld\n",
+              static_cast<long long>(never));
+  std::printf("online rent-or-buy:                  %5lld  "
+              "(%zu refits, ratio %.2fx vs offline)\n",
+              static_cast<long long>(controller.total_cost()), refits,
+              static_cast<double>(controller.total_cost()) /
+                  static_cast<double>(offline.total));
+  std::printf("offline optimum (sees the future):   %5lld  "
+              "(%zu hyperreconfigurations)\n",
+              static_cast<long long>(offline.total),
+              offline.partition.interval_count());
+
+  std::printf("\nThe online controller tracks the drifting window without "
+              "any lookahead: it pays for a re-fit only after the "
+              "accumulated waste (hypercontext wider than the demand) "
+              "exceeds the hyperreconfiguration cost — the ski-rental "
+              "rule.\n");
+  return 0;
+}

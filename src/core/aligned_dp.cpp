@@ -1,0 +1,83 @@
+#include "core/aligned_dp.hpp"
+
+#include <limits>
+
+namespace hyperrec {
+
+namespace {
+constexpr Cost kInfinity = std::numeric_limits<Cost>::max() / 4;
+
+Cost combine(UploadMode mode, Cost acc, Cost value) {
+  return mode == UploadMode::kTaskParallel ? std::max(acc, value) : acc + value;
+}
+}  // namespace
+
+MTSolution solve_aligned_dp(const MultiTaskTrace& trace,
+                            const MachineSpec& machine,
+                            const EvalOptions& options) {
+  machine.validate_trace(trace);
+  HYPERREC_ENSURE(trace.synchronized(), "aligned DP needs equal-length traces");
+  HYPERREC_ENSURE(!options.changeover,
+                  "aligned DP does not support changeover costs; use the "
+                  "genetic or annealing solver");
+  const std::size_t n = trace.steps();
+  const std::size_t m = trace.task_count();
+  HYPERREC_ENSURE(n > 0 && m > 0, "empty problem");
+
+  // Hyperreconfiguration term is interval-independent for aligned schedules.
+  Cost hyper_term = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    hyper_term =
+        combine(options.hyper_upload, hyper_term, machine.tasks[j].local_init);
+  }
+
+  std::vector<Cost> best(n + 1, kInfinity);
+  std::vector<std::size_t> parent(n + 1, 0);
+  best[0] = 0;
+
+  std::vector<DynamicBitset> running;
+  std::vector<std::size_t> union_sizes(m, 0);
+  std::vector<std::uint32_t> max_priv(m, 0);
+
+  for (std::size_t end = 1; end <= n; ++end) {
+    running.clear();
+    for (std::size_t j = 0; j < m; ++j) {
+      running.emplace_back(trace.task(j).local_universe());
+      union_sizes[j] = 0;
+      max_priv[j] = 0;
+    }
+    for (std::size_t start = end; start-- > 0;) {
+      Cost reconfig_term = static_cast<Cost>(machine.public_context_size);
+      for (std::size_t j = 0; j < m; ++j) {
+        union_sizes[j] +=
+            running[j].merge_counting(trace.task(j).at(start).local);
+        max_priv[j] =
+            std::max(max_priv[j], trace.task(j).at(start).private_demand);
+        reconfig_term = combine(options.reconfig_upload, reconfig_term,
+                                static_cast<Cost>(union_sizes[j]) +
+                                    static_cast<Cost>(max_priv[j]));
+      }
+      const Cost candidate = best[start] + hyper_term +
+                             reconfig_term * static_cast<Cost>(end - start);
+      if (candidate < best[end]) {
+        best[end] = candidate;
+        parent[end] = start;
+      }
+    }
+  }
+
+  std::vector<std::size_t> starts;
+  for (std::size_t cursor = n; cursor != 0; cursor = parent[cursor]) {
+    starts.push_back(parent[cursor]);
+  }
+  std::reverse(starts.begin(), starts.end());
+
+  MultiTaskSchedule schedule;
+  schedule.tasks.assign(m, Partition::from_starts(starts, n));
+  if (machine.has_global_resources()) {
+    schedule.global_boundaries.push_back(0);
+  }
+  return make_solution(trace, machine, std::move(schedule), options);
+}
+
+}  // namespace hyperrec

@@ -1,0 +1,32 @@
+#include "core/async_solver.hpp"
+
+#include "core/interval_dp.hpp"
+
+namespace hyperrec {
+
+AsyncSolution solve_async(const MultiTaskTrace& trace,
+                          const MachineSpec& machine,
+                          const EvalOptions& options) {
+  machine.validate_trace(trace);
+  HYPERREC_ENSURE(machine.public_context_size == 0,
+                  "public resources require a context- or fully-synchronised "
+                  "machine (§3)");
+
+  AsyncSolution solution;
+  for (std::size_t j = 0; j < trace.task_count(); ++j) {
+    const TaskTrace& task = trace.task(j);
+    const Cost v = machine.tasks[j].local_init;
+    const SingleTaskSolution per_task =
+        options.changeover ? solve_single_task_switch_changeover(task, v)
+                           : solve_single_task_switch(task, v);
+    solution.schedule.tasks.push_back(per_task.partition);
+  }
+  if (machine.has_global_resources()) {
+    solution.schedule.global_boundaries.push_back(0);
+  }
+  solution.breakdown =
+      evaluate_async_switch(trace, machine, solution.schedule, options);
+  return solution;
+}
+
+}  // namespace hyperrec

@@ -1,0 +1,38 @@
+// Exact solver for the asynchronous (non-synchronised) MT-Switch model
+// (§4.1).
+//
+// In the asynchronous model the machine-level cost is
+//
+//   init(h) + max_j Σ_i (v_j + cost(h_j,i)·|S_{j,i}|)
+//
+// — the slowest task's total, since the tasks' (hyper)reconfiguration work
+// overlaps.  The per-task totals are independent of each other, so
+// minimising each task's total with the single-task interval DP minimises
+// the maximum as well: the asynchronous problem is *exactly* solvable in
+// O(Σ_j n_j²), in contrast to the synchronised case where the per-step
+// combine couples the tasks (Theorem 1's DP or heuristics needed).
+//
+// This observation is the asynchronous counterpart of the paper's
+// tractability landscape and is verified against brute force in the tests.
+#pragma once
+
+#include "core/solver.hpp"
+#include "model/cost_switch.hpp"
+
+namespace hyperrec {
+
+struct AsyncSolution {
+  MultiTaskSchedule schedule;
+  AsyncCostBreakdown breakdown;
+
+  [[nodiscard]] Cost total() const noexcept { return breakdown.total; }
+};
+
+/// Exact optimum of the §4.1 asynchronous model.  Task traces may have
+/// different lengths; public resources must be absent (§3).  Changeover
+/// costs are supported exactly via the per-task changeover DP.
+[[nodiscard]] AsyncSolution solve_async(const MultiTaskTrace& trace,
+                                        const MachineSpec& machine,
+                                        const EvalOptions& options = {});
+
+}  // namespace hyperrec

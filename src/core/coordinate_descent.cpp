@@ -1,0 +1,139 @@
+#include "core/coordinate_descent.hpp"
+
+#include <limits>
+
+#include "core/aligned_dp.hpp"
+
+namespace hyperrec {
+
+namespace {
+
+constexpr Cost kInfinity = std::numeric_limits<Cost>::max() / 4;
+
+Cost combine(UploadMode mode, Cost acc, Cost value) {
+  return mode == UploadMode::kTaskParallel ? std::max(acc, value) : acc + value;
+}
+
+/// Per-step aggregates of the frozen tasks (all tasks except `t`).
+struct FrozenProfile {
+  std::vector<Cost> hyper;     ///< combined hyper term of frozen boundaries
+  std::vector<Cost> reconfig;  ///< combined reconfig term incl. |h^pub|
+};
+
+FrozenProfile freeze(const MultiTaskTrace& trace, const MachineSpec& machine,
+                     const MultiTaskSchedule& schedule, std::size_t t,
+                     const EvalOptions& options) {
+  const std::size_t n = trace.steps();
+  const std::size_t m = trace.task_count();
+  FrozenProfile profile;
+  profile.hyper.assign(n, 0);
+  profile.reconfig.assign(n, static_cast<Cost>(machine.public_context_size));
+
+  for (std::size_t j = 0; j < m; ++j) {
+    if (j == t) continue;
+    const Partition& partition = schedule.tasks[j];
+    for (std::size_t k = 0; k < partition.interval_count(); ++k) {
+      const auto [lo, hi] = partition.interval_bounds(k);
+      const Cost size =
+          static_cast<Cost>(trace.task(j).local_union(lo, hi).count()) +
+          static_cast<Cost>(trace.task(j).max_private_demand(lo, hi));
+      profile.hyper[lo] = combine(options.hyper_upload, profile.hyper[lo],
+                                  machine.tasks[j].local_init);
+      for (std::size_t l = lo; l < hi; ++l) {
+        profile.reconfig[l] =
+            combine(options.reconfig_upload, profile.reconfig[l], size);
+      }
+    }
+  }
+  return profile;
+}
+
+/// Exact DP for task t against a frozen profile; returns its new partition.
+Partition optimize_task(const MultiTaskTrace& trace, const MachineSpec& machine,
+                        const FrozenProfile& profile, std::size_t t,
+                        const EvalOptions& options) {
+  const TaskTrace& task = trace.task(t);
+  const std::size_t n = task.size();
+  const Cost v = machine.tasks[t].local_init;
+
+  std::vector<Cost> best(n + 1, kInfinity);
+  std::vector<std::size_t> parent(n + 1, 0);
+  best[0] = 0;
+
+  for (std::size_t end = 1; end <= n; ++end) {
+    DynamicBitset running(task.local_universe());
+    std::size_t union_size = 0;
+    std::uint32_t max_priv = 0;
+    for (std::size_t start = end; start-- > 0;) {
+      union_size += running.merge_counting(task.at(start).local);
+      max_priv = std::max(max_priv, task.at(start).private_demand);
+      const Cost size =
+          static_cast<Cost>(union_size) + static_cast<Cost>(max_priv);
+
+      const Cost hyper_with =
+          combine(options.hyper_upload, profile.hyper[start], v);
+      Cost interval_cost = hyper_with - profile.hyper[start];
+      for (std::size_t l = start; l < end; ++l) {
+        interval_cost +=
+            combine(options.reconfig_upload, profile.reconfig[l], size) -
+            profile.reconfig[l];
+      }
+      const Cost candidate = best[start] + interval_cost;
+      if (candidate < best[end]) {
+        best[end] = candidate;
+        parent[end] = start;
+      }
+    }
+  }
+
+  std::vector<std::size_t> starts;
+  for (std::size_t cursor = n; cursor != 0; cursor = parent[cursor]) {
+    starts.push_back(parent[cursor]);
+  }
+  std::reverse(starts.begin(), starts.end());
+  return Partition::from_starts(starts, n);
+}
+
+}  // namespace
+
+MTSolution solve_coordinate_descent(const MultiTaskTrace& trace,
+                                    const MachineSpec& machine,
+                                    const EvalOptions& options,
+                                    const CoordinateDescentConfig& config) {
+  machine.validate_trace(trace);
+  HYPERREC_ENSURE(trace.synchronized(),
+                  "coordinate descent needs equal-length traces");
+  HYPERREC_ENSURE(!options.changeover,
+                  "coordinate descent does not support changeover costs");
+  HYPERREC_ENSURE(config.seed.size() <= 1, "at most one seed schedule");
+
+  MultiTaskSchedule schedule = config.seed.empty()
+                                   ? solve_aligned_dp(trace, machine, options)
+                                         .schedule
+                                   : config.seed.front();
+  Cost current =
+      evaluate_fully_sync_switch(trace, machine, schedule, options).total;
+
+  const std::size_t m = trace.task_count();
+  for (std::size_t round = 0; round < config.max_rounds; ++round) {
+    bool improved = false;
+    for (std::size_t t = 0; t < m; ++t) {
+      const FrozenProfile profile =
+          freeze(trace, machine, schedule, t, options);
+      Partition candidate = optimize_task(trace, machine, profile, t, options);
+      MultiTaskSchedule trial = schedule;
+      trial.tasks[t] = std::move(candidate);
+      const Cost trial_cost =
+          evaluate_fully_sync_switch(trace, machine, trial, options).total;
+      if (trial_cost < current) {
+        schedule = std::move(trial);
+        current = trial_cost;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return make_solution(trace, machine, std::move(schedule), options);
+}
+
+}  // namespace hyperrec

@@ -1,0 +1,42 @@
+// Optimal single-task solver for the DAG cost model (§2): interval DP with
+// init(h) = w constant and the cheapest satisfying hypercontext per
+// interval.  The DAG's monotonicity (edges only increase capability and
+// cost) is validated by the model; the solver only relies on the
+// satisfaction sets and costs.  O(n²·|H|).
+//
+// solve_mt_dag_aligned extends it to the MT-DAG model (§4.1) for machines
+// whose hyperreconfigurations are aligned across tasks: one DAG model per
+// task, per-interval cheapest hypercontexts per task, reconfig costs
+// combined task-parallel (max) or task-sequentially (Σ).
+#pragma once
+
+#include "model/cost_dag.hpp"
+#include "model/types.hpp"
+
+namespace hyperrec {
+
+struct DagSolution {
+  DagSchedule schedule;
+  Cost total = 0;
+};
+
+[[nodiscard]] DagSolution solve_dag_dp(const DagCostModel& model,
+                                       const std::vector<std::size_t>& sequence);
+
+struct MtDagSolution {
+  std::vector<std::size_t> starts;  ///< aligned interval starts
+  /// hypercontexts[k][j] — hypercontext of task j in interval k.
+  std::vector<std::vector<std::size_t>> hypercontexts;
+  Cost total = 0;
+};
+
+/// Aligned multi-task DAG solver; `sequences[j]` is task j's kind sequence
+/// (all must have equal length), `models[j]` its DAG model.  `w` is the cost
+/// of one aligned hyperreconfiguration (paper: init(h) = w), and
+/// `task_parallel` selects the reconfiguration upload discipline.
+[[nodiscard]] MtDagSolution solve_mt_dag_aligned(
+    const std::vector<DagCostModel>& models,
+    const std::vector<std::vector<std::size_t>>& sequences, Cost w,
+    bool task_parallel);
+
+}  // namespace hyperrec

@@ -1,0 +1,59 @@
+#include "core/exhaustive.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace hyperrec {
+
+double exhaustive_search_space(std::size_t m, std::size_t n) {
+  return std::pow(2.0, static_cast<double>(m * (n - 1)));
+}
+
+MTSolution solve_exhaustive(const MultiTaskTrace& trace,
+                            const MachineSpec& machine,
+                            const EvalOptions& options) {
+  machine.validate_trace(trace);
+  HYPERREC_ENSURE(trace.synchronized(),
+                  "exhaustive search needs equal-length traces");
+  const std::size_t n = trace.steps();
+  const std::size_t m = trace.task_count();
+  HYPERREC_ENSURE(n > 0 && m > 0, "empty problem");
+  const std::size_t free_bits = m * (n - 1);
+  HYPERREC_ENSURE(free_bits <= 24,
+                  "exhaustive search limited to m(n-1) <= 24 free boundary "
+                  "bits");
+
+  Cost best_cost = std::numeric_limits<Cost>::max();
+  std::uint64_t best_code = 0;
+
+  auto decode = [&](std::uint64_t code) {
+    MultiTaskSchedule schedule;
+    schedule.tasks.reserve(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      DynamicBitset mask(n);
+      mask.set(0);
+      for (std::size_t s = 1; s < n; ++s) {
+        if ((code >> (j * (n - 1) + (s - 1))) & 1u) mask.set(s);
+      }
+      schedule.tasks.push_back(Partition::from_boundary_mask(mask));
+    }
+    if (machine.has_global_resources()) {
+      schedule.global_boundaries.push_back(0);
+    }
+    return schedule;
+  };
+
+  const std::uint64_t limit = std::uint64_t{1} << free_bits;
+  for (std::uint64_t code = 0; code < limit; ++code) {
+    const MultiTaskSchedule schedule = decode(code);
+    const Cost total =
+        evaluate_fully_sync_switch(trace, machine, schedule, options).total;
+    if (total < best_cost) {
+      best_cost = total;
+      best_code = code;
+    }
+  }
+  return make_solution(trace, machine, decode(best_code), options);
+}
+
+}  // namespace hyperrec

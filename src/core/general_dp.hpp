@@ -1,0 +1,28 @@
+// Optimal single-task solver for the *explicitly tabulated* general cost
+// model (§2).  For every interval the cheapest satisfying hypercontext is
+// found by scanning H, and an interval DP picks the partition:
+//
+//   D[j] = min_{i<j} D[i] + min_{h satisfies c_i..c_{j-1}}
+//                               (init(h) + cost(h)·(j−i))
+//
+// O(n²·|H|) subset checks.  The paper's NP-completeness statement concerns
+// implicitly specified hypercontext spaces (see implicit_general.hpp); with
+// H given as an explicit table the problem is polynomial.
+#pragma once
+
+#include "model/cost_general.hpp"
+
+namespace hyperrec {
+
+struct GeneralSolution {
+  GeneralSchedule schedule;
+  Cost total = 0;
+};
+
+/// `sequence` holds context kind ids.  Throws if some interval has no
+/// satisfying hypercontext (guaranteed not to happen when the model has a
+/// universal hypercontext).
+[[nodiscard]] GeneralSolution solve_general_dp(
+    const GeneralCostModel& model, const std::vector<std::size_t>& sequence);
+
+}  // namespace hyperrec

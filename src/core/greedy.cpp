@@ -1,0 +1,56 @@
+#include "core/greedy.hpp"
+
+#include <algorithm>
+
+namespace hyperrec {
+
+MTSolution solve_greedy(const MultiTaskTrace& trace, const MachineSpec& machine,
+                        const EvalOptions& options,
+                        const GreedyConfig& config) {
+  machine.validate_trace(trace);
+  HYPERREC_ENSURE(trace.synchronized(), "greedy needs equal-length traces");
+  HYPERREC_ENSURE(config.window >= 1, "window must be at least 1");
+  const std::size_t n = trace.steps();
+  const std::size_t m = trace.task_count();
+
+  MultiTaskSchedule schedule;
+  schedule.tasks.reserve(m);
+
+  for (std::size_t j = 0; j < m; ++j) {
+    const TaskTrace& task = trace.task(j);
+    const Cost v = machine.tasks[j].local_init;
+    std::vector<std::size_t> starts{0};
+
+    DynamicBitset current(task.local_universe());
+    current |= task.at(0).local;
+    std::uint32_t current_priv = task.at(0).private_demand;
+
+    for (std::size_t l = 1; l < n; ++l) {
+      const std::size_t window_end = std::min(n, l + config.window);
+
+      DynamicBitset window_union = task.local_union(l, window_end);
+      std::uint32_t window_priv = task.max_private_demand(l, window_end);
+      const Cost len = static_cast<Cost>(window_end - l);
+
+      const Cost fresh_size = static_cast<Cost>(window_union.count()) +
+                              static_cast<Cost>(window_priv);
+      const Cost extended_size =
+          static_cast<Cost>(current.union_count(window_union)) +
+          static_cast<Cost>(std::max(current_priv, window_priv));
+
+      if (v + fresh_size * len < extended_size * len) {
+        starts.push_back(l);
+        current = std::move(window_union);
+        current_priv = window_priv;
+      } else {
+        current |= task.at(l).local;
+        current_priv = std::max(current_priv, task.at(l).private_demand);
+      }
+    }
+    schedule.tasks.push_back(Partition::from_starts(std::move(starts), n));
+  }
+  if (machine.has_global_resources()) schedule.global_boundaries.push_back(0);
+  return make_solution(trace, machine, std::move(schedule), options);
+}
+
+}  // namespace hyperrec

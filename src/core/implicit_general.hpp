@@ -1,0 +1,39 @@
+// Exact solver for the general cost model over an *implicitly* specified
+// hypercontext space: H = 2^X with caller-provided cost functions.
+//
+// This is the regime in which the paper (citing [9]) states the optimal
+// (hyper)reconfiguration problem is NP-complete even for a single task: the
+// hypercontext space is exponential in |X| and the cost function is
+// arbitrary — in particular it need not be monotone, so the minimal union is
+// not necessarily the best hypercontext for an interval and every superset
+// must be considered.  solve_implicit_general enumerates, for each interval,
+// all 2^{|X|−|U|} supersets of the interval union; combined with the
+// interval DP this is exponential in |X| and is used by the scaling bench to
+// contrast with the polynomial switch-model DP.  |X| is capped at 20.
+#pragma once
+
+#include <functional>
+
+#include "model/trace.hpp"
+#include "model/types.hpp"
+
+namespace hyperrec {
+
+/// cost(h) per reconfiguration and init(h) per hyperreconfiguration into h.
+struct ImplicitGeneralModel {
+  std::size_t universe = 0;
+  std::function<Cost(const DynamicBitset&)> cost;
+  std::function<Cost(const DynamicBitset&)> init;
+};
+
+struct ImplicitSolution {
+  std::vector<std::size_t> starts;
+  std::vector<DynamicBitset> hypercontexts;
+  Cost total = 0;
+};
+
+[[nodiscard]] ImplicitSolution solve_implicit_general(
+    const ImplicitGeneralModel& model,
+    const std::vector<DynamicBitset>& sequence);
+
+}  // namespace hyperrec

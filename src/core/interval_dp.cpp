@@ -1,0 +1,141 @@
+#include "core/interval_dp.hpp"
+
+#include <limits>
+
+namespace hyperrec {
+
+namespace {
+
+constexpr Cost kInfinity = std::numeric_limits<Cost>::max() / 4;
+
+SingleTaskSolution reconstruct(const TaskTrace& trace,
+                               const std::vector<std::size_t>& parent,
+                               Cost total) {
+  const std::size_t n = trace.size();
+  std::vector<std::size_t> starts;
+  for (std::size_t cursor = n; cursor != 0; cursor = parent[cursor]) {
+    starts.push_back(parent[cursor]);
+  }
+  std::reverse(starts.begin(), starts.end());
+
+  SingleTaskSolution solution{Partition::from_starts(starts, n), total, {}};
+  for (std::size_t k = 0; k < solution.partition.interval_count(); ++k) {
+    const auto [lo, hi] = solution.partition.interval_bounds(k);
+    solution.hypercontexts.push_back(trace.local_union(lo, hi));
+  }
+  return solution;
+}
+
+}  // namespace
+
+SingleTaskSolution solve_single_task_switch(const TaskTrace& trace,
+                                            Cost hyper_init) {
+  const std::size_t n = trace.size();
+  HYPERREC_ENSURE(n > 0, "empty trace");
+
+  std::vector<Cost> best(n + 1, kInfinity);
+  std::vector<std::size_t> parent(n + 1, 0);
+  best[0] = 0;
+
+  for (std::size_t end = 1; end <= n; ++end) {
+    DynamicBitset running(trace.local_universe());
+    std::size_t union_size = 0;
+    std::uint32_t max_priv = 0;
+    // Extend the candidate interval [start, end) leftwards.
+    for (std::size_t start = end; start-- > 0;) {
+      union_size += running.merge_counting(trace.at(start).local);
+      max_priv = std::max(max_priv, trace.at(start).private_demand);
+      const Cost per_step =
+          static_cast<Cost>(union_size) + static_cast<Cost>(max_priv);
+      const Cost candidate = best[start] + hyper_init +
+                             per_step * static_cast<Cost>(end - start);
+      if (candidate < best[end]) {
+        best[end] = candidate;
+        parent[end] = start;
+      }
+    }
+  }
+  return reconstruct(trace, parent, best[n]);
+}
+
+SingleTaskSolution solve_single_task_switch_changeover(const TaskTrace& trace,
+                                                       Cost hyper_init) {
+  const std::size_t n = trace.size();
+  HYPERREC_ENSURE(n > 0, "empty trace");
+  HYPERREC_ENSURE(n <= 2048,
+                  "changeover DP stores O(n²) unions; trace too long");
+
+  // unions[i*(n+1)+j] = U(i, j) for i < j.
+  std::vector<DynamicBitset> unions(
+      (n + 1) * (n + 1), DynamicBitset(trace.local_universe()));
+  std::vector<std::uint32_t> privs((n + 1) * (n + 1), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    DynamicBitset running(trace.local_universe());
+    std::uint32_t max_priv = 0;
+    for (std::size_t j = i + 1; j <= n; ++j) {
+      running |= trace.at(j - 1).local;
+      max_priv = std::max(max_priv, trace.at(j - 1).private_demand);
+      unions[i * (n + 1) + j] = running;
+      privs[i * (n + 1) + j] = max_priv;
+    }
+  }
+  auto interval_base = [&](std::size_t i, std::size_t j) {
+    const Cost per_step = static_cast<Cost>(unions[i * (n + 1) + j].count()) +
+                          static_cast<Cost>(privs[i * (n + 1) + j]);
+    return hyper_init + per_step * static_cast<Cost>(j - i);
+  };
+
+  // state[i][j]: min cost of steps [0, j) whose last interval is [i, j).
+  std::vector<Cost> state(n * (n + 1), kInfinity);
+  std::vector<std::size_t> parent(n * (n + 1), 0);
+  auto at = [n](std::size_t i, std::size_t j) { return i * (n + 1) + j; };
+
+  for (std::size_t j = 1; j <= n; ++j) {
+    state[at(0, j)] = interval_base(0, j) +
+                      static_cast<Cost>(unions[at(0, j)].count());
+  }
+  for (std::size_t j = 1; j < n; ++j) {      // previous interval end
+    for (std::size_t i = 0; i < j; ++i) {    // previous interval start
+      if (state[at(i, j)] >= kInfinity) continue;
+      for (std::size_t k = j + 1; k <= n; ++k) {  // new interval end
+        const Cost delta = static_cast<Cost>(
+            unions[at(j, k)].symmetric_difference_count(unions[at(i, j)]));
+        const Cost candidate = state[at(i, j)] + interval_base(j, k) + delta;
+        if (candidate < state[at(j, k)]) {
+          state[at(j, k)] = candidate;
+          parent[at(j, k)] = i;
+        }
+      }
+    }
+  }
+
+  Cost total = kInfinity;
+  std::size_t best_i = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (state[at(i, n)] < total) {
+      total = state[at(i, n)];
+      best_i = i;
+    }
+  }
+
+  std::vector<std::size_t> starts;
+  std::size_t i = best_i;
+  std::size_t j = n;
+  for (;;) {
+    starts.push_back(i);
+    if (i == 0) break;
+    const std::size_t prev_i = parent[at(i, j)];
+    j = i;
+    i = prev_i;
+  }
+  std::reverse(starts.begin(), starts.end());
+
+  SingleTaskSolution solution{Partition::from_starts(starts, n), total, {}};
+  for (std::size_t k = 0; k < solution.partition.interval_count(); ++k) {
+    const auto [lo, hi] = solution.partition.interval_bounds(k);
+    solution.hypercontexts.push_back(trace.local_union(lo, hi));
+  }
+  return solution;
+}
+
+}  // namespace hyperrec

@@ -1,0 +1,43 @@
+// Optimal single-task solvers for the Switch cost model.
+//
+// solve_single_task_switch computes the optimal partition of a context-
+// requirement sequence into hypercontext intervals (the single-task problem
+// referenced in §6: "for the single task case optimal (hyper)reconfiguration
+// costs were computed, cmp. [9]").  An interval [i, j) is served by its
+// minimal hypercontext — the union U(i,j) of its requirements — and costs
+//     v + (|U(i,j)| + maxpriv(i,j)) · (j − i),
+// where v is the hyperreconfiguration cost.  Dynamic programming over prefix
+// lengths with an incrementally maintained union gives O(n²) set operations.
+//
+// solve_single_task_switch_changeover additionally charges the symmetric
+// difference |h_k Δ h_{k−1}| at every hyperreconfiguration (§4.1's
+// changeover model).  It is exact within the minimal-hypercontext policy
+// (hypercontext = union of its interval); allowing arbitrary supersets makes
+// the problem a search over 2^X — the implicitly-specified regime in which
+// the general problem is NP-complete.  O(n³).
+#pragma once
+
+#include "model/cost_switch.hpp"
+#include "model/machine.hpp"
+#include "model/schedule.hpp"
+#include "model/trace.hpp"
+#include "model/types.hpp"
+
+namespace hyperrec {
+
+struct SingleTaskSolution {
+  Partition partition;
+  Cost total = 0;
+  /// Minimal hypercontext (local part) per interval.
+  std::vector<DynamicBitset> hypercontexts;
+};
+
+/// Optimal partition under interval cost v + (|U| + maxpriv)·len.
+[[nodiscard]] SingleTaskSolution solve_single_task_switch(
+    const TaskTrace& trace, Cost hyper_init);
+
+/// Optimal partition under the changeover variant (see header comment).
+[[nodiscard]] SingleTaskSolution solve_single_task_switch_changeover(
+    const TaskTrace& trace, Cost hyper_init);
+
+}  // namespace hyperrec

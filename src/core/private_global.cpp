@@ -1,0 +1,159 @@
+#include "core/private_global.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/coordinate_descent.hpp"
+
+namespace hyperrec {
+
+namespace {
+
+constexpr Cost kInfinity = std::numeric_limits<Cost>::max() / 4;
+
+/// Copies steps [lo, hi) of every task into a fresh trace.
+MultiTaskTrace subtrace(const MultiTaskTrace& trace, std::size_t lo,
+                        std::size_t hi) {
+  MultiTaskTrace result;
+  for (std::size_t j = 0; j < trace.task_count(); ++j) {
+    TaskTrace task(trace.task(j).local_universe());
+    for (std::size_t i = lo; i < hi; ++i) {
+      task.push_back(trace.task(j).at(i));
+    }
+    result.add_task(std::move(task));
+  }
+  return result;
+}
+
+bool block_feasible(const MultiTaskTrace& trace, const MachineSpec& machine,
+                    std::size_t lo, std::size_t hi) {
+  std::uint64_t quota_sum = 0;
+  for (std::size_t j = 0; j < trace.task_count(); ++j) {
+    quota_sum += trace.task(j).max_private_demand(lo, hi);
+  }
+  return quota_sum <= machine.private_global_units;
+}
+
+}  // namespace
+
+PrivateGlobalSolution solve_private_global(const MultiTaskTrace& trace,
+                                           const MachineSpec& machine,
+                                           const EvalOptions& options,
+                                           const PrivateGlobalConfig& config) {
+  machine.validate_trace(trace);
+  HYPERREC_ENSURE(trace.synchronized(),
+                  "private-global solver needs equal-length traces");
+  HYPERREC_ENSURE(machine.private_global_units > 0,
+                  "machine has no private-global resources; use a plain "
+                  "MT-Switch solver");
+  const std::size_t n = trace.steps();
+  const std::size_t m = trace.task_count();
+
+  MTSolverFn inner = config.inner;
+  if (!inner) {
+    inner = [](const MultiTaskTrace& t, const MachineSpec& mach,
+               const EvalOptions& opts) {
+      return solve_coordinate_descent(t, mach, opts);
+    };
+  }
+
+  // Candidate boundaries, always containing 0, sorted + deduplicated.
+  std::vector<std::size_t> candidates = config.candidates;
+  if (candidates.empty()) {
+    candidates.resize(n);
+    for (std::size_t i = 0; i < n; ++i) candidates[i] = i;
+  } else {
+    candidates.push_back(0);
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    HYPERREC_ENSURE(candidates.back() < n, "candidate beyond last step");
+  }
+  const std::size_t c = candidates.size();
+
+  // Inner solutions per candidate block [candidates[a], candidates[b] or n).
+  // Machines inside a block have no global resources (quotas are fixed), so
+  // blocks are solved as local-only problems with the private demands kept
+  // in the trace (their cost contribution is identical once feasible).
+  MachineSpec block_machine = machine;
+  block_machine.private_global_units = 0;
+  block_machine.public_context_size = machine.public_context_size;
+  // The private demands stay in the trace; evaluator adds them to |h^loc|.
+  // Feasibility against the pool is checked here, per block.
+  block_machine.private_global_units = machine.private_global_units;
+  block_machine.global_init = 0;
+
+  std::vector<Cost> block_cost(c * (c + 1), kInfinity);
+  std::vector<MTSolution> block_solution(c * (c + 1));
+  auto block_index = [c](std::size_t a, std::size_t b) { return a * (c + 1) + b; };
+
+  for (std::size_t a = 0; a < c; ++a) {
+    for (std::size_t b = a + 1; b <= c; ++b) {
+      const std::size_t lo = candidates[a];
+      const std::size_t hi = b < c ? candidates[b] : n;
+      if (!block_feasible(trace, machine, lo, hi)) continue;
+      const MultiTaskTrace block = subtrace(trace, lo, hi);
+      MachineSpec inner_machine = block_machine;
+      MTSolution solution = inner(block, inner_machine, options);
+      block_cost[block_index(a, b)] = solution.total();
+      block_solution[block_index(a, b)] = std::move(solution);
+    }
+  }
+
+  // Outer DP over candidate boundaries.
+  std::vector<Cost> best(c + 1, kInfinity);
+  std::vector<std::size_t> parent(c + 1, 0);
+  best[0] = 0;
+  for (std::size_t b = 1; b <= c; ++b) {
+    for (std::size_t a = 0; a < b; ++a) {
+      if (best[a] >= kInfinity) continue;
+      if (block_cost[block_index(a, b)] >= kInfinity) continue;
+      const Cost candidate =
+          best[a] + machine.global_init + block_cost[block_index(a, b)];
+      if (candidate < best[b]) {
+        best[b] = candidate;
+        parent[b] = a;
+      }
+    }
+  }
+  HYPERREC_ENSURE(best[c] < kInfinity,
+                  "no feasible global-block decomposition exists");
+
+  // Reconstruct blocks.
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;  // candidate idx
+  for (std::size_t cursor = c; cursor != 0; cursor = parent[cursor]) {
+    blocks.emplace_back(parent[cursor], cursor);
+  }
+  std::reverse(blocks.begin(), blocks.end());
+
+  // Stitch per-block schedules into one global schedule.
+  PrivateGlobalSolution result;
+  std::vector<std::vector<std::size_t>> starts(m);
+  for (const auto& [a, b] : blocks) {
+    const std::size_t lo = candidates[a];
+    const std::size_t hi = b < c ? candidates[b] : n;
+    const MTSolution& sol = block_solution[block_index(a, b)];
+    for (std::size_t j = 0; j < m; ++j) {
+      for (const std::size_t s : sol.schedule.tasks[j].starts()) {
+        starts[j].push_back(lo + s);
+      }
+    }
+    std::vector<std::uint32_t> quotas(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      quotas[j] = trace.task(j).max_private_demand(lo, hi);
+    }
+    result.quotas.push_back(std::move(quotas));
+  }
+
+  MultiTaskSchedule schedule;
+  for (std::size_t j = 0; j < m; ++j) {
+    schedule.tasks.push_back(Partition::from_starts(std::move(starts[j]), n));
+  }
+  for (const auto& [a, b] : blocks) {
+    schedule.global_boundaries.push_back(candidates[a]);
+  }
+  result.solution = make_solution(trace, machine, std::move(schedule), options);
+  return result;
+}
+
+}  // namespace hyperrec

@@ -1,0 +1,39 @@
+// Solver for machines with private-global resources (§3, §4).
+//
+// Private-global units (the paper's I/O-unit example) are assigned to tasks
+// by *global* hyperreconfigurations: within a global block the per-task
+// quotas are fixed and must jointly fit into the pool of g units.  When a
+// phase change shifts demand between tasks, a new global hyperreconfiguration
+// (cost w, all tasks stall and must re-establish local hypercontexts) can
+// re-assign the quotas.
+//
+// solve_private_global picks the global boundaries by an outer interval DP
+// over candidate steps; each block is solved by the inner solver (default:
+// coordinate descent on the sub-trace).  A block is feasible iff
+// Σ_j max-demand_j(block) ≤ g.  Exact with respect to the chosen candidate
+// set and inner solver.
+#pragma once
+
+#include "core/solver.hpp"
+
+namespace hyperrec {
+
+struct PrivateGlobalConfig {
+  /// Candidate steps for global boundaries (0 is always included).  Empty
+  /// means every step — O(n²) blocks, fine up to a few hundred steps.
+  std::vector<std::size_t> candidates;
+  /// Inner solver for each block; defaults to coordinate descent.
+  MTSolverFn inner;
+};
+
+struct PrivateGlobalSolution {
+  MTSolution solution;
+  /// quotas[b][j] — private units assigned to task j in global block b.
+  std::vector<std::vector<std::uint32_t>> quotas;
+};
+
+[[nodiscard]] PrivateGlobalSolution solve_private_global(
+    const MultiTaskTrace& trace, const MachineSpec& machine,
+    const EvalOptions& options = {}, const PrivateGlobalConfig& config = {});
+
+}  // namespace hyperrec

@@ -1,0 +1,52 @@
+#include "core/solver.hpp"
+
+#include "core/aligned_dp.hpp"
+#include "core/annealing.hpp"
+#include "core/coordinate_descent.hpp"
+#include "core/genetic.hpp"
+#include "core/greedy.hpp"
+
+namespace hyperrec {
+
+MTSolution make_solution(const MultiTaskTrace& trace,
+                         const MachineSpec& machine,
+                         MultiTaskSchedule schedule,
+                         const EvalOptions& options) {
+  MTSolution solution;
+  solution.breakdown =
+      evaluate_fully_sync_switch(trace, machine, schedule, options);
+  solution.schedule = std::move(schedule);
+  return solution;
+}
+
+std::vector<NamedSolver> standard_solvers() {
+  std::vector<NamedSolver> solvers;
+  solvers.push_back({"aligned-dp",
+                     [](const MultiTaskTrace& trace, const MachineSpec& machine,
+                        const EvalOptions& options) {
+                       return solve_aligned_dp(trace, machine, options);
+                     }});
+  solvers.push_back({"greedy-w8",
+                     [](const MultiTaskTrace& trace, const MachineSpec& machine,
+                        const EvalOptions& options) {
+                       return solve_greedy(trace, machine, options);
+                     }});
+  solvers.push_back({"coord-descent",
+                     [](const MultiTaskTrace& trace, const MachineSpec& machine,
+                        const EvalOptions& options) {
+                       return solve_coordinate_descent(trace, machine, options);
+                     }});
+  solvers.push_back({"genetic",
+                     [](const MultiTaskTrace& trace, const MachineSpec& machine,
+                        const EvalOptions& options) {
+                       return solve_genetic(trace, machine, options).best;
+                     }});
+  solvers.push_back({"annealing",
+                     [](const MultiTaskTrace& trace, const MachineSpec& machine,
+                        const EvalOptions& options) {
+                       return solve_annealing(trace, machine, options);
+                     }});
+  return solvers;
+}
+
+}  // namespace hyperrec

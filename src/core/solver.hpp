@@ -1,0 +1,46 @@
+// Common result type and registry for multi-task MT-Switch solvers.
+//
+// Every solver for the fully synchronised MT-Switch problem (§5 of the
+// paper) produces a MultiTaskSchedule; MTSolution bundles it with its cost
+// breakdown under the evaluation options it was optimised for.  The registry
+// lets benches and tests iterate all solvers uniformly.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/cost_switch.hpp"
+#include "model/machine.hpp"
+#include "model/schedule.hpp"
+#include "model/trace.hpp"
+
+namespace hyperrec {
+
+struct MTSolution {
+  MultiTaskSchedule schedule;
+  CostBreakdown breakdown;
+
+  [[nodiscard]] Cost total() const noexcept { return breakdown.total; }
+};
+
+/// Re-evaluates a schedule and packages it as a solution.
+[[nodiscard]] MTSolution make_solution(const MultiTaskTrace& trace,
+                                       const MachineSpec& machine,
+                                       MultiTaskSchedule schedule,
+                                       const EvalOptions& options);
+
+using MTSolverFn = std::function<MTSolution(
+    const MultiTaskTrace&, const MachineSpec&, const EvalOptions&)>;
+
+struct NamedSolver {
+  std::string name;
+  MTSolverFn solve;
+};
+
+/// The library's standard solver line-up (aligned DP, coordinate descent,
+/// greedy, GA, SA) with default configurations — exhaustive search is
+/// excluded because it only handles tiny instances.
+[[nodiscard]] std::vector<NamedSolver> standard_solvers();
+
+}  // namespace hyperrec

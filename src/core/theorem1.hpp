@@ -1,0 +1,41 @@
+// Exact dynamic program of Theorem 1 for the fully synchronised MT-Switch
+// problem with task-parallel partial hyperreconfigurations.
+//
+// The paper states (and omits the algorithm for) a polynomial DP of
+// complexity O(m·n⁴·l^{2m}) without private-global resources.  The state
+// structure realised here matches that bound's shape:
+//
+//   At step t each task j sits in a *committed* hypercontext interval whose
+//   end e_j and minimal hypercontext size u_j = |U_j(start_j, e_j]| were
+//   fixed when the interval was entered (at which point its start was known,
+//   so u_j is a function of the chosen end).  The DP state is
+//   (t, (e_1,u_1), …, (e_m,u_m)); per step the machine pays the reconfig
+//   combine of the u_j, and whenever intervals end, the tasks starting anew
+//   choose fresh ends (paying the hyper combine of their v_j at the entry
+//   step).  States: n per step × (n·l)^m; transitions n per ending task —
+//   within the O(m n⁴ l^{2m}) envelope (the exponent in m is in the state,
+//   not the schedule space, which is why this is polynomial for fixed m
+//   while exhaustive search is 2^{m(n−1)}).
+//
+// Exponential only in m; practical for m ≤ 3 and n up to a few dozen.  The
+// instance size is guarded via state_space_estimate().
+#pragma once
+
+#include "core/solver.hpp"
+
+namespace hyperrec {
+
+/// Rough upper bound on the number of DP states, n·Π_j(n·(l_j+1)).
+[[nodiscard]] double theorem1_state_space(const MultiTaskTrace& trace,
+                                          const MachineSpec& machine);
+
+/// Exact optimum via the Theorem-1 DP.  Requirements: synchronized trace,
+/// no private-global or public resources, no changeover, m ≤ 3, and a state
+/// space below ~50M (PreconditionError otherwise).  Upload disciplines are
+/// honoured (the paper's theorem addresses the task-parallel case; the
+/// task-sequential combine is supported as well since the DP is agnostic).
+[[nodiscard]] MTSolution solve_theorem1_dp(const MultiTaskTrace& trace,
+                                           const MachineSpec& machine,
+                                           const EvalOptions& options = {});
+
+}  // namespace hyperrec

@@ -1,0 +1,79 @@
+#include "dag/dag.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace hyperrec {
+
+void Dag::add_edge(NodeId from, NodeId to) {
+  HYPERREC_ENSURE(from < node_count() && to < node_count(),
+                  "edge endpoint out of range");
+  HYPERREC_ENSURE(from != to, "self-loops are not allowed in a DAG");
+  adjacency_[from].push_back(to);
+}
+
+std::vector<Dag::NodeId> Dag::topological_sort() const {
+  std::vector<std::size_t> indegree(node_count(), 0);
+  for (const auto& next : adjacency_)
+    for (const NodeId to : next) ++indegree[to];
+
+  std::deque<NodeId> ready;
+  for (NodeId v = 0; v < node_count(); ++v)
+    if (indegree[v] == 0) ready.push_back(v);
+
+  std::vector<NodeId> order;
+  order.reserve(node_count());
+  while (!ready.empty()) {
+    const NodeId v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (const NodeId to : adjacency_[v])
+      if (--indegree[to] == 0) ready.push_back(to);
+  }
+  HYPERREC_ENSURE(order.size() == node_count(),
+                  "topological_sort() on a cyclic graph");
+  return order;
+}
+
+bool Dag::is_acyclic() const {
+  try {
+    (void)topological_sort();
+    return true;
+  } catch (const PreconditionError&) {
+    return false;
+  }
+}
+
+std::vector<DynamicBitset> Dag::reachability() const {
+  const std::vector<NodeId> order = topological_sort();
+  std::vector<DynamicBitset> reach(node_count(), DynamicBitset(node_count()));
+  // Process in reverse topological order so successors are complete.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    reach[v].set(v);
+    for (const NodeId to : adjacency_[v]) reach[v] |= reach[to];
+  }
+  return reach;
+}
+
+std::vector<Dag::NodeId> Dag::minimal_elements(
+    const std::vector<NodeId>& subset,
+    const std::vector<DynamicBitset>& reach) {
+  std::vector<NodeId> minimal;
+  for (const NodeId candidate : subset) {
+    const bool dominated = std::any_of(
+        subset.begin(), subset.end(), [&](const NodeId other) {
+          return other != candidate && reach[other].test(candidate);
+        });
+    if (!dominated) minimal.push_back(candidate);
+  }
+  return minimal;
+}
+
+std::size_t Dag::edge_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& next : adjacency_) total += next.size();
+  return total;
+}
+
+}  // namespace hyperrec

@@ -1,0 +1,60 @@
+// Directed acyclic graph substrate for the DAG cost model (§2 of the paper).
+//
+// In the DAG model the hypercontexts of a coarse-grained machine are ordered
+// by a precedence relation given as a DAG: an edge (h1, h2) means
+// h1(C) ⊂ h2(C) (h2 is at least as capable) and cost(h1) ≤ cost(h2).
+// Solvers need reachability ("is h at least as capable as g?"), minimal
+// elements of the satisfier set c(H), and topological iteration.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/bitset.hpp"
+
+namespace hyperrec {
+
+class Dag {
+ public:
+  using NodeId = std::size_t;
+
+  explicit Dag(std::size_t node_count) : adjacency_(node_count) {}
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return adjacency_.size();
+  }
+
+  /// Adds edge from → to.  Self-loops are rejected; cycles are detected by
+  /// validate() / topological_sort(), not here.
+  void add_edge(NodeId from, NodeId to);
+
+  [[nodiscard]] const std::vector<NodeId>& successors(NodeId node) const {
+    HYPERREC_ENSURE(node < node_count(), "node id out of range");
+    return adjacency_[node];
+  }
+
+  /// Kahn's algorithm; throws PreconditionError if the graph has a cycle.
+  [[nodiscard]] std::vector<NodeId> topological_sort() const;
+
+  /// True iff the graph is acyclic.
+  [[nodiscard]] bool is_acyclic() const;
+
+  /// Transitive closure: result[v] has bit u set iff u is reachable from v
+  /// (including v itself).  Bitset DP over the reverse topological order,
+  /// O(V·E/64) words.
+  [[nodiscard]] std::vector<DynamicBitset> reachability() const;
+
+  /// Nodes of `subset` that are minimal with respect to reachability, i.e.
+  /// no other subset member reaches them.  With reachability from
+  /// reachability(); used to compute the minimal satisfier sets c(H).
+  [[nodiscard]] static std::vector<NodeId> minimal_elements(
+      const std::vector<NodeId>& subset,
+      const std::vector<DynamicBitset>& reach);
+
+  [[nodiscard]] std::size_t edge_count() const noexcept;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+};
+
+}  // namespace hyperrec

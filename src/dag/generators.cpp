@@ -1,0 +1,41 @@
+#include "dag/generators.hpp"
+
+namespace hyperrec {
+
+Dag make_chain(std::size_t nodes) {
+  Dag dag(nodes);
+  for (std::size_t v = 0; v + 1 < nodes; ++v) dag.add_edge(v, v + 1);
+  return dag;
+}
+
+Dag make_layered(std::size_t layers, std::size_t width, std::size_t fanout,
+                 Xoshiro256& rng) {
+  HYPERREC_ENSURE(layers > 0 && width > 0, "layers and width must be positive");
+  Dag dag(layers * width);
+  for (std::size_t layer = 0; layer + 1 < layers; ++layer) {
+    for (std::size_t i = 0; i < width; ++i) {
+      const std::size_t from = layer * width + i;
+      for (std::size_t f = 0; f < fanout; ++f) {
+        const std::size_t to = (layer + 1) * width + rng.uniform(width);
+        dag.add_edge(from, to);
+      }
+    }
+  }
+  return dag;
+}
+
+Dag make_subset_lattice(std::size_t bits) {
+  HYPERREC_ENSURE(bits <= 20, "subset lattice limited to 2^20 nodes");
+  const std::size_t nodes = std::size_t{1} << bits;
+  Dag dag(nodes);
+  for (std::size_t mask = 0; mask < nodes; ++mask) {
+    for (std::size_t bit = 0; bit < bits; ++bit) {
+      if ((mask & (std::size_t{1} << bit)) == 0) {
+        dag.add_edge(mask, mask | (std::size_t{1} << bit));
+      }
+    }
+  }
+  return dag;
+}
+
+}  // namespace hyperrec

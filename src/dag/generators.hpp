@@ -1,0 +1,25 @@
+// Random and structured DAG generators for tests and the DAG-model bench.
+#pragma once
+
+#include <cstddef>
+
+#include "dag/dag.hpp"
+#include "support/rng.hpp"
+
+namespace hyperrec {
+
+/// A simple chain h0 → h1 → … → h_{k-1} (total order of hypercontexts).
+[[nodiscard]] Dag make_chain(std::size_t nodes);
+
+/// Layered random DAG: `layers` layers of `width` nodes; each node gets
+/// edges to `fanout` random nodes of the next layer.  Guaranteed acyclic.
+[[nodiscard]] Dag make_layered(std::size_t layers, std::size_t width,
+                               std::size_t fanout, Xoshiro256& rng);
+
+/// The full subset lattice over `bits` elements (2^bits nodes): node mask u
+/// has an edge to v iff v = u | (1 << i) for some i ∉ u.  This models the
+/// switch model's hypercontext space as a DAG and is used to cross-validate
+/// the DAG solver against the switch solver on tiny universes.
+[[nodiscard]] Dag make_subset_lattice(std::size_t bits);
+
+}  // namespace hyperrec

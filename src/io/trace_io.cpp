@@ -1,0 +1,142 @@
+#include "io/trace_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/ensure.hpp"
+
+namespace hyperrec::io {
+
+namespace {
+
+constexpr const char* kTraceHeader = "hyperrec-trace v1";
+constexpr const char* kScheduleHeader = "hyperrec-schedule v1";
+
+std::string read_line(std::istream& is, const char* what) {
+  std::string line;
+  HYPERREC_ENSURE(static_cast<bool>(std::getline(is, line)),
+                  std::string("unexpected end of input while reading ") +
+                      what);
+  return line;
+}
+
+std::size_t read_size(std::istream& is, const char* what) {
+  std::size_t value = 0;
+  HYPERREC_ENSURE(static_cast<bool>(is >> value),
+                  std::string("failed to parse ") + what);
+  return value;
+}
+
+}  // namespace
+
+void save_trace(std::ostream& os, const MultiTaskTrace& trace) {
+  HYPERREC_ENSURE(trace.task_count() > 0, "cannot save an empty trace");
+  HYPERREC_ENSURE(trace.synchronized(),
+                  "only synchronized traces are serialisable");
+  os << kTraceHeader << '\n';
+  os << trace.task_count() << '\n';
+  os << trace.steps() << '\n';
+  for (std::size_t j = 0; j < trace.task_count(); ++j) {
+    os << trace.task(j).local_universe()
+       << (j + 1 < trace.task_count() ? ' ' : '\n');
+  }
+  for (std::size_t j = 0; j < trace.task_count(); ++j) {
+    for (std::size_t i = 0; i < trace.steps(); ++i) {
+      const ContextRequirement& req = trace.task(j).at(i);
+      os << req.local.to_string() << ' ' << req.private_demand << '\n';
+    }
+  }
+}
+
+MultiTaskTrace load_trace(std::istream& is) {
+  HYPERREC_ENSURE(read_line(is, "header") == kTraceHeader,
+                  "not a hyperrec-trace v1 stream");
+  const std::size_t m = read_size(is, "task count");
+  const std::size_t n = read_size(is, "step count");
+  HYPERREC_ENSURE(m > 0 && n > 0, "trace must have tasks and steps");
+  std::vector<std::size_t> universes(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    universes[j] = read_size(is, "task universe");
+  }
+
+  MultiTaskTrace trace;
+  for (std::size_t j = 0; j < m; ++j) {
+    TaskTrace task(universes[j]);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string bits;
+      std::uint32_t priv = 0;
+      HYPERREC_ENSURE(static_cast<bool>(is >> bits >> priv),
+                      "failed to parse a requirement line");
+      HYPERREC_ENSURE(bits.size() == universes[j],
+                      "requirement bitstring length differs from the task "
+                      "universe");
+      task.push_back({DynamicBitset::from_string(bits), priv});
+    }
+    trace.add_task(std::move(task));
+  }
+  return trace;
+}
+
+void save_schedule(std::ostream& os, const MultiTaskSchedule& schedule) {
+  HYPERREC_ENSURE(!schedule.tasks.empty(), "cannot save an empty schedule");
+  os << kScheduleHeader << '\n';
+  os << schedule.tasks.size() << '\n';
+  os << schedule.tasks.front().n() << '\n';
+  for (const Partition& partition : schedule.tasks) {
+    os << partition.interval_count();
+    for (const std::size_t s : partition.starts()) os << ' ' << s;
+    os << '\n';
+  }
+  os << schedule.global_boundaries.size();
+  for (const std::size_t g : schedule.global_boundaries) os << ' ' << g;
+  os << '\n';
+}
+
+MultiTaskSchedule load_schedule(std::istream& is) {
+  HYPERREC_ENSURE(read_line(is, "header") == kScheduleHeader,
+                  "not a hyperrec-schedule v1 stream");
+  const std::size_t m = read_size(is, "task count");
+  const std::size_t n = read_size(is, "step count");
+  HYPERREC_ENSURE(m > 0 && n > 0, "schedule must have tasks and steps");
+
+  MultiTaskSchedule schedule;
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::size_t count = read_size(is, "boundary count");
+    std::vector<std::size_t> starts(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      starts[k] = read_size(is, "boundary start");
+    }
+    schedule.tasks.push_back(Partition::from_starts(std::move(starts), n));
+  }
+  const std::size_t globals = read_size(is, "global boundary count");
+  schedule.global_boundaries.resize(globals);
+  for (std::size_t k = 0; k < globals; ++k) {
+    schedule.global_boundaries[k] = read_size(is, "global boundary");
+  }
+  return schedule;
+}
+
+std::string trace_to_string(const MultiTaskTrace& trace) {
+  std::ostringstream os;
+  save_trace(os, trace);
+  return os.str();
+}
+
+MultiTaskTrace trace_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_trace(is);
+}
+
+std::string schedule_to_string(const MultiTaskSchedule& schedule) {
+  std::ostringstream os;
+  save_schedule(os, schedule);
+  return os.str();
+}
+
+MultiTaskSchedule schedule_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_schedule(is);
+}
+
+}  // namespace hyperrec::io

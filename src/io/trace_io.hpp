@@ -1,0 +1,44 @@
+// Plain-text serialisation of traces and schedules.
+//
+// Lets users capture context-requirement traces from real systems (or from
+// the SHyRA simulator), feed them to the solvers offline, and archive
+// solved schedules.  The format is a deliberately simple line-oriented text
+// format, stable and diff-friendly:
+//
+//   hyperrec-trace v1
+//   <m>
+//   <n>
+//   <l_0> <l_1> … <l_{m-1}>
+//   # then n lines per task, task-major:
+//   <bitstring of length l_j> <private_demand>
+//
+//   hyperrec-schedule v1
+//   <m>
+//   <n>
+//   <k_0> <start …>            # per task: boundary count + starts
+//   <g> <global starts …>      # global boundaries
+//
+// Loaders validate shape and reject malformed input with PreconditionError.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/schedule.hpp"
+#include "model/trace.hpp"
+
+namespace hyperrec::io {
+
+void save_trace(std::ostream& os, const MultiTaskTrace& trace);
+[[nodiscard]] MultiTaskTrace load_trace(std::istream& is);
+
+void save_schedule(std::ostream& os, const MultiTaskSchedule& schedule);
+[[nodiscard]] MultiTaskSchedule load_schedule(std::istream& is);
+
+/// Convenience round-trips through std::string (used by tests and tools).
+[[nodiscard]] std::string trace_to_string(const MultiTaskTrace& trace);
+[[nodiscard]] MultiTaskTrace trace_from_string(const std::string& text);
+[[nodiscard]] std::string schedule_to_string(const MultiTaskSchedule& schedule);
+[[nodiscard]] MultiTaskSchedule schedule_from_string(const std::string& text);
+
+}  // namespace hyperrec::io

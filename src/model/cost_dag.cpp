@@ -1,0 +1,96 @@
+#include "model/cost_dag.hpp"
+
+#include <limits>
+
+namespace hyperrec {
+
+DagCostModel::DagCostModel(Dag dag, std::vector<DynamicBitset> sat,
+                           std::vector<Cost> cost, Cost w)
+    : dag_(std::move(dag)),
+      sat_(std::move(sat)),
+      cost_(std::move(cost)),
+      w_(w) {
+  HYPERREC_ENSURE(dag_.node_count() == sat_.size() &&
+                      sat_.size() == cost_.size(),
+                  "dag/sat/cost sizes must agree");
+}
+
+Cost DagCostModel::cost(std::size_t h) const {
+  HYPERREC_ENSURE(h < cost_.size(), "hypercontext id out of range");
+  return cost_[h];
+}
+
+const DynamicBitset& DagCostModel::context_set(std::size_t h) const {
+  HYPERREC_ENSURE(h < sat_.size(), "hypercontext id out of range");
+  return sat_[h];
+}
+
+void DagCostModel::validate() const {
+  HYPERREC_ENSURE(dag_.is_acyclic(), "precedence graph has a cycle");
+  for (std::size_t h = 0; h < hypercontext_count(); ++h) {
+    HYPERREC_ENSURE(cost_[h] > 0, "DAG model requires cost(h) > 0");
+    for (const std::size_t to : dag_.successors(h)) {
+      HYPERREC_ENSURE(sat_[h].subset_of(sat_[to]),
+                      "edge (h1,h2) requires h1(C) ⊆ h2(C)");
+      HYPERREC_ENSURE(cost_[h] <= cost_[to],
+                      "edge (h1,h2) requires cost(h1) ≤ cost(h2)");
+    }
+  }
+  bool universal = false;
+  for (std::size_t h = 0; h < hypercontext_count() && !universal; ++h) {
+    universal = sat_[h].count() == kind_count();
+  }
+  HYPERREC_ENSURE(universal, "no universal hypercontext with h(C) = C");
+}
+
+std::vector<std::size_t> DagCostModel::minimal_satisfiers(
+    std::size_t kind) const {
+  HYPERREC_ENSURE(kind < kind_count(), "context kind out of range");
+  std::vector<std::size_t> satisfying;
+  for (std::size_t h = 0; h < hypercontext_count(); ++h) {
+    if (sat_[h].test(kind)) satisfying.push_back(h);
+  }
+  return Dag::minimal_elements(satisfying, dag_.reachability());
+}
+
+std::size_t DagCostModel::cheapest_satisfying(
+    const DynamicBitset& kinds) const {
+  std::size_t best = hypercontext_count();
+  Cost best_cost = std::numeric_limits<Cost>::max();
+  for (std::size_t h = 0; h < hypercontext_count(); ++h) {
+    if (kinds.subset_of(sat_[h]) && cost_[h] < best_cost) {
+      best = h;
+      best_cost = cost_[h];
+    }
+  }
+  return best;
+}
+
+Cost evaluate_dag_model(const DagCostModel& model,
+                        const std::vector<std::size_t>& sequence,
+                        const DagSchedule& schedule) {
+  HYPERREC_ENSURE(!sequence.empty(), "empty context sequence");
+  HYPERREC_ENSURE(schedule.starts.size() == schedule.hypercontexts.size(),
+                  "one hypercontext per interval required");
+  HYPERREC_ENSURE(!schedule.starts.empty() && schedule.starts.front() == 0,
+                  "schedule must start at step 0");
+  Cost total = 0;
+  for (std::size_t k = 0; k < schedule.starts.size(); ++k) {
+    const std::size_t start = schedule.starts[k];
+    const std::size_t end = (k + 1 < schedule.starts.size())
+                                ? schedule.starts[k + 1]
+                                : sequence.size();
+    HYPERREC_ENSURE(start < end && end <= sequence.size(),
+                    "schedule interval out of bounds or empty");
+    const std::size_t h = schedule.hypercontexts[k];
+    for (std::size_t i = start; i < end; ++i) {
+      HYPERREC_ENSURE(model.context_set(h).test(sequence[i]),
+                      "hypercontext does not satisfy a requirement in its "
+                      "interval");
+    }
+    total += model.w() + model.cost(h) * static_cast<Cost>(end - start);
+  }
+  return total;
+}
+
+}  // namespace hyperrec

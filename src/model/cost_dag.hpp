@@ -1,0 +1,70 @@
+// DAG cost model (paper §2): hypercontexts ordered by a precedence DAG.
+//
+// Structure required by the model:
+//   * for every edge (h1, h2): h1(C) ⊂ h2(C) and cost(h1) ≤ cost(h2),
+//   * a universal hypercontext h with h(C) = C exists,
+//   * init(h) = w is one constant for all hypercontexts.
+// The total reconfiguration time of a computation split into r segments is
+// r·w + Σ_i cost(h_i)·|S_i|.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dag/dag.hpp"
+#include "model/types.hpp"
+#include "support/bitset.hpp"
+
+namespace hyperrec {
+
+class DagCostModel {
+ public:
+  /// `dag` orders the hypercontexts; sat[h] = h(C) over `kind_count`
+  /// requirement kinds; cost[h] = per-reconfiguration cost; w = init cost.
+  DagCostModel(Dag dag, std::vector<DynamicBitset> sat,
+               std::vector<Cost> cost, Cost w);
+
+  [[nodiscard]] std::size_t hypercontext_count() const noexcept {
+    return cost_.size();
+  }
+  [[nodiscard]] std::size_t kind_count() const noexcept {
+    return sat_.empty() ? 0 : sat_[0].size();
+  }
+  [[nodiscard]] Cost w() const noexcept { return w_; }
+  [[nodiscard]] Cost cost(std::size_t h) const;
+  [[nodiscard]] const DynamicBitset& context_set(std::size_t h) const;
+  [[nodiscard]] const Dag& dag() const noexcept { return dag_; }
+
+  /// Checks the model's structural requirements listed above; throws a
+  /// PreconditionError naming the first violation.
+  void validate() const;
+
+  /// c(H): the minimal (w.r.t. the precedence DAG) hypercontexts satisfying
+  /// requirement kind c.
+  [[nodiscard]] std::vector<std::size_t> minimal_satisfiers(
+      std::size_t kind) const;
+
+  /// The cheapest hypercontext satisfying every kind in `kinds`, or
+  /// hypercontext_count() if none exists.
+  [[nodiscard]] std::size_t cheapest_satisfying(
+      const DynamicBitset& kinds) const;
+
+ private:
+  Dag dag_;
+  std::vector<DynamicBitset> sat_;
+  std::vector<Cost> cost_;
+  Cost w_;
+};
+
+/// Schedule: interval starts plus hypercontext choice per interval.
+struct DagSchedule {
+  std::vector<std::size_t> starts;
+  std::vector<std::size_t> hypercontexts;
+};
+
+/// r·w + Σ cost(h_i)·|S_i|; validates satisfaction of every requirement.
+[[nodiscard]] Cost evaluate_dag_model(const DagCostModel& model,
+                                      const std::vector<std::size_t>& sequence,
+                                      const DagSchedule& schedule);
+
+}  // namespace hyperrec

@@ -1,0 +1,96 @@
+#include "model/cost_general.hpp"
+
+#include "support/ensure.hpp"
+
+namespace hyperrec {
+
+GeneralCostModel::GeneralCostModel(std::size_t hypercontext_count,
+                                   std::size_t kind_count)
+    : kinds_(kind_count),
+      init_(hypercontext_count, 0),
+      cost_(hypercontext_count, 0),
+      satisfies_(hypercontext_count, DynamicBitset(kind_count)) {}
+
+void GeneralCostModel::set_init(std::size_t h, Cost value) {
+  HYPERREC_ENSURE(h < init_.size(), "hypercontext id out of range");
+  init_[h] = value;
+}
+
+void GeneralCostModel::set_cost(std::size_t h, Cost value) {
+  HYPERREC_ENSURE(h < cost_.size(), "hypercontext id out of range");
+  cost_[h] = value;
+}
+
+void GeneralCostModel::set_satisfies(std::size_t h, std::size_t kind,
+                                     bool value) {
+  HYPERREC_ENSURE(h < satisfies_.size(), "hypercontext id out of range");
+  HYPERREC_ENSURE(kind < kinds_, "context kind out of range");
+  if (value) {
+    satisfies_[h].set(kind);
+  } else {
+    satisfies_[h].reset(kind);
+  }
+}
+
+Cost GeneralCostModel::init(std::size_t h) const {
+  HYPERREC_ENSURE(h < init_.size(), "hypercontext id out of range");
+  return init_[h];
+}
+
+Cost GeneralCostModel::cost(std::size_t h) const {
+  HYPERREC_ENSURE(h < cost_.size(), "hypercontext id out of range");
+  return cost_[h];
+}
+
+bool GeneralCostModel::satisfies(std::size_t h, std::size_t kind) const {
+  HYPERREC_ENSURE(h < satisfies_.size(), "hypercontext id out of range");
+  HYPERREC_ENSURE(kind < kinds_, "context kind out of range");
+  return satisfies_[h].test(kind);
+}
+
+const DynamicBitset& GeneralCostModel::context_set(std::size_t h) const {
+  HYPERREC_ENSURE(h < satisfies_.size(), "hypercontext id out of range");
+  return satisfies_[h];
+}
+
+bool GeneralCostModel::satisfies_all(std::size_t h,
+                                     const DynamicBitset& kinds) const {
+  return kinds.subset_of(context_set(h));
+}
+
+void GeneralCostModel::require_universal_hypercontext() const {
+  for (std::size_t h = 0; h < hypercontext_count(); ++h) {
+    if (context_set(h).count() == kinds_) return;
+  }
+  HYPERREC_ENSURE(false, "no hypercontext satisfies every context kind");
+}
+
+Cost evaluate_general(const GeneralCostModel& model,
+                      const std::vector<std::size_t>& sequence,
+                      const GeneralSchedule& schedule) {
+  HYPERREC_ENSURE(!sequence.empty(), "empty context sequence");
+  HYPERREC_ENSURE(schedule.starts.size() == schedule.hypercontexts.size(),
+                  "one hypercontext per interval required");
+  HYPERREC_ENSURE(!schedule.starts.empty() && schedule.starts.front() == 0,
+                  "schedule must start at step 0");
+
+  Cost total = 0;
+  for (std::size_t k = 0; k < schedule.starts.size(); ++k) {
+    const std::size_t start = schedule.starts[k];
+    const std::size_t end = (k + 1 < schedule.starts.size())
+                                ? schedule.starts[k + 1]
+                                : sequence.size();
+    HYPERREC_ENSURE(start < end && end <= sequence.size(),
+                    "schedule interval out of bounds or empty");
+    const std::size_t h = schedule.hypercontexts[k];
+    for (std::size_t i = start; i < end; ++i) {
+      HYPERREC_ENSURE(model.satisfies(h, sequence[i]),
+                      "hypercontext does not satisfy a requirement in its "
+                      "interval");
+    }
+    total += model.init(h) + model.cost(h) * static_cast<Cost>(end - start);
+  }
+  return total;
+}
+
+}  // namespace hyperrec

@@ -1,0 +1,73 @@
+// General cost model (paper §2): explicit hypercontext tables.
+//
+// The general model puts no structure on hypercontexts: each h ∈ H carries
+// an arbitrary hyperreconfiguration cost init(h), a per-reconfiguration cost
+// cost(h), and an arbitrary satisfaction relation "h satisfies context
+// requirement kind c".  The paper notes that finding optimal
+// (hyper)reconfigurations is NP-complete in general — the hardness stems
+// from *implicitly* specified hypercontext spaces (e.g. all 2^X subsets with
+// an arbitrary cost function).  For an explicitly tabulated H the problem is
+// polynomial (see core/general_dp.hpp); the exponential-space case is
+// exercised by core/implicit_general.hpp and the scaling bench.
+//
+// Context requirements are interned: a sequence is a vector of kind ids in
+// [0, kind_count).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/types.hpp"
+#include "support/bitset.hpp"
+
+namespace hyperrec {
+
+class GeneralCostModel {
+ public:
+  GeneralCostModel(std::size_t hypercontext_count, std::size_t kind_count);
+
+  [[nodiscard]] std::size_t hypercontext_count() const noexcept {
+    return init_.size();
+  }
+  [[nodiscard]] std::size_t kind_count() const noexcept { return kinds_; }
+
+  void set_init(std::size_t h, Cost value);
+  void set_cost(std::size_t h, Cost value);
+  void set_satisfies(std::size_t h, std::size_t kind, bool value = true);
+
+  [[nodiscard]] Cost init(std::size_t h) const;
+  [[nodiscard]] Cost cost(std::size_t h) const;
+  [[nodiscard]] bool satisfies(std::size_t h, std::size_t kind) const;
+
+  /// The satisfaction row of h as a bitset over kinds (h(C) in the paper).
+  [[nodiscard]] const DynamicBitset& context_set(std::size_t h) const;
+
+  /// True iff h satisfies every kind in `kinds`.
+  [[nodiscard]] bool satisfies_all(std::size_t h,
+                                   const DynamicBitset& kinds) const;
+
+  /// Requires at least one hypercontext satisfying all kinds (the paper's
+  /// assumption that some h has h(C) = C); throws otherwise.
+  void require_universal_hypercontext() const;
+
+ private:
+  std::size_t kinds_;
+  std::vector<Cost> init_;
+  std::vector<Cost> cost_;
+  std::vector<DynamicBitset> satisfies_;
+};
+
+/// A schedule for the single-task general model: interval start steps (first
+/// must be 0) plus the chosen hypercontext per interval.
+struct GeneralSchedule {
+  std::vector<std::size_t> starts;
+  std::vector<std::size_t> hypercontexts;
+};
+
+/// Total reconfiguration time Σ_i (init(h_i) + cost(h_i)·|S_i|) (§2).
+/// Throws if some interval's hypercontext misses a requirement in it.
+[[nodiscard]] Cost evaluate_general(const GeneralCostModel& model,
+                                    const std::vector<std::size_t>& sequence,
+                                    const GeneralSchedule& schedule);
+
+}  // namespace hyperrec

@@ -1,0 +1,229 @@
+#include "model/cost_switch.hpp"
+
+#include <algorithm>
+
+namespace hyperrec {
+
+namespace {
+
+Cost combine(UploadMode mode, Cost acc, Cost value) {
+  return mode == UploadMode::kTaskParallel ? std::max(acc, value) : acc + value;
+}
+
+/// Cost of task j's local hyperreconfiguration into interval k, including
+/// the optional changeover term against the previous hypercontext.
+Cost local_hyper_cost(const MachineSpec& machine, std::size_t j,
+                      const std::vector<LocalHypercontext>& contexts,
+                      std::size_t k, bool changeover) {
+  Cost cost = machine.tasks[j].local_init;
+  if (changeover) {
+    const DynamicBitset& current = contexts[k].local;
+    if (k == 0) {
+      cost += static_cast<Cost>(current.count());
+    } else {
+      cost += static_cast<Cost>(
+          current.symmetric_difference_count(contexts[k - 1].local));
+    }
+  }
+  return cost;
+}
+
+/// Validates that within every global block the per-task private quotas fit
+/// into the machine's pool of g units (§3: the global hypercontext assigns
+/// the private-global resources to the tasks).
+void check_private_feasibility(const MultiTaskTrace& trace,
+                               const MachineSpec& machine,
+                               const MultiTaskSchedule& schedule,
+                               std::size_t steps) {
+  if (machine.private_global_units == 0) return;
+  std::vector<std::size_t> blocks = schedule.global_boundaries;
+  if (blocks.empty()) blocks.push_back(0);
+  blocks.push_back(steps);
+  for (std::size_t b = 0; b + 1 < blocks.size(); ++b) {
+    std::uint64_t quota_sum = 0;
+    for (std::size_t j = 0; j < trace.task_count(); ++j) {
+      quota_sum += trace.task(j).max_private_demand(blocks[b], blocks[b + 1]);
+    }
+    HYPERREC_ENSURE(quota_sum <= machine.private_global_units,
+                    "private-global demand exceeds the unit pool within a "
+                    "global block; insert a global hyperreconfiguration");
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<LocalHypercontext>> derive_local_hypercontexts(
+    const MultiTaskTrace& trace, const MultiTaskSchedule& schedule) {
+  std::vector<std::vector<LocalHypercontext>> result(trace.task_count());
+  for (std::size_t j = 0; j < trace.task_count(); ++j) {
+    const TaskTrace& task = trace.task(j);
+    const Partition& partition = schedule.tasks[j];
+    result[j].reserve(partition.interval_count());
+    for (std::size_t k = 0; k < partition.interval_count(); ++k) {
+      const auto [start, end] = partition.interval_bounds(k);
+      result[j].push_back(LocalHypercontext{
+          task.local_union(start, end),
+          task.max_private_demand(start, end)});
+    }
+  }
+  return result;
+}
+
+CostBreakdown evaluate_fully_sync_switch(const MultiTaskTrace& trace,
+                                         const MachineSpec& machine,
+                                         const MultiTaskSchedule& schedule,
+                                         const EvalOptions& options) {
+  machine.validate_trace(trace);
+  HYPERREC_ENSURE(trace.synchronized(),
+                  "fully synchronised evaluation requires equal-length traces");
+  const std::size_t n = trace.steps();
+  const std::size_t m = trace.task_count();
+  schedule.validate(m, n);
+  if (machine.has_global_resources()) {
+    HYPERREC_ENSURE(!schedule.global_boundaries.empty() &&
+                        schedule.global_boundaries.front() == 0,
+                    "machines with global resources need a global "
+                    "hyperreconfiguration at step 0");
+  } else {
+    HYPERREC_ENSURE(schedule.global_boundaries.empty(),
+                    "machines without global resources cannot perform global "
+                    "hyperreconfigurations");
+  }
+  check_private_feasibility(trace, machine, schedule, n);
+
+  const auto contexts = derive_local_hypercontexts(trace, schedule);
+
+  CostBreakdown breakdown;
+  breakdown.per_step.resize(n);
+
+  // Per-task cursor over interval indices; advanced in step order.
+  std::vector<std::size_t> interval_index(m, 0);
+
+  for (std::size_t l = 0; l < n; ++l) {
+    bool any_boundary = false;
+    Cost hyper_term = 0;
+    // |h^pub| participates in the max for task-parallel upload and is added
+    // once for task-sequential — both are the combine starting value.
+    Cost reconfig_term = static_cast<Cost>(machine.public_context_size);
+
+    for (std::size_t j = 0; j < m; ++j) {
+      const Partition& partition = schedule.tasks[j];
+      if (l > 0 && partition.is_boundary(l)) ++interval_index[j];
+      const std::size_t k = interval_index[j];
+      if (partition.is_boundary(l)) {
+        any_boundary = true;
+        hyper_term = combine(
+            options.hyper_upload, hyper_term,
+            local_hyper_cost(machine, j, contexts[j], k, options.changeover));
+      }
+      const Cost task_reconfig =
+          static_cast<Cost>(contexts[j][k].local.count()) +
+          static_cast<Cost>(contexts[j][k].private_avail);
+      reconfig_term =
+          combine(options.reconfig_upload, reconfig_term, task_reconfig);
+    }
+
+    Cost global_term = 0;
+    if (std::binary_search(schedule.global_boundaries.begin(),
+                           schedule.global_boundaries.end(), l)) {
+      global_term = machine.global_init;
+    }
+
+    if (any_boundary) ++breakdown.partial_hyper_steps;
+    breakdown.per_step[l] = StepCost{hyper_term, reconfig_term};
+    breakdown.hyper += hyper_term;
+    breakdown.reconfig += reconfig_term;
+    breakdown.global_hyper += global_term;
+  }
+  breakdown.total =
+      breakdown.hyper + breakdown.reconfig + breakdown.global_hyper;
+  return breakdown;
+}
+
+AsyncCostBreakdown evaluate_async_switch(const MultiTaskTrace& trace,
+                                         const MachineSpec& machine,
+                                         const MultiTaskSchedule& schedule,
+                                         const EvalOptions& options) {
+  machine.validate_trace(trace);
+  HYPERREC_ENSURE(machine.public_context_size == 0,
+                  "public resources require a context- or fully-synchronised "
+                  "machine (§3)");
+  HYPERREC_ENSURE(schedule.tasks.size() == trace.task_count(),
+                  "schedule task count mismatch");
+  HYPERREC_ENSURE(schedule.global_boundaries.size() <= 1,
+                  "asynchronous evaluation covers a single global block");
+  for (std::size_t j = 0; j < trace.task_count(); ++j) {
+    HYPERREC_ENSURE(schedule.tasks[j].n() == trace.task(j).size(),
+                    "schedule step count mismatch for task");
+  }
+
+  // Private feasibility over the single block.
+  if (machine.private_global_units > 0) {
+    std::uint64_t quota_sum = 0;
+    for (std::size_t j = 0; j < trace.task_count(); ++j) {
+      quota_sum += trace.task(j).max_private_demand(0, trace.task(j).size());
+    }
+    HYPERREC_ENSURE(quota_sum <= machine.private_global_units,
+                    "private-global demand exceeds the unit pool");
+  }
+
+  const auto contexts = derive_local_hypercontexts(trace, schedule);
+
+  AsyncCostBreakdown breakdown;
+  breakdown.per_task.resize(trace.task_count(), 0);
+  for (std::size_t j = 0; j < trace.task_count(); ++j) {
+    const Partition& partition = schedule.tasks[j];
+    Cost total = 0;
+    for (std::size_t k = 0; k < partition.interval_count(); ++k) {
+      const auto [start, end] = partition.interval_bounds(k);
+      const Cost reconfig_each =
+          static_cast<Cost>(contexts[j][k].local.count()) +
+          static_cast<Cost>(contexts[j][k].private_avail);
+      total += local_hyper_cost(machine, j, contexts[j], k, options.changeover);
+      total += reconfig_each * static_cast<Cost>(end - start);
+    }
+    breakdown.per_task[j] = total;
+  }
+  breakdown.global_hyper =
+      machine.has_global_resources() ? machine.global_init : 0;
+  const Cost slowest = breakdown.per_task.empty()
+                           ? 0
+                           : *std::max_element(breakdown.per_task.begin(),
+                                               breakdown.per_task.end());
+  breakdown.total = breakdown.global_hyper + slowest;
+  return breakdown;
+}
+
+Cost no_hyperreconfiguration_cost(const MachineSpec& machine,
+                                  std::size_t steps) {
+  return static_cast<Cost>(machine.total_switches()) *
+         static_cast<Cost>(steps);
+}
+
+Cost evaluate_switch_total(SyncMode mode, const MultiTaskTrace& trace,
+                           const MachineSpec& machine,
+                           const MultiTaskSchedule& schedule,
+                           const EvalOptions& options) {
+  switch (mode) {
+    case SyncMode::kFullySynchronized:
+      return evaluate_fully_sync_switch(trace, machine, schedule, options)
+          .total;
+    case SyncMode::kHypercontextSynchronized: {
+      EvalOptions adjusted = options;
+      adjusted.reconfig_upload = UploadMode::kTaskParallel;
+      return evaluate_fully_sync_switch(trace, machine, schedule, adjusted)
+          .total;
+    }
+    case SyncMode::kContextSynchronized: {
+      EvalOptions adjusted = options;
+      adjusted.hyper_upload = UploadMode::kTaskParallel;
+      return evaluate_fully_sync_switch(trace, machine, schedule, adjusted)
+          .total;
+    }
+    case SyncMode::kNonSynchronized:
+      return evaluate_async_switch(trace, machine, schedule, options).total;
+  }
+  HYPERREC_ASSERT(false);
+}
+
+}  // namespace hyperrec

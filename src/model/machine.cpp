@@ -1,0 +1,44 @@
+#include "model/machine.hpp"
+
+namespace hyperrec {
+
+std::size_t MachineSpec::total_local_switches() const noexcept {
+  std::size_t total = 0;
+  for (const TaskSpec& task : tasks) total += task.local_switches;
+  return total;
+}
+
+std::size_t MachineSpec::total_switches() const noexcept {
+  return total_local_switches() + private_global_units + public_context_size;
+}
+
+void MachineSpec::validate_trace(const MultiTaskTrace& trace) const {
+  HYPERREC_ENSURE(trace.task_count() == tasks.size(),
+                  "trace task count differs from machine task count");
+  for (std::size_t j = 0; j < tasks.size(); ++j) {
+    const TaskTrace& task = trace.task(j);
+    HYPERREC_ENSURE(task.local_universe() == tasks[j].local_switches,
+                    "task local universe differs from machine l_j");
+    for (std::size_t i = 0; i < task.size(); ++i) {
+      HYPERREC_ENSURE(task.at(i).private_demand <= private_global_units,
+                      "private demand exceeds the machine's unit pool");
+    }
+  }
+}
+
+MachineSpec MachineSpec::uniform_local(std::size_t m, std::size_t l) {
+  MachineSpec spec;
+  spec.tasks.assign(m, TaskSpec{l, static_cast<Cost>(l)});
+  return spec;
+}
+
+MachineSpec MachineSpec::local_only(const std::vector<std::size_t>& locals) {
+  MachineSpec spec;
+  spec.tasks.reserve(locals.size());
+  for (const std::size_t l : locals) {
+    spec.tasks.push_back(TaskSpec{l, static_cast<Cost>(l)});
+  }
+  return spec;
+}
+
+}  // namespace hyperrec

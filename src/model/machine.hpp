@@ -1,0 +1,74 @@
+// Machine descriptions for the MT-Switch cost model (paper §4).
+//
+// A machine is described by its task layout: the number of local switches
+// l_j per task (f_j^loc is fixed at initialisation, §3), the local
+// hyperreconfiguration cost v_j, the pool of g interchangeable
+// private-global units, the size of the public hypercontext, and the global
+// hyperreconfiguration cost w.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/trace.hpp"
+#include "model/types.hpp"
+
+namespace hyperrec {
+
+struct TaskSpec {
+  /// l_j — size of the task's fixed local switch set f_j^loc.
+  std::size_t local_switches = 0;
+  /// v_j — cost of one local (partial) hyperreconfiguration of this task.
+  /// The paper's typical special case uses v_j = |h_j| + |f_j^loc|, which for
+  /// machines without private-global resources reduces to v_j = l_j.
+  Cost local_init = 0;
+};
+
+struct MachineSpec {
+  std::vector<TaskSpec> tasks;
+
+  /// g — number of interchangeable private-global units (e.g. I/O blocks);
+  /// 0 means the machine has no private-global resources.
+  std::size_t private_global_units = 0;
+
+  /// |h^pub| — size of the public hypercontext defined by the last global
+  /// hyperreconfiguration.  Public resources only exist on context- or
+  /// fully-synchronised machines (§3); 0 means none.
+  std::size_t public_context_size = 0;
+
+  /// w — cost of a global hyperreconfiguration.  Charged once per global
+  /// hyperreconfiguration when the machine has global resources; machines
+  /// with only local resources perform no global hyperreconfigurations
+  /// (§5: "there are no global hyperreconfigurations in this case").
+  Cost global_init = 0;
+
+  [[nodiscard]] std::size_t task_count() const noexcept {
+    return tasks.size();
+  }
+
+  /// Σ_j l_j.
+  [[nodiscard]] std::size_t total_local_switches() const noexcept;
+
+  /// Total switch count |X| = Σ l_j + g + |X^pub|; the per-step cost of the
+  /// machine when hyperreconfiguration is disabled.
+  [[nodiscard]] std::size_t total_switches() const noexcept;
+
+  /// True iff the machine has any global (private or public) resources.
+  [[nodiscard]] bool has_global_resources() const noexcept {
+    return private_global_units > 0 || public_context_size > 0;
+  }
+
+  /// Checks trace shape against the machine: task counts match, local
+  /// universes equal l_j, private demands never exceed g.
+  void validate_trace(const MultiTaskTrace& trace) const;
+
+  /// Machine of m identical tasks with l local switches each and the default
+  /// init cost v_j = l.
+  [[nodiscard]] static MachineSpec uniform_local(std::size_t m, std::size_t l);
+
+  /// Machine from a list of per-task local switch counts, v_j = l_j.
+  [[nodiscard]] static MachineSpec local_only(
+      const std::vector<std::size_t>& locals);
+};
+
+}  // namespace hyperrec

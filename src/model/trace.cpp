@@ -1,0 +1,58 @@
+#include "model/trace.hpp"
+
+namespace hyperrec {
+
+void TaskTrace::push_back(ContextRequirement req) {
+  HYPERREC_ENSURE(req.local.size() == local_universe_,
+                  "requirement universe differs from task universe");
+  steps_.push_back(std::move(req));
+}
+
+DynamicBitset TaskTrace::local_union(std::size_t first,
+                                     std::size_t last) const {
+  HYPERREC_ENSURE(first <= last && last <= steps_.size(),
+                  "union range out of bounds");
+  DynamicBitset result(local_universe_);
+  for (std::size_t i = first; i < last; ++i) result |= steps_[i].local;
+  return result;
+}
+
+std::uint32_t TaskTrace::max_private_demand(std::size_t first,
+                                            std::size_t last) const {
+  HYPERREC_ENSURE(first <= last && last <= steps_.size(),
+                  "demand range out of bounds");
+  std::uint32_t demand = 0;
+  for (std::size_t i = first; i < last; ++i)
+    demand = std::max(demand, steps_[i].private_demand);
+  return demand;
+}
+
+bool MultiTaskTrace::synchronized() const noexcept {
+  for (std::size_t j = 1; j < tasks_.size(); ++j)
+    if (tasks_[j].size() != tasks_[0].size()) return false;
+  return true;
+}
+
+std::size_t MultiTaskTrace::steps() const {
+  HYPERREC_ENSURE(!tasks_.empty(), "trace has no tasks");
+  HYPERREC_ENSURE(synchronized(), "steps() requires a synchronized trace");
+  return tasks_[0].size();
+}
+
+MultiTaskTrace MultiTaskTrace::from_local(
+    const std::vector<std::size_t>& universes,
+    const std::vector<std::vector<DynamicBitset>>& requirements) {
+  HYPERREC_ENSURE(universes.size() == requirements.size(),
+                  "one universe size per task required");
+  MultiTaskTrace trace;
+  for (std::size_t j = 0; j < universes.size(); ++j) {
+    TaskTrace task(universes[j]);
+    for (const DynamicBitset& req : requirements[j]) {
+      task.push_back_local(req);
+    }
+    trace.add_task(std::move(task));
+  }
+  return trace;
+}
+
+}  // namespace hyperrec

@@ -1,0 +1,29 @@
+// Shared scalar types and enums for the cost models of the paper.
+#pragma once
+
+#include <cstdint>
+
+namespace hyperrec {
+
+/// Costs are exact integers: in the switch model a cost is a number of
+/// switches times a number of steps (paper §2, §4), so no floating point is
+/// involved anywhere in cost evaluation or the exact solvers.
+using Cost = std::int64_t;
+
+/// §4: whether the reconfiguration bits of the m tasks are uploaded onto the
+/// machine in parallel (cost = max over tasks) or sequentially (cost = sum).
+enum class UploadMode : std::uint8_t {
+  kTaskParallel,
+  kTaskSequential,
+};
+
+/// §3: synchronisation regimes between tasks of a partially
+/// hyperreconfigurable machine.
+enum class SyncMode : std::uint8_t {
+  kFullySynchronized,        ///< hyper- and context-synchronised (§4.2)
+  kHypercontextSynchronized, ///< only partial hyperreconfigurations barrier
+  kContextSynchronized,      ///< only reconfigurations barrier
+  kNonSynchronized,          ///< §4.1 asynchronous model
+};
+
+}  // namespace hyperrec

@@ -1,0 +1,93 @@
+#include "online/rent_or_buy.hpp"
+
+#include "support/ensure.hpp"
+
+namespace hyperrec::online {
+
+RentOrBuyScheduler::RentOrBuyScheduler(std::size_t universe, Cost hyper_init,
+                                       RentOrBuyConfig config)
+    : universe_(universe),
+      hyper_init_(hyper_init),
+      config_(config),
+      current_(universe) {
+  HYPERREC_ENSURE(config_.fit_window >= 1, "fit window must be at least 1");
+  HYPERREC_ENSURE(config_.alpha >= 0.0, "alpha must be non-negative");
+}
+
+void RentOrBuyScheduler::refit(const ContextRequirement& requirement) {
+  DynamicBitset fitted(universe_);
+  std::uint32_t priv = 0;
+  for (const ContextRequirement& past : window_) {
+    fitted |= past.local;
+    priv = std::max(priv, past.private_demand);
+  }
+  fitted |= requirement.local;
+  priv = std::max(priv, requirement.private_demand);
+
+  current_ = std::move(fitted);
+  current_priv_ = priv;
+  waste_ = 0.0;
+  boundaries_.push_back(step_);
+  total_ += hyper_init_;
+}
+
+bool RentOrBuyScheduler::step(const ContextRequirement& requirement) {
+  HYPERREC_ENSURE(requirement.local.size() == universe_,
+                  "requirement universe mismatch");
+  bool hyperreconfigured = false;
+
+  const bool covered = started_ &&
+                       requirement.local.subset_of(current_) &&
+                       requirement.private_demand <= current_priv_;
+  if (!covered) {
+    // Mandatory re-fit: the hypercontext cannot serve this step.
+    refit(requirement);
+    hyperreconfigured = true;
+    started_ = true;
+  } else {
+    const double excess =
+        static_cast<double>(current_.count() + current_priv_) -
+        static_cast<double>(requirement.local.count() +
+                            requirement.private_demand);
+    waste_ += excess;
+    if (waste_ >= config_.alpha * static_cast<double>(hyper_init_) &&
+        excess > 0.0) {
+      refit(requirement);
+      hyperreconfigured = true;
+    }
+  }
+
+  total_ += static_cast<Cost>(current_.count()) +
+            static_cast<Cost>(current_priv_);
+  window_.push_back(requirement);
+  if (window_.size() > config_.fit_window) window_.pop_front();
+  ++step_;
+  return hyperreconfigured;
+}
+
+Partition run_online_single(const TaskTrace& trace, Cost hyper_init,
+                            RentOrBuyConfig config) {
+  HYPERREC_ENSURE(trace.size() > 0, "empty trace");
+  RentOrBuyScheduler scheduler(trace.local_universe(), hyper_init, config);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    scheduler.step(trace.at(i));
+  }
+  return Partition::from_starts(scheduler.boundaries(), trace.size());
+}
+
+MultiTaskSchedule run_online_multi(const MultiTaskTrace& trace,
+                                   const MachineSpec& machine,
+                                   RentOrBuyConfig config) {
+  machine.validate_trace(trace);
+  HYPERREC_ENSURE(trace.synchronized(),
+                  "online multi-task control needs equal-length traces");
+  MultiTaskSchedule schedule;
+  for (std::size_t j = 0; j < trace.task_count(); ++j) {
+    schedule.tasks.push_back(run_online_single(
+        trace.task(j), machine.tasks[j].local_init, config));
+  }
+  if (machine.has_global_resources()) schedule.global_boundaries.push_back(0);
+  return schedule;
+}
+
+}  // namespace hyperrec::online

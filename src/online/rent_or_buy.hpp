@@ -1,0 +1,92 @@
+// Online (hyper)reconfiguration scheduling.
+//
+// The paper observes that "the actual demand of a computation during runtime
+// might depend on the data and cannot be determined exactly in advance" —
+// offline DPs then operate on worst-case bounds.  This module provides the
+// complementary *online* controller: it sees the context requirements one
+// step at a time (no lookahead) and decides on the fly when to
+// hyperreconfigure.
+//
+// Policy: rent-or-buy (ski rental).  While the current hypercontext h
+// satisfies the requirements, the controller "rents": each step wastes
+// |h| − |c_t| switch-loads compared to a perfectly fitted hypercontext.
+// When the accumulated waste exceeds α·v (v = hyperreconfiguration cost) the
+// controller "buys" a re-fit: a new minimal hypercontext covering the recent
+// window.  A requirement outside h forces an immediate re-fit.  The classic
+// ski-rental argument bounds the waste paid between re-fits by α·v + max
+// step excess, giving a constant-competitive trade-off against an adversary
+// that must itself pay v per hypercontext change.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "model/cost_switch.hpp"
+#include "model/machine.hpp"
+#include "model/schedule.hpp"
+#include "model/trace.hpp"
+
+namespace hyperrec::online {
+
+struct RentOrBuyConfig {
+  /// Waste threshold multiplier: re-fit when waste ≥ alpha·v.
+  double alpha = 1.0;
+  /// The new hypercontext covers the union of the last `fit_window`
+  /// requirements (including the current one) — a little hysteresis so a
+  /// single narrow step does not shrink the hypercontext too eagerly.
+  std::size_t fit_window = 4;
+};
+
+/// Single-task online controller.  Feed requirements in step order.
+class RentOrBuyScheduler {
+ public:
+  RentOrBuyScheduler(std::size_t universe, Cost hyper_init,
+                     RentOrBuyConfig config = {});
+
+  /// Processes one step; returns true iff a hyperreconfiguration was
+  /// performed immediately before it.
+  bool step(const ContextRequirement& requirement);
+
+  [[nodiscard]] Cost total_cost() const noexcept { return total_; }
+  [[nodiscard]] std::size_t hyper_count() const noexcept {
+    return boundaries_.size();
+  }
+  [[nodiscard]] const std::vector<std::size_t>& boundaries() const noexcept {
+    return boundaries_;
+  }
+  [[nodiscard]] const DynamicBitset& hypercontext() const noexcept {
+    return current_;
+  }
+  [[nodiscard]] std::size_t steps_seen() const noexcept { return step_; }
+
+ private:
+  void refit(const ContextRequirement& requirement);
+
+  std::size_t universe_;
+  Cost hyper_init_;
+  RentOrBuyConfig config_;
+
+  DynamicBitset current_;
+  std::uint32_t current_priv_ = 0;
+  double waste_ = 0.0;
+  std::deque<ContextRequirement> window_;
+  std::vector<std::size_t> boundaries_;
+  Cost total_ = 0;
+  std::size_t step_ = 0;
+  bool started_ = false;
+};
+
+/// Runs the controller over a full trace and returns the induced partition
+/// (for evaluation under the offline cost models).
+[[nodiscard]] Partition run_online_single(const TaskTrace& trace,
+                                          Cost hyper_init,
+                                          RentOrBuyConfig config = {});
+
+/// Per-task online controllers for a synchronized multi-task machine; the
+/// resulting schedule is evaluated with the §4.2 evaluator.
+[[nodiscard]] MultiTaskSchedule run_online_multi(const MultiTaskTrace& trace,
+                                                 const MachineSpec& machine,
+                                                 RentOrBuyConfig config = {});
+
+}  // namespace hyperrec::online

@@ -1,0 +1,36 @@
+#include "shyra/builder.hpp"
+
+#include "support/ensure.hpp"
+
+namespace hyperrec::shyra {
+
+std::uint8_t tt_const(bool value) { return value ? 0xFF : 0x00; }
+
+ConfigBuilder& ConfigBuilder::lut1(std::uint8_t tt, std::uint8_t in0,
+                                   std::uint8_t in1, std::uint8_t in2,
+                                   std::uint8_t dest) {
+  config_.lut_tt[0] = tt;
+  config_.mux_sel[0] = in0;
+  config_.mux_sel[1] = in1;
+  config_.mux_sel[2] = in2;
+  config_.demux_sel[0] = dest;
+  return *this;
+}
+
+ConfigBuilder& ConfigBuilder::lut2(std::uint8_t tt, std::uint8_t in0,
+                                   std::uint8_t in1, std::uint8_t in2,
+                                   std::uint8_t dest) {
+  config_.lut_tt[1] = tt;
+  config_.mux_sel[3] = in0;
+  config_.mux_sel[4] = in1;
+  config_.mux_sel[5] = in2;
+  config_.demux_sel[1] = dest;
+  return *this;
+}
+
+ShyraConfig ConfigBuilder::build() const {
+  config_.validate();
+  return config_;
+}
+
+}  // namespace hyperrec::shyra

@@ -1,0 +1,60 @@
+// Construction helpers for SHyRA configurations — a tiny "assembler".
+//
+// Truth tables are built from C++ callables over 1, 2 or 3 inputs; unused
+// inputs are replicated out so that analyze_usage() correctly reports them
+// as not live (their MUX selectors then drop out of the cycle's context
+// requirement).
+#pragma once
+
+#include <cstdint>
+
+#include "shyra/config.hpp"
+
+namespace hyperrec::shyra {
+
+/// Truth table of a 3-input function f(a, b, c).
+template <typename Fn>
+[[nodiscard]] std::uint8_t tt3(Fn&& fn) {
+  std::uint8_t tt = 0;
+  for (std::uint8_t address = 0; address < 8; ++address) {
+    const bool a = address & 1u;
+    const bool b = (address >> 1) & 1u;
+    const bool c = (address >> 2) & 1u;
+    if (fn(a, b, c)) tt |= static_cast<std::uint8_t>(1u << address);
+  }
+  return tt;
+}
+
+/// Truth table of a 2-input function on inputs (0, 1); input 2 is ignored.
+template <typename Fn>
+[[nodiscard]] std::uint8_t tt2(Fn&& fn) {
+  return tt3([&fn](bool a, bool b, bool) { return fn(a, b); });
+}
+
+/// Truth table of a 1-input function on input 0; inputs 1, 2 are ignored.
+template <typename Fn>
+[[nodiscard]] std::uint8_t tt1(Fn&& fn) {
+  return tt3([&fn](bool a, bool, bool) { return fn(a); });
+}
+
+/// Constant truth table (no live inputs).
+[[nodiscard]] std::uint8_t tt_const(bool value);
+
+/// Fluent builder for one cycle's configuration.
+class ConfigBuilder {
+ public:
+  /// LUT1 computes `tt` over registers (in0, in1, in2) and writes `dest`.
+  ConfigBuilder& lut1(std::uint8_t tt, std::uint8_t in0, std::uint8_t in1,
+                      std::uint8_t in2, std::uint8_t dest);
+
+  /// LUT2 likewise.
+  ConfigBuilder& lut2(std::uint8_t tt, std::uint8_t in0, std::uint8_t in1,
+                      std::uint8_t in2, std::uint8_t dest);
+
+  [[nodiscard]] ShyraConfig build() const;
+
+ private:
+  ShyraConfig config_;
+};
+
+}  // namespace hyperrec::shyra

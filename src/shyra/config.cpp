@@ -1,0 +1,110 @@
+#include "shyra/config.hpp"
+
+#include <bit>
+
+#include "support/ensure.hpp"
+
+namespace hyperrec::shyra {
+
+void ShyraConfig::validate() const {
+  for (const std::uint8_t sel : mux_sel) {
+    HYPERREC_ENSURE(sel < kRegisters, "MUX selector addresses no register");
+  }
+  for (const std::uint8_t sel : demux_sel) {
+    HYPERREC_ENSURE(sel < kRegisters || sel == kNoWrite,
+                    "DeMUX selector addresses no register");
+  }
+  if (demux_sel[0] != kNoWrite && demux_sel[1] != kNoWrite) {
+    HYPERREC_ENSURE(demux_sel[0] != demux_sel[1],
+                    "both LUT outputs write the same register");
+  }
+}
+
+std::uint64_t ShyraConfig::pack() const {
+  std::uint64_t word = 0;
+  word |= static_cast<std::uint64_t>(lut_tt[0]);
+  word |= static_cast<std::uint64_t>(lut_tt[1]) << 8;
+  word |= static_cast<std::uint64_t>(demux_sel[0] & 0xF) << 16;
+  word |= static_cast<std::uint64_t>(demux_sel[1] & 0xF) << 20;
+  for (std::size_t i = 0; i < kMuxInputs; ++i) {
+    word |= static_cast<std::uint64_t>(mux_sel[i] & 0xF) << (24 + 4 * i);
+  }
+  return word;
+}
+
+ShyraConfig ShyraConfig::unpack(std::uint64_t word) {
+  HYPERREC_ENSURE((word >> kConfigBits) == 0,
+                  "configuration word uses more than 48 bits");
+  ShyraConfig config;
+  config.lut_tt[0] = static_cast<std::uint8_t>(word & 0xFF);
+  config.lut_tt[1] = static_cast<std::uint8_t>((word >> 8) & 0xFF);
+  config.demux_sel[0] = static_cast<std::uint8_t>((word >> 16) & 0xF);
+  config.demux_sel[1] = static_cast<std::uint8_t>((word >> 20) & 0xF);
+  for (std::size_t i = 0; i < kMuxInputs; ++i) {
+    config.mux_sel[i] = static_cast<std::uint8_t>((word >> (24 + 4 * i)) & 0xF);
+  }
+  config.validate();
+  return config;
+}
+
+std::size_t ShyraConfig::distance(const ShyraConfig& other) const {
+  return static_cast<std::size_t>(std::popcount(pack() ^ other.pack()));
+}
+
+ConfigUsage analyze_usage(const ShyraConfig& config) {
+  ConfigUsage usage;
+  for (std::size_t k = 0; k < kLuts; ++k) {
+    usage.lut_used[k] = config.demux_sel[k] != ShyraConfig::kNoWrite;
+    if (!usage.lut_used[k]) continue;
+    const std::uint8_t tt = config.lut_tt[k];
+    for (std::size_t i = 0; i < kLutInputs; ++i) {
+      for (std::uint8_t address = 0; address < 8 && !usage.input_live[k][i];
+           ++address) {
+        const std::uint8_t flipped =
+            address ^ static_cast<std::uint8_t>(1u << i);
+        if (((tt >> address) & 1u) != ((tt >> flipped) & 1u)) {
+          usage.input_live[k][i] = true;
+        }
+      }
+    }
+  }
+  return usage;
+}
+
+DynamicBitset context_requirement(const ShyraConfig& config) {
+  const ConfigUsage usage = analyze_usage(config);
+  DynamicBitset bits(kConfigBits);
+  for (std::size_t k = 0; k < kLuts; ++k) {
+    if (!usage.lut_used[k]) continue;
+    bits.set_range(8 * k, 8 * k + 8);        // truth table
+    bits.set_range(16 + 4 * k, 16 + 4 * k + 4);  // demux selector
+    for (std::size_t i = 0; i < kLutInputs; ++i) {
+      if (usage.input_live[k][i]) {
+        const std::size_t sel = kLutInputs * k + i;
+        bits.set_range(24 + 4 * sel, 24 + 4 * sel + 4);  // mux selector
+      }
+    }
+  }
+  return bits;
+}
+
+std::array<DynamicBitset, 4> per_task_requirement(const ShyraConfig& config) {
+  const DynamicBitset full = context_requirement(config);
+  std::array<DynamicBitset, 4> split = {
+      DynamicBitset(kTaskBits[0]), DynamicBitset(kTaskBits[1]),
+      DynamicBitset(kTaskBits[2]), DynamicBitset(kTaskBits[3])};
+  full.for_each_set([&split](std::size_t pos) {
+    if (pos < 8) {
+      split[0].set(pos);
+    } else if (pos < 16) {
+      split[1].set(pos - 8);
+    } else if (pos < 24) {
+      split[2].set(pos - 16);
+    } else {
+      split[3].set(pos - 24);
+    }
+  });
+  return split;
+}
+
+}  // namespace hyperrec::shyra

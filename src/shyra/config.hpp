@@ -1,0 +1,82 @@
+// SHyRA configuration word (paper §6, Figure 1).
+//
+// The Simple HYperReconfigurable Architecture has four reconfigurable
+// components with 48 configuration bits total:
+//
+//   component  | field                         | bits      | task
+//   -----------+-------------------------------+-----------+------
+//   LUT1       | 8-bit truth table             |  0 –  7   | T1 (l=8)
+//   LUT2       | 8-bit truth table             |  8 – 15   | T2 (l=8)
+//   DeMUX 2:10 | 2 destination selectors ×4 b  | 16 – 23   | T3 (l=8)
+//   MUX 10:6   | 6 source selectors ×4 b       | 24 – 47   | T4 (l=24)
+//
+// MUX inputs 0–2 feed LUT1's inputs, 3–5 feed LUT2's.  DeMUX selector k
+// routes LUT k's output to a register; the reserved value kNoWrite disables
+// the write (the LUT is unused that cycle).
+//
+// The *context requirement* of a cycle (what must be reconfigurable) is the
+// set of bits that influence the cycle's behaviour: the truth table and
+// destination selector of every used LUT, plus the source selectors of the
+// truth table's live inputs.  Unused components contribute nothing — this
+// is exactly the "unit unused" notion of Figure 2.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/bitset.hpp"
+
+namespace hyperrec::shyra {
+
+inline constexpr std::size_t kRegisters = 10;
+inline constexpr std::size_t kLuts = 2;
+inline constexpr std::size_t kLutInputs = 3;
+inline constexpr std::size_t kMuxInputs = 6;
+inline constexpr std::size_t kConfigBits = 48;
+
+/// Per-task configuration-bit counts: LUT1, LUT2, DeMUX, MUX.
+inline constexpr std::array<std::size_t, 4> kTaskBits = {8, 8, 8, 24};
+
+struct ShyraConfig {
+  static constexpr std::uint8_t kNoWrite = 15;
+
+  std::array<std::uint8_t, kLuts> lut_tt{0, 0};
+  std::array<std::uint8_t, kMuxInputs> mux_sel{0, 0, 0, 0, 0, 0};
+  std::array<std::uint8_t, kLuts> demux_sel{kNoWrite, kNoWrite};
+
+  /// Field validity: selectors address existing registers (or kNoWrite for
+  /// the demux).  Throws PreconditionError on violation.
+  void validate() const;
+
+  /// Packs into the 48-bit layout documented above.
+  [[nodiscard]] std::uint64_t pack() const;
+
+  /// Inverse of pack(); validates the unpacked fields.
+  [[nodiscard]] static ShyraConfig unpack(std::uint64_t word);
+
+  /// Hamming distance between packed configurations — the number of
+  /// configuration bits that differ (used by changeover-cost studies).
+  [[nodiscard]] std::size_t distance(const ShyraConfig& other) const;
+
+  [[nodiscard]] bool operator==(const ShyraConfig& other) const = default;
+};
+
+/// Which parts of a configuration are live in a cycle.
+struct ConfigUsage {
+  std::array<bool, kLuts> lut_used{false, false};
+  /// live[k][i]: LUT k's truth table actually depends on its input i.
+  std::array<std::array<bool, kLutInputs>, kLuts> input_live{};
+};
+
+/// Analyses truth-table input dependence and write-enables.
+[[nodiscard]] ConfigUsage analyze_usage(const ShyraConfig& config);
+
+/// The cycle's context requirement over the full 48-bit universe.
+[[nodiscard]] DynamicBitset context_requirement(const ShyraConfig& config);
+
+/// The cycle's context requirement split per task, each over the task's
+/// local universe (8, 8, 8, 24 bits).
+[[nodiscard]] std::array<DynamicBitset, 4> per_task_requirement(
+    const ShyraConfig& config);
+
+}  // namespace hyperrec::shyra

@@ -1,0 +1,86 @@
+#include "shyra/counter_app.hpp"
+
+#include "shyra/builder.hpp"
+#include "support/ensure.hpp"
+
+namespace hyperrec::shyra {
+
+namespace {
+
+// Register map.
+constexpr std::uint8_t kCount = 0;   // r0–r3
+constexpr std::uint8_t kBound = 4;   // r4–r7
+constexpr std::uint8_t kScratch = 8; // eq accumulator / carry
+constexpr std::uint8_t kDone = 9;
+
+}  // namespace
+
+CounterApp::CounterApp(std::uint8_t bound) : bound_(bound) {
+  HYPERREC_ENSURE(bound < 16, "bound must fit in 4 bits");
+}
+
+std::vector<ShyraConfig> CounterApp::iteration_program() {
+  std::vector<ShyraConfig> program;
+  program.reserve(10);
+
+  const std::uint8_t xnor2 = tt2([](bool a, bool b) { return a == b; });
+  const std::uint8_t and_xnor =
+      tt3([](bool acc, bool a, bool b) { return acc && a == b; });
+  const std::uint8_t or2 = tt2([](bool a, bool b) { return a || b; });
+  const std::uint8_t not1 = tt1([](bool a) { return !a; });
+  const std::uint8_t xor2 = tt2([](bool a, bool b) { return a != b; });
+  const std::uint8_t and2 = tt2([](bool a, bool b) { return a && b; });
+
+  // 1: eq := count0 == bound0.
+  program.push_back(
+      ConfigBuilder{}.lut1(xnor2, kCount, kBound, 0, kScratch).build());
+  // 2–4: eq := eq AND (count_i == bound_i).
+  for (std::uint8_t i = 1; i < 4; ++i) {
+    program.push_back(ConfigBuilder{}
+                          .lut1(and_xnor, kScratch, kCount + i, kBound + i,
+                                kScratch)
+                          .build());
+  }
+  // 5: done := done OR eq.
+  program.push_back(
+      ConfigBuilder{}.lut1(or2, kDone, kScratch, 0, kDone).build());
+  // 6: carry := NOT eq — the increment-enable seed.
+  program.push_back(
+      ConfigBuilder{}.lut1(not1, kScratch, 0, 0, kScratch).build());
+  // 7–9: ripple increment with carry in r8.
+  for (std::uint8_t i = 0; i < 3; ++i) {
+    program.push_back(ConfigBuilder{}
+                          .lut1(xor2, kCount + i, kScratch, 0, kCount + i)
+                          .lut2(and2, kCount + i, kScratch, 0, kScratch)
+                          .build());
+  }
+  // 10: most significant bit; carry out is dropped.
+  program.push_back(
+      ConfigBuilder{}.lut1(xor2, kCount + 3, kScratch, 0, kCount + 3).build());
+
+  HYPERREC_ASSERT(program.size() == 10);
+  return program;
+}
+
+CounterApp::RunResult CounterApp::run(std::size_t max_iterations) const {
+  ShyraMachine machine;
+  machine.write_value(kCount, 4, 0);
+  machine.write_value(kBound, 4, bound_);
+
+  const std::vector<ShyraConfig> iteration = iteration_program();
+
+  RunResult result;
+  while (result.iterations < max_iterations) {
+    for (const ShyraConfig& config : iteration) {
+      machine.step(config);
+      result.trace.push_back(config);
+    }
+    ++result.iterations;
+    if (machine.reg(kDone)) break;
+  }
+  result.final_count = static_cast<std::uint8_t>(machine.read_value(kCount, 4));
+  result.done = machine.reg(kDone);
+  return result;
+}
+
+}  // namespace hyperrec::shyra

@@ -1,0 +1,64 @@
+#include "shyra/lfsr_app.hpp"
+
+#include "shyra/builder.hpp"
+#include "support/ensure.hpp"
+
+namespace hyperrec::shyra {
+
+namespace {
+constexpr std::uint8_t kState = 0;    // r0–r3
+constexpr std::uint8_t kScratch = 8;  // feedback bit
+}  // namespace
+
+LfsrApp::LfsrApp(std::uint8_t seed) : seed_(seed) {
+  HYPERREC_ENSURE(seed != 0 && seed < 16,
+                  "LFSR seed must be a non-zero 4-bit value");
+}
+
+std::uint8_t LfsrApp::next_state(std::uint8_t state) {
+  const std::uint8_t feedback =
+      static_cast<std::uint8_t>(((state >> 3) ^ (state >> 2)) & 1u);
+  return static_cast<std::uint8_t>(((state << 1) | feedback) & 0xF);
+}
+
+std::vector<ShyraConfig> LfsrApp::step_program() {
+  const std::uint8_t xor2 = tt2([](bool a, bool b) { return a != b; });
+  const std::uint8_t copy1 = tt1([](bool a) { return a; });
+
+  std::vector<ShyraConfig> program;
+  program.reserve(3);
+  // 1: feedback into r8; r3 := r2.
+  program.push_back(ConfigBuilder{}
+                        .lut1(xor2, kState + 3, kState + 2, 0, kScratch)
+                        .lut2(copy1, kState + 2, 0, 0, kState + 3)
+                        .build());
+  // 2: r2 := r1; r1 := r0.
+  program.push_back(ConfigBuilder{}
+                        .lut1(copy1, kState + 1, 0, 0, kState + 2)
+                        .lut2(copy1, kState + 0, 0, 0, kState + 1)
+                        .build());
+  // 3: r0 := feedback.
+  program.push_back(
+      ConfigBuilder{}.lut1(copy1, kScratch, 0, 0, kState + 0).build());
+  return program;
+}
+
+LfsrApp::RunResult LfsrApp::run(std::size_t steps) const {
+  ShyraMachine machine;
+  // State bits r0..r3 with r3 the most significant (newest) bit.
+  machine.write_value(kState, 4, seed_);
+
+  const std::vector<ShyraConfig> step = step_program();
+  RunResult result;
+  for (std::size_t s = 0; s < steps; ++s) {
+    for (const ShyraConfig& config : step) {
+      machine.step(config);
+      result.trace.push_back(config);
+    }
+    result.states.push_back(
+        static_cast<std::uint8_t>(machine.read_value(kState, 4)));
+  }
+  return result;
+}
+
+}  // namespace hyperrec::shyra

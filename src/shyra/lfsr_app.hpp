@@ -1,0 +1,53 @@
+// A second test application for SHyRA: a 4-bit Fibonacci LFSR
+// (x⁴ + x³ + 1, period 15 for any non-zero seed).
+//
+// The counter of §6 is compare-heavy (wide MUX requirements, single-LUT
+// cycles); the LFSR is shift-heavy (copy chains, dual-LUT cycles) and thus
+// produces a context-requirement trace with a different per-component
+// profile — a useful second data point for the cost-model studies and a
+// further functional exercise of the datapath simulator.
+//
+// Register map: r0..r3 LFSR state (r3 = newest bit), r8 feedback scratch.
+// One LFSR step is time-partitioned into 3 cycles:
+//   1  r8 := r3 XOR r2          (feedback taps)        LUT1
+//      r3 := r2                 (begin shift)          LUT2
+//   2  r2 := r1;  r1 := r0      (shift middle)         LUT1 + LUT2
+//   3  r0 := r8                 (insert feedback)      LUT1
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "shyra/config.hpp"
+#include "shyra/machine.hpp"
+
+namespace hyperrec::shyra {
+
+class LfsrApp {
+ public:
+  /// `seed` is the initial 4-bit state (must be non-zero for the maximal
+  /// period; zero is rejected).
+  explicit LfsrApp(std::uint8_t seed);
+
+  struct RunResult {
+    std::vector<ShyraConfig> trace;
+    /// State after every LFSR step (length = steps).
+    std::vector<std::uint8_t> states;
+  };
+
+  /// The 3 configurations of one LFSR step.
+  [[nodiscard]] static std::vector<ShyraConfig> step_program();
+
+  /// Software reference: one LFSR transition.
+  [[nodiscard]] static std::uint8_t next_state(std::uint8_t state);
+
+  /// Runs `steps` LFSR steps on a fresh machine.
+  [[nodiscard]] RunResult run(std::size_t steps) const;
+
+  [[nodiscard]] std::uint8_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint8_t seed_;
+};
+
+}  // namespace hyperrec::shyra

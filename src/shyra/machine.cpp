@@ -1,0 +1,68 @@
+#include "shyra/machine.hpp"
+
+#include "support/ensure.hpp"
+
+namespace hyperrec::shyra {
+
+bool ShyraMachine::reg(std::size_t index) const {
+  HYPERREC_ENSURE(index < kRegisters, "register index out of range");
+  return regs_[index];
+}
+
+void ShyraMachine::set_reg(std::size_t index, bool value) {
+  HYPERREC_ENSURE(index < kRegisters, "register index out of range");
+  regs_[index] = value;
+}
+
+std::uint32_t ShyraMachine::read_value(std::size_t first,
+                                       std::size_t width) const {
+  HYPERREC_ENSURE(first + width <= kRegisters, "register window out of range");
+  std::uint32_t value = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    value |= static_cast<std::uint32_t>(regs_[first + i]) << i;
+  }
+  return value;
+}
+
+void ShyraMachine::write_value(std::size_t first, std::size_t width,
+                               std::uint32_t value) {
+  HYPERREC_ENSURE(first + width <= kRegisters, "register window out of range");
+  for (std::size_t i = 0; i < width; ++i) {
+    regs_[first + i] = (value >> i) & 1u;
+  }
+}
+
+void ShyraMachine::step(const ShyraConfig& config) {
+  config.validate();
+
+  // MUX stage: all reads see the pre-cycle register state.
+  std::array<bool, kMuxInputs> inputs{};
+  for (std::size_t i = 0; i < kMuxInputs; ++i) {
+    inputs[i] = regs_[config.mux_sel[i]];
+  }
+
+  // LUT stage.
+  std::array<bool, kLuts> outputs{};
+  for (std::size_t k = 0; k < kLuts; ++k) {
+    const std::size_t base = kLutInputs * k;
+    const std::uint8_t address =
+        static_cast<std::uint8_t>(inputs[base]) |
+        static_cast<std::uint8_t>(inputs[base + 1]) << 1 |
+        static_cast<std::uint8_t>(inputs[base + 2]) << 2;
+    outputs[k] = (config.lut_tt[k] >> address) & 1u;
+  }
+
+  // DeMUX stage.
+  for (std::size_t k = 0; k < kLuts; ++k) {
+    if (config.demux_sel[k] != ShyraConfig::kNoWrite) {
+      regs_[config.demux_sel[k]] = outputs[k];
+    }
+  }
+}
+
+std::size_t ShyraMachine::run(const std::vector<ShyraConfig>& program) {
+  for (const ShyraConfig& config : program) step(config);
+  return program.size();
+}
+
+}  // namespace hyperrec::shyra

@@ -1,0 +1,46 @@
+// Cycle-level simulator of the SHyRA datapath (paper §6, Figure 1).
+//
+// A cycle applies one configuration: the 10:6 MUX reads six register values,
+// the two 3-input LUTs evaluate their truth tables, and the 2:10 DeMUX
+// writes enabled outputs back into the register file.  All reads observe the
+// register state from before the cycle (synchronous semantics), so a LUT can
+// read and rewrite the same register within one cycle.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "shyra/config.hpp"
+
+namespace hyperrec::shyra {
+
+class ShyraMachine {
+ public:
+  ShyraMachine() = default;
+
+  [[nodiscard]] bool reg(std::size_t index) const;
+  void set_reg(std::size_t index, bool value);
+
+  /// Reads registers [first, first+width) as an unsigned value, LSB first.
+  [[nodiscard]] std::uint32_t read_value(std::size_t first,
+                                         std::size_t width) const;
+
+  /// Writes `value` into registers [first, first+width), LSB first.
+  void write_value(std::size_t first, std::size_t width, std::uint32_t value);
+
+  /// Executes one reconfiguration + compute cycle.
+  void step(const ShyraConfig& config);
+
+  /// Executes a straight-line program; returns the number of cycles run.
+  std::size_t run(const std::vector<ShyraConfig>& program);
+
+  [[nodiscard]] const std::array<bool, kRegisters>& registers() const noexcept {
+    return regs_;
+  }
+
+ private:
+  std::array<bool, kRegisters> regs_{};
+};
+
+}  // namespace hyperrec::shyra

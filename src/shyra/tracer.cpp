@@ -1,0 +1,38 @@
+#include "shyra/tracer.hpp"
+
+namespace hyperrec::shyra {
+
+MultiTaskTrace to_multi_task_trace(const std::vector<ShyraConfig>& trace) {
+  MultiTaskTrace result;
+  std::vector<TaskTrace> tasks;
+  for (const std::size_t bits : kTaskBits) tasks.emplace_back(bits);
+  for (const ShyraConfig& config : trace) {
+    auto requirements = per_task_requirement(config);
+    for (std::size_t j = 0; j < tasks.size(); ++j) {
+      tasks[j].push_back_local(std::move(requirements[j]));
+    }
+  }
+  for (TaskTrace& task : tasks) result.add_task(std::move(task));
+  return result;
+}
+
+MultiTaskTrace to_single_task_trace(const std::vector<ShyraConfig>& trace) {
+  MultiTaskTrace result;
+  TaskTrace task(kConfigBits);
+  for (const ShyraConfig& config : trace) {
+    task.push_back_local(context_requirement(config));
+  }
+  result.add_task(std::move(task));
+  return result;
+}
+
+MachineSpec multi_task_machine() {
+  return MachineSpec::local_only(
+      {kTaskBits[0], kTaskBits[1], kTaskBits[2], kTaskBits[3]});
+}
+
+MachineSpec single_task_machine() {
+  return MachineSpec::local_only({kConfigBits});
+}
+
+}  // namespace hyperrec::shyra

@@ -1,0 +1,34 @@
+// Bridges SHyRA configuration traces into the cost-model world.
+//
+// The paper's experiment analyses the executed reconfiguration trace "seen
+// as a sequence of n = 110 reconfiguration requirements" under the MT-Switch
+// cost model, in two decompositions:
+//   * multiple tasks (m = 4): T1 = LUT1 (l=8), T2 = LUT2 (l=8),
+//     T3 = DeMUX (l=8), T4 = MUX (l=24), and
+//   * single task (m = 1): all components combined (l = 48).
+// Hyperreconfiguration costs use the typical special case v_j = l_j.
+#pragma once
+
+#include <vector>
+
+#include "model/machine.hpp"
+#include "model/trace.hpp"
+#include "shyra/config.hpp"
+
+namespace hyperrec::shyra {
+
+/// Multi-task decomposition of a configuration trace (m = 4).
+[[nodiscard]] MultiTaskTrace to_multi_task_trace(
+    const std::vector<ShyraConfig>& trace);
+
+/// Single-task decomposition (m = 1, 48-bit universe).
+[[nodiscard]] MultiTaskTrace to_single_task_trace(
+    const std::vector<ShyraConfig>& trace);
+
+/// MachineSpec for the 4-task decomposition: l = {8, 8, 8, 24}, v_j = l_j.
+[[nodiscard]] MachineSpec multi_task_machine();
+
+/// MachineSpec for the single-task machine: l = 48, v = 48.
+[[nodiscard]] MachineSpec single_task_machine();
+
+}  // namespace hyperrec::shyra

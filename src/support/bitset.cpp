@@ -1,0 +1,138 @@
+#include "support/bitset.hpp"
+
+#include <bit>
+
+namespace hyperrec {
+
+std::size_t DynamicBitset::count() const noexcept {
+  std::size_t total = 0;
+  for (const Word w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+DynamicBitset& DynamicBitset::set_range(std::size_t first, std::size_t last) {
+  HYPERREC_ENSURE(first <= last && last <= size_, "bit range out of bounds");
+  for (std::size_t pos = first; pos < last; ++pos) set(pos);
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::reset_all() noexcept {
+  for (Word& w : words_) w = 0;
+  return *this;
+}
+
+bool DynamicBitset::any() const noexcept {
+  for (const Word w : words_)
+    if (w != 0) return true;
+  return false;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator-=(const DynamicBitset& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+bool DynamicBitset::subset_of(const DynamicBitset& other) const {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  return true;
+}
+
+bool DynamicBitset::intersects(const DynamicBitset& other) const {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  return false;
+}
+
+std::size_t DynamicBitset::union_count(const DynamicBitset& other) const {
+  check_same_size(other);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    total += static_cast<std::size_t>(std::popcount(words_[i] | other.words_[i]));
+  return total;
+}
+
+std::size_t DynamicBitset::symmetric_difference_count(
+    const DynamicBitset& other) const {
+  check_same_size(other);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    total += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  return total;
+}
+
+std::size_t DynamicBitset::merge_counting(const DynamicBitset& other) {
+  check_same_size(other);
+  std::size_t added = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const Word gained = other.words_[i] & ~words_[i];
+    added += static_cast<std::size_t>(std::popcount(gained));
+    words_[i] |= other.words_[i];
+  }
+  return added;
+}
+
+std::size_t DynamicBitset::find_first() const noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * kWordBits + static_cast<std::size_t>(std::countr_zero(words_[w]));
+    }
+  }
+  return size_;
+}
+
+std::string DynamicBitset::to_string() const {
+  std::string out(size_, '0');
+  for_each_set([&out](std::size_t pos) { out[pos] = '1'; });
+  return out;
+}
+
+DynamicBitset DynamicBitset::from_string(const std::string& bits) {
+  DynamicBitset result(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    HYPERREC_ENSURE(bits[i] == '0' || bits[i] == '1',
+                    "bitset string must contain only '0' and '1'");
+    if (bits[i] == '1') result.set(i);
+  }
+  return result;
+}
+
+std::size_t DynamicBitset::hash() const noexcept {
+  std::size_t h = 1469598103934665603ull;
+  for (const Word w : words_) {
+    h ^= static_cast<std::size_t>(w);
+    h *= 1099511628211ull;
+  }
+  h ^= size_;
+  return h;
+}
+
+void DynamicBitset::clear_tail() noexcept {
+  const std::size_t rem = size_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (Word{1} << rem) - 1;
+  }
+}
+
+}  // namespace hyperrec

@@ -1,0 +1,168 @@
+// DynamicBitset: a run-time sized bitset with set-algebra operations.
+//
+// This is the core data structure of the library: context requirements and
+// hypercontexts in the switch cost model (Lange/Middendorf 2004, §2 and §4)
+// are subsets of a fixed universe of reconfigurable units ("switches"), and
+// every solver manipulates unions, intersections, differences and popcounts
+// of such subsets.  std::bitset has a compile-time size and std::vector<bool>
+// has no word-level algebra, hence this class.
+//
+// All binary operations require both operands to have the same size() and
+// throw PreconditionError otherwise.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/ensure.hpp"
+
+namespace hyperrec {
+
+class DynamicBitset {
+ public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  /// Empty set over an empty universe.
+  DynamicBitset() = default;
+
+  /// Empty set over a universe of `size` elements (all bits clear).
+  explicit DynamicBitset(std::size_t size)
+      : size_(size), words_(word_count(size), 0) {}
+
+  /// Universe size (number of addressable bits).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  [[nodiscard]] bool test(std::size_t pos) const {
+    HYPERREC_ENSURE(pos < size_, "bit index out of range");
+    return (words_[pos / kWordBits] >> (pos % kWordBits)) & 1u;
+  }
+
+  DynamicBitset& set(std::size_t pos) {
+    HYPERREC_ENSURE(pos < size_, "bit index out of range");
+    words_[pos / kWordBits] |= Word{1} << (pos % kWordBits);
+    return *this;
+  }
+
+  DynamicBitset& reset(std::size_t pos) {
+    HYPERREC_ENSURE(pos < size_, "bit index out of range");
+    words_[pos / kWordBits] &= ~(Word{1} << (pos % kWordBits));
+    return *this;
+  }
+
+  /// Sets bits [first, last) — convenient for contiguous per-task switch
+  /// ranges such as SHyRA's bit layout.
+  DynamicBitset& set_range(std::size_t first, std::size_t last);
+
+  /// Clears all bits.
+  DynamicBitset& reset_all() noexcept;
+
+  [[nodiscard]] bool any() const noexcept;
+  [[nodiscard]] bool none() const noexcept { return !any(); }
+
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  DynamicBitset& operator^=(const DynamicBitset& other);
+  /// Set difference: removes every bit that is set in `other`.
+  DynamicBitset& operator-=(const DynamicBitset& other);
+
+  [[nodiscard]] friend DynamicBitset operator|(DynamicBitset a,
+                                               const DynamicBitset& b) {
+    a |= b;
+    return a;
+  }
+  [[nodiscard]] friend DynamicBitset operator&(DynamicBitset a,
+                                               const DynamicBitset& b) {
+    a &= b;
+    return a;
+  }
+  [[nodiscard]] friend DynamicBitset operator^(DynamicBitset a,
+                                               const DynamicBitset& b) {
+    a ^= b;
+    return a;
+  }
+  [[nodiscard]] friend DynamicBitset operator-(DynamicBitset a,
+                                               const DynamicBitset& b) {
+    a -= b;
+    return a;
+  }
+
+  [[nodiscard]] bool operator==(const DynamicBitset& other) const noexcept {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  /// True iff this ⊆ other (every set bit of *this is set in other).
+  [[nodiscard]] bool subset_of(const DynamicBitset& other) const;
+
+  /// True iff the two sets share at least one element.
+  [[nodiscard]] bool intersects(const DynamicBitset& other) const;
+
+  /// |this ∪ other| without materialising the union.
+  [[nodiscard]] std::size_t union_count(const DynamicBitset& other) const;
+
+  /// |this Δ other| (symmetric difference), the changeover cost of §4.1.
+  [[nodiscard]] std::size_t symmetric_difference_count(
+      const DynamicBitset& other) const;
+
+  /// In-place union that also returns the number of bits newly added —
+  /// lets interval DPs maintain running union popcounts in O(words).
+  std::size_t merge_counting(const DynamicBitset& other);
+
+  /// Calls `fn(pos)` for every set bit in ascending order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      Word word = words_[w];
+      while (word != 0) {
+        const auto bit = static_cast<std::size_t>(__builtin_ctzll(word));
+        fn(w * kWordBits + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Index of the lowest set bit, or size() if empty.
+  [[nodiscard]] std::size_t find_first() const noexcept;
+
+  /// "011010…"-style string, index 0 leftmost.  Useful in test diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses a string of '0'/'1' characters (index 0 leftmost).
+  [[nodiscard]] static DynamicBitset from_string(const std::string& bits);
+
+  /// FNV-1a over the words — for unordered_map memoisation keys.
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+  /// Raw word access (read-only) for bulk algorithms.
+  [[nodiscard]] const std::vector<Word>& words() const noexcept {
+    return words_;
+  }
+
+ private:
+  static std::size_t word_count(std::size_t bits) {
+    return (bits + kWordBits - 1) / kWordBits;
+  }
+  void check_same_size(const DynamicBitset& other) const {
+    HYPERREC_ENSURE(size_ == other.size_,
+                    "bitset operands have different universe sizes");
+  }
+  // Bits past size_ in the last word are kept at zero by all mutators.
+  void clear_tail() noexcept;
+
+  std::size_t size_ = 0;
+  std::vector<Word> words_;
+};
+
+struct DynamicBitsetHash {
+  std::size_t operator()(const DynamicBitset& b) const noexcept {
+    return b.hash();
+  }
+};
+
+}  // namespace hyperrec

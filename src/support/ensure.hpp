@@ -1,0 +1,59 @@
+// Error-handling primitives for the hyperrec library.
+//
+// HYPERREC_ENSURE is used to validate preconditions on public API entry
+// points; violations throw hyperrec::PreconditionError carrying the failed
+// expression, file and line.  Internal invariants use HYPERREC_ASSERT which
+// compiles to the same check in all build types (the library is not
+// performance-critical enough to strip invariant checks, and exact solvers
+// rely on them during development).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hyperrec {
+
+/// Thrown when a documented precondition of a public API is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant fails (library bug, not caller error).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  throw PreconditionError(std::string("precondition failed: ") + expr + " at " +
+                          file + ":" + std::to_string(line) +
+                          (msg.empty() ? "" : (" — " + msg)));
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line) {
+  throw InvariantError(std::string("invariant failed: ") + expr + " at " +
+                       file + ":" + std::to_string(line));
+}
+
+}  // namespace detail
+}  // namespace hyperrec
+
+#define HYPERREC_ENSURE(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::hyperrec::detail::throw_precondition(#expr, __FILE__, __LINE__,    \
+                                             (msg));                       \
+    }                                                                      \
+  } while (false)
+
+#define HYPERREC_ASSERT(expr)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::hyperrec::detail::throw_invariant(#expr, __FILE__, __LINE__);      \
+    }                                                                      \
+  } while (false)

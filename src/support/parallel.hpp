@@ -1,0 +1,78 @@
+// Data-parallel loop helpers on top of ThreadPool.
+//
+// parallel_for statically chunks [begin, end) across the pool; exceptions
+// thrown by the body propagate to the caller (first one wins).  Bodies must
+// not touch overlapping mutable state for distinct indices.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <future>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace hyperrec {
+
+/// Runs body(i) for i in [begin, end) across the pool.  Falls back to a
+/// serial loop for small ranges where the fork/join overhead dominates.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                  ThreadPool& pool = ThreadPool::global(),
+                  std::size_t grain = 1) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const std::size_t workers = pool.thread_count();
+  if (total <= grain || workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::size_t chunks = std::min(workers * 4, (total + grain - 1) / grain);
+  const std::size_t chunk_size = (total + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    if (lo >= end) break;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    futures.push_back(pool.submit([lo, hi, &body]() {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  for (auto& future : futures) future.get();
+}
+
+/// Maps `fn` over [begin, end) and combines the per-chunk results with
+/// `combine` starting from `init`.  `fn` returns a value per index.
+template <typename T, typename Fn, typename Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, T init, Fn&& fn,
+                  Combine&& combine, ThreadPool& pool = ThreadPool::global(),
+                  std::size_t grain = 1) {
+  if (begin >= end) return init;
+  const std::size_t total = end - begin;
+  const std::size_t workers = pool.thread_count();
+  if (total <= grain || workers <= 1) {
+    T acc = init;
+    for (std::size_t i = begin; i < end; ++i) acc = combine(acc, fn(i));
+    return acc;
+  }
+  const std::size_t chunks = std::min(workers * 4, (total + grain - 1) / grain);
+  const std::size_t chunk_size = (total + chunks - 1) / chunks;
+  std::vector<std::future<T>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    if (lo >= end) break;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    futures.push_back(pool.submit([lo, hi, init, &fn, &combine]() {
+      T acc = init;
+      for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, fn(i));
+      return acc;
+    }));
+  }
+  T acc = init;
+  for (auto& future : futures) acc = combine(acc, future.get());
+  return acc;
+}
+
+}  // namespace hyperrec

@@ -1,0 +1,34 @@
+#include "support/rng.hpp"
+
+namespace hyperrec {
+
+std::uint64_t Xoshiro256::uniform(std::uint64_t bound) {
+  HYPERREC_ENSURE(bound > 0, "uniform() bound must be positive");
+  // Lemire's multiply-shift rejection method: unbiased and branch-light.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Xoshiro256::uniform_int(std::int64_t lo, std::int64_t hi) {
+  HYPERREC_ENSURE(lo <= hi, "uniform_int() requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+Xoshiro256 Xoshiro256::split(std::uint64_t index) noexcept {
+  SplitMix64 mix((*this)() ^ (0x9e3779b97f4a7c15ull * (index + 1)));
+  Xoshiro256 child(mix.next());
+  return child;
+}
+
+}  // namespace hyperrec

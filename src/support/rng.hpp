@@ -1,0 +1,95 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library (genetic algorithm, simulated
+// annealing, synthetic workload generators) takes an explicit seed and uses
+// these generators, so that experiments — including the paper-reproduction
+// benches — are bit-for-bit reproducible across runs and machines.
+//
+// Xoshiro256** is used as the workhorse generator (fast, 256-bit state,
+// passes BigCrush); SplitMix64 seeds it and derives independent streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "support/ensure.hpp"
+
+namespace hyperrec {
+
+/// SplitMix64: tiny generator used to expand a 64-bit seed into streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** by Blackman & Vigna; satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bull) noexcept {
+    SplitMix64 mix(seed);
+    for (auto& word : state_) word = mix.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool flip(double p) { return uniform01() < p; }
+
+  /// Derives an independent generator (stream `index` from this state).
+  [[nodiscard]] Xoshiro256 split(std::uint64_t index) noexcept;
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Fisher–Yates shuffle with the library generator.
+template <typename T>
+void shuffle(std::vector<T>& items, Xoshiro256& rng) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform(i);
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+}  // namespace hyperrec

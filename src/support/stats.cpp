@@ -1,0 +1,40 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hyperrec {
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  s.count = samples.size();
+  s.min = *std::min_element(samples.begin(), samples.end());
+  s.max = *std::max_element(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (const double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  double sq = 0.0;
+  for (const double v : samples) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(s.count));
+  return s;
+}
+
+Summary summarize(const std::vector<std::int64_t>& samples) {
+  std::vector<double> d(samples.begin(), samples.end());
+  return summarize(d);
+}
+
+std::vector<std::size_t> run_lengths(const std::vector<std::int64_t>& values) {
+  std::vector<std::size_t> runs;
+  std::size_t i = 0;
+  while (i < values.size()) {
+    std::size_t j = i;
+    while (j < values.size() && values[j] == values[i]) ++j;
+    runs.push_back(j - i);
+    i = j;
+  }
+  return runs;
+}
+
+}  // namespace hyperrec

@@ -1,0 +1,30 @@
+// Small descriptive-statistics helpers used by benches and workload
+// diagnostics (mean/stddev of cost samples, run-length summaries of traces).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hyperrec {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary over the samples; empty input yields all-zero summary.
+[[nodiscard]] Summary summarize(const std::vector<double>& samples);
+
+/// Integer-sample overload (costs are exact integers in the switch model).
+[[nodiscard]] Summary summarize(const std::vector<std::int64_t>& samples);
+
+/// Lengths of maximal runs of equal consecutive values; used to analyse how
+/// "phased" a context-requirement trace is.
+[[nodiscard]] std::vector<std::size_t> run_lengths(
+    const std::vector<std::int64_t>& values);
+
+}  // namespace hyperrec

@@ -1,0 +1,87 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "support/ensure.hpp"
+
+namespace hyperrec {
+
+Table& Table::headers(std::vector<std::string> names) {
+  HYPERREC_ENSURE(rows_.empty(), "headers() must precede add_row()");
+  headers_ = std::move(names);
+  return *this;
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  HYPERREC_ENSURE(headers_.empty() || cells.size() == headers_.size(),
+                  "row width differs from header width");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::format_cell(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+std::string Table::format_cell(std::int64_t v) { return std::to_string(v); }
+std::string Table::format_cell(std::uint64_t v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(headers_);
+  for (const auto& row : rows_) widen(row);
+
+  auto print_row = [&os, &widths](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      os << ' ' << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  auto print_rule = [&os, &widths]() {
+    os << '+';
+    for (const std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  print_rule();
+  if (!headers_.empty()) {
+    print_row(headers_);
+    print_rule();
+  }
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto print_row = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) os << ',';
+      os << cells[i];
+    }
+    os << '\n';
+  };
+  if (!headers_.empty()) print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string percent_of(std::int64_t x, std::int64_t base) {
+  HYPERREC_ENSURE(base != 0, "percent_of() with zero base");
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%",
+                100.0 * static_cast<double>(x) / static_cast<double>(base));
+  return buf;
+}
+
+}  // namespace hyperrec

@@ -1,0 +1,63 @@
+// ASCII table and CSV emission for the benchmark harness.
+//
+// Every bench binary reproduces a figure or table from the paper and prints
+// it as an aligned ASCII table (paper value vs measured value), optionally
+// also as CSV for external plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hyperrec {
+
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the column headers; must be called before add_row.
+  Table& headers(std::vector<std::string> names);
+
+  /// Appends a row; the cell count must match the header count.
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with to_string-like rules.
+  template <typename... Ts>
+  Table& row(const Ts&... cells) {
+    return add_row({format_cell(cells)...});
+  }
+
+  /// Renders with box-drawing alignment.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting of commas needed for our data).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  [[nodiscard]] static std::string format_cell(const std::string& s) {
+    return s;
+  }
+  [[nodiscard]] static std::string format_cell(const char* s) { return s; }
+  [[nodiscard]] static std::string format_cell(double v);
+  [[nodiscard]] static std::string format_cell(std::int64_t v);
+  [[nodiscard]] static std::string format_cell(std::uint64_t v);
+  [[nodiscard]] static std::string format_cell(int v) {
+    return format_cell(static_cast<std::int64_t>(v));
+  }
+  [[nodiscard]] static std::string format_cell(unsigned v) {
+    return format_cell(static_cast<std::uint64_t>(v));
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Percentage "x of base" rendered as e.g. "53.3%"; matches the paper's
+/// reporting style for reconfiguration-cost ratios.
+[[nodiscard]] std::string percent_of(std::int64_t x, std::int64_t base);
+
+}  // namespace hyperrec

@@ -1,0 +1,70 @@
+// A fixed-size work-stealing-free thread pool with a shared queue.
+//
+// HPC components of the library (genetic-algorithm fitness evaluation,
+// benchmark parameter sweeps, workload batch generation) submit batches of
+// independent jobs.  The pool is deliberately simple — a mutex-protected
+// queue is more than adequate for the coarse-grained tasks here and keeps
+// the implementation auditable.
+//
+// parallel_for / parallel_reduce (see parallel.hpp) are the intended entry
+// points; direct submit() is available for irregular work.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/ensure.hpp"
+
+namespace hyperrec {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues a nullary callable; returns a future for its result.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> result = task->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      HYPERREC_ENSURE(!stopping_, "submit() on a stopped ThreadPool");
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Process-wide pool, sized to the hardware, created on first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace hyperrec

@@ -1,0 +1,161 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+
+#include "support/ensure.hpp"
+
+namespace hyperrec::workload {
+
+namespace {
+
+DynamicBitset window_requirement(std::size_t universe, std::size_t lo,
+                                 std::size_t hi, double density, double noise,
+                                 Xoshiro256& rng) {
+  DynamicBitset bits(universe);
+  for (std::size_t s = lo; s < hi && s < universe; ++s) {
+    if (rng.flip(density)) bits.set(s);
+  }
+  if (noise > 0) {
+    for (std::size_t s = 0; s < universe; ++s) {
+      if (rng.flip(noise)) bits.set(s);
+    }
+  }
+  return bits;
+}
+
+}  // namespace
+
+TaskTrace make_phased(const PhasedConfig& config, Xoshiro256& rng) {
+  HYPERREC_ENSURE(config.steps > 0 && config.universe > 0 && config.phases > 0,
+                  "phased workload needs positive sizes");
+  TaskTrace trace(config.universe);
+  const std::size_t window = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.window_fraction *
+                                  static_cast<double>(config.universe)));
+  const std::size_t phase_length =
+      (config.steps + config.phases - 1) / config.phases;
+
+  std::size_t window_lo = 0;
+  for (std::size_t step = 0; step < config.steps; ++step) {
+    if (step % phase_length == 0) {
+      window_lo = config.universe > window
+                      ? rng.uniform(config.universe - window + 1)
+                      : 0;
+    }
+    trace.push_back_local(window_requirement(config.universe, window_lo,
+                                             window_lo + window,
+                                             config.density, config.noise,
+                                             rng));
+  }
+  return trace;
+}
+
+TaskTrace make_random(const RandomConfig& config, Xoshiro256& rng) {
+  HYPERREC_ENSURE(config.steps > 0 && config.universe > 0,
+                  "random workload needs positive sizes");
+  TaskTrace trace(config.universe);
+  for (std::size_t step = 0; step < config.steps; ++step) {
+    trace.push_back_local(window_requirement(config.universe, 0,
+                                             config.universe, config.density,
+                                             0.0, rng));
+  }
+  return trace;
+}
+
+TaskTrace make_random_walk(const RandomWalkConfig& config, Xoshiro256& rng) {
+  HYPERREC_ENSURE(config.steps > 0 && config.universe > 0 && config.window > 0,
+                  "random-walk workload needs positive sizes");
+  TaskTrace trace(config.universe);
+  const std::size_t max_lo =
+      config.universe > config.window ? config.universe - config.window : 0;
+  std::size_t lo = max_lo / 2;
+  for (std::size_t step = 0; step < config.steps; ++step) {
+    if (rng.flip(config.drift)) {
+      if (rng.flip(0.5)) {
+        lo = lo > 0 ? lo - 1 : 0;
+      } else {
+        lo = std::min(max_lo, lo + 1);
+      }
+    }
+    trace.push_back_local(window_requirement(config.universe, lo,
+                                             lo + config.window,
+                                             config.density, 0.0, rng));
+  }
+  return trace;
+}
+
+TaskTrace make_bursty(const BurstyConfig& config, Xoshiro256& rng) {
+  HYPERREC_ENSURE(config.steps > 0 && config.universe > 0,
+                  "bursty workload needs positive sizes");
+  TaskTrace trace(config.universe);
+  std::size_t burst_remaining = 0;
+  for (std::size_t step = 0; step < config.steps; ++step) {
+    if (burst_remaining == 0 && rng.flip(config.burst_probability)) {
+      burst_remaining = config.burst_length;
+    }
+    if (burst_remaining > 0) {
+      --burst_remaining;
+      trace.push_back_local(window_requirement(
+          config.universe, 0, config.universe, config.burst_fraction, 0.0,
+          rng));
+    } else {
+      trace.push_back_local(window_requirement(
+          config.universe, 0, std::min(config.quiet_switches, config.universe),
+          0.9, 0.0, rng));
+    }
+  }
+  return trace;
+}
+
+TaskTrace make_periodic(const PeriodicConfig& config, Xoshiro256& rng) {
+  HYPERREC_ENSURE(config.repetitions > 0 && config.period > 0 &&
+                      config.universe > 0,
+                  "periodic workload needs positive sizes");
+  const std::size_t window = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config.window_fraction *
+                                  static_cast<double>(config.universe)));
+  std::vector<DynamicBitset> pattern;
+  pattern.reserve(config.period);
+  for (std::size_t p = 0; p < config.period; ++p) {
+    const std::size_t lo = config.universe > window
+                               ? rng.uniform(config.universe - window + 1)
+                               : 0;
+    pattern.push_back(
+        window_requirement(config.universe, lo, lo + window, 0.8, 0.0, rng));
+  }
+  TaskTrace trace(config.universe);
+  for (std::size_t r = 0; r < config.repetitions; ++r) {
+    for (const DynamicBitset& req : pattern) trace.push_back_local(req);
+  }
+  return trace;
+}
+
+void add_private_demand(TaskTrace& trace, std::uint32_t low,
+                        std::uint32_t high, std::size_t phases) {
+  HYPERREC_ENSURE(phases > 0, "at least one demand phase required");
+  HYPERREC_ENSURE(low <= high, "low demand must not exceed high demand");
+  const std::size_t n = trace.size();
+  const std::size_t phase_length = (n + phases - 1) / phases;
+  TaskTrace rebuilt(trace.local_universe());
+  for (std::size_t i = 0; i < n; ++i) {
+    ContextRequirement req = trace.at(i);
+    const bool high_phase = (i / phase_length) % 2 == 1;
+    req.private_demand = high_phase ? high : low;
+    rebuilt.push_back(std::move(req));
+  }
+  trace = std::move(rebuilt);
+}
+
+MultiTaskTrace make_multi_phased(const MultiPhasedConfig& config,
+                                 std::uint64_t seed) {
+  HYPERREC_ENSURE(config.tasks > 0, "at least one task required");
+  MultiTaskTrace trace;
+  Xoshiro256 root(seed);
+  for (std::size_t j = 0; j < config.tasks; ++j) {
+    Xoshiro256 rng = root.split(j);
+    trace.add_task(make_phased(config.task_config, rng));
+  }
+  return trace;
+}
+
+}  // namespace hyperrec::workload

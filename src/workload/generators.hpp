@@ -1,0 +1,104 @@
+// Synthetic context-requirement workloads.
+//
+// The paper motivates hyperreconfiguration with computations that "typically
+// consist of different phases that use only small parts of the whole
+// reconfiguration potential".  These generators produce single- and
+// multi-task traces with controllable phase structure so benches can sweep
+// the regimes between fully phased (hyperreconfiguration-friendly) and fully
+// random (hyperreconfiguration-hostile):
+//
+//   * phased        — piecewise-constant active switch windows with noise,
+//   * random        — i.i.d. requirements of a given density,
+//   * random_walk   — a slowly drifting active window (temporal locality),
+//   * bursty        — long quiet stretches with short wide bursts,
+//   * periodic      — a repeating block pattern (loop-like, SHyRA-style).
+//
+// All generators are deterministic in the seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "model/trace.hpp"
+#include "support/rng.hpp"
+
+namespace hyperrec::workload {
+
+struct PhasedConfig {
+  std::size_t steps = 128;
+  std::size_t universe = 48;
+  std::size_t phases = 4;
+  /// Fraction of the universe active within a phase window.
+  double window_fraction = 0.25;
+  /// Probability per step that a requirement bit leaks outside the window.
+  double noise = 0.02;
+  /// Probability that an in-window switch is requested at a given step.
+  double density = 0.6;
+};
+
+[[nodiscard]] TaskTrace make_phased(const PhasedConfig& config,
+                                    Xoshiro256& rng);
+
+struct RandomConfig {
+  std::size_t steps = 128;
+  std::size_t universe = 48;
+  /// Probability that any switch is requested at any step.
+  double density = 0.3;
+};
+
+[[nodiscard]] TaskTrace make_random(const RandomConfig& config,
+                                    Xoshiro256& rng);
+
+struct RandomWalkConfig {
+  std::size_t steps = 128;
+  std::size_t universe = 48;
+  std::size_t window = 12;     ///< width of the drifting active window
+  double drift = 0.15;         ///< probability the window moves per step
+  double density = 0.7;        ///< request probability inside the window
+};
+
+[[nodiscard]] TaskTrace make_random_walk(const RandomWalkConfig& config,
+                                         Xoshiro256& rng);
+
+struct BurstyConfig {
+  std::size_t steps = 128;
+  std::size_t universe = 48;
+  std::size_t quiet_switches = 4;   ///< active switches between bursts
+  double burst_probability = 0.05;  ///< per-step chance a burst starts
+  std::size_t burst_length = 6;
+  double burst_fraction = 0.8;      ///< fraction of universe hit in a burst
+};
+
+[[nodiscard]] TaskTrace make_bursty(const BurstyConfig& config,
+                                    Xoshiro256& rng);
+
+struct PeriodicConfig {
+  std::size_t repetitions = 11;
+  std::size_t universe = 48;
+  /// Per-position requirement pattern of one period; generated once and
+  /// repeated (like a loop body such as the SHyRA counter iteration).
+  std::size_t period = 10;
+  double window_fraction = 0.3;
+};
+
+[[nodiscard]] TaskTrace make_periodic(const PeriodicConfig& config,
+                                      Xoshiro256& rng);
+
+/// Adds a private-global demand curve to a trace: demand ramps between
+/// `low` and `high` in `phases` alternating plateaus (I/O-heavy vs compute-
+/// heavy phases — the paper's motivating example for private resources).
+void add_private_demand(TaskTrace& trace, std::uint32_t low,
+                        std::uint32_t high, std::size_t phases);
+
+/// Composes a synchronized multi-task trace from per-task generators, all
+/// derived deterministically from one seed.
+struct MultiPhasedConfig {
+  std::size_t tasks = 4;
+  PhasedConfig task_config;
+};
+
+[[nodiscard]] MultiTaskTrace make_multi_phased(const MultiPhasedConfig& config,
+                                               std::uint64_t seed);
+
+}  // namespace hyperrec::workload

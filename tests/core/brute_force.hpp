@@ -1,0 +1,96 @@
+// Brute-force reference implementations shared by solver tests.
+//
+// These enumerate entire schedule spaces and evaluate them with the library
+// evaluator, providing ground truth for the DP/heuristic solvers on small
+// instances.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "model/cost_switch.hpp"
+#include "model/machine.hpp"
+#include "model/schedule.hpp"
+#include "model/trace.hpp"
+
+namespace hyperrec::testing {
+
+/// Minimum cost over all single-task partitions (2^{n-1} of them) under
+/// interval cost v + (|U| + maxpriv)·len.
+inline Cost brute_force_single_task(const TaskTrace& trace, Cost v) {
+  const std::size_t n = trace.size();
+  Cost best = std::numeric_limits<Cost>::max();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << (n - 1)); ++mask) {
+    std::vector<std::size_t> starts{0};
+    for (std::size_t s = 1; s < n; ++s) {
+      if ((mask >> (s - 1)) & 1u) starts.push_back(s);
+    }
+    starts.push_back(n);
+    Cost total = 0;
+    for (std::size_t k = 0; k + 1 < starts.size(); ++k) {
+      const std::size_t lo = starts[k];
+      const std::size_t hi = starts[k + 1];
+      const Cost size =
+          static_cast<Cost>(trace.local_union(lo, hi).count()) +
+          static_cast<Cost>(trace.max_private_demand(lo, hi));
+      total += v + size * static_cast<Cost>(hi - lo);
+    }
+    best = std::min(best, total);
+  }
+  return best;
+}
+
+/// Minimum §4.2 cost over all per-task boundary combinations.
+inline Cost brute_force_multi_task(const MultiTaskTrace& trace,
+                                   const MachineSpec& machine,
+                                   const EvalOptions& options) {
+  const std::size_t n = trace.steps();
+  const std::size_t m = trace.task_count();
+  Cost best = std::numeric_limits<Cost>::max();
+  const std::uint64_t limit = std::uint64_t{1} << (m * (n - 1));
+  for (std::uint64_t code = 0; code < limit; ++code) {
+    MultiTaskSchedule schedule;
+    for (std::size_t j = 0; j < m; ++j) {
+      DynamicBitset mask(n);
+      mask.set(0);
+      for (std::size_t s = 1; s < n; ++s) {
+        if ((code >> (j * (n - 1) + (s - 1))) & 1u) mask.set(s);
+      }
+      schedule.tasks.push_back(Partition::from_boundary_mask(mask));
+    }
+    if (machine.has_global_resources()) {
+      schedule.global_boundaries.push_back(0);
+    }
+    best = std::min(
+        best,
+        evaluate_fully_sync_switch(trace, machine, schedule, options).total);
+  }
+  return best;
+}
+
+/// Minimum §4.2 cost over aligned (identical across tasks) partitions only.
+inline Cost brute_force_aligned(const MultiTaskTrace& trace,
+                                const MachineSpec& machine,
+                                const EvalOptions& options) {
+  const std::size_t n = trace.steps();
+  const std::size_t m = trace.task_count();
+  Cost best = std::numeric_limits<Cost>::max();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << (n - 1)); ++mask) {
+    DynamicBitset bits(n);
+    bits.set(0);
+    for (std::size_t s = 1; s < n; ++s) {
+      if ((mask >> (s - 1)) & 1u) bits.set(s);
+    }
+    MultiTaskSchedule schedule;
+    schedule.tasks.assign(m, Partition::from_boundary_mask(bits));
+    if (machine.has_global_resources()) {
+      schedule.global_boundaries.push_back(0);
+    }
+    best = std::min(
+        best,
+        evaluate_fully_sync_switch(trace, machine, schedule, options).total);
+  }
+  return best;
+}
+
+}  // namespace hyperrec::testing

@@ -1,0 +1,107 @@
+#include "core/aligned_dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "brute_force.hpp"
+#include "core/interval_dp.hpp"
+#include "workload/generators.hpp"
+
+namespace hyperrec {
+namespace {
+
+MultiTaskTrace phased_pair() {
+  // Task 0 phases {s0,s1} → {s2,s3}; task 1 constant {s0}.
+  return MultiTaskTrace::from_local(
+      {4, 4},
+      {{DynamicBitset::from_string("1100"), DynamicBitset::from_string("1100"),
+        DynamicBitset::from_string("0011"), DynamicBitset::from_string("0011")},
+       {DynamicBitset::from_string("1000"), DynamicBitset::from_string("1000"),
+        DynamicBitset::from_string("1000"),
+        DynamicBitset::from_string("1000")}});
+}
+
+TEST(AlignedDp, AllPartitionsIdenticalAcrossTasks) {
+  const auto trace = phased_pair();
+  const auto machine = MachineSpec::uniform_local(2, 4);
+  const auto solution = solve_aligned_dp(trace, machine, {});
+  ASSERT_EQ(solution.schedule.tasks.size(), 2u);
+  EXPECT_EQ(solution.schedule.tasks[0].starts(),
+            solution.schedule.tasks[1].starts());
+}
+
+TEST(AlignedDp, MatchesAlignedBruteForceParallelParallel) {
+  const auto trace = phased_pair();
+  const auto machine = MachineSpec::uniform_local(2, 4);
+  EvalOptions options{UploadMode::kTaskParallel, UploadMode::kTaskParallel,
+                      false};
+  const auto solution = solve_aligned_dp(trace, machine, options);
+  EXPECT_EQ(solution.total(),
+            testing::brute_force_aligned(trace, machine, options));
+}
+
+TEST(AlignedDp, MatchesAlignedBruteForceSequentialSequential) {
+  const auto trace = phased_pair();
+  const auto machine = MachineSpec::uniform_local(2, 4);
+  EvalOptions options{UploadMode::kTaskSequential, UploadMode::kTaskSequential,
+                      false};
+  const auto solution = solve_aligned_dp(trace, machine, options);
+  EXPECT_EQ(solution.total(),
+            testing::brute_force_aligned(trace, machine, options));
+}
+
+TEST(AlignedDp, MatchesAlignedBruteForceOnRandomTraces) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    workload::MultiPhasedConfig config;
+    config.tasks = 2;
+    config.task_config.steps = 8;
+    config.task_config.universe = 5;
+    config.task_config.phases = 2;
+    const auto trace = workload::make_multi_phased(config, seed);
+    const auto machine = MachineSpec::uniform_local(2, 5);
+    for (const auto hyper :
+         {UploadMode::kTaskParallel, UploadMode::kTaskSequential}) {
+      for (const auto reconfig :
+           {UploadMode::kTaskParallel, UploadMode::kTaskSequential}) {
+        EvalOptions options{hyper, reconfig, false};
+        const auto solution = solve_aligned_dp(trace, machine, options);
+        EXPECT_EQ(solution.total(),
+                  testing::brute_force_aligned(trace, machine, options))
+            << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(AlignedDp, ReducesToSingleTaskDpForOneTask) {
+  const auto trace = MultiTaskTrace::from_local(
+      {4}, {{DynamicBitset::from_string("1100"),
+             DynamicBitset::from_string("1100"),
+             DynamicBitset::from_string("0011")}});
+  const auto machine = MachineSpec::local_only({4});
+  const auto aligned = solve_aligned_dp(trace, machine, {});
+  const auto single = solve_single_task_switch(trace.task(0), 4);
+  EXPECT_EQ(aligned.total(), single.total);
+}
+
+TEST(AlignedDp, ChangeoverRejected) {
+  const auto trace = phased_pair();
+  const auto machine = MachineSpec::uniform_local(2, 4);
+  EvalOptions options;
+  options.changeover = true;
+  EXPECT_THROW(solve_aligned_dp(trace, machine, options), PreconditionError);
+}
+
+TEST(AlignedDp, SolutionEvaluatesToReportedCost) {
+  const auto trace = phased_pair();
+  const auto machine = MachineSpec::uniform_local(2, 4);
+  EvalOptions options{UploadMode::kTaskParallel, UploadMode::kTaskSequential,
+                      false};
+  const auto solution = solve_aligned_dp(trace, machine, options);
+  EXPECT_EQ(
+      solution.total(),
+      evaluate_fully_sync_switch(trace, machine, solution.schedule, options)
+          .total);
+}
+
+}  // namespace
+}  // namespace hyperrec

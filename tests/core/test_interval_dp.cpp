@@ -1,0 +1,199 @@
+#include "core/interval_dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "brute_force.hpp"
+#include "support/rng.hpp"
+
+namespace hyperrec {
+namespace {
+
+TaskTrace trace_from(const std::vector<std::string>& reqs) {
+  TaskTrace trace(reqs.empty() ? 0 : reqs[0].size());
+  for (const std::string& req : reqs) {
+    trace.push_back_local(DynamicBitset::from_string(req));
+  }
+  return trace;
+}
+
+TEST(SingleTaskDp, SingleStepPaysInitPlusSize) {
+  const TaskTrace trace = trace_from({"1100"});
+  const auto solution = solve_single_task_switch(trace, 10);
+  EXPECT_EQ(solution.total, 10 + 2);
+  EXPECT_EQ(solution.partition.interval_count(), 1u);
+}
+
+TEST(SingleTaskDp, PhasedSequenceSplitsAtPhaseBoundary) {
+  // Phase A uses {s0,s1}, phase B uses {s2,s3}; cheap init makes the split
+  // worthwhile: split = 2·(2 + 2·3) = 16 < single = 2 + 4·6 = 26.
+  const TaskTrace trace =
+      trace_from({"1100", "1100", "1100", "0011", "0011", "0011"});
+  const auto solution = solve_single_task_switch(trace, 2);
+  EXPECT_EQ(solution.total, 16);
+  ASSERT_EQ(solution.partition.interval_count(), 2u);
+  EXPECT_EQ(solution.partition.starts()[1], 3u);
+  EXPECT_EQ(solution.hypercontexts[0].to_string(), "1100");
+  EXPECT_EQ(solution.hypercontexts[1].to_string(), "0011");
+}
+
+TEST(SingleTaskDp, ExpensiveInitMergesEverything) {
+  const TaskTrace trace =
+      trace_from({"1100", "1100", "1100", "0011", "0011", "0011"});
+  const auto solution = solve_single_task_switch(trace, 100);
+  EXPECT_EQ(solution.partition.interval_count(), 1u);
+  EXPECT_EQ(solution.total, 100 + 4 * 6);
+}
+
+TEST(SingleTaskDp, ZeroInitSplitsEveryStep) {
+  const TaskTrace trace = trace_from({"1000", "0100", "0010"});
+  const auto solution = solve_single_task_switch(trace, 0);
+  EXPECT_EQ(solution.partition.interval_count(), 3u);
+  EXPECT_EQ(solution.total, 3);
+}
+
+TEST(SingleTaskDp, EmptyRequirementsCostOnlyInit) {
+  const TaskTrace trace = trace_from({"0000", "0000"});
+  const auto solution = solve_single_task_switch(trace, 5);
+  EXPECT_EQ(solution.total, 5);
+  EXPECT_EQ(solution.partition.interval_count(), 1u);
+}
+
+TEST(SingleTaskDp, EmptyTraceRejected) {
+  const TaskTrace trace(4);
+  EXPECT_THROW(solve_single_task_switch(trace, 1), PreconditionError);
+}
+
+TEST(SingleTaskDp, PrivateDemandEntersIntervalCost) {
+  TaskTrace trace(2);
+  trace.push_back({DynamicBitset::from_string("10"), 4});
+  trace.push_back({DynamicBitset::from_string("10"), 0});
+  const auto merged = solve_single_task_switch(trace, 100);
+  // One interval: 100 + (1 + 4)·2 = 110.
+  EXPECT_EQ(merged.total, 110);
+  const auto split = solve_single_task_switch(trace, 1);
+  // Two intervals: (1 + 5·1) + (1 + 1·1) = 8.
+  EXPECT_EQ(split.total, 8);
+  EXPECT_EQ(split.partition.interval_count(), 2u);
+}
+
+TEST(SingleTaskDp, MatchesBruteForceOnRandomTraces) {
+  Xoshiro256 rng(2024);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t n = 2 + rng.uniform(9);  // up to 10 steps
+    TaskTrace trace(6);
+    for (std::size_t i = 0; i < n; ++i) {
+      DynamicBitset req(6);
+      for (std::size_t s = 0; s < 6; ++s) {
+        if (rng.flip(0.35)) req.set(s);
+      }
+      trace.push_back_local(std::move(req));
+    }
+    const Cost v = static_cast<Cost>(rng.uniform(8));
+    const auto solution = solve_single_task_switch(trace, v);
+    EXPECT_EQ(solution.total, testing::brute_force_single_task(trace, v))
+        << "round " << round << " n=" << n << " v=" << v;
+  }
+}
+
+TEST(SingleTaskDp, SolutionHypercontextsCoverRequirements) {
+  Xoshiro256 rng(7);
+  TaskTrace trace(8);
+  for (int i = 0; i < 20; ++i) {
+    DynamicBitset req(8);
+    for (std::size_t s = 0; s < 8; ++s) {
+      if (rng.flip(0.3)) req.set(s);
+    }
+    trace.push_back_local(std::move(req));
+  }
+  const auto solution = solve_single_task_switch(trace, 6);
+  for (std::size_t k = 0; k < solution.partition.interval_count(); ++k) {
+    const auto [lo, hi] = solution.partition.interval_bounds(k);
+    for (std::size_t i = lo; i < hi; ++i) {
+      EXPECT_TRUE(trace.at(i).local.subset_of(solution.hypercontexts[k]));
+    }
+  }
+}
+
+// --- changeover variant ----------------------------------------------------
+
+/// Brute force over partitions, charging |h_k Δ h_{k-1}| per boundary with
+/// minimal hypercontexts (matches the DP's policy class).
+Cost brute_force_changeover(const TaskTrace& trace, Cost v) {
+  const std::size_t n = trace.size();
+  Cost best = std::numeric_limits<Cost>::max();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << (n - 1)); ++mask) {
+    std::vector<std::size_t> starts{0};
+    for (std::size_t s = 1; s < n; ++s) {
+      if ((mask >> (s - 1)) & 1u) starts.push_back(s);
+    }
+    starts.push_back(n);
+    Cost total = 0;
+    DynamicBitset previous(trace.local_universe());
+    for (std::size_t k = 0; k + 1 < starts.size(); ++k) {
+      const DynamicBitset current =
+          trace.local_union(starts[k], starts[k + 1]);
+      total += v +
+               static_cast<Cost>(current.symmetric_difference_count(previous)) +
+               static_cast<Cost>(current.count()) *
+                   static_cast<Cost>(starts[k + 1] - starts[k]);
+      previous = current;
+    }
+    best = std::min(best, total);
+  }
+  return best;
+}
+
+TEST(SingleTaskChangeoverDp, FirstHypercontextDiffsAgainstEmpty) {
+  const TaskTrace trace = trace_from({"1100"});
+  const auto solution = solve_single_task_switch_changeover(trace, 3);
+  // v + |{s0,s1} Δ ∅| + |h|·1 = 3 + 2 + 2 = 7.
+  EXPECT_EQ(solution.total, 7);
+}
+
+TEST(SingleTaskChangeoverDp, OverlapMakesChangeoverCheap) {
+  // Phases {s0,s1} → {s1,s2}: changeover 2 instead of 4.
+  const TaskTrace trace = trace_from({"110", "110", "011", "011"});
+  const auto solution = solve_single_task_switch_changeover(trace, 1);
+  // Split: (1+2+2·2) + (1+2+2·2) = 14; merged: 1+3+3·4 = 16.
+  EXPECT_EQ(solution.total, 14);
+  EXPECT_EQ(solution.partition.interval_count(), 2u);
+}
+
+TEST(SingleTaskChangeoverDp, MatchesBruteForceOnRandomTraces) {
+  Xoshiro256 rng(99);
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t n = 2 + rng.uniform(8);
+    TaskTrace trace(5);
+    for (std::size_t i = 0; i < n; ++i) {
+      DynamicBitset req(5);
+      for (std::size_t s = 0; s < 5; ++s) {
+        if (rng.flip(0.4)) req.set(s);
+      }
+      trace.push_back_local(std::move(req));
+    }
+    const Cost v = static_cast<Cost>(rng.uniform(5));
+    const auto solution = solve_single_task_switch_changeover(trace, v);
+    EXPECT_EQ(solution.total, brute_force_changeover(trace, v))
+        << "round " << round;
+  }
+}
+
+TEST(SingleTaskChangeoverDp, ChangeoverNeverCheaperThanPlainMinusDiffs) {
+  // The changeover objective dominates the plain objective, so its optimum
+  // is at least the plain optimum with the same v.
+  Xoshiro256 rng(4);
+  TaskTrace trace(6);
+  for (int i = 0; i < 12; ++i) {
+    DynamicBitset req(6);
+    for (std::size_t s = 0; s < 6; ++s) {
+      if (rng.flip(0.3)) req.set(s);
+    }
+    trace.push_back_local(std::move(req));
+  }
+  const auto plain = solve_single_task_switch(trace, 4);
+  const auto change = solve_single_task_switch_changeover(trace, 4);
+  EXPECT_GE(change.total, plain.total);
+}
+
+}  // namespace
+}  // namespace hyperrec

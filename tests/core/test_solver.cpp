@@ -1,0 +1,52 @@
+#include "core/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.hpp"
+
+namespace hyperrec {
+namespace {
+
+TEST(SolverRegistry, ContainsTheStandardLineUp) {
+  const auto solvers = standard_solvers();
+  ASSERT_EQ(solvers.size(), 5u);
+  EXPECT_EQ(solvers[0].name, "aligned-dp");
+  EXPECT_EQ(solvers[3].name, "genetic");
+}
+
+TEST(SolverRegistry, AllSolversProduceValidConsistentSolutions) {
+  workload::MultiPhasedConfig config;
+  config.tasks = 3;
+  config.task_config.steps = 24;
+  config.task_config.universe = 8;
+  const auto trace = workload::make_multi_phased(config, 77);
+  const auto machine = MachineSpec::uniform_local(3, 8);
+  EvalOptions options{UploadMode::kTaskParallel, UploadMode::kTaskSequential,
+                      false};
+
+  for (const auto& solver : standard_solvers()) {
+    const MTSolution solution = solver.solve(trace, machine, options);
+    EXPECT_NO_THROW(solution.schedule.validate(3, 24)) << solver.name;
+    EXPECT_EQ(
+        solution.total(),
+        evaluate_fully_sync_switch(trace, machine, solution.schedule, options)
+            .total)
+        << solver.name;
+    EXPECT_GT(solution.total(), 0) << solver.name;
+  }
+}
+
+TEST(MakeSolution, ReEvaluatesSchedule) {
+  const auto trace = MultiTaskTrace::from_local(
+      {3}, {{DynamicBitset::from_string("111"),
+             DynamicBitset::from_string("100")}});
+  const auto machine = MachineSpec::local_only({3});
+  const auto solution =
+      make_solution(trace, machine, MultiTaskSchedule::all_single(1, 2), {});
+  EXPECT_EQ(solution.total(), 3 + 3 * 2);
+  EXPECT_EQ(solution.breakdown.hyper, 3);
+  EXPECT_EQ(solution.breakdown.reconfig, 6);
+}
+
+}  // namespace
+}  // namespace hyperrec

@@ -1,0 +1,119 @@
+#include "dag/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hyperrec {
+namespace {
+
+Dag diamond() {
+  // 0 → 1, 0 → 2, 1 → 3, 2 → 3.
+  Dag dag(4);
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 3);
+  dag.add_edge(2, 3);
+  return dag;
+}
+
+TEST(Dag, NodeAndEdgeCounts) {
+  const Dag dag = diamond();
+  EXPECT_EQ(dag.node_count(), 4u);
+  EXPECT_EQ(dag.edge_count(), 4u);
+}
+
+TEST(Dag, SelfLoopRejected) {
+  Dag dag(2);
+  EXPECT_THROW(dag.add_edge(1, 1), PreconditionError);
+}
+
+TEST(Dag, EdgeEndpointOutOfRangeRejected) {
+  Dag dag(2);
+  EXPECT_THROW(dag.add_edge(0, 2), PreconditionError);
+  EXPECT_THROW(dag.add_edge(5, 0), PreconditionError);
+}
+
+TEST(Dag, TopologicalSortRespectsEdges) {
+  const Dag dag = diamond();
+  const auto order = dag.topological_sort();
+  ASSERT_EQ(order.size(), 4u);
+  auto position = [&order](std::size_t v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  EXPECT_LT(position(0), position(1));
+  EXPECT_LT(position(0), position(2));
+  EXPECT_LT(position(1), position(3));
+  EXPECT_LT(position(2), position(3));
+}
+
+TEST(Dag, TopologicalSortOnCycleThrows) {
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  dag.add_edge(2, 0);
+  EXPECT_THROW(dag.topological_sort(), PreconditionError);
+  EXPECT_FALSE(dag.is_acyclic());
+}
+
+TEST(Dag, IsAcyclicOnDiamond) { EXPECT_TRUE(diamond().is_acyclic()); }
+
+TEST(Dag, EmptyGraphTopoSortIsEmpty) {
+  Dag dag(0);
+  EXPECT_TRUE(dag.topological_sort().empty());
+}
+
+TEST(Dag, IsolatedNodesAllAppear) {
+  Dag dag(5);
+  EXPECT_EQ(dag.topological_sort().size(), 5u);
+}
+
+TEST(Dag, ReachabilityIncludesSelf) {
+  const auto reach = diamond().reachability();
+  for (std::size_t v = 0; v < 4; ++v) EXPECT_TRUE(reach[v].test(v));
+}
+
+TEST(Dag, ReachabilityFollowsPaths) {
+  const auto reach = diamond().reachability();
+  EXPECT_TRUE(reach[0].test(3)) << "0 reaches 3 via both branches";
+  EXPECT_TRUE(reach[1].test(3));
+  EXPECT_FALSE(reach[1].test(2)) << "siblings are unreachable";
+  EXPECT_FALSE(reach[3].test(0)) << "reachability is directed";
+}
+
+TEST(Dag, ReachabilityCountsOnChain) {
+  Dag dag(5);
+  for (std::size_t v = 0; v + 1 < 5; ++v) dag.add_edge(v, v + 1);
+  const auto reach = dag.reachability();
+  for (std::size_t v = 0; v < 5; ++v) {
+    EXPECT_EQ(reach[v].count(), 5 - v) << "node reaches itself and the tail";
+  }
+}
+
+TEST(Dag, MinimalElementsOfAntichain) {
+  const Dag dag = diamond();
+  const auto reach = dag.reachability();
+  const auto minimal = Dag::minimal_elements({1, 2}, reach);
+  EXPECT_EQ(minimal.size(), 2u) << "1 and 2 are incomparable";
+}
+
+TEST(Dag, MinimalElementsOfChainIsSource) {
+  const Dag dag = diamond();
+  const auto reach = dag.reachability();
+  const auto minimal = Dag::minimal_elements({0, 1, 3}, reach);
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0], 0u);
+}
+
+TEST(Dag, MinimalElementsEmptySubset) {
+  const auto reach = diamond().reachability();
+  EXPECT_TRUE(Dag::minimal_elements({}, reach).empty());
+}
+
+TEST(Dag, SuccessorsOutOfRangeThrows) {
+  const Dag dag = diamond();
+  EXPECT_THROW((void)dag.successors(4), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hyperrec

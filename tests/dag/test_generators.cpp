@@ -1,0 +1,74 @@
+#include "dag/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hyperrec {
+namespace {
+
+TEST(MakeChain, ChainHasLinearEdges) {
+  const Dag dag = make_chain(5);
+  EXPECT_EQ(dag.node_count(), 5u);
+  EXPECT_EQ(dag.edge_count(), 4u);
+  EXPECT_TRUE(dag.is_acyclic());
+  const auto reach = dag.reachability();
+  EXPECT_TRUE(reach[0].test(4));
+  EXPECT_FALSE(reach[4].test(0));
+}
+
+TEST(MakeChain, SingleNodeChain) {
+  const Dag dag = make_chain(1);
+  EXPECT_EQ(dag.node_count(), 1u);
+  EXPECT_EQ(dag.edge_count(), 0u);
+}
+
+TEST(MakeLayered, ShapeAndAcyclicity) {
+  Xoshiro256 rng(3);
+  const Dag dag = make_layered(4, 3, 2, rng);
+  EXPECT_EQ(dag.node_count(), 12u);
+  EXPECT_TRUE(dag.is_acyclic());
+  EXPECT_EQ(dag.edge_count(), 3u * 3u * 2u) << "every non-last layer fans out";
+}
+
+TEST(MakeLayered, EdgesOnlyGoForwardOneLayer) {
+  Xoshiro256 rng(5);
+  const std::size_t width = 4;
+  const Dag dag = make_layered(3, width, 2, rng);
+  for (std::size_t v = 0; v < dag.node_count(); ++v) {
+    for (const std::size_t to : dag.successors(v)) {
+      EXPECT_EQ(to / width, v / width + 1);
+    }
+  }
+}
+
+TEST(MakeLayered, ZeroSizesRejected) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(make_layered(0, 3, 1, rng), PreconditionError);
+  EXPECT_THROW(make_layered(3, 0, 1, rng), PreconditionError);
+}
+
+TEST(MakeSubsetLattice, NodeAndEdgeCounts) {
+  const Dag dag = make_subset_lattice(3);
+  EXPECT_EQ(dag.node_count(), 8u);
+  // Each node with k unset bits has k outgoing edges: Σ = bits · 2^{bits-1}.
+  EXPECT_EQ(dag.edge_count(), 3u * 4u);
+  EXPECT_TRUE(dag.is_acyclic());
+}
+
+TEST(MakeSubsetLattice, ReachabilityIsSubsetOrder) {
+  const Dag dag = make_subset_lattice(3);
+  const auto reach = dag.reachability();
+  for (std::size_t u = 0; u < 8; ++u) {
+    for (std::size_t v = 0; v < 8; ++v) {
+      const bool subset = (u & v) == u;
+      EXPECT_EQ(reach[u].test(v), subset)
+          << "mask " << u << " should reach exactly its supersets: " << v;
+    }
+  }
+}
+
+TEST(MakeSubsetLattice, TooManyBitsRejected) {
+  EXPECT_THROW(make_subset_lattice(21), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hyperrec

@@ -1,0 +1,124 @@
+#include "io/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "shyra/counter_app.hpp"
+#include "shyra/tracer.hpp"
+#include "support/ensure.hpp"
+#include "workload/generators.hpp"
+
+namespace hyperrec::io {
+namespace {
+
+MultiTaskTrace sample_trace() {
+  workload::MultiPhasedConfig config;
+  config.tasks = 3;
+  config.task_config.steps = 12;
+  config.task_config.universe = 7;
+  auto trace = workload::make_multi_phased(config, 5);
+  return trace;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const auto original = sample_trace();
+  const auto rebuilt = trace_from_string(trace_to_string(original));
+  ASSERT_EQ(rebuilt.task_count(), original.task_count());
+  ASSERT_EQ(rebuilt.steps(), original.steps());
+  for (std::size_t j = 0; j < original.task_count(); ++j) {
+    EXPECT_EQ(rebuilt.task(j).local_universe(),
+              original.task(j).local_universe());
+    for (std::size_t i = 0; i < original.steps(); ++i) {
+      EXPECT_EQ(rebuilt.task(j).at(i).local, original.task(j).at(i).local);
+      EXPECT_EQ(rebuilt.task(j).at(i).private_demand,
+                original.task(j).at(i).private_demand);
+    }
+  }
+}
+
+TEST(TraceIo, RoundTripWithPrivateDemands) {
+  MultiTaskTrace trace;
+  TaskTrace task(3);
+  task.push_back({DynamicBitset::from_string("101"), 7});
+  task.push_back({DynamicBitset::from_string("010"), 0});
+  trace.add_task(std::move(task));
+  const auto rebuilt = trace_from_string(trace_to_string(trace));
+  EXPECT_EQ(rebuilt.task(0).at(0).private_demand, 7u);
+  EXPECT_EQ(rebuilt.task(0).at(1).private_demand, 0u);
+}
+
+TEST(TraceIo, ShyraCounterTraceRoundTrips) {
+  const auto run = shyra::CounterApp(10).run();
+  const auto original = shyra::to_multi_task_trace(run.trace);
+  const auto rebuilt = trace_from_string(trace_to_string(original));
+  EXPECT_EQ(rebuilt.steps(), 110u);
+  EXPECT_EQ(rebuilt.task(3).local_universe(), 24u);
+  for (std::size_t i = 0; i < 110; i += 13) {
+    EXPECT_EQ(rebuilt.task(3).at(i).local, original.task(3).at(i).local);
+  }
+}
+
+TEST(TraceIo, RejectsWrongHeader) {
+  EXPECT_THROW(trace_from_string("bogus v9\n"), PreconditionError);
+}
+
+TEST(TraceIo, RejectsTruncatedBody) {
+  const auto text = trace_to_string(sample_trace());
+  const auto truncated = text.substr(0, text.size() / 2);
+  EXPECT_THROW(trace_from_string(truncated), PreconditionError);
+}
+
+TEST(TraceIo, RejectsBitstringLengthMismatch) {
+  const std::string text =
+      "hyperrec-trace v1\n1\n1\n3\n"
+      "1010 0\n";  // 4 bits declared as universe 3
+  EXPECT_THROW(trace_from_string(text), PreconditionError);
+}
+
+TEST(TraceIo, RejectsUnsynchronizedTrace) {
+  MultiTaskTrace trace;
+  TaskTrace a(2);
+  a.push_back_local(DynamicBitset(2));
+  TaskTrace b(2);
+  b.push_back_local(DynamicBitset(2));
+  b.push_back_local(DynamicBitset(2));
+  trace.add_task(std::move(a));
+  trace.add_task(std::move(b));
+  EXPECT_THROW((void)trace_to_string(trace), PreconditionError);
+}
+
+TEST(ScheduleIo, RoundTripPreservesBoundaries) {
+  MultiTaskSchedule schedule;
+  schedule.tasks.push_back(Partition::from_starts({0, 3, 8}, 12));
+  schedule.tasks.push_back(Partition::from_starts({0, 5}, 12));
+  schedule.global_boundaries = {0, 5};
+  const auto rebuilt = schedule_from_string(schedule_to_string(schedule));
+  ASSERT_EQ(rebuilt.tasks.size(), 2u);
+  EXPECT_EQ(rebuilt.tasks[0].starts(),
+            (std::vector<std::size_t>{0, 3, 8}));
+  EXPECT_EQ(rebuilt.tasks[1].starts(), (std::vector<std::size_t>{0, 5}));
+  EXPECT_EQ(rebuilt.global_boundaries, (std::vector<std::size_t>{0, 5}));
+}
+
+TEST(ScheduleIo, RoundTripWithoutGlobals) {
+  MultiTaskSchedule schedule;
+  schedule.tasks.push_back(Partition::single(4));
+  const auto rebuilt = schedule_from_string(schedule_to_string(schedule));
+  EXPECT_TRUE(rebuilt.global_boundaries.empty());
+  EXPECT_EQ(rebuilt.tasks[0].interval_count(), 1u);
+}
+
+TEST(ScheduleIo, RejectsWrongHeader) {
+  EXPECT_THROW(schedule_from_string("hyperrec-trace v1\n"),
+               PreconditionError);
+}
+
+TEST(ScheduleIo, RejectsMalformedBoundaries) {
+  // Starts not beginning at 0 are rejected by Partition::from_starts.
+  const std::string text =
+      "hyperrec-schedule v1\n1\n6\n"
+      "2 1 3\n0\n";
+  EXPECT_THROW(schedule_from_string(text), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hyperrec::io

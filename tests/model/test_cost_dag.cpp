@@ -1,0 +1,129 @@
+#include "model/cost_dag.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hyperrec {
+namespace {
+
+/// Chain h0 → h1 → h2 over kinds {k0, k1}:
+///   h0: {k0} cost 1;  h1: {k0,k1} cost 3;  h2: {k0,k1} cost 5.  w = 4.
+DagCostModel chain_model() {
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  std::vector<DynamicBitset> sat;
+  sat.push_back(DynamicBitset::from_string("10"));
+  sat.push_back(DynamicBitset::from_string("11"));
+  sat.push_back(DynamicBitset::from_string("11"));
+  return DagCostModel(std::move(dag), std::move(sat), {1, 3, 5}, 4);
+}
+
+TEST(DagCostModel, ValidatesMonotoneChain) {
+  EXPECT_NO_THROW(chain_model().validate());
+}
+
+TEST(DagCostModel, RejectsCapabilityViolation) {
+  Dag dag(2);
+  dag.add_edge(0, 1);
+  std::vector<DynamicBitset> sat;
+  sat.push_back(DynamicBitset::from_string("11"));
+  sat.push_back(DynamicBitset::from_string("10"));  // shrinks along edge
+  DagCostModel model(std::move(dag), std::move(sat), {1, 2}, 1);
+  EXPECT_THROW(model.validate(), PreconditionError);
+}
+
+TEST(DagCostModel, RejectsCostViolation) {
+  Dag dag(2);
+  dag.add_edge(0, 1);
+  std::vector<DynamicBitset> sat;
+  sat.push_back(DynamicBitset::from_string("10"));
+  sat.push_back(DynamicBitset::from_string("11"));
+  DagCostModel model(std::move(dag), std::move(sat), {5, 2}, 1);  // cost drops
+  EXPECT_THROW(model.validate(), PreconditionError);
+}
+
+TEST(DagCostModel, RejectsMissingUniversalHypercontext) {
+  Dag dag(1);
+  std::vector<DynamicBitset> sat;
+  sat.push_back(DynamicBitset::from_string("10"));
+  DagCostModel model(std::move(dag), std::move(sat), {1}, 1);
+  EXPECT_THROW(model.validate(), PreconditionError);
+}
+
+TEST(DagCostModel, RejectsNonPositiveCost) {
+  Dag dag(1);
+  std::vector<DynamicBitset> sat;
+  sat.push_back(DynamicBitset::from_string("11"));
+  DagCostModel model(std::move(dag), std::move(sat), {0}, 1);
+  EXPECT_THROW(model.validate(), PreconditionError);
+}
+
+TEST(DagCostModel, MinimalSatisfiersOnChain) {
+  const auto model = chain_model();
+  const auto for_k0 = model.minimal_satisfiers(0);
+  ASSERT_EQ(for_k0.size(), 1u);
+  EXPECT_EQ(for_k0[0], 0u) << "h0 is the minimal satisfier of k0";
+  const auto for_k1 = model.minimal_satisfiers(1);
+  ASSERT_EQ(for_k1.size(), 1u);
+  EXPECT_EQ(for_k1[0], 1u) << "h1 precedes h2";
+}
+
+TEST(DagCostModel, MinimalSatisfiersOnAntichain) {
+  Dag dag(3);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 2);
+  std::vector<DynamicBitset> sat;
+  sat.push_back(DynamicBitset::from_string("10"));
+  sat.push_back(DynamicBitset::from_string("10"));
+  sat.push_back(DynamicBitset::from_string("11"));
+  DagCostModel model(std::move(dag), std::move(sat), {1, 1, 3}, 1);
+  EXPECT_EQ(model.minimal_satisfiers(0).size(), 2u)
+      << "both branch roots satisfy k0 and are incomparable";
+}
+
+TEST(DagCostModel, CheapestSatisfying) {
+  const auto model = chain_model();
+  DynamicBitset k0(2);
+  k0.set(0);
+  EXPECT_EQ(model.cheapest_satisfying(k0), 0u);
+  DynamicBitset both(2);
+  both.set(0).set(1);
+  EXPECT_EQ(model.cheapest_satisfying(both), 1u) << "h1 cheaper than h2";
+}
+
+TEST(DagCostModel, CheapestSatisfyingNoneReturnsSentinel) {
+  Dag dag(1);
+  std::vector<DynamicBitset> sat;
+  sat.push_back(DynamicBitset::from_string("10"));
+  DagCostModel model(std::move(dag), std::move(sat), {1}, 1);
+  DynamicBitset k1(2);
+  k1.set(1);
+  EXPECT_EQ(model.cheapest_satisfying(k1), 1u) << "== hypercontext_count()";
+}
+
+TEST(EvaluateDagModel, HandComputedTwoIntervals) {
+  const auto model = chain_model();
+  const std::vector<std::size_t> sequence{0, 0, 1};
+  const DagSchedule schedule{{0, 2}, {0, 1}};
+  // (w + cost(h0)·2) + (w + cost(h1)·1) = (4+2) + (4+3) = 13.
+  EXPECT_EQ(evaluate_dag_model(model, sequence, schedule), 13);
+}
+
+TEST(EvaluateDagModel, UnsatisfiedRequirementThrows) {
+  const auto model = chain_model();
+  const std::vector<std::size_t> sequence{1};
+  const DagSchedule schedule{{0}, {0}};  // h0 lacks k1
+  EXPECT_THROW((void)evaluate_dag_model(model, sequence, schedule),
+               PreconditionError);
+}
+
+TEST(DagCostModel, SizeMismatchRejectedAtConstruction) {
+  Dag dag(2);
+  std::vector<DynamicBitset> sat;
+  sat.push_back(DynamicBitset(1));
+  EXPECT_THROW(DagCostModel(std::move(dag), std::move(sat), {1, 2}, 1),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace hyperrec

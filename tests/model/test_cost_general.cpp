@@ -1,0 +1,101 @@
+#include "model/cost_general.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hyperrec {
+namespace {
+
+/// Three hypercontexts over two requirement kinds:
+///   h0 satisfies {k0},      init 5, cost 1
+///   h1 satisfies {k1},      init 5, cost 2
+///   h2 satisfies {k0, k1},  init 8, cost 4  (universal)
+GeneralCostModel sample_model() {
+  GeneralCostModel model(3, 2);
+  model.set_init(0, 5);
+  model.set_cost(0, 1);
+  model.set_satisfies(0, 0);
+  model.set_init(1, 5);
+  model.set_cost(1, 2);
+  model.set_satisfies(1, 1);
+  model.set_init(2, 8);
+  model.set_cost(2, 4);
+  model.set_satisfies(2, 0);
+  model.set_satisfies(2, 1);
+  return model;
+}
+
+TEST(GeneralCostModel, AccessorsRoundTrip) {
+  const auto model = sample_model();
+  EXPECT_EQ(model.hypercontext_count(), 3u);
+  EXPECT_EQ(model.kind_count(), 2u);
+  EXPECT_EQ(model.init(2), 8);
+  EXPECT_EQ(model.cost(1), 2);
+  EXPECT_TRUE(model.satisfies(0, 0));
+  EXPECT_FALSE(model.satisfies(0, 1));
+}
+
+TEST(GeneralCostModel, SatisfiesAllUsesSubset) {
+  const auto model = sample_model();
+  DynamicBitset both(2);
+  both.set(0).set(1);
+  EXPECT_FALSE(model.satisfies_all(0, both));
+  EXPECT_TRUE(model.satisfies_all(2, both));
+  DynamicBitset none(2);
+  EXPECT_TRUE(model.satisfies_all(0, none));
+}
+
+TEST(GeneralCostModel, UniversalHypercontextCheck) {
+  const auto model = sample_model();
+  EXPECT_NO_THROW(model.require_universal_hypercontext());
+
+  GeneralCostModel partial(1, 2);
+  partial.set_satisfies(0, 0);
+  EXPECT_THROW(partial.require_universal_hypercontext(), PreconditionError);
+}
+
+TEST(GeneralCostModel, OutOfRangeAccessThrows) {
+  auto model = sample_model();
+  EXPECT_THROW(model.set_init(3, 1), PreconditionError);
+  EXPECT_THROW((void)model.cost(3), PreconditionError);
+  EXPECT_THROW(model.set_satisfies(0, 2), PreconditionError);
+}
+
+TEST(EvaluateGeneral, HandComputedTwoIntervals) {
+  const auto model = sample_model();
+  const std::vector<std::size_t> sequence{0, 0, 1, 1, 1};
+  const GeneralSchedule schedule{{0, 2}, {0, 1}};
+  // init(h0) + cost(h0)·2 + init(h1) + cost(h1)·3 = 5+2 + 5+6 = 18.
+  EXPECT_EQ(evaluate_general(model, sequence, schedule), 18);
+}
+
+TEST(EvaluateGeneral, UniversalHypercontextCoversMixedInterval) {
+  const auto model = sample_model();
+  const std::vector<std::size_t> sequence{0, 1, 0};
+  const GeneralSchedule schedule{{0}, {2}};
+  EXPECT_EQ(evaluate_general(model, sequence, schedule), 8 + 4 * 3);
+}
+
+TEST(EvaluateGeneral, UnsatisfiedIntervalThrows) {
+  const auto model = sample_model();
+  const std::vector<std::size_t> sequence{0, 1};
+  const GeneralSchedule schedule{{0}, {0}};  // h0 cannot satisfy kind 1
+  EXPECT_THROW((void)evaluate_general(model, sequence, schedule),
+               PreconditionError);
+}
+
+TEST(EvaluateGeneral, MalformedScheduleThrows) {
+  const auto model = sample_model();
+  const std::vector<std::size_t> sequence{0, 1};
+  EXPECT_THROW((void)evaluate_general(model, sequence, GeneralSchedule{{1}, {2}}),
+               PreconditionError)
+      << "first interval must start at 0";
+  EXPECT_THROW((void)evaluate_general(model, sequence, GeneralSchedule{{0}, {}}),
+               PreconditionError)
+      << "one hypercontext per interval";
+  EXPECT_THROW((void)evaluate_general(model, {}, GeneralSchedule{{0}, {2}}),
+               PreconditionError)
+      << "empty sequence";
+}
+
+}  // namespace
+}  // namespace hyperrec

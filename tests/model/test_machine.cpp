@@ -1,0 +1,65 @@
+#include "model/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hyperrec {
+namespace {
+
+TEST(MachineSpec, LocalOnlyFactoryUsesDefaultInits) {
+  const MachineSpec machine = MachineSpec::local_only({8, 8, 8, 24});
+  ASSERT_EQ(machine.task_count(), 4u);
+  EXPECT_EQ(machine.tasks[3].local_switches, 24u);
+  EXPECT_EQ(machine.tasks[3].local_init, 24);
+  EXPECT_EQ(machine.total_local_switches(), 48u);
+  EXPECT_EQ(machine.total_switches(), 48u);
+  EXPECT_FALSE(machine.has_global_resources());
+}
+
+TEST(MachineSpec, UniformLocalFactory) {
+  const MachineSpec machine = MachineSpec::uniform_local(3, 5);
+  ASSERT_EQ(machine.task_count(), 3u);
+  for (const TaskSpec& task : machine.tasks) {
+    EXPECT_EQ(task.local_switches, 5u);
+    EXPECT_EQ(task.local_init, 5);
+  }
+}
+
+TEST(MachineSpec, TotalSwitchesIncludesGlobalResources) {
+  MachineSpec machine = MachineSpec::uniform_local(2, 4);
+  machine.private_global_units = 6;
+  machine.public_context_size = 3;
+  EXPECT_EQ(machine.total_switches(), 8u + 6u + 3u);
+  EXPECT_TRUE(machine.has_global_resources());
+}
+
+TEST(MachineSpec, ValidateTraceAcceptsMatchingShape) {
+  const MachineSpec machine = MachineSpec::uniform_local(2, 3);
+  const auto trace = MultiTaskTrace::from_local(
+      {3, 3}, {{DynamicBitset(3)}, {DynamicBitset(3)}});
+  EXPECT_NO_THROW(machine.validate_trace(trace));
+}
+
+TEST(MachineSpec, ValidateTraceRejectsTaskCountMismatch) {
+  const MachineSpec machine = MachineSpec::uniform_local(2, 3);
+  const auto trace = MultiTaskTrace::from_local({3}, {{DynamicBitset(3)}});
+  EXPECT_THROW(machine.validate_trace(trace), PreconditionError);
+}
+
+TEST(MachineSpec, ValidateTraceRejectsUniverseMismatch) {
+  const MachineSpec machine = MachineSpec::uniform_local(1, 3);
+  const auto trace = MultiTaskTrace::from_local({4}, {{DynamicBitset(4)}});
+  EXPECT_THROW(machine.validate_trace(trace), PreconditionError);
+}
+
+TEST(MachineSpec, ValidateTraceRejectsExcessPrivateDemand) {
+  MachineSpec machine = MachineSpec::uniform_local(1, 3);
+  machine.private_global_units = 2;
+  MultiTaskTrace trace;
+  TaskTrace task(3);
+  task.push_back({DynamicBitset(3), 5});  // demand 5 > pool 2
+  trace.add_task(std::move(task));
+  EXPECT_THROW(machine.validate_trace(trace), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hyperrec

@@ -1,0 +1,129 @@
+#include "model/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hyperrec {
+namespace {
+
+TEST(Partition, SingleCoversWholeRange) {
+  const Partition partition = Partition::single(7);
+  EXPECT_EQ(partition.n(), 7u);
+  EXPECT_EQ(partition.interval_count(), 1u);
+  EXPECT_EQ(partition.interval_bounds(0), (std::pair<std::size_t,
+                                           std::size_t>{0, 7}));
+}
+
+TEST(Partition, EveryStepHasNIntervals) {
+  const Partition partition = Partition::every_step(4);
+  EXPECT_EQ(partition.interval_count(), 4u);
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(partition.interval_bounds(k),
+              (std::pair<std::size_t, std::size_t>{k, k + 1}));
+  }
+}
+
+TEST(Partition, FromStartsValidCase) {
+  const Partition partition = Partition::from_starts({0, 3, 5}, 8);
+  EXPECT_EQ(partition.interval_count(), 3u);
+  EXPECT_EQ(partition.interval_bounds(1),
+            (std::pair<std::size_t, std::size_t>{3, 5}));
+  EXPECT_EQ(partition.interval_bounds(2),
+            (std::pair<std::size_t, std::size_t>{5, 8}));
+}
+
+TEST(Partition, FromStartsRejectsMissingZero) {
+  EXPECT_THROW(Partition::from_starts({1, 3}, 5), PreconditionError);
+  EXPECT_THROW(Partition::from_starts({}, 5), PreconditionError);
+}
+
+TEST(Partition, FromStartsRejectsNonIncreasing) {
+  EXPECT_THROW(Partition::from_starts({0, 3, 3}, 5), PreconditionError);
+  EXPECT_THROW(Partition::from_starts({0, 4, 2}, 5), PreconditionError);
+}
+
+TEST(Partition, FromStartsRejectsStartBeyondRange) {
+  EXPECT_THROW(Partition::from_starts({0, 5}, 5), PreconditionError);
+}
+
+TEST(Partition, EmptyRangeRejected) {
+  EXPECT_THROW(Partition::single(0), PreconditionError);
+  EXPECT_THROW(Partition::every_step(0), PreconditionError);
+}
+
+TEST(Partition, IntervalOfFindsContainingInterval) {
+  const Partition partition = Partition::from_starts({0, 3, 5}, 8);
+  EXPECT_EQ(partition.interval_of(0), 0u);
+  EXPECT_EQ(partition.interval_of(2), 0u);
+  EXPECT_EQ(partition.interval_of(3), 1u);
+  EXPECT_EQ(partition.interval_of(4), 1u);
+  EXPECT_EQ(partition.interval_of(7), 2u);
+  EXPECT_THROW((void)partition.interval_of(8), PreconditionError);
+}
+
+TEST(Partition, IsBoundary) {
+  const Partition partition = Partition::from_starts({0, 3, 5}, 8);
+  EXPECT_TRUE(partition.is_boundary(0));
+  EXPECT_TRUE(partition.is_boundary(3));
+  EXPECT_TRUE(partition.is_boundary(5));
+  EXPECT_FALSE(partition.is_boundary(4));
+  EXPECT_THROW((void)partition.is_boundary(8), PreconditionError);
+}
+
+TEST(Partition, BoundaryMaskRoundTrip) {
+  const Partition partition = Partition::from_starts({0, 2, 6}, 9);
+  const DynamicBitset mask = partition.to_boundary_mask();
+  EXPECT_EQ(mask.to_string(), "101000100");
+  const Partition rebuilt = Partition::from_boundary_mask(mask);
+  EXPECT_EQ(rebuilt.starts(), partition.starts());
+}
+
+TEST(Partition, FromBoundaryMaskForcesStepZero) {
+  DynamicBitset mask(5);
+  mask.set(2);  // bit 0 unset on purpose
+  const Partition partition = Partition::from_boundary_mask(mask);
+  EXPECT_EQ(partition.starts(), (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(MultiTaskSchedule, FactoryShapes) {
+  const auto single = MultiTaskSchedule::all_single(3, 5);
+  EXPECT_EQ(single.tasks.size(), 3u);
+  EXPECT_EQ(single.partial_hyper_steps(), 1u);
+
+  const auto every = MultiTaskSchedule::all_every_step(2, 5);
+  EXPECT_EQ(every.partial_hyper_steps(), 5u);
+}
+
+TEST(MultiTaskSchedule, PartialHyperStepsCountsUnion) {
+  MultiTaskSchedule schedule;
+  schedule.tasks.push_back(Partition::from_starts({0, 2}, 6));
+  schedule.tasks.push_back(Partition::from_starts({0, 4}, 6));
+  EXPECT_EQ(schedule.partial_hyper_steps(), 3u) << "steps 0, 2 and 4";
+}
+
+TEST(MultiTaskSchedule, ValidateChecksShape) {
+  auto schedule = MultiTaskSchedule::all_single(2, 5);
+  EXPECT_NO_THROW(schedule.validate(2, 5));
+  EXPECT_THROW(schedule.validate(3, 5), PreconditionError);
+  EXPECT_THROW(schedule.validate(2, 6), PreconditionError);
+}
+
+TEST(MultiTaskSchedule, GlobalBoundaryNeedsLocalBoundaryEverywhere) {
+  MultiTaskSchedule schedule;
+  schedule.tasks.push_back(Partition::from_starts({0, 2}, 6));
+  schedule.tasks.push_back(Partition::from_starts({0, 3}, 6));
+  schedule.global_boundaries = {2};
+  EXPECT_THROW(schedule.validate(2, 6), PreconditionError)
+      << "task 1 has no boundary at step 2";
+
+  schedule.tasks[1] = Partition::from_starts({0, 2, 3}, 6);
+  EXPECT_NO_THROW(schedule.validate(2, 6));
+}
+
+TEST(MultiTaskSchedule, GlobalBoundaryBeyondRangeRejected) {
+  auto schedule = MultiTaskSchedule::all_single(1, 4);
+  schedule.global_boundaries = {4};
+  EXPECT_THROW(schedule.validate(1, 4), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hyperrec

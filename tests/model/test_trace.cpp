@@ -1,0 +1,106 @@
+#include "model/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hyperrec {
+namespace {
+
+TaskTrace sample_trace() {
+  TaskTrace trace(4);
+  trace.push_back_local(DynamicBitset::from_string("1000"));
+  trace.push_back_local(DynamicBitset::from_string("0100"));
+  trace.push_back_local(DynamicBitset::from_string("0110"));
+  return trace;
+}
+
+TEST(TaskTrace, SizeAndAccess) {
+  const TaskTrace trace = sample_trace();
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.local_universe(), 4u);
+  EXPECT_TRUE(trace.at(0).local.test(0));
+  EXPECT_EQ(trace.at(2).local.count(), 2u);
+}
+
+TEST(TaskTrace, UniverseMismatchRejected) {
+  TaskTrace trace(4);
+  EXPECT_THROW(trace.push_back_local(DynamicBitset(5)), PreconditionError);
+}
+
+TEST(TaskTrace, OutOfRangeStepThrows) {
+  const TaskTrace trace = sample_trace();
+  EXPECT_THROW((void)trace.at(3), PreconditionError);
+}
+
+TEST(TaskTrace, LocalUnionOverRanges) {
+  const TaskTrace trace = sample_trace();
+  EXPECT_EQ(trace.local_union(0, 3).to_string(), "1110");
+  EXPECT_EQ(trace.local_union(1, 3).to_string(), "0110");
+  EXPECT_EQ(trace.local_union(0, 1).to_string(), "1000");
+}
+
+TEST(TaskTrace, LocalUnionEmptyRangeIsEmptySet) {
+  const TaskTrace trace = sample_trace();
+  EXPECT_EQ(trace.local_union(2, 2).count(), 0u);
+}
+
+TEST(TaskTrace, LocalUnionBadRangeThrows) {
+  const TaskTrace trace = sample_trace();
+  EXPECT_THROW((void)trace.local_union(2, 1), PreconditionError);
+  EXPECT_THROW((void)trace.local_union(0, 4), PreconditionError);
+}
+
+TEST(TaskTrace, MaxPrivateDemand) {
+  TaskTrace trace(2);
+  trace.push_back({DynamicBitset(2), 3});
+  trace.push_back({DynamicBitset(2), 7});
+  trace.push_back({DynamicBitset(2), 1});
+  EXPECT_EQ(trace.max_private_demand(0, 3), 7u);
+  EXPECT_EQ(trace.max_private_demand(2, 3), 1u);
+  EXPECT_EQ(trace.max_private_demand(1, 1), 0u) << "empty range is zero";
+}
+
+TEST(MultiTaskTrace, SynchronizedDetection) {
+  MultiTaskTrace trace;
+  trace.add_task(sample_trace());
+  trace.add_task(sample_trace());
+  EXPECT_TRUE(trace.synchronized());
+  EXPECT_EQ(trace.steps(), 3u);
+
+  TaskTrace shorter(4);
+  shorter.push_back_local(DynamicBitset(4));
+  trace.add_task(std::move(shorter));
+  EXPECT_FALSE(trace.synchronized());
+  EXPECT_THROW((void)trace.steps(), PreconditionError);
+}
+
+TEST(MultiTaskTrace, TaskAccessBounds) {
+  MultiTaskTrace trace;
+  trace.add_task(sample_trace());
+  EXPECT_EQ(trace.task_count(), 1u);
+  EXPECT_NO_THROW((void)trace.task(0));
+  EXPECT_THROW((void)trace.task(1), PreconditionError);
+}
+
+TEST(MultiTaskTrace, StepsOnEmptyTraceThrows) {
+  MultiTaskTrace trace;
+  EXPECT_THROW((void)trace.steps(), PreconditionError);
+}
+
+TEST(MultiTaskTrace, FromLocalBuildsTasks) {
+  const auto trace = MultiTaskTrace::from_local(
+      {2, 3},
+      {{DynamicBitset::from_string("10"), DynamicBitset::from_string("01")},
+       {DynamicBitset::from_string("111"), DynamicBitset::from_string("001")}});
+  EXPECT_EQ(trace.task_count(), 2u);
+  EXPECT_EQ(trace.task(0).local_universe(), 2u);
+  EXPECT_EQ(trace.task(1).local_universe(), 3u);
+  EXPECT_EQ(trace.steps(), 2u);
+  EXPECT_EQ(trace.task(1).at(0).local.count(), 3u);
+}
+
+TEST(MultiTaskTrace, FromLocalSizeMismatchThrows) {
+  EXPECT_THROW(MultiTaskTrace::from_local({2}, {}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hyperrec

@@ -1,0 +1,68 @@
+#include "shyra/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/ensure.hpp"
+
+namespace hyperrec::shyra {
+namespace {
+
+TEST(TruthTables, Tt3EnumeratesAllEntries) {
+  const std::uint8_t and3 =
+      tt3([](bool a, bool b, bool c) { return a && b && c; });
+  EXPECT_EQ(and3, 0x80) << "only address 7 (all ones) is set";
+  const std::uint8_t or3 =
+      tt3([](bool a, bool b, bool c) { return a || b || c; });
+  EXPECT_EQ(or3, 0xFE) << "every address except 0";
+}
+
+TEST(TruthTables, Tt2ReplicatesOverInputTwo) {
+  const std::uint8_t xor2 = tt2([](bool a, bool b) { return a != b; });
+  for (std::uint8_t address = 0; address < 4; ++address) {
+    EXPECT_EQ((xor2 >> address) & 1, (xor2 >> (address + 4)) & 1)
+        << "upper half must mirror lower half";
+  }
+  EXPECT_EQ(xor2 & 0x0F, 0x06);
+}
+
+TEST(TruthTables, Tt1ReplicatesOverInputsOneAndTwo) {
+  const std::uint8_t not1 = tt1([](bool a) { return !a; });
+  EXPECT_EQ(not1, 0x55) << "output = NOT input0 at every address";
+}
+
+TEST(TruthTables, ConstantTables) {
+  EXPECT_EQ(tt_const(false), 0x00);
+  EXPECT_EQ(tt_const(true), 0xFF);
+}
+
+TEST(ConfigBuilder, Lut1SetsItsFields) {
+  const auto config = ConfigBuilder{}.lut1(0xAB, 1, 2, 3, 4).build();
+  EXPECT_EQ(config.lut_tt[0], 0xAB);
+  EXPECT_EQ(config.mux_sel[0], 1);
+  EXPECT_EQ(config.mux_sel[1], 2);
+  EXPECT_EQ(config.mux_sel[2], 3);
+  EXPECT_EQ(config.demux_sel[0], 4);
+  EXPECT_EQ(config.demux_sel[1], ShyraConfig::kNoWrite)
+      << "LUT2 stays disabled";
+}
+
+TEST(ConfigBuilder, Lut2SetsItsFields) {
+  const auto config = ConfigBuilder{}.lut2(0xCD, 5, 6, 7, 8).build();
+  EXPECT_EQ(config.lut_tt[1], 0xCD);
+  EXPECT_EQ(config.mux_sel[3], 5);
+  EXPECT_EQ(config.mux_sel[4], 6);
+  EXPECT_EQ(config.mux_sel[5], 7);
+  EXPECT_EQ(config.demux_sel[1], 8);
+}
+
+TEST(ConfigBuilder, BuildValidates) {
+  EXPECT_THROW((void)ConfigBuilder{}.lut1(0, 10, 0, 0, 1).build(),
+               PreconditionError)
+      << "mux selector 10 addresses no register";
+  EXPECT_THROW((void)ConfigBuilder{}.lut1(0, 0, 0, 0, 3).lut2(0, 0, 0, 0, 3).build(),
+               PreconditionError)
+      << "write collision";
+}
+
+}  // namespace
+}  // namespace hyperrec::shyra

@@ -1,0 +1,154 @@
+#include "shyra/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "shyra/builder.hpp"
+#include "support/ensure.hpp"
+
+namespace hyperrec::shyra {
+namespace {
+
+TEST(ShyraConfig, DefaultIsIdleAndValid) {
+  const ShyraConfig config;
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_EQ(config.demux_sel[0], ShyraConfig::kNoWrite);
+  EXPECT_EQ(config.demux_sel[1], ShyraConfig::kNoWrite);
+}
+
+TEST(ShyraConfig, ValidateRejectsBadMuxSelector) {
+  ShyraConfig config;
+  config.mux_sel[2] = 10;  // only registers 0–9 exist
+  EXPECT_THROW(config.validate(), PreconditionError);
+}
+
+TEST(ShyraConfig, ValidateRejectsBadDemuxSelector) {
+  ShyraConfig config;
+  config.demux_sel[0] = 12;  // neither a register nor kNoWrite
+  EXPECT_THROW(config.validate(), PreconditionError);
+}
+
+TEST(ShyraConfig, ValidateRejectsWriteCollision) {
+  ShyraConfig config;
+  config.demux_sel[0] = 3;
+  config.demux_sel[1] = 3;
+  EXPECT_THROW(config.validate(), PreconditionError);
+}
+
+TEST(ShyraConfig, PackUnpackRoundTrip) {
+  ShyraConfig config;
+  config.lut_tt = {0xA5, 0x3C};
+  config.mux_sel = {0, 1, 2, 7, 8, 9};
+  config.demux_sel = {4, ShyraConfig::kNoWrite};
+  const ShyraConfig rebuilt = ShyraConfig::unpack(config.pack());
+  EXPECT_EQ(rebuilt, config);
+}
+
+TEST(ShyraConfig, PackUses48Bits) {
+  ShyraConfig config;
+  config.lut_tt = {0xFF, 0xFF};
+  config.mux_sel = {9, 9, 9, 9, 9, 9};
+  config.demux_sel = {ShyraConfig::kNoWrite, ShyraConfig::kNoWrite};
+  EXPECT_EQ(config.pack() >> kConfigBits, 0u);
+}
+
+TEST(ShyraConfig, UnpackRejectsOversizedWord) {
+  EXPECT_THROW((void)ShyraConfig::unpack(std::uint64_t{1} << 48),
+               PreconditionError);
+}
+
+TEST(ShyraConfig, DistanceIsHamming) {
+  ShyraConfig a;
+  ShyraConfig b = a;
+  EXPECT_EQ(a.distance(b), 0u);
+  b.lut_tt[0] = 0x01;  // one bit
+  EXPECT_EQ(a.distance(b), 1u);
+  b.lut_tt[1] = 0x03;  // two more bits
+  EXPECT_EQ(a.distance(b), 3u);
+}
+
+TEST(AnalyzeUsage, UnusedLutContributesNothing) {
+  const ShyraConfig config;  // both demux = kNoWrite
+  const ConfigUsage usage = analyze_usage(config);
+  EXPECT_FALSE(usage.lut_used[0]);
+  EXPECT_FALSE(usage.lut_used[1]);
+  EXPECT_EQ(context_requirement(config).count(), 0u);
+}
+
+TEST(AnalyzeUsage, TwoInputFunctionHasTwoLiveInputs) {
+  const auto config = ConfigBuilder{}
+                          .lut1(tt2([](bool a, bool b) { return a != b; }), 0,
+                                1, 2, 5)
+                          .build();
+  const ConfigUsage usage = analyze_usage(config);
+  EXPECT_TRUE(usage.lut_used[0]);
+  EXPECT_TRUE(usage.input_live[0][0]);
+  EXPECT_TRUE(usage.input_live[0][1]);
+  EXPECT_FALSE(usage.input_live[0][2]) << "tt2 replicates over input 2";
+}
+
+TEST(AnalyzeUsage, ConstantLutHasNoLiveInputs) {
+  const auto config = ConfigBuilder{}.lut1(tt_const(true), 0, 1, 2, 5).build();
+  const ConfigUsage usage = analyze_usage(config);
+  EXPECT_TRUE(usage.lut_used[0]);
+  EXPECT_FALSE(usage.input_live[0][0]);
+  EXPECT_FALSE(usage.input_live[0][1]);
+  EXPECT_FALSE(usage.input_live[0][2]);
+}
+
+TEST(ContextRequirement, UsedLutRequiresTruthTableAndDemux) {
+  const auto config = ConfigBuilder{}.lut1(tt_const(true), 0, 0, 0, 5).build();
+  const DynamicBitset req = context_requirement(config);
+  // LUT1 TT bits 0–7 + demux selector bits 16–19; no MUX bits (no live in).
+  EXPECT_EQ(req.count(), 12u);
+  for (std::size_t bit = 0; bit < 8; ++bit) EXPECT_TRUE(req.test(bit));
+  for (std::size_t bit = 16; bit < 20; ++bit) EXPECT_TRUE(req.test(bit));
+  for (std::size_t bit = 24; bit < 48; ++bit) EXPECT_FALSE(req.test(bit));
+}
+
+TEST(ContextRequirement, LiveInputsAddMuxSelectors) {
+  const auto config = ConfigBuilder{}
+                          .lut1(tt1([](bool a) { return !a; }), 3, 0, 0, 5)
+                          .build();
+  const DynamicBitset req = context_requirement(config);
+  // 8 TT + 4 demux + 4 mux (selector 0 only) = 16.
+  EXPECT_EQ(req.count(), 16u);
+  for (std::size_t bit = 24; bit < 28; ++bit) EXPECT_TRUE(req.test(bit));
+  for (std::size_t bit = 28; bit < 48; ++bit) EXPECT_FALSE(req.test(bit));
+}
+
+TEST(ContextRequirement, Lut2UsesItsOwnBitRanges) {
+  const auto config = ConfigBuilder{}
+                          .lut2(tt2([](bool a, bool b) { return a && b; }), 1,
+                                2, 0, 7)
+                          .build();
+  const DynamicBitset req = context_requirement(config);
+  // LUT2 TT bits 8–15, demux1 bits 20–23, mux selectors 3 and 4
+  // (bits 36–43).
+  for (std::size_t bit = 8; bit < 16; ++bit) EXPECT_TRUE(req.test(bit));
+  for (std::size_t bit = 20; bit < 24; ++bit) EXPECT_TRUE(req.test(bit));
+  for (std::size_t bit = 36; bit < 44; ++bit) EXPECT_TRUE(req.test(bit));
+  EXPECT_EQ(req.count(), 8u + 4u + 8u);
+}
+
+TEST(PerTaskRequirement, SplitsMatchCombinedRequirement) {
+  const auto config = ConfigBuilder{}
+                          .lut1(tt2([](bool a, bool b) { return a != b; }), 0,
+                                1, 0, 4)
+                          .lut2(tt2([](bool a, bool b) { return a && b; }), 0,
+                                1, 0, 8)
+                          .build();
+  const auto split = per_task_requirement(config);
+  const auto full = context_requirement(config);
+  EXPECT_EQ(split[0].count() + split[1].count() + split[2].count() +
+                split[3].count(),
+            full.count());
+  EXPECT_EQ(split[0].size(), 8u);
+  EXPECT_EQ(split[3].size(), 24u);
+  EXPECT_EQ(split[0].count(), 8u);
+  EXPECT_EQ(split[1].count(), 8u);
+  EXPECT_EQ(split[2].count(), 8u) << "both demux selectors in use";
+  EXPECT_EQ(split[3].count(), 16u) << "two live inputs per LUT";
+}
+
+}  // namespace
+}  // namespace hyperrec::shyra

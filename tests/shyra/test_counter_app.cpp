@@ -1,0 +1,90 @@
+#include "shyra/counter_app.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/ensure.hpp"
+
+namespace hyperrec::shyra {
+namespace {
+
+TEST(CounterApp, PaperScenarioProducesExactly110Steps) {
+  // §6: initial value 0000, upper bound 1010 → n = 110 reconfigurations.
+  const CounterApp app(10);
+  const auto result = app.run();
+  EXPECT_EQ(result.trace.size(), 110u);
+  EXPECT_EQ(result.iterations, 11u);
+  EXPECT_TRUE(result.done);
+  EXPECT_EQ(result.final_count, 10u);
+}
+
+TEST(CounterApp, IterationProgramHasTenCycles) {
+  EXPECT_EQ(CounterApp::iteration_program().size(), 10u);
+}
+
+class CounterBoundTest : public ::testing::TestWithParam<std::uint8_t> {};
+
+TEST_P(CounterBoundTest, CountsExactlyToBound) {
+  const std::uint8_t bound = GetParam();
+  const CounterApp app(bound);
+  const auto result = app.run();
+  EXPECT_TRUE(result.done);
+  EXPECT_EQ(result.final_count, bound);
+  EXPECT_EQ(result.iterations, static_cast<std::size_t>(bound) + 1)
+      << "compare-first loop runs bound+1 iterations";
+  EXPECT_EQ(result.trace.size(), (static_cast<std::size_t>(bound) + 1) * 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBounds, CounterBoundTest,
+                         ::testing::Values(0, 1, 2, 3, 5, 7, 8, 10, 12, 15));
+
+TEST(CounterApp, BoundZeroFinishesInOneIteration) {
+  const CounterApp app(0);
+  const auto result = app.run();
+  EXPECT_EQ(result.iterations, 1u);
+  EXPECT_EQ(result.final_count, 0u);
+}
+
+TEST(CounterApp, MaxIterationCapStopsRunawayRuns) {
+  const CounterApp app(15);
+  const auto result = app.run(/*max_iterations=*/3);
+  EXPECT_FALSE(result.done);
+  EXPECT_EQ(result.iterations, 3u);
+  EXPECT_EQ(result.trace.size(), 30u);
+  EXPECT_EQ(result.final_count, 3u) << "three increments executed";
+}
+
+TEST(CounterApp, BoundMustFitInFourBits) {
+  EXPECT_THROW(CounterApp(16), PreconditionError);
+}
+
+TEST(CounterApp, EveryTracedConfigIsValid) {
+  const CounterApp app(10);
+  const auto result = app.run();
+  for (const ShyraConfig& config : result.trace) {
+    EXPECT_NO_THROW(config.validate());
+  }
+}
+
+TEST(CounterApp, TraceIsPeriodicWithPeriodTen) {
+  const CounterApp app(5);
+  const auto result = app.run();
+  const auto iteration = CounterApp::iteration_program();
+  for (std::size_t i = 0; i < result.trace.size(); ++i) {
+    EXPECT_EQ(result.trace[i], iteration[i % 10]) << "step " << i;
+  }
+}
+
+TEST(CounterApp, Lut2OnlyUsedInIncrementCycles) {
+  // The paper's Figure 2 shows long unused stretches for LUT2; in this
+  // schedule LUT2 is live exactly in cycles 7–9 (ripple-carry pairs).
+  const auto iteration = CounterApp::iteration_program();
+  for (std::size_t cycle = 0; cycle < 10; ++cycle) {
+    const ConfigUsage usage = analyze_usage(iteration[cycle]);
+    const bool expect_lut2 = cycle >= 6 && cycle <= 8;
+    EXPECT_EQ(usage.lut_used[1], expect_lut2) << "cycle " << cycle + 1;
+    EXPECT_TRUE(usage.lut_used[0]) << "LUT1 is used every cycle";
+  }
+}
+
+}  // namespace
+}  // namespace hyperrec::shyra

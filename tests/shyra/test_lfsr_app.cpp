@@ -1,0 +1,82 @@
+#include "shyra/lfsr_app.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "shyra/tracer.hpp"
+#include "support/ensure.hpp"
+
+namespace hyperrec::shyra {
+namespace {
+
+TEST(LfsrApp, SoftwareModelHasPeriodFifteen) {
+  std::uint8_t state = 1;
+  std::set<std::uint8_t> seen;
+  for (int i = 0; i < 15; ++i) {
+    seen.insert(state);
+    state = LfsrApp::next_state(state);
+  }
+  EXPECT_EQ(state, 1u) << "returns to the seed after 15 transitions";
+  EXPECT_EQ(seen.size(), 15u) << "visits every non-zero state";
+}
+
+TEST(LfsrApp, HardwareMatchesSoftwareModel) {
+  for (const std::uint8_t seed : {1, 5, 9, 15}) {
+    const LfsrApp app(seed);
+    const auto result = app.run(20);
+    std::uint8_t expected = seed;
+    for (std::size_t s = 0; s < 20; ++s) {
+      expected = LfsrApp::next_state(expected);
+      EXPECT_EQ(result.states[s], expected)
+          << "seed " << int(seed) << " step " << s;
+    }
+  }
+}
+
+TEST(LfsrApp, HardwarePeriodFifteen) {
+  const LfsrApp app(7);
+  const auto result = app.run(15);
+  EXPECT_EQ(result.states.back(), 7u);
+}
+
+TEST(LfsrApp, ZeroSeedRejected) {
+  EXPECT_THROW(LfsrApp(0), PreconditionError);
+  EXPECT_THROW(LfsrApp(16), PreconditionError);
+}
+
+TEST(LfsrApp, TraceLengthIsThreePerStep) {
+  const LfsrApp app(3);
+  EXPECT_EQ(app.run(10).trace.size(), 30u);
+  EXPECT_EQ(LfsrApp::step_program().size(), 3u);
+}
+
+TEST(LfsrApp, EveryConfigValid) {
+  for (const ShyraConfig& config : LfsrApp::step_program()) {
+    EXPECT_NO_THROW(config.validate());
+  }
+}
+
+TEST(LfsrApp, ProfileDiffersFromCounter) {
+  // The LFSR is shift-heavy: cycle 1 and 2 use both LUTs, cycle 3 one —
+  // a 2/3 dual-LUT ratio vs the counter's 3/10.
+  const auto program = LfsrApp::step_program();
+  EXPECT_TRUE(analyze_usage(program[0]).lut_used[1]);
+  EXPECT_TRUE(analyze_usage(program[1]).lut_used[1]);
+  EXPECT_FALSE(analyze_usage(program[2]).lut_used[1]);
+}
+
+TEST(LfsrApp, TraceFeedsTheCostPipeline) {
+  const LfsrApp app(1);
+  const auto result = app.run(15);
+  const auto multi = to_multi_task_trace(result.trace);
+  EXPECT_EQ(multi.steps(), 45u);
+  EXPECT_NO_THROW(multi_task_machine().validate_trace(multi));
+  // The periodic 3-cycle structure shows up as exact period-3 repetition.
+  for (std::size_t i = 3; i < multi.steps(); ++i) {
+    EXPECT_EQ(multi.task(0).at(i).local, multi.task(0).at(i - 3).local);
+  }
+}
+
+}  // namespace
+}  // namespace hyperrec::shyra

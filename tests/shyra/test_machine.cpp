@@ -1,0 +1,144 @@
+#include "shyra/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "shyra/builder.hpp"
+#include "support/ensure.hpp"
+
+namespace hyperrec::shyra {
+namespace {
+
+TEST(ShyraMachine, RegistersStartClear) {
+  const ShyraMachine machine;
+  for (std::size_t r = 0; r < kRegisters; ++r) EXPECT_FALSE(machine.reg(r));
+}
+
+TEST(ShyraMachine, SetAndReadRegisters) {
+  ShyraMachine machine;
+  machine.set_reg(3, true);
+  EXPECT_TRUE(machine.reg(3));
+  EXPECT_FALSE(machine.reg(2));
+  EXPECT_THROW((void)machine.reg(10), PreconditionError);
+  EXPECT_THROW(machine.set_reg(10, true), PreconditionError);
+}
+
+TEST(ShyraMachine, ValueReadWriteRoundTripLsbFirst) {
+  ShyraMachine machine;
+  machine.write_value(0, 4, 0b1010);
+  EXPECT_FALSE(machine.reg(0));
+  EXPECT_TRUE(machine.reg(1));
+  EXPECT_FALSE(machine.reg(2));
+  EXPECT_TRUE(machine.reg(3));
+  EXPECT_EQ(machine.read_value(0, 4), 0b1010u);
+}
+
+TEST(ShyraMachine, ValueWindowBoundsChecked) {
+  ShyraMachine machine;
+  EXPECT_THROW(machine.write_value(8, 4, 0), PreconditionError);
+  EXPECT_THROW((void)machine.read_value(7, 4), PreconditionError);
+}
+
+TEST(ShyraMachine, LutEvaluatesTruthTable) {
+  ShyraMachine machine;
+  machine.set_reg(0, true);
+  machine.set_reg(1, false);
+  const auto xor_config =
+      ConfigBuilder{}
+          .lut1(tt2([](bool a, bool b) { return a != b; }), 0, 1, 0, 5)
+          .build();
+  machine.step(xor_config);
+  EXPECT_TRUE(machine.reg(5)) << "1 XOR 0 = 1";
+
+  machine.set_reg(1, true);
+  machine.step(xor_config);
+  EXPECT_FALSE(machine.reg(5)) << "1 XOR 1 = 0";
+}
+
+TEST(ShyraMachine, BothLutsRunInOneCycle) {
+  ShyraMachine machine;
+  machine.set_reg(0, true);
+  machine.set_reg(1, true);
+  const auto config =
+      ConfigBuilder{}
+          .lut1(tt2([](bool a, bool b) { return a && b; }), 0, 1, 0, 6)
+          .lut2(tt2([](bool a, bool b) { return a || b; }), 0, 1, 0, 7)
+          .build();
+  machine.step(config);
+  EXPECT_TRUE(machine.reg(6));
+  EXPECT_TRUE(machine.reg(7));
+}
+
+TEST(ShyraMachine, ReadsSeePreCycleState) {
+  // r0 := NOT r0 — reading and writing the same register must use the old
+  // value, so two applications restore the original.
+  ShyraMachine machine;
+  const auto invert =
+      ConfigBuilder{}.lut1(tt1([](bool a) { return !a; }), 0, 0, 0, 0).build();
+  machine.step(invert);
+  EXPECT_TRUE(machine.reg(0));
+  machine.step(invert);
+  EXPECT_FALSE(machine.reg(0));
+}
+
+TEST(ShyraMachine, SwapViaTwoLutsInOneCycle) {
+  // Simultaneous r0←r1 and r1←r0 exercises synchronous semantics fully.
+  ShyraMachine machine;
+  machine.set_reg(0, true);
+  machine.set_reg(1, false);
+  const auto swap = ConfigBuilder{}
+                        .lut1(tt1([](bool a) { return a; }), 1, 0, 0, 0)
+                        .lut2(tt1([](bool a) { return a; }), 0, 0, 0, 1)
+                        .build();
+  machine.step(swap);
+  EXPECT_FALSE(machine.reg(0));
+  EXPECT_TRUE(machine.reg(1));
+}
+
+TEST(ShyraMachine, NoWriteLeavesRegistersUntouched) {
+  ShyraMachine machine;
+  machine.set_reg(4, true);
+  ShyraConfig idle;  // both demux disabled
+  machine.step(idle);
+  EXPECT_TRUE(machine.reg(4));
+}
+
+TEST(ShyraMachine, RunExecutesWholeProgram) {
+  ShyraMachine machine;
+  const auto invert =
+      ConfigBuilder{}.lut1(tt1([](bool a) { return !a; }), 0, 0, 0, 0).build();
+  const std::vector<ShyraConfig> program{invert, invert, invert};
+  EXPECT_EQ(machine.run(program), 3u);
+  EXPECT_TRUE(machine.reg(0)) << "odd number of inversions";
+}
+
+TEST(ShyraMachine, ThreeInputLutAddressing) {
+  // Majority function exercises all 8 truth-table entries.
+  ShyraMachine machine;
+  const auto majority =
+      ConfigBuilder{}
+          .lut1(tt3([](bool a, bool b, bool c) {
+                  return (a && b) || (a && c) || (b && c);
+                }),
+                0, 1, 2, 9)
+          .build();
+  struct Case {
+    bool r0, r1, r2, expected;
+  };
+  const Case cases[] = {{false, false, false, false},
+                        {true, false, false, false},
+                        {true, true, false, true},
+                        {true, true, true, true},
+                        {false, true, true, true},
+                        {false, false, true, false}};
+  for (const Case& c : cases) {
+    machine.set_reg(0, c.r0);
+    machine.set_reg(1, c.r1);
+    machine.set_reg(2, c.r2);
+    machine.step(majority);
+    EXPECT_EQ(machine.reg(9), c.expected)
+        << c.r0 << c.r1 << c.r2;
+  }
+}
+
+}  // namespace
+}  // namespace hyperrec::shyra

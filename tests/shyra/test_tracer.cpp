@@ -1,0 +1,99 @@
+#include "shyra/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/cost_switch.hpp"
+#include "shyra/counter_app.hpp"
+
+namespace hyperrec::shyra {
+namespace {
+
+std::vector<ShyraConfig> counter_trace() {
+  return CounterApp(10).run().trace;
+}
+
+TEST(Tracer, MultiTaskShapeMatchesPaper) {
+  const auto trace = to_multi_task_trace(counter_trace());
+  ASSERT_EQ(trace.task_count(), 4u);
+  EXPECT_TRUE(trace.synchronized());
+  EXPECT_EQ(trace.steps(), 110u);
+  EXPECT_EQ(trace.task(0).local_universe(), 8u);
+  EXPECT_EQ(trace.task(1).local_universe(), 8u);
+  EXPECT_EQ(trace.task(2).local_universe(), 8u);
+  EXPECT_EQ(trace.task(3).local_universe(), 24u);
+}
+
+TEST(Tracer, SingleTaskShape) {
+  const auto trace = to_single_task_trace(counter_trace());
+  ASSERT_EQ(trace.task_count(), 1u);
+  EXPECT_EQ(trace.task(0).local_universe(), 48u);
+  EXPECT_EQ(trace.steps(), 110u);
+}
+
+TEST(Tracer, PerStepCountsAgreeBetweenDecompositions) {
+  const auto configs = counter_trace();
+  const auto single = to_single_task_trace(configs);
+  const auto multi = to_multi_task_trace(configs);
+  for (std::size_t i = 0; i < single.steps(); ++i) {
+    std::size_t split_count = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      split_count += multi.task(j).at(i).local.count();
+    }
+    EXPECT_EQ(split_count, single.task(0).at(i).local.count()) << "step " << i;
+  }
+}
+
+TEST(Tracer, MachinesMatchPaperParameters) {
+  const auto m4 = multi_task_machine();
+  ASSERT_EQ(m4.task_count(), 4u);
+  EXPECT_EQ(m4.tasks[0].local_switches, 8u);
+  EXPECT_EQ(m4.tasks[3].local_switches, 24u);
+  EXPECT_EQ(m4.tasks[0].local_init, 8);
+  EXPECT_EQ(m4.tasks[3].local_init, 24);
+  EXPECT_EQ(m4.total_switches(), 48u);
+
+  const auto m1 = single_task_machine();
+  ASSERT_EQ(m1.task_count(), 1u);
+  EXPECT_EQ(m1.tasks[0].local_switches, 48u);
+  EXPECT_EQ(m1.tasks[0].local_init, 48);
+}
+
+TEST(Tracer, NoHyperBaselineIs5280) {
+  // 110 steps × 48 switches — the paper's quoted baseline.
+  const auto trace = counter_trace();
+  EXPECT_EQ(no_hyperreconfiguration_cost(single_task_machine(), trace.size()),
+            5280);
+  EXPECT_EQ(no_hyperreconfiguration_cost(multi_task_machine(), trace.size()),
+            5280);
+}
+
+TEST(Tracer, Lut2RequirementsVanishOutsideIncrementCycles) {
+  const auto trace = to_multi_task_trace(counter_trace());
+  for (std::size_t i = 0; i < trace.steps(); ++i) {
+    const std::size_t cycle = i % 10;
+    const bool increment_pair_cycle = cycle >= 6 && cycle <= 8;
+    EXPECT_EQ(trace.task(1).at(i).local.count() > 0, increment_pair_cycle)
+        << "step " << i;
+  }
+}
+
+TEST(Tracer, MuxSelector5NeverRequired) {
+  // LUT2's third input is never live in the counter schedule, so the MUX
+  // task's bits 20–23 (selector 5 within the 24-bit task universe) stay 0.
+  const auto trace = to_multi_task_trace(counter_trace());
+  const auto mux_union = trace.task(3).local_union(0, trace.steps());
+  for (std::size_t bit = 20; bit < 24; ++bit) {
+    EXPECT_FALSE(mux_union.test(bit));
+  }
+}
+
+TEST(Tracer, ValidatesAgainstMachines) {
+  const auto configs = counter_trace();
+  EXPECT_NO_THROW(
+      multi_task_machine().validate_trace(to_multi_task_trace(configs)));
+  EXPECT_NO_THROW(
+      single_task_machine().validate_trace(to_single_task_trace(configs)));
+}
+
+}  // namespace
+}  // namespace hyperrec::shyra

@@ -1,0 +1,73 @@
+#include "support/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+namespace hyperrec {
+namespace {
+
+TEST(ParallelFor, BodyExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(0, 100,
+                   [](std::size_t i) {
+                     if (i == 57) throw std::runtime_error("body failure");
+                   },
+                   pool),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, SingleThreadPoolRunsSerial) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  parallel_for(0, 10, [&order](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  }, pool);
+  // With one worker the fallback serial path preserves order.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, LargeRangeCoversEverything) {
+  ThreadPool pool(8);
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(0, 100000, [&sum](std::size_t i) {
+    sum += static_cast<std::int64_t>(i);
+  }, pool);
+  EXPECT_EQ(sum.load(), 100000ll * 99999 / 2);
+}
+
+TEST(ParallelReduce, NonCommutativeCombineStillCorrectForAddition) {
+  ThreadPool pool(4);
+  const auto total = parallel_reduce<std::int64_t>(
+      1, 1001, 0, [](std::size_t i) { return static_cast<std::int64_t>(i); },
+      [](std::int64_t a, std::int64_t b) { return a + b; }, pool);
+  EXPECT_EQ(total, 500500);
+}
+
+TEST(ParallelReduce, MaxReduction) {
+  ThreadPool pool(4);
+  const auto maximum = parallel_reduce<std::int64_t>(
+      0, 1000, std::numeric_limits<std::int64_t>::min(),
+      [](std::size_t i) {
+        return static_cast<std::int64_t>((i * 7919) % 1000);
+      },
+      [](std::int64_t a, std::int64_t b) { return std::max(a, b); }, pool);
+  EXPECT_EQ(maximum, 999);
+}
+
+TEST(ParallelReduce, ExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_reduce<int>(
+                   0, 100, 0,
+                   [](std::size_t i) -> int {
+                     if (i == 42) throw std::logic_error("fn failure");
+                     return 1;
+                   },
+                   [](int a, int b) { return a + b; }, pool),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace hyperrec

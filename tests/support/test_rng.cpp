@@ -1,0 +1,127 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace hyperrec {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, UniformRespectsBound) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(7), 7u);
+  }
+}
+
+TEST(Xoshiro256, UniformBoundOneAlwaysZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Xoshiro256, UniformZeroBoundThrows) {
+  Xoshiro256 rng(5);
+  EXPECT_THROW(rng.uniform(0), PreconditionError);
+}
+
+TEST(Xoshiro256, UniformIntCoversInclusiveRange) {
+  Xoshiro256 rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u) << "all five values should appear in 2000 draws";
+}
+
+TEST(Xoshiro256, UniformIntBadRangeThrows) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(rng.uniform_int(3, 2), PreconditionError);
+}
+
+TEST(Xoshiro256, Uniform01InHalfOpenInterval) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformIsRoughlyBalanced) {
+  Xoshiro256 rng(23);
+  std::vector<int> buckets(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++buckets[rng.uniform(10)];
+  for (const int count : buckets) {
+    EXPECT_NEAR(count, draws / 10, draws / 100);
+  }
+}
+
+TEST(Xoshiro256, FlipExtremesAreDeterministic) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.flip(0.0));
+    EXPECT_TRUE(rng.flip(1.0));
+  }
+}
+
+TEST(Xoshiro256, SplitStreamsAreIndependentAndReproducible) {
+  Xoshiro256 parent_a(77);
+  Xoshiro256 parent_b(77);
+  Xoshiro256 child_a = parent_a.split(0);
+  Xoshiro256 child_b = parent_b.split(0);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(child_a(), child_b());
+
+  Xoshiro256 parent_c(77);
+  Xoshiro256 other = parent_c.split(1);
+  Xoshiro256 parent_d(77);
+  Xoshiro256 base = parent_d.split(0);
+  bool diverged = false;
+  for (int i = 0; i < 16 && !diverged; ++i) diverged = other() != base();
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Shuffle, PermutesAllElements) {
+  Xoshiro256 rng(9);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = items;
+  shuffle(items, rng);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b) << "shuffle must be a permutation";
+}
+
+TEST(Shuffle, SingleElementAndEmptyAreStable) {
+  Xoshiro256 rng(9);
+  std::vector<int> empty;
+  shuffle(empty, rng);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  shuffle(one, rng);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+}  // namespace
+}  // namespace hyperrec

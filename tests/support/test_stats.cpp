@@ -1,0 +1,56 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hyperrec {
+namespace {
+
+TEST(Summarize, EmptyInputIsAllZero) {
+  const Summary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, SingleSample) {
+  const Summary s = summarize(std::vector<double>{4.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Summarize, KnownMeanAndStddev) {
+  const Summary s = summarize(std::vector<double>{2.0, 4.0, 4.0, 4.0, 5.0,
+                                                  5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summarize, IntegerOverloadMatchesDouble) {
+  const Summary a = summarize(std::vector<std::int64_t>{1, 2, 3});
+  const Summary b = summarize(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.stddev, b.stddev);
+}
+
+TEST(RunLengths, DetectsMaximalRuns) {
+  EXPECT_EQ(run_lengths({1, 1, 1, 2, 2, 3}),
+            (std::vector<std::size_t>{3, 2, 1}));
+}
+
+TEST(RunLengths, EmptyAndSingleton) {
+  EXPECT_TRUE(run_lengths({}).empty());
+  EXPECT_EQ(run_lengths({5}), (std::vector<std::size_t>{1}));
+}
+
+TEST(RunLengths, AlternatingValues) {
+  EXPECT_EQ(run_lengths({1, 2, 1, 2}),
+            (std::vector<std::size_t>{1, 1, 1, 1}));
+}
+
+}  // namespace
+}  // namespace hyperrec

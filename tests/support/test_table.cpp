@@ -1,0 +1,79 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/ensure.hpp"
+
+namespace hyperrec {
+namespace {
+
+TEST(Table, PrintsHeadersAndAlignedRows) {
+  Table table("Demo");
+  table.headers({"name", "value"});
+  table.row("alpha", 1);
+  table.row("b", 22);
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Demo"), std::string::npos);
+  EXPECT_NE(text.find("| name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table table;
+  table.headers({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, HeadersAfterRowsThrow) {
+  Table table;
+  table.headers({"a"});
+  table.add_row({"1"});
+  EXPECT_THROW(table.headers({"x"}), PreconditionError);
+}
+
+TEST(Table, CsvOutputIsCommaSeparated) {
+  Table table;
+  table.headers({"x", "y"});
+  table.row(1, 2);
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, FormatsDoublesWithThreeDecimals) {
+  EXPECT_EQ(Table::format_cell(1.5), "1.500");
+  EXPECT_EQ(Table::format_cell(-0.25), "-0.250");
+}
+
+TEST(Table, FormatsIntegers) {
+  EXPECT_EQ(Table::format_cell(static_cast<std::int64_t>(-42)), "-42");
+  EXPECT_EQ(Table::format_cell(static_cast<std::uint64_t>(7)), "7");
+  EXPECT_EQ(Table::format_cell(13), "13");
+}
+
+TEST(Table, RowCountTracksRows) {
+  Table table;
+  table.headers({"a"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.row(1);
+  table.row(2);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(PercentOf, MatchesPaperStyle) {
+  EXPECT_EQ(percent_of(2813, 5280), "53.3%");
+  EXPECT_EQ(percent_of(3761, 5280), "71.2%");
+  EXPECT_EQ(percent_of(5280, 5280), "100.0%");
+}
+
+TEST(PercentOf, ZeroBaseThrows) {
+  EXPECT_THROW(percent_of(1, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hyperrec

@@ -1,0 +1,101 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "support/parallel.hpp"
+
+namespace hyperrec {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedJobs) {
+  ThreadPool pool(4);
+  auto future = pool.submit([]() { return 21 * 2; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ThreadCountMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ManyJobsAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter]() { ++counter; }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(2);
+  auto future =
+      pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(0, 500, [&hits](std::size_t i) { ++hits[i]; }, pool);
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeDoesNothing) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  parallel_for(5, 5, [&counter](std::size_t) { ++counter; }, pool);
+  parallel_for(7, 3, [&counter](std::size_t) { ++counter; }, pool);
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ParallelFor, OffsetRangeSeesCorrectIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(40, 60, [&hits](std::size_t i) { ++hits[i]; }, pool);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 40 && i < 60) ? 1 : 0) << i;
+  }
+}
+
+TEST(ParallelReduce, SumsMatchSerial) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  const auto total = parallel_reduce<std::int64_t>(
+      0, n, 0, [](std::size_t i) { return static_cast<std::int64_t>(i); },
+      [](std::int64_t a, std::int64_t b) { return a + b; }, pool);
+  EXPECT_EQ(total, static_cast<std::int64_t>(n * (n - 1) / 2));
+}
+
+TEST(ParallelReduce, EmptyRangeYieldsInit) {
+  ThreadPool pool(2);
+  const auto total = parallel_reduce<int>(
+      3, 3, -7, [](std::size_t) { return 1; },
+      [](int a, int b) { return a + b; }, pool);
+  EXPECT_EQ(total, -7);
+}
+
+TEST(ParallelFor, LargeGrainFallsBackToSerial) {
+  ThreadPool pool(4);
+  std::vector<int> hits(10, 0);  // non-atomic: serial path must be used
+  parallel_for(0, 10, [&hits](std::size_t i) { ++hits[i]; }, pool,
+               /*grain=*/100);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+}
+
+}  // namespace
+}  // namespace hyperrec

@@ -1,0 +1,173 @@
+#include "workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hyperrec::workload {
+namespace {
+
+TEST(Phased, ShapeAndDeterminism) {
+  PhasedConfig config;
+  config.steps = 50;
+  config.universe = 20;
+  Xoshiro256 rng_a(5);
+  Xoshiro256 rng_b(5);
+  const TaskTrace a = make_phased(config, rng_a);
+  const TaskTrace b = make_phased(config, rng_b);
+  EXPECT_EQ(a.size(), 50u);
+  EXPECT_EQ(a.local_universe(), 20u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.at(i).local, b.at(i).local) << "step " << i;
+  }
+}
+
+TEST(Phased, WindowBoundsRequirementSizeWithoutNoise) {
+  PhasedConfig config;
+  config.steps = 40;
+  config.universe = 30;
+  config.window_fraction = 0.2;  // window of 6
+  config.noise = 0.0;
+  Xoshiro256 rng(9);
+  const TaskTrace trace = make_phased(config, rng);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_LE(trace.at(i).local.count(), 6u);
+  }
+}
+
+TEST(Phased, ZeroSizesRejected) {
+  PhasedConfig config;
+  config.steps = 0;
+  Xoshiro256 rng(1);
+  EXPECT_THROW(make_phased(config, rng), PreconditionError);
+}
+
+TEST(Random, DensityControlsExpectedPopcount) {
+  RandomConfig config;
+  config.steps = 200;
+  config.universe = 40;
+  config.density = 0.5;
+  Xoshiro256 rng(13);
+  const TaskTrace trace = make_random(config, rng);
+  double total = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    total += static_cast<double>(trace.at(i).local.count());
+  }
+  const double mean = total / 200.0;
+  EXPECT_NEAR(mean, 20.0, 2.0);
+}
+
+TEST(RandomWalk, RequirementsStayInsideUniverse) {
+  RandomWalkConfig config;
+  config.steps = 100;
+  config.universe = 16;
+  config.window = 5;
+  Xoshiro256 rng(21);
+  const TaskTrace trace = make_random_walk(config, rng);
+  EXPECT_EQ(trace.size(), 100u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_LE(trace.at(i).local.count(), 5u);
+  }
+}
+
+TEST(RandomWalk, HasTemporalLocality) {
+  // Consecutive requirements should overlap much more than distant ones on
+  // average; check a weak version: average consecutive union is well below
+  // twice the window.
+  RandomWalkConfig config;
+  config.steps = 200;
+  config.universe = 32;
+  config.window = 8;
+  config.drift = 0.2;
+  config.density = 0.9;
+  Xoshiro256 rng(33);
+  const TaskTrace trace = make_random_walk(config, rng);
+  double union_sum = 0;
+  for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+    union_sum +=
+        static_cast<double>(trace.at(i).local.union_count(trace.at(i + 1).local));
+  }
+  EXPECT_LT(union_sum / 199.0, 12.0) << "windows drift by at most one switch";
+}
+
+TEST(Bursty, QuietPhasesAreNarrow) {
+  BurstyConfig config;
+  config.steps = 300;
+  config.universe = 40;
+  config.quiet_switches = 4;
+  config.burst_probability = 0.03;
+  Xoshiro256 rng(8);
+  const TaskTrace trace = make_bursty(config, rng);
+  std::size_t narrow = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace.at(i).local.count() <= 4) ++narrow;
+  }
+  EXPECT_GT(narrow, trace.size() / 2) << "most steps should be quiet";
+}
+
+TEST(Periodic, RepeatsThePattern) {
+  PeriodicConfig config;
+  config.repetitions = 5;
+  config.period = 7;
+  config.universe = 24;
+  Xoshiro256 rng(15);
+  const TaskTrace trace = make_periodic(config, rng);
+  ASSERT_EQ(trace.size(), 35u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace.at(i).local, trace.at(i % 7).local) << "step " << i;
+  }
+}
+
+TEST(AddPrivateDemand, AlternatingPlateaus) {
+  PeriodicConfig config;
+  config.repetitions = 4;
+  config.period = 5;
+  config.universe = 8;
+  Xoshiro256 rng(2);
+  TaskTrace trace = make_periodic(config, rng);
+  add_private_demand(trace, 1, 6, 4);
+  // 20 steps, 4 phases of 5: low, high, low, high.
+  EXPECT_EQ(trace.at(0).private_demand, 1u);
+  EXPECT_EQ(trace.at(5).private_demand, 6u);
+  EXPECT_EQ(trace.at(10).private_demand, 1u);
+  EXPECT_EQ(trace.at(15).private_demand, 6u);
+}
+
+TEST(AddPrivateDemand, BadArgumentsRejected) {
+  TaskTrace trace(4);
+  trace.push_back_local(DynamicBitset(4));
+  EXPECT_THROW(add_private_demand(trace, 5, 2, 2), PreconditionError);
+  EXPECT_THROW(add_private_demand(trace, 1, 2, 0), PreconditionError);
+}
+
+TEST(MultiPhased, ProducesSynchronizedIndependentTasks) {
+  MultiPhasedConfig config;
+  config.tasks = 4;
+  config.task_config.steps = 30;
+  config.task_config.universe = 12;
+  const auto trace = make_multi_phased(config, 99);
+  EXPECT_EQ(trace.task_count(), 4u);
+  EXPECT_TRUE(trace.synchronized());
+  EXPECT_EQ(trace.steps(), 30u);
+  // Streams must differ across tasks (overwhelmingly likely).
+  bool any_difference = false;
+  for (std::size_t i = 0; i < 30 && !any_difference; ++i) {
+    any_difference = !(trace.task(0).at(i).local == trace.task(1).at(i).local);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(MultiPhased, DeterministicInSeed) {
+  MultiPhasedConfig config;
+  config.tasks = 2;
+  config.task_config.steps = 10;
+  config.task_config.universe = 6;
+  const auto a = make_multi_phased(config, 7);
+  const auto b = make_multi_phased(config, 7);
+  for (std::size_t j = 0; j < 2; ++j) {
+    for (std::size_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(a.task(j).at(i).local, b.task(j).at(i).local);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hyperrec::workload
