@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/interval_dp.hpp"
 #include "model/cost_switch.hpp"
 #include "support/table.hpp"
@@ -35,8 +36,12 @@ Cost reprice_with_changeover(const TaskTrace& trace,
 
 }  // namespace
 
-int main() {
-  std::printf("=== Changeover-cost ablation (single task, n=96, |X|=24) ===\n\n");
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
+  const std::size_t steps = bench::pick<std::size_t>(smoke, 96, 24);
+  std::printf("=== Changeover-cost ablation (single task, n=%zu, |X|=24) "
+              "===\n\n",
+              steps);
 
   Table table;
   table.headers({"workload", "plain DP", "changeover DP",
@@ -51,7 +56,7 @@ int main() {
 
   {
     workload::PhasedConfig config;
-    config.steps = 96;
+    config.steps = steps;
     config.universe = 24;
     config.phases = 6;
     config.noise = 0.0;
@@ -61,7 +66,7 @@ int main() {
   }
   {
     workload::RandomWalkConfig config;
-    config.steps = 96;
+    config.steps = steps;
     config.universe = 24;
     config.window = 8;
     config.drift = 0.3;
@@ -71,7 +76,7 @@ int main() {
   }
   {
     workload::PeriodicConfig config;
-    config.repetitions = 12;
+    config.repetitions = steps / 8;
     config.period = 8;
     config.universe = 24;
     Xoshiro256 rng(23);
@@ -80,7 +85,7 @@ int main() {
   }
   {
     workload::BurstyConfig config;
-    config.steps = 96;
+    config.steps = steps;
     config.universe = 24;
     Xoshiro256 rng(24);
     rows.push_back({"bursty", workload::make_bursty(config, rng)});

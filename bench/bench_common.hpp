@@ -1,0 +1,28 @@
+// Shared command-line handling for the paper-reproduction benches.
+//
+// Every bench accepts `--smoke`: a fast mode that shrinks instance sizes so
+// the whole bench finishes in well under a second while still exercising the
+// same code paths.  ctest registers each bench with --smoke (label `bench`),
+// so benches can never silently rot; full-size runs remain the default when
+// invoked by hand.
+#pragma once
+
+#include <cstring>
+
+namespace hyperrec::bench {
+
+/// True when argv contains "--smoke".
+inline bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  return false;
+}
+
+/// Instance-size selector: `full` normally, `quick` under --smoke.
+template <typename T>
+inline T pick(bool smoke, T full, T quick) {
+  return smoke ? quick : full;
+}
+
+}  // namespace hyperrec::bench

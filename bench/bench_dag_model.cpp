@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/dag_dp.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
@@ -55,7 +56,8 @@ std::vector<std::size_t> phased_kinds(std::size_t n, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
   const auto model = coarse_machine();
   model.validate();
 
@@ -79,7 +81,10 @@ int main() {
   std::printf("\nsingle-task DAG DP vs always-top baseline:\n");
   Table table;
   table.headers({"n", "DAG DP cost", "#hyper", "always-top cost", "% saved"});
-  for (const std::size_t n : {24, 48, 96, 192}) {
+  const std::vector<std::size_t> lengths =
+      smoke ? std::vector<std::size_t>{12, 24}
+            : std::vector<std::size_t>{24, 48, 96, 192};
+  for (const std::size_t n : lengths) {
     const auto kinds = phased_kinds(n, 42);
     const auto solution = solve_dag_dp(model, kinds);
     // Baseline: a single hyperreconfiguration into the universal top
@@ -91,12 +96,14 @@ int main() {
   table.print(std::cout);
 
   // Multi-task aligned MT-DAG.
-  std::printf("\nMT-DAG (m=3 tasks, aligned hyperreconfigurations, n=96):\n");
+  const std::size_t mt_n = bench::pick<std::size_t>(smoke, 96, 24);
+  std::printf("\nMT-DAG (m=3 tasks, aligned hyperreconfigurations, n=%zu):\n",
+              mt_n);
   std::vector<DagCostModel> models;
   std::vector<std::vector<std::size_t>> sequences;
   for (std::uint64_t j = 0; j < 3; ++j) {
     models.push_back(coarse_machine());
-    sequences.push_back(phased_kinds(96, 100 + j));
+    sequences.push_back(phased_kinds(mt_n, 100 + j));
   }
   const auto parallel = solve_mt_dag_aligned(models, sequences, 20, true);
   const auto sequential = solve_mt_dag_aligned(models, sequences, 20, false);

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/genetic.hpp"
 #include "core/interval_dp.hpp"
 #include "model/cost_switch.hpp"
@@ -36,7 +37,8 @@ void print_strip(const char* name, const std::vector<char>& strip) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
   const auto run = shyra::CounterApp(10).run();
   const std::size_t n = run.trace.size();
   const auto single = shyra::to_single_task_trace(run.trace);
@@ -60,8 +62,8 @@ int main() {
 
   // --- multiple task case (lower part; GA as in the paper) ----------------
   GaConfig ga_config;
-  ga_config.population = 96;
-  ga_config.generations = 400;
+  ga_config.population = bench::pick<std::size_t>(smoke, 96, 24);
+  ga_config.generations = bench::pick<std::size_t>(smoke, 400, 40);
   ga_config.seed = 2004;
   const auto descent =
       solve_genetic(multi, shyra::multi_task_machine(), paper_options(),

@@ -10,6 +10,7 @@
 // free.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/genetic.hpp"
 #include "model/cost_switch.hpp"
 #include "shyra/counter_app.hpp"
@@ -20,7 +21,8 @@ using namespace hyperrec;
 const char* kTaskNames[4] = {"LUT1 ", "LUT2 ", "DeMUX", "MUX  "};
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
   const auto run = shyra::CounterApp(10).run();
   const auto multi = shyra::to_multi_task_trace(run.trace);
   const auto machine = shyra::multi_task_machine();
@@ -31,8 +33,8 @@ int main() {
   // use the same method so the figure shows a comparable (near-optimal,
   // slightly noisy) pattern.
   GaConfig ga_config;
-  ga_config.population = 96;
-  ga_config.generations = 400;
+  ga_config.population = bench::pick<std::size_t>(smoke, 96, 24);
+  ga_config.generations = bench::pick<std::size_t>(smoke, 400, 40);
   ga_config.seed = 2004;
   const auto solution =
       solve_genetic(multi, machine, options, ga_config).best;

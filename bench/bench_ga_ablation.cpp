@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/exhaustive.hpp"
 #include "core/genetic.hpp"
 #include "core/solver.hpp"
@@ -25,14 +26,17 @@ EvalOptions paper_options() {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
+  const std::size_t steps = bench::pick<std::size_t>(smoke, 9, 7);
   // --- part 1: optimality gaps on tiny instances --------------------------
   std::printf("=== GA ablation, part 1: optimality gaps "
-              "(m=2, n=9, exhaustive ground truth) ===\n\n");
+              "(m=2, n=%zu, exhaustive ground truth) ===\n\n",
+              steps);
   {
     Table table;
     table.headers({"solver", "mean gap %", "max gap %", "optimal count"});
-    const std::size_t instances = 10;
+    const std::size_t instances = bench::pick<std::size_t>(smoke, 10, 2);
 
     std::vector<double> mean_gap(standard_solvers().size(), 0.0);
     std::vector<double> max_gap(standard_solvers().size(), 0.0);
@@ -41,7 +45,7 @@ int main() {
     for (std::uint64_t seed = 1; seed <= instances; ++seed) {
       workload::MultiPhasedConfig config;
       config.tasks = 2;
-      config.task_config.steps = 9;
+      config.task_config.steps = steps;
       config.task_config.universe = 6;
       config.task_config.phases = 2;
       const auto trace = workload::make_multi_phased(config, seed);
@@ -70,9 +74,13 @@ int main() {
   }
 
   // --- part 2: the paper's instance ---------------------------------------
+  // Smoke shrinks the counter bound: the registry solvers run with their
+  // full default configurations, so the trace length is the lever.
+  const auto run =
+      shyra::CounterApp(bench::pick<std::uint8_t>(smoke, 10, 3)).run();
   std::printf("\n=== GA ablation, part 2: SHyRA counter trace "
-              "(m=4, n=110) ===\n\n");
-  const auto run = shyra::CounterApp(10).run();
+              "(m=4, n=%zu) ===\n\n",
+              run.trace.size());
   const auto multi = shyra::to_multi_task_trace(run.trace);
   const auto machine = shyra::multi_task_machine();
   const Cost baseline = no_hyperreconfiguration_cost(machine, multi.steps());
@@ -89,8 +97,8 @@ int main() {
 
   // GA convergence curve (sampled every 20 generations).
   GaConfig config;
-  config.population = 96;
-  config.generations = 400;
+  config.population = bench::pick<std::size_t>(smoke, 96, 24);
+  config.generations = bench::pick<std::size_t>(smoke, 400, 40);
   config.seed = 2004;
   const auto ga = solve_genetic(multi, machine, paper_options(), config);
   std::printf("\nGA convergence (generation, best cost):\n");

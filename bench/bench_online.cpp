@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/interval_dp.hpp"
 #include "online/rent_or_buy.hpp"
 #include "support/table.hpp"
@@ -17,9 +18,12 @@ namespace {
 using namespace hyperrec;
 }
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
+  const std::size_t steps = bench::pick<std::size_t>(smoke, 200, 40);
   std::printf("=== Online rent-or-buy vs offline optimum "
-              "(single task, n=200, |X|=24, v=24) ===\n\n");
+              "(single task, n=%zu, |X|=24, v=24) ===\n\n",
+              steps);
 
   const Cost v = 24;
   const std::size_t universe = 24;
@@ -31,7 +35,7 @@ int main() {
   std::vector<Family> families;
   {
     workload::PhasedConfig config;
-    config.steps = 200;
+    config.steps = steps;
     config.universe = universe;
     config.phases = 8;
     Xoshiro256 rng(61);
@@ -39,7 +43,7 @@ int main() {
   }
   {
     workload::RandomWalkConfig config;
-    config.steps = 200;
+    config.steps = steps;
     config.universe = universe;
     config.window = 8;
     Xoshiro256 rng(62);
@@ -48,14 +52,14 @@ int main() {
   }
   {
     workload::BurstyConfig config;
-    config.steps = 200;
+    config.steps = steps;
     config.universe = universe;
     Xoshiro256 rng(63);
     families.push_back({"bursty", workload::make_bursty(config, rng)});
   }
   {
     workload::RandomConfig config;
-    config.steps = 200;
+    config.steps = steps;
     config.universe = universe;
     config.density = 0.3;
     Xoshiro256 rng(64);

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/private_global.hpp"
 #include "support/table.hpp"
 #include "workload/generators.hpp"
@@ -18,16 +19,18 @@ namespace {
 using namespace hyperrec;
 }
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
+  const std::size_t repetitions = bench::pick<std::size_t>(smoke, 8, 3);
   std::printf("=== Private-global resources: pool size & global cost sweep "
               "===\n\n");
 
-  // Build the alternating-demand two-task workload (n = 64).
-  auto build_trace = [](std::uint32_t low, std::uint32_t high) {
+  // Build the alternating-demand two-task workload (n = repetitions · 8).
+  auto build_trace = [repetitions](std::uint32_t low, std::uint32_t high) {
     MultiTaskTrace trace;
     for (std::size_t j = 0; j < 2; ++j) {
       workload::PeriodicConfig config;
-      config.repetitions = 8;
+      config.repetitions = repetitions;
       config.period = 8;
       config.universe = 8;
       Xoshiro256 rng(50 + j);
@@ -39,7 +42,7 @@ int main() {
         const std::size_t n = task.size();
         for (std::size_t i = 0; i < n; ++i) {
           ContextRequirement req = task.at(i);
-          req.private_demand = task.at((i + 16) % n).private_demand;
+          req.private_demand = task.at((i + n / 4) % n).private_demand;
           shifted.push_back(std::move(req));
         }
         task = std::move(shifted);

@@ -10,6 +10,10 @@
 //   * BM_ImplicitGeneral — 2^{|X|} hypercontexts per interval (tiny |X|).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "core/aligned_dp.hpp"
 #include "core/coordinate_descent.hpp"
 #include "core/exhaustive.hpp"
@@ -112,4 +116,35 @@ BENCHMARK(BM_ImplicitGeneral)->DenseRange(6, 16, 2);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): under --smoke, run only the
+// smallest instance of each benchmark family with a minimal measuring time,
+// so ctest proves the bench still compiles and runs in well under a second.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string filter = "--benchmark_filter="
+      "BM_SingleTaskDp/64$|BM_AlignedDp/1$|BM_CoordDescent/32$|"
+      "BM_Exhaustive/4$|BM_ImplicitGeneral/6$";
+  // Note: plain seconds value — the "0.01s" suffix form needs benchmark
+  // >= 1.8, and the floor here is 1.7.
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (smoke) {
+    args.push_back(filter.data());
+    args.push_back(min_time.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

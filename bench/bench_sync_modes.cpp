@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/coordinate_descent.hpp"
 #include "model/cost_switch.hpp"
 #include "support/table.hpp"
@@ -20,7 +21,8 @@ namespace {
 using namespace hyperrec;
 }
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
   std::printf("=== Sync-mode / upload-discipline ablation (m=4 tasks) ===\n\n");
 
   struct Family {
@@ -35,7 +37,7 @@ int main() {
   for (const Family& family : families) {
     workload::MultiPhasedConfig config;
     config.tasks = 4;
-    config.task_config.steps = 128;
+    config.task_config.steps = bench::pick<std::size_t>(smoke, 128, 32);
     config.task_config.universe = 16;
     config.task_config.phases = family.phases;
     const auto trace = workload::make_multi_phased(config, family.seed);

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/coordinate_descent.hpp"
 #include "core/genetic.hpp"
 #include "core/interval_dp.hpp"
@@ -32,7 +33,8 @@ EvalOptions paper_options() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
   const auto run = shyra::CounterApp(10).run();
   const auto single = shyra::to_single_task_trace(run.trace);
   const auto multi = shyra::to_multi_task_trace(run.trace);
@@ -45,8 +47,8 @@ int main() {
   const auto single_opt = solve_single_task_switch(single.task(0), 48);
 
   GaConfig ga_config;
-  ga_config.population = 96;
-  ga_config.generations = 400;
+  ga_config.population = bench::pick<std::size_t>(smoke, 96, 24);
+  ga_config.generations = bench::pick<std::size_t>(smoke, 400, 40);
   ga_config.seed = 2004;
   const auto ga = solve_genetic(multi, machine4, paper_options(), ga_config);
   const auto descent =

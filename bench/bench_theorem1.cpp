@@ -10,6 +10,8 @@
 
 #include <chrono>
 
+#include "bench_common.hpp"
+
 #include "core/coordinate_descent.hpp"
 #include "core/exhaustive.hpp"
 #include "core/genetic.hpp"
@@ -29,7 +31,8 @@ double seconds(const std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
   const EvalOptions options{UploadMode::kTaskParallel,
                             UploadMode::kTaskSequential, false};
 
@@ -37,7 +40,10 @@ int main() {
   Table table;
   table.headers({"n", "exhaustive cost", "exhaustive s", "theorem1 cost",
                  "theorem1 s", "agree"});
-  for (const std::size_t n : {6, 8, 10, 12}) {
+  const std::vector<std::size_t> tiny =
+      smoke ? std::vector<std::size_t>{6, 8}
+            : std::vector<std::size_t>{6, 8, 10, 12};
+  for (const std::size_t n : tiny) {
     workload::MultiPhasedConfig config;
     config.tasks = 2;
     config.task_config.steps = n;
@@ -62,7 +68,10 @@ int main() {
   Table reach;
   reach.headers({"n", "search space", "theorem1 cost", "theorem1 s",
                  "coord-descent", "genetic", "CD gap %", "GA gap %"});
-  for (const std::size_t n : {24, 40, 56, 64}) {
+  const std::vector<std::size_t> reach_sizes =
+      smoke ? std::vector<std::size_t>{16}
+            : std::vector<std::size_t>{24, 40, 56, 64};
+  for (const std::size_t n : reach_sizes) {
     workload::MultiPhasedConfig config;
     config.tasks = 2;
     config.task_config.steps = n;
@@ -77,8 +86,8 @@ int main() {
 
     const auto descent = solve_coordinate_descent(trace, machine, options);
     GaConfig ga_config;
-    ga_config.population = 64;
-    ga_config.generations = 200;
+    ga_config.population = bench::pick<std::size_t>(smoke, 64, 16);
+    ga_config.generations = bench::pick<std::size_t>(smoke, 200, 40);
     ga_config.seed = 3;
     const auto ga = solve_genetic(trace, machine, options, ga_config);
 

@@ -34,6 +34,9 @@ void save_trace(std::ostream& os, const MultiTaskTrace& trace) {
   HYPERREC_ENSURE(trace.task_count() > 0, "cannot save an empty trace");
   HYPERREC_ENSURE(trace.synchronized(),
                   "only synchronized traces are serialisable");
+  // Symmetric with load_trace, which rejects n = 0: refuse to emit a stream
+  // that cannot be read back.
+  HYPERREC_ENSURE(trace.steps() > 0, "cannot save a zero-step trace");
   os << kTraceHeader << '\n';
   os << trace.task_count() << '\n';
   os << trace.steps() << '\n';
@@ -44,12 +47,16 @@ void save_trace(std::ostream& os, const MultiTaskTrace& trace) {
   for (std::size_t j = 0; j < trace.task_count(); ++j) {
     for (std::size_t i = 0; i < trace.steps(); ++i) {
       const ContextRequirement& req = trace.task(j).at(i);
-      os << req.local.to_string() << ' ' << req.private_demand << '\n';
+      // A universe-0 task has an empty bitstring; emit "-" so the token is
+      // still parseable by operator>> on the way back in.
+      const std::string bits = req.local.to_string();
+      os << (bits.empty() ? "-" : bits) << ' ' << req.private_demand << '\n';
     }
   }
 }
 
 MultiTaskTrace load_trace(std::istream& is) {
+  is >> std::ws;  // tolerate leading whitespace (e.g. concatenated payloads)
   HYPERREC_ENSURE(read_line(is, "header") == kTraceHeader,
                   "not a hyperrec-trace v1 stream");
   const std::size_t m = read_size(is, "task count");
@@ -68,6 +75,7 @@ MultiTaskTrace load_trace(std::istream& is) {
       std::uint32_t priv = 0;
       HYPERREC_ENSURE(static_cast<bool>(is >> bits >> priv),
                       "failed to parse a requirement line");
+      if (bits == "-") bits.clear();  // universe-0 placeholder
       HYPERREC_ENSURE(bits.size() == universes[j],
                       "requirement bitstring length differs from the task "
                       "universe");
@@ -94,6 +102,7 @@ void save_schedule(std::ostream& os, const MultiTaskSchedule& schedule) {
 }
 
 MultiTaskSchedule load_schedule(std::istream& is) {
+  is >> std::ws;  // tolerate leading whitespace (e.g. concatenated payloads)
   HYPERREC_ENSURE(read_line(is, "header") == kScheduleHeader,
                   "not a hyperrec-schedule v1 stream");
   const std::size_t m = read_size(is, "task count");

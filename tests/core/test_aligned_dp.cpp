@@ -2,23 +2,15 @@
 
 #include <gtest/gtest.h>
 
-#include "brute_force.hpp"
 #include "core/interval_dp.hpp"
+#include "testutil/oracles.hpp"
+#include "testutil/trace_builders.hpp"
 #include "workload/generators.hpp"
 
 namespace hyperrec {
 namespace {
 
-MultiTaskTrace phased_pair() {
-  // Task 0 phases {s0,s1} → {s2,s3}; task 1 constant {s0}.
-  return MultiTaskTrace::from_local(
-      {4, 4},
-      {{DynamicBitset::from_string("1100"), DynamicBitset::from_string("1100"),
-        DynamicBitset::from_string("0011"), DynamicBitset::from_string("0011")},
-       {DynamicBitset::from_string("1000"), DynamicBitset::from_string("1000"),
-        DynamicBitset::from_string("1000"),
-        DynamicBitset::from_string("1000")}});
-}
+using testutil::phased_pair;
 
 TEST(AlignedDp, AllPartitionsIdenticalAcrossTasks) {
   const auto trace = phased_pair();
@@ -36,7 +28,7 @@ TEST(AlignedDp, MatchesAlignedBruteForceParallelParallel) {
                       false};
   const auto solution = solve_aligned_dp(trace, machine, options);
   EXPECT_EQ(solution.total(),
-            testing::brute_force_aligned(trace, machine, options));
+            testutil::brute_force_aligned(trace, machine, options));
 }
 
 TEST(AlignedDp, MatchesAlignedBruteForceSequentialSequential) {
@@ -46,7 +38,7 @@ TEST(AlignedDp, MatchesAlignedBruteForceSequentialSequential) {
                       false};
   const auto solution = solve_aligned_dp(trace, machine, options);
   EXPECT_EQ(solution.total(),
-            testing::brute_force_aligned(trace, machine, options));
+            testutil::brute_force_aligned(trace, machine, options));
 }
 
 TEST(AlignedDp, MatchesAlignedBruteForceOnRandomTraces) {
@@ -65,7 +57,7 @@ TEST(AlignedDp, MatchesAlignedBruteForceOnRandomTraces) {
         EvalOptions options{hyper, reconfig, false};
         const auto solution = solve_aligned_dp(trace, machine, options);
         EXPECT_EQ(solution.total(),
-                  testing::brute_force_aligned(trace, machine, options))
+                  testutil::brute_force_aligned(trace, machine, options))
             << "seed " << seed;
       }
     }

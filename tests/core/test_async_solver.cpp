@@ -2,49 +2,13 @@
 
 #include <gtest/gtest.h>
 
-#include <limits>
-
+#include "testutil/oracles.hpp"
 #include "workload/generators.hpp"
 
 namespace hyperrec {
 namespace {
 
-/// Brute force over all per-task partitions (independent enumeration would
-/// suffice — the point of the solver — but enumerate the full product to
-/// validate the decomposition argument itself).
-Cost brute_force_async(const MultiTaskTrace& trace, const MachineSpec& machine,
-                       const EvalOptions& options) {
-  const std::size_t m = trace.task_count();
-  Cost best = std::numeric_limits<Cost>::max();
-  std::vector<std::uint64_t> masks(m, 0);
-
-  std::vector<std::uint64_t> limits(m);
-  for (std::size_t j = 0; j < m; ++j) {
-    limits[j] = std::uint64_t{1} << (trace.task(j).size() - 1);
-  }
-  for (;;) {
-    MultiTaskSchedule schedule;
-    for (std::size_t j = 0; j < m; ++j) {
-      const std::size_t n = trace.task(j).size();
-      DynamicBitset bits(n);
-      bits.set(0);
-      for (std::size_t s = 1; s < n; ++s) {
-        if ((masks[j] >> (s - 1)) & 1u) bits.set(s);
-      }
-      schedule.tasks.push_back(Partition::from_boundary_mask(bits));
-    }
-    best = std::min(
-        best, evaluate_async_switch(trace, machine, schedule, options).total);
-
-    std::size_t j = 0;
-    while (j < m && ++masks[j] == limits[j]) {
-      masks[j] = 0;
-      ++j;
-    }
-    if (j == m) break;
-  }
-  return best;
-}
+using testutil::brute_force_async;
 
 MultiTaskTrace unequal_trace() {
   // Task 0: 5 steps; task 1: 3 steps — asynchronous tasks need not align.

@@ -4,19 +4,14 @@
 
 #include "core/aligned_dp.hpp"
 #include "core/exhaustive.hpp"
-#include "workload/generators.hpp"
+#include "testutil/trace_builders.hpp"
 
 namespace hyperrec {
 namespace {
 
 MultiTaskTrace phased(std::uint64_t seed, std::size_t tasks, std::size_t steps,
                       std::size_t universe) {
-  workload::MultiPhasedConfig config;
-  config.tasks = tasks;
-  config.task_config.steps = steps;
-  config.task_config.universe = universe;
-  config.task_config.phases = 2;
-  return workload::make_multi_phased(config, seed);
+  return testutil::phased_multi(seed, tasks, steps, universe, /*phases=*/2);
 }
 
 TEST(CoordinateDescent, NeverWorseThanAlignedSeed) {

@@ -4,8 +4,8 @@
 
 #include <cmath>
 
-#include "brute_force.hpp"
 #include "core/aligned_dp.hpp"
+#include "testutil/oracles.hpp"
 #include "workload/generators.hpp"
 
 namespace hyperrec {
@@ -40,7 +40,7 @@ TEST(Exhaustive, MatchesBruteForceHelper) {
                         false};
     const auto solution = solve_exhaustive(trace, machine, options);
     EXPECT_EQ(solution.total(),
-              testing::brute_force_multi_task(trace, machine, options))
+              testutil::brute_force_multi_task(trace, machine, options))
         << "seed " << seed;
   }
 }

@@ -2,9 +2,8 @@
 
 #include <gtest/gtest.h>
 
-#include <limits>
-
 #include "support/rng.hpp"
+#include "testutil/oracles.hpp"
 
 namespace hyperrec {
 namespace {
@@ -26,42 +25,7 @@ GeneralCostModel sample_model() {
   return model;
 }
 
-/// Brute force: all partitions × all hypercontext choices per interval.
-Cost brute_force_general(const GeneralCostModel& model,
-                         const std::vector<std::size_t>& sequence) {
-  const std::size_t n = sequence.size();
-  Cost best = std::numeric_limits<Cost>::max();
-  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << (n - 1)); ++mask) {
-    std::vector<std::size_t> starts{0};
-    for (std::size_t s = 1; s < n; ++s) {
-      if ((mask >> (s - 1)) & 1u) starts.push_back(s);
-    }
-    starts.push_back(n);
-    Cost total = 0;
-    bool feasible = true;
-    for (std::size_t k = 0; k + 1 < starts.size() && feasible; ++k) {
-      DynamicBitset needed(model.kind_count());
-      for (std::size_t i = starts[k]; i < starts[k + 1]; ++i) {
-        needed.set(sequence[i]);
-      }
-      Cost interval_best = std::numeric_limits<Cost>::max();
-      for (std::size_t h = 0; h < model.hypercontext_count(); ++h) {
-        if (!model.satisfies_all(h, needed)) continue;
-        interval_best = std::min(
-            interval_best,
-            model.init(h) + model.cost(h) * static_cast<Cost>(starts[k + 1] -
-                                                              starts[k]));
-      }
-      if (interval_best == std::numeric_limits<Cost>::max()) {
-        feasible = false;
-      } else {
-        total += interval_best;
-      }
-    }
-    if (feasible) best = std::min(best, total);
-  }
-  return best;
-}
+using testutil::brute_force_general;
 
 TEST(GeneralDp, PhasedSequenceUsesSpecialisedHypercontexts) {
   const auto model = sample_model();

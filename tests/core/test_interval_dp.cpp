@@ -2,18 +2,15 @@
 
 #include <gtest/gtest.h>
 
-#include "brute_force.hpp"
 #include "support/rng.hpp"
+#include "testutil/oracles.hpp"
+#include "testutil/trace_builders.hpp"
 
 namespace hyperrec {
 namespace {
 
 TaskTrace trace_from(const std::vector<std::string>& reqs) {
-  TaskTrace trace(reqs.empty() ? 0 : reqs[0].size());
-  for (const std::string& req : reqs) {
-    trace.push_back_local(DynamicBitset::from_string(req));
-  }
-  return trace;
+  return testutil::trace_from_strings(reqs);
 }
 
 TEST(SingleTaskDp, SingleStepPaysInitPlusSize) {
@@ -90,7 +87,7 @@ TEST(SingleTaskDp, MatchesBruteForceOnRandomTraces) {
     }
     const Cost v = static_cast<Cost>(rng.uniform(8));
     const auto solution = solve_single_task_switch(trace, v);
-    EXPECT_EQ(solution.total, testing::brute_force_single_task(trace, v))
+    EXPECT_EQ(solution.total, testutil::brute_force_single_task(trace, v))
         << "round " << round << " n=" << n << " v=" << v;
   }
 }
@@ -115,33 +112,6 @@ TEST(SingleTaskDp, SolutionHypercontextsCoverRequirements) {
 }
 
 // --- changeover variant ----------------------------------------------------
-
-/// Brute force over partitions, charging |h_k Δ h_{k-1}| per boundary with
-/// minimal hypercontexts (matches the DP's policy class).
-Cost brute_force_changeover(const TaskTrace& trace, Cost v) {
-  const std::size_t n = trace.size();
-  Cost best = std::numeric_limits<Cost>::max();
-  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << (n - 1)); ++mask) {
-    std::vector<std::size_t> starts{0};
-    for (std::size_t s = 1; s < n; ++s) {
-      if ((mask >> (s - 1)) & 1u) starts.push_back(s);
-    }
-    starts.push_back(n);
-    Cost total = 0;
-    DynamicBitset previous(trace.local_universe());
-    for (std::size_t k = 0; k + 1 < starts.size(); ++k) {
-      const DynamicBitset current =
-          trace.local_union(starts[k], starts[k + 1]);
-      total += v +
-               static_cast<Cost>(current.symmetric_difference_count(previous)) +
-               static_cast<Cost>(current.count()) *
-                   static_cast<Cost>(starts[k + 1] - starts[k]);
-      previous = current;
-    }
-    best = std::min(best, total);
-  }
-  return best;
-}
 
 TEST(SingleTaskChangeoverDp, FirstHypercontextDiffsAgainstEmpty) {
   const TaskTrace trace = trace_from({"1100"});
@@ -173,7 +143,7 @@ TEST(SingleTaskChangeoverDp, MatchesBruteForceOnRandomTraces) {
     }
     const Cost v = static_cast<Cost>(rng.uniform(5));
     const auto solution = solve_single_task_switch_changeover(trace, v);
-    EXPECT_EQ(solution.total, brute_force_changeover(trace, v))
+    EXPECT_EQ(solution.total, testutil::brute_force_changeover(trace, v))
         << "round " << round;
   }
 }

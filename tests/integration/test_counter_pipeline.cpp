@@ -116,7 +116,8 @@ TEST(CounterPipeline, GreedyIsWeakerButValid) {
 }
 
 TEST(CounterPipeline, DifferentBoundsScaleTraceAndCosts) {
-  for (const std::uint8_t bound : {3, 7, 12}) {
+  for (const std::uint8_t bound : {std::uint8_t{3}, std::uint8_t{7},
+                                   std::uint8_t{12}}) {
     const auto run = CounterApp(bound).run();
     const auto single = shyra::to_single_task_trace(run.trace);
     const Cost baseline =

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "shyra/counter_app.hpp"
 #include "shyra/tracer.hpp"
 #include "support/ensure.hpp"
@@ -9,6 +11,25 @@
 
 namespace hyperrec::io {
 namespace {
+
+/// Structural equality of two synchronized traces (the library defines no
+/// operator== on traces, so the round-trip tests compare field by field).
+void expect_traces_equal(const MultiTaskTrace& actual,
+                         const MultiTaskTrace& expected) {
+  ASSERT_EQ(actual.task_count(), expected.task_count());
+  ASSERT_EQ(actual.steps(), expected.steps());
+  for (std::size_t j = 0; j < expected.task_count(); ++j) {
+    ASSERT_EQ(actual.task(j).local_universe(),
+              expected.task(j).local_universe());
+    for (std::size_t i = 0; i < expected.steps(); ++i) {
+      EXPECT_EQ(actual.task(j).at(i).local, expected.task(j).at(i).local)
+          << "task " << j << " step " << i;
+      EXPECT_EQ(actual.task(j).at(i).private_demand,
+                expected.task(j).at(i).private_demand)
+          << "task " << j << " step " << i;
+    }
+  }
+}
 
 MultiTaskTrace sample_trace() {
   workload::MultiPhasedConfig config;
@@ -55,6 +76,58 @@ TEST(TraceIo, ShyraCounterTraceRoundTrips) {
   for (std::size_t i = 0; i < 110; i += 13) {
     EXPECT_EQ(rebuilt.task(3).at(i).local, original.task(3).at(i).local);
   }
+}
+
+TEST(TraceIo, SingleTaskSingleStepRoundTrips) {
+  MultiTaskTrace trace;
+  TaskTrace task(1);
+  task.push_back_local(DynamicBitset::from_string("1"));
+  trace.add_task(std::move(task));
+  expect_traces_equal(trace_from_string(trace_to_string(trace)), trace);
+}
+
+TEST(TraceIo, SingleTaskAllZeroRequirementsRoundTrip) {
+  MultiTaskTrace trace;
+  TaskTrace task(4);
+  task.push_back_local(DynamicBitset(4));
+  task.push_back_local(DynamicBitset(4));
+  trace.add_task(std::move(task));
+  expect_traces_equal(trace_from_string(trace_to_string(trace)), trace);
+}
+
+TEST(TraceIo, ZeroUniverseTaskRoundTrips) {
+  // A task with no local switches (pure private-global consumer) serialises
+  // with the "-" placeholder bitstring and reads back intact.
+  MultiTaskTrace trace;
+  TaskTrace task(0);
+  task.push_back({DynamicBitset(0), 3});
+  task.push_back({DynamicBitset(0), 1});
+  trace.add_task(std::move(task));
+  expect_traces_equal(trace_from_string(trace_to_string(trace)), trace);
+}
+
+TEST(TraceIo, RejectsTraceWithNoTasks) {
+  const MultiTaskTrace empty;
+  EXPECT_THROW((void)trace_to_string(empty), PreconditionError);
+}
+
+TEST(TraceIo, RejectsTraceWithNoSteps) {
+  // Symmetric with the loader, which rejects n = 0.
+  MultiTaskTrace trace;
+  trace.add_task(TaskTrace(3));
+  EXPECT_THROW((void)trace_to_string(trace), PreconditionError);
+}
+
+TEST(TraceIo, StreamSaveLoadRoundTrips) {
+  // The stream API (not just the string convenience wrappers) round-trips,
+  // and leaves the stream positioned after the trace so payloads can be
+  // concatenated.
+  const auto original = sample_trace();
+  std::stringstream stream;
+  save_trace(stream, original);
+  save_trace(stream, original);
+  expect_traces_equal(load_trace(stream), original);
+  expect_traces_equal(load_trace(stream), original);
 }
 
 TEST(TraceIo, RejectsWrongHeader) {

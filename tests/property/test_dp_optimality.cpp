@@ -7,9 +7,9 @@
 #include "core/exhaustive.hpp"
 #include "core/interval_dp.hpp"
 #include "support/rng.hpp"
+#include "testutil/oracles.hpp"
+#include "testutil/trace_builders.hpp"
 #include "workload/generators.hpp"
-
-#include "../core/brute_force.hpp"
 
 namespace hyperrec {
 namespace {
@@ -26,17 +26,11 @@ class SingleTaskDpProperty : public ::testing::TestWithParam<DpCase> {};
 TEST_P(SingleTaskDpProperty, MatchesBruteForce) {
   const DpCase param = GetParam();
   Xoshiro256 rng(param.seed);
-  TaskTrace trace(param.universe);
-  for (std::size_t i = 0; i < param.steps; ++i) {
-    DynamicBitset req(param.universe);
-    for (std::size_t s = 0; s < param.universe; ++s) {
-      if (rng.flip(0.35)) req.set(s);
-    }
-    trace.push_back_local(std::move(req));
-  }
+  const TaskTrace trace =
+      testutil::random_task_trace(rng, param.steps, param.universe, 0.35);
   const auto solution = solve_single_task_switch(trace, param.init);
   EXPECT_EQ(solution.total,
-            testing::brute_force_single_task(trace, param.init));
+            testutil::brute_force_single_task(trace, param.init));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -71,7 +65,7 @@ TEST_P(ExhaustiveMatchesBruteForce, OnRandomPhasedTraces) {
   const EvalOptions options{param.hyper, param.reconfig, false};
   const auto exhaustive = solve_exhaustive(trace, machine, options);
   EXPECT_EQ(exhaustive.total(),
-            testing::brute_force_multi_task(trace, machine, options));
+            testutil::brute_force_multi_task(trace, machine, options));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -113,7 +107,7 @@ TEST_P(AlignedDpProperty, MatchesAlignedBruteForceAllDisciplines) {
          {UploadMode::kTaskParallel, UploadMode::kTaskSequential}) {
       const EvalOptions options{hyper, reconfig, false};
       EXPECT_EQ(solve_aligned_dp(trace, machine, options).total(),
-                testing::brute_force_aligned(trace, machine, options));
+                testutil::brute_force_aligned(trace, machine, options));
     }
   }
 }

@@ -7,59 +7,14 @@
 
 #include "model/cost_switch.hpp"
 #include "support/rng.hpp"
+#include "testutil/reference_eval.hpp"
+#include "testutil/trace_builders.hpp"
 #include "workload/generators.hpp"
 
 namespace hyperrec {
 namespace {
 
-/// First-principles §4.2 evaluator: for every step, find each task's
-/// interval by scanning the partition, build the minimal hypercontext by
-/// re-unioning the requirements, and combine.
-Cost reference_fully_sync(const MultiTaskTrace& trace,
-                          const MachineSpec& machine,
-                          const MultiTaskSchedule& schedule,
-                          const EvalOptions& options) {
-  const std::size_t n = trace.steps();
-  const std::size_t m = trace.task_count();
-  auto combine = [](UploadMode mode, Cost a, Cost b) {
-    return mode == UploadMode::kTaskParallel ? std::max(a, b) : a + b;
-  };
-
-  Cost total = 0;
-  for (std::size_t l = 0; l < n; ++l) {
-    Cost hyper = 0;
-    Cost reconfig = static_cast<Cost>(machine.public_context_size);
-    for (std::size_t j = 0; j < m; ++j) {
-      const Partition& partition = schedule.tasks[j];
-      const std::size_t k = partition.interval_of(l);
-      const auto [lo, hi] = partition.interval_bounds(k);
-      const DynamicBitset h = trace.task(j).local_union(lo, hi);
-      const std::uint32_t priv = trace.task(j).max_private_demand(lo, hi);
-
-      if (partition.is_boundary(l)) {
-        Cost v = machine.tasks[j].local_init;
-        if (options.changeover) {
-          if (k == 0) {
-            v += static_cast<Cost>(h.count());
-          } else {
-            const auto [plo, phi] = partition.interval_bounds(k - 1);
-            const DynamicBitset prev = trace.task(j).local_union(plo, phi);
-            v += static_cast<Cost>(h.symmetric_difference_count(prev));
-          }
-        }
-        hyper = combine(options.hyper_upload, hyper, v);
-      }
-      reconfig = combine(options.reconfig_upload, reconfig,
-                         static_cast<Cost>(h.count()) +
-                             static_cast<Cost>(priv));
-    }
-    total += hyper + reconfig;
-    for (const std::size_t g : schedule.global_boundaries) {
-      if (g == l) total += machine.global_init;
-    }
-  }
-  return total;
-}
+using testutil::reference_fully_sync;
 
 class ReferenceEvaluator : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -82,18 +37,8 @@ TEST_P(ReferenceEvaluator, AgreesOnRandomInstances) {
       machine.global_init = static_cast<Cost>(rng.uniform(20));
     }
 
-    MultiTaskSchedule schedule;
-    for (std::size_t j = 0; j < m; ++j) {
-      DynamicBitset mask(n);
-      mask.set(0);
-      for (std::size_t s = 1; s < n; ++s) {
-        if (rng.flip(0.25)) mask.set(s);
-      }
-      schedule.tasks.push_back(Partition::from_boundary_mask(mask));
-    }
-    if (machine.has_global_resources()) {
-      schedule.global_boundaries.push_back(0);
-    }
+    const MultiTaskSchedule schedule =
+        testutil::random_schedule(rng, trace, machine, 0.25);
 
     for (const auto hyper :
          {UploadMode::kTaskParallel, UploadMode::kTaskSequential}) {

@@ -22,7 +22,8 @@ TEST(LfsrApp, SoftwareModelHasPeriodFifteen) {
 }
 
 TEST(LfsrApp, HardwareMatchesSoftwareModel) {
-  for (const std::uint8_t seed : {1, 5, 9, 15}) {
+  for (const std::uint8_t seed : {std::uint8_t{1}, std::uint8_t{5},
+                                  std::uint8_t{9}, std::uint8_t{15}}) {
     const LfsrApp app(seed);
     const auto result = app.run(20);
     std::uint8_t expected = seed;

@@ -176,6 +176,38 @@ TEST(DynamicBitset, FromStringRejectsGarbage) {
   EXPECT_THROW(DynamicBitset::from_string("01x1"), PreconditionError);
 }
 
+TEST(DynamicBitset, FromStringRejectsInvalidCharactersAnywhere) {
+  // Leading, trailing, and middle positions; near-miss characters ('2',
+  // space, sign) must all be rejected, not coerced.
+  EXPECT_THROW(DynamicBitset::from_string("x011"), PreconditionError);
+  EXPECT_THROW(DynamicBitset::from_string("011x"), PreconditionError);
+  EXPECT_THROW(DynamicBitset::from_string("0121"), PreconditionError);
+  EXPECT_THROW(DynamicBitset::from_string("01 1"), PreconditionError);
+  EXPECT_THROW(DynamicBitset::from_string("-011"), PreconditionError);
+  EXPECT_THROW(DynamicBitset::from_string("01\n1"), PreconditionError);
+}
+
+TEST(DynamicBitset, FromStringEmptyStringYieldsEmptyUniverse) {
+  const auto bits = DynamicBitset::from_string("");
+  EXPECT_EQ(bits.size(), 0u);
+  EXPECT_EQ(bits.count(), 0u);
+  EXPECT_TRUE(bits.none());
+  EXPECT_EQ(bits.to_string(), "");
+}
+
+TEST(DynamicBitset, FromStringSpansWordBoundary) {
+  // 65 characters forces a second 64-bit word; bit 64 must land in it.
+  std::string pattern(65, '0');
+  pattern.front() = '1';
+  pattern.back() = '1';
+  const auto bits = DynamicBitset::from_string(pattern);
+  EXPECT_EQ(bits.size(), 65u);
+  EXPECT_EQ(bits.count(), 2u);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_EQ(bits.to_string(), pattern);
+}
+
 TEST(DynamicBitset, EqualityComparesSizeAndBits) {
   auto a = DynamicBitset::from_string("101");
   auto b = DynamicBitset::from_string("101");

@@ -1,0 +1,79 @@
+// Contract tests for support/ensure.hpp: HYPERREC_ENSURE /
+// HYPERREC_ASSERT throw the documented exception types with diagnosable
+// messages, and violations abort the process when uncaught (death test).
+#include "support/ensure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hyperrec {
+namespace {
+
+int ensure_positive(int value) {
+  HYPERREC_ENSURE(value > 0, "value must be positive");
+  return value;
+}
+
+int assert_even(int value) {
+  HYPERREC_ASSERT(value % 2 == 0);
+  return value;
+}
+
+TEST(Ensure, PassingCheckReturnsValue) {
+  EXPECT_EQ(ensure_positive(3), 3);
+  EXPECT_EQ(assert_even(4), 4);
+}
+
+TEST(Ensure, ViolationThrowsPreconditionError) {
+  EXPECT_THROW(ensure_positive(0), PreconditionError);
+  EXPECT_THROW(ensure_positive(-5), PreconditionError);
+}
+
+TEST(Ensure, AssertViolationThrowsInvariantError) {
+  EXPECT_THROW(assert_even(3), InvariantError);
+}
+
+TEST(Ensure, PreconditionErrorIsALogicError) {
+  // Callers may catch std::logic_error generically.
+  EXPECT_THROW(ensure_positive(0), std::logic_error);
+}
+
+TEST(Ensure, MessageCarriesExpressionFileAndText) {
+  try {
+    ensure_positive(0);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("value > 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_ensure.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("value must be positive"), std::string::npos) << what;
+  }
+}
+
+TEST(Ensure, InvariantMessageCarriesExpression) {
+  try {
+    assert_even(7);
+    FAIL() << "expected InvariantError";
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("value % 2 == 0"),
+              std::string::npos);
+  }
+}
+
+// A noexcept boundary turns the escaping PreconditionError into
+// std::terminate, as it would at any noexcept API edge or thread entry.
+void violate_precondition_noexcept() noexcept { ensure_positive(-1); }
+
+TEST(EnsureDeathTest, UncaughtViolationTerminatesProcess) {
+  // A violation crossing a noexcept boundary must take the process down —
+  // solver pipelines rely on failing loudly, not on silent corruption.
+  // (GCC's noexcept terminate path does not echo the what() text, so only
+  // the terminate diagnostic is matched; message contents are covered by
+  // MessageCarriesExpressionFileAndText above.  "terminat" covers both
+  // libstdc++'s "terminate called" and libc++abi's "terminating".)
+  EXPECT_DEATH(violate_precondition_noexcept(), "terminat");
+}
+
+}  // namespace
+}  // namespace hyperrec

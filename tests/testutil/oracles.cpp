@@ -1,0 +1,175 @@
+#include "testutil/oracles.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hyperrec::testutil {
+
+Cost brute_force_single_task(const TaskTrace& trace, Cost v) {
+  const std::size_t n = trace.size();
+  Cost best = std::numeric_limits<Cost>::max();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << (n - 1)); ++mask) {
+    std::vector<std::size_t> starts{0};
+    for (std::size_t s = 1; s < n; ++s) {
+      if ((mask >> (s - 1)) & 1u) starts.push_back(s);
+    }
+    starts.push_back(n);
+    Cost total = 0;
+    for (std::size_t k = 0; k + 1 < starts.size(); ++k) {
+      const std::size_t lo = starts[k];
+      const std::size_t hi = starts[k + 1];
+      const Cost size = static_cast<Cost>(trace.local_union(lo, hi).count()) +
+                        static_cast<Cost>(trace.max_private_demand(lo, hi));
+      total += v + size * static_cast<Cost>(hi - lo);
+    }
+    best = std::min(best, total);
+  }
+  return best;
+}
+
+Cost brute_force_changeover(const TaskTrace& trace, Cost v) {
+  const std::size_t n = trace.size();
+  Cost best = std::numeric_limits<Cost>::max();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << (n - 1)); ++mask) {
+    std::vector<std::size_t> starts{0};
+    for (std::size_t s = 1; s < n; ++s) {
+      if ((mask >> (s - 1)) & 1u) starts.push_back(s);
+    }
+    starts.push_back(n);
+    Cost total = 0;
+    DynamicBitset previous(trace.local_universe());
+    for (std::size_t k = 0; k + 1 < starts.size(); ++k) {
+      const DynamicBitset current = trace.local_union(starts[k], starts[k + 1]);
+      total += v +
+               static_cast<Cost>(current.symmetric_difference_count(previous)) +
+               static_cast<Cost>(current.count()) *
+                   static_cast<Cost>(starts[k + 1] - starts[k]);
+      previous = current;
+    }
+    best = std::min(best, total);
+  }
+  return best;
+}
+
+Cost brute_force_multi_task(const MultiTaskTrace& trace,
+                            const MachineSpec& machine,
+                            const EvalOptions& options) {
+  const std::size_t n = trace.steps();
+  const std::size_t m = trace.task_count();
+  Cost best = std::numeric_limits<Cost>::max();
+  const std::uint64_t limit = std::uint64_t{1} << (m * (n - 1));
+  for (std::uint64_t code = 0; code < limit; ++code) {
+    MultiTaskSchedule schedule;
+    for (std::size_t j = 0; j < m; ++j) {
+      DynamicBitset mask(n);
+      mask.set(0);
+      for (std::size_t s = 1; s < n; ++s) {
+        if ((code >> (j * (n - 1) + (s - 1))) & 1u) mask.set(s);
+      }
+      schedule.tasks.push_back(Partition::from_boundary_mask(mask));
+    }
+    if (machine.has_global_resources()) {
+      schedule.global_boundaries.push_back(0);
+    }
+    best = std::min(
+        best,
+        evaluate_fully_sync_switch(trace, machine, schedule, options).total);
+  }
+  return best;
+}
+
+Cost brute_force_aligned(const MultiTaskTrace& trace,
+                         const MachineSpec& machine,
+                         const EvalOptions& options) {
+  const std::size_t n = trace.steps();
+  const std::size_t m = trace.task_count();
+  Cost best = std::numeric_limits<Cost>::max();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << (n - 1)); ++mask) {
+    DynamicBitset bits(n);
+    bits.set(0);
+    for (std::size_t s = 1; s < n; ++s) {
+      if ((mask >> (s - 1)) & 1u) bits.set(s);
+    }
+    MultiTaskSchedule schedule;
+    schedule.tasks.assign(m, Partition::from_boundary_mask(bits));
+    if (machine.has_global_resources()) {
+      schedule.global_boundaries.push_back(0);
+    }
+    best = std::min(
+        best,
+        evaluate_fully_sync_switch(trace, machine, schedule, options).total);
+  }
+  return best;
+}
+
+Cost brute_force_async(const MultiTaskTrace& trace, const MachineSpec& machine,
+                       const EvalOptions& options) {
+  const std::size_t m = trace.task_count();
+  Cost best = std::numeric_limits<Cost>::max();
+  std::vector<std::uint64_t> masks(m, 0);
+
+  std::vector<std::uint64_t> limits(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    limits[j] = std::uint64_t{1} << (trace.task(j).size() - 1);
+  }
+  for (;;) {
+    MultiTaskSchedule schedule;
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::size_t n = trace.task(j).size();
+      DynamicBitset bits(n);
+      bits.set(0);
+      for (std::size_t s = 1; s < n; ++s) {
+        if ((masks[j] >> (s - 1)) & 1u) bits.set(s);
+      }
+      schedule.tasks.push_back(Partition::from_boundary_mask(bits));
+    }
+    best = std::min(
+        best, evaluate_async_switch(trace, machine, schedule, options).total);
+
+    std::size_t j = 0;
+    while (j < m && ++masks[j] == limits[j]) {
+      masks[j] = 0;
+      ++j;
+    }
+    if (j == m) break;
+  }
+  return best;
+}
+
+Cost brute_force_general(const GeneralCostModel& model,
+                         const std::vector<std::size_t>& sequence) {
+  const std::size_t n = sequence.size();
+  Cost best = std::numeric_limits<Cost>::max();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << (n - 1)); ++mask) {
+    std::vector<std::size_t> starts{0};
+    for (std::size_t s = 1; s < n; ++s) {
+      if ((mask >> (s - 1)) & 1u) starts.push_back(s);
+    }
+    starts.push_back(n);
+    Cost total = 0;
+    bool feasible = true;
+    for (std::size_t k = 0; k + 1 < starts.size() && feasible; ++k) {
+      DynamicBitset needed(model.kind_count());
+      for (std::size_t i = starts[k]; i < starts[k + 1]; ++i) {
+        needed.set(sequence[i]);
+      }
+      Cost interval_best = std::numeric_limits<Cost>::max();
+      for (std::size_t h = 0; h < model.hypercontext_count(); ++h) {
+        if (!model.satisfies_all(h, needed)) continue;
+        interval_best = std::min(
+            interval_best,
+            model.init(h) + model.cost(h) * static_cast<Cost>(starts[k + 1] -
+                                                              starts[k]));
+      }
+      if (interval_best == std::numeric_limits<Cost>::max()) {
+        feasible = false;
+      } else {
+        total += interval_best;
+      }
+    }
+    if (feasible) best = std::min(best, total);
+  }
+  return best;
+}
+
+}  // namespace hyperrec::testutil

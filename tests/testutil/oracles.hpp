@@ -1,0 +1,49 @@
+// Brute-force reference oracles shared by the solver tests.
+//
+// These enumerate entire schedule spaces (exponential, tiny instances only)
+// and evaluate them with the library evaluators, providing ground truth for
+// the DP/heuristic solvers.  Formerly duplicated across tests/core/*.cpp and
+// tests/core/brute_force.hpp; now a single compiled library.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/cost_general.hpp"
+#include "model/cost_switch.hpp"
+#include "model/machine.hpp"
+#include "model/schedule.hpp"
+#include "model/trace.hpp"
+
+namespace hyperrec::testutil {
+
+/// Minimum cost over all single-task partitions (2^{n-1} of them) under
+/// interval cost v + (|U| + maxpriv)·len.
+[[nodiscard]] Cost brute_force_single_task(const TaskTrace& trace, Cost v);
+
+/// Minimum single-task changeover cost (§4.1 end): each boundary charges
+/// v + |h_k Δ h_{k-1}| with minimal hypercontexts, first diff against ∅.
+[[nodiscard]] Cost brute_force_changeover(const TaskTrace& trace, Cost v);
+
+/// Minimum §4.2 cost over all per-task boundary combinations.
+[[nodiscard]] Cost brute_force_multi_task(const MultiTaskTrace& trace,
+                                          const MachineSpec& machine,
+                                          const EvalOptions& options);
+
+/// Minimum §4.2 cost over aligned (identical across tasks) partitions only.
+[[nodiscard]] Cost brute_force_aligned(const MultiTaskTrace& trace,
+                                       const MachineSpec& machine,
+                                       const EvalOptions& options);
+
+/// Minimum §4.1 asynchronous cost over the full product of per-task
+/// partitions (the solver decomposes per task; this validates the argument).
+[[nodiscard]] Cost brute_force_async(const MultiTaskTrace& trace,
+                                     const MachineSpec& machine,
+                                     const EvalOptions& options);
+
+/// Minimum general-model cost over all partitions × all feasible
+/// hypercontext choices per interval.
+[[nodiscard]] Cost brute_force_general(const GeneralCostModel& model,
+                                       const std::vector<std::size_t>& sequence);
+
+}  // namespace hyperrec::testutil

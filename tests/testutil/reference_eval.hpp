@@ -1,0 +1,23 @@
+// Independent, deliberately naive re-implementation of the §4.2 evaluator.
+//
+// The production evaluator walks the steps with interval cursors; this
+// reference recomputes everything from first principles per step: find each
+// task's interval by searching the partition, re-union the requirements to
+// get the minimal hypercontext, and combine.  Differential tests compare the
+// two on random (trace, schedule, options) triples — any divergence is a bug
+// in one of them.
+#pragma once
+
+#include "model/cost_switch.hpp"
+#include "model/machine.hpp"
+#include "model/schedule.hpp"
+#include "model/trace.hpp"
+
+namespace hyperrec::testutil {
+
+[[nodiscard]] Cost reference_fully_sync(const MultiTaskTrace& trace,
+                                        const MachineSpec& machine,
+                                        const MultiTaskSchedule& schedule,
+                                        const EvalOptions& options);
+
+}  // namespace hyperrec::testutil

@@ -1,0 +1,88 @@
+#include "testutil/trace_builders.hpp"
+
+#include "support/ensure.hpp"
+#include "workload/generators.hpp"
+
+namespace hyperrec::testutil {
+
+TaskTrace trace_from_strings(const std::vector<std::string>& requirements) {
+  const std::size_t universe =
+      requirements.empty() ? 0 : requirements.front().size();
+  TaskTrace trace(universe);
+  for (const auto& bits : requirements) {
+    HYPERREC_ENSURE(bits.size() == universe,
+                    "requirement strings must share one universe");
+    trace.push_back_local(DynamicBitset::from_string(bits));
+  }
+  return trace;
+}
+
+MultiTaskTrace phased_multi(std::uint64_t seed, std::size_t tasks,
+                            std::size_t steps, std::size_t universe,
+                            std::size_t phases) {
+  workload::MultiPhasedConfig config;
+  config.tasks = tasks;
+  config.task_config.steps = steps;
+  config.task_config.universe = universe;
+  config.task_config.phases = phases;
+  return workload::make_multi_phased(config, seed);
+}
+
+MultiTaskTrace phased_pair() {
+  return MultiTaskTrace::from_local(
+      {4, 4},
+      {{DynamicBitset::from_string("1100"), DynamicBitset::from_string("1100"),
+        DynamicBitset::from_string("0011"), DynamicBitset::from_string("0011")},
+       {DynamicBitset::from_string("1000"), DynamicBitset::from_string("1000"),
+        DynamicBitset::from_string("1000"),
+        DynamicBitset::from_string("1000")}});
+}
+
+DynamicBitset random_requirement(Xoshiro256& rng, std::size_t universe,
+                                 double density) {
+  DynamicBitset req(universe);
+  for (std::size_t s = 0; s < universe; ++s) {
+    if (rng.flip(density)) req.set(s);
+  }
+  return req;
+}
+
+TaskTrace random_task_trace(Xoshiro256& rng, std::size_t steps,
+                            std::size_t universe, double density) {
+  TaskTrace trace(universe);
+  for (std::size_t i = 0; i < steps; ++i) {
+    trace.push_back_local(random_requirement(rng, universe, density));
+  }
+  return trace;
+}
+
+MultiTaskTrace random_multi_trace(Xoshiro256& rng, std::size_t tasks,
+                                  std::size_t steps, std::size_t universe,
+                                  double density) {
+  MultiTaskTrace trace;
+  for (std::size_t j = 0; j < tasks; ++j) {
+    trace.add_task(random_task_trace(rng, steps, universe, density));
+  }
+  return trace;
+}
+
+MultiTaskSchedule random_schedule(Xoshiro256& rng, const MultiTaskTrace& trace,
+                                  const MachineSpec& machine,
+                                  double boundary_probability) {
+  const std::size_t n = trace.steps();
+  MultiTaskSchedule schedule;
+  for (std::size_t j = 0; j < trace.task_count(); ++j) {
+    DynamicBitset mask(n);
+    mask.set(0);
+    for (std::size_t s = 1; s < n; ++s) {
+      if (rng.flip(boundary_probability)) mask.set(s);
+    }
+    schedule.tasks.push_back(Partition::from_boundary_mask(mask));
+  }
+  if (machine.has_global_resources()) {
+    schedule.global_boundaries.push_back(0);
+  }
+  return schedule;
+}
+
+}  // namespace hyperrec::testutil

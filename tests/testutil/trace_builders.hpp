@@ -1,0 +1,58 @@
+// Shared trace/schedule fixtures for the test suites.
+//
+// These replace the per-file `phased()` / `phased_pair()` / hand-rolled
+// random-trace loops that used to be duplicated across the solver tests.
+// Everything is deterministic in the caller-supplied seed or generator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/machine.hpp"
+#include "model/schedule.hpp"
+#include "model/trace.hpp"
+#include "support/rng.hpp"
+
+namespace hyperrec::testutil {
+
+/// Single-task trace from "0101"-style requirement strings (index 0
+/// leftmost); all strings must have equal length = the local universe.
+[[nodiscard]] TaskTrace trace_from_strings(
+    const std::vector<std::string>& requirements);
+
+/// Multi-task phased workload shorthand over workload::make_multi_phased.
+[[nodiscard]] MultiTaskTrace phased_multi(std::uint64_t seed,
+                                          std::size_t tasks, std::size_t steps,
+                                          std::size_t universe,
+                                          std::size_t phases = 3);
+
+/// The canonical tiny fixture of the DP tests: task 0 phases
+/// {s0,s1} → {s2,s3}, task 1 constant {s0}; 2 tasks × 4 steps, universe 4.
+[[nodiscard]] MultiTaskTrace phased_pair();
+
+/// One i.i.d. random requirement: each switch requested with `density`.
+[[nodiscard]] DynamicBitset random_requirement(Xoshiro256& rng,
+                                               std::size_t universe,
+                                               double density = 0.35);
+
+/// Single-task trace of `steps` i.i.d. random requirements.
+[[nodiscard]] TaskTrace random_task_trace(Xoshiro256& rng, std::size_t steps,
+                                          std::size_t universe,
+                                          double density = 0.35);
+
+/// Synchronized multi-task trace of i.i.d. random requirements.
+[[nodiscard]] MultiTaskTrace random_multi_trace(Xoshiro256& rng,
+                                                std::size_t tasks,
+                                                std::size_t steps,
+                                                std::size_t universe,
+                                                double density = 0.4);
+
+/// Random valid schedule for a synchronized trace: every task gets boundary
+/// 0 plus later boundaries with `boundary_probability`; machines with global
+/// resources get the mandatory global boundary at step 0.
+[[nodiscard]] MultiTaskSchedule random_schedule(
+    Xoshiro256& rng, const MultiTaskTrace& trace, const MachineSpec& machine,
+    double boundary_probability = 0.25);
+
+}  // namespace hyperrec::testutil
