@@ -1,0 +1,107 @@
+// Batch-engine throughput study: jobs/s across parallelism levels and
+// deadline budgets.
+//
+// Measures the serving-layer questions the engine exists to answer: how
+// much does sharding a batch across workers buy on this hardware, what does
+// a per-job deadline cost in solution quality, and which portfolio members
+// win on which workload families.  Smoke mode shrinks the batch for CI.
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "engine/batch_engine.hpp"
+#include "support/table.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace hyperrec;
+
+std::vector<engine::BatchJob> make_batch(std::size_t count, std::size_t tasks,
+                                         std::size_t steps,
+                                         std::size_t universe) {
+  const std::vector<std::string>& kinds = workload::family_names();
+  std::vector<engine::BatchJob> jobs;
+  Xoshiro256 root(0xBA7C4);
+  for (std::size_t i = 0; i < count; ++i) {
+    engine::BatchJob job;
+    const std::string& kind = kinds[i % kinds.size()];
+    Xoshiro256 rng = root.split(i);
+    job.trace = workload::make_multi_family(kind, tasks, steps, universe, rng);
+    job.machine =
+        MachineSpec::local_only(std::vector<std::size_t>(tasks, universe));
+    job.name = kind + "-" + std::to_string(i);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+double run_config(const std::vector<engine::BatchJob>& jobs,
+                  std::size_t parallelism, std::chrono::milliseconds deadline,
+                  const std::vector<std::string>& members, Table& table,
+                  const char* label) {
+  engine::BatchEngineConfig config;
+  config.parallelism = parallelism;
+  config.portfolio.solvers = members;
+  config.portfolio.deadline = deadline;
+  const engine::BatchEngine batch_engine(std::move(config));
+  const engine::BatchResult result = batch_engine.solve(jobs);
+
+  Cost total_cost = 0;
+  std::map<std::string, std::size_t> wins;
+  for (const auto& job : result.jobs) {
+    total_cost += job.ok ? job.solution.total() : 0;
+    if (job.ok) ++wins[job.winner];
+  }
+  std::string win_summary;
+  for (const auto& [name, count] : wins) {
+    if (!win_summary.empty()) win_summary += " ";
+    win_summary += name + ":" + std::to_string(count);
+  }
+  const double seconds =
+      static_cast<double>(result.elapsed.count()) / 1e6;
+  const double throughput =
+      seconds > 0 ? static_cast<double>(jobs.size()) / seconds : 0.0;
+  table.row(label, result.parallelism,
+            static_cast<std::int64_t>(deadline.count()),
+            static_cast<std::int64_t>(total_cost), throughput, win_summary);
+  return throughput;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
+  const std::size_t batch = bench::pick<std::size_t>(smoke, 24, 6);
+  const std::size_t tasks = bench::pick<std::size_t>(smoke, 4, 2);
+  const std::size_t steps = bench::pick<std::size_t>(smoke, 96, 20);
+  const std::size_t universe = bench::pick<std::size_t>(smoke, 32, 10);
+
+  std::printf("=== Batch engine throughput (%zu jobs, %zu tasks x %zu steps, "
+              "universe %zu) ===\n\n",
+              batch, tasks, steps, universe);
+
+  const std::vector<engine::BatchJob> jobs =
+      make_batch(batch, tasks, steps, universe);
+  const std::vector<std::string> fast = {"aligned-dp", "greedy-w8",
+                                         "coord-descent"};
+  const std::vector<std::string> full = {};  // whole line-up
+
+  Table table;
+  table.headers({"config", "workers", "deadline ms", "sum cost", "jobs/s",
+                 "winners"});
+  const auto budget = std::chrono::milliseconds{smoke ? 25 : 250};
+  run_config(jobs, 1, std::chrono::milliseconds{0}, fast, table,
+             "fast, serial");
+  run_config(jobs, 0, std::chrono::milliseconds{0}, fast, table,
+             "fast, sharded");
+  run_config(jobs, 0, budget, fast, table, "fast, deadline");
+  run_config(jobs, 0, budget, full, table, "full, deadline");
+  table.print(std::cout);
+
+  std::printf("\nExpected shape: sharded >= serial throughput (equal on one "
+              "hardware thread); deadlines trade cost for latency; the full "
+              "line-up wins cost but pays for the metaheuristics.\n");
+  return 0;
+}

@@ -1,0 +1,206 @@
+// Batch solving driver: generate or load traces, race solver portfolios
+// across a thread pool, emit machine-readable JSON.
+//
+//   hyperrec_cli [--batch=N] [--workload=KIND] [--tasks=M] [--steps=N]
+//                [--universe=L] [--seed=S] [--portfolio=a,b,c]
+//                [--deadline-ms=D] [--jobs=P] [--trace=FILE ...]
+//                [--out=FILE] [--smoke]
+//
+//     --batch=N        number of generated jobs (default 8)
+//     --workload=KIND  phased | random | random-walk | bursty | periodic |
+//                      mixed (default mixed: cycles through all five)
+//     --tasks, --steps, --universe
+//                      per-job instance shape (defaults 4 / 96 / 32)
+//     --seed=S         root seed; job i derives stream i (default 1)
+//     --portfolio=...  comma-separated standard_solvers() subset
+//                      (default: full line-up)
+//     --deadline-ms=D  per-job budget, 0 = none (default 0)
+//     --jobs=P         worker threads, 0 = hardware (default 0)
+//     --trace=FILE     load a hyperrec-trace v1 file as one job instead of
+//                      generating; repeatable, overrides --batch
+//     --out=FILE       write JSON there instead of stdout
+//     --smoke          tiny batch for CI (4 small jobs, 50 ms deadline)
+//
+// Exit status: 0 on success (including jobs that failed individually —
+// inspect "ok" in the JSON), 1 on malformed invocation or I/O errors.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "engine/batch_engine.hpp"
+#include "io/result_json.hpp"
+#include "io/trace_io.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace hyperrec;
+
+struct CliOptions {
+  std::size_t batch = 8;
+  std::string workload = "mixed";
+  std::size_t tasks = 4;
+  std::size_t steps = 96;
+  std::size_t universe = 32;
+  std::uint64_t seed = 1;
+  std::vector<std::string> portfolio;
+  std::chrono::milliseconds deadline{0};
+  std::size_t jobs = 0;
+  std::vector<std::string> trace_files;
+  std::string out;
+};
+
+bool parse_flag(const char* arg, const char* name, std::string& value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  value = arg + len + 1;
+  return true;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t comma = text.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > begin) parts.push_back(text.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return parts;
+}
+
+/// Default machine for a trace: local-only, l_j = the task's universe.
+MachineSpec machine_for(const MultiTaskTrace& trace) {
+  std::vector<std::size_t> locals;
+  for (std::size_t j = 0; j < trace.task_count(); ++j) {
+    locals.push_back(trace.task(j).local_universe());
+  }
+  return MachineSpec::local_only(locals);
+}
+
+engine::BatchJob make_generated_job(const std::string& kind,
+                                    const CliOptions& options,
+                                    std::uint64_t stream) {
+  Xoshiro256 root(options.seed);
+  Xoshiro256 rng = root.split(stream);
+  engine::BatchJob job;
+  job.trace = workload::make_multi_family(kind, options.tasks, options.steps,
+                                          options.universe, rng);
+  job.machine = machine_for(job.trace);
+  job.name = kind + "-" + std::to_string(stream);
+  return job;
+}
+
+engine::BatchJob make_loaded_job(const std::string& path) {
+  std::ifstream file(path);
+  HYPERREC_ENSURE(file.good(), "cannot open trace file: " + path);
+  engine::BatchJob job;
+  job.trace = io::load_trace(file);
+  job.machine = machine_for(job.trace);
+  job.name = path;
+  return job;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  try {
+    // Apply --smoke first so explicit flags win regardless of their
+    // position on the command line.
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--smoke") == 0) {
+        options.batch = 4;
+        options.tasks = 2;
+        options.steps = 24;
+        options.universe = 12;
+        options.deadline = std::chrono::milliseconds{50};
+      }
+    }
+    std::string value;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--smoke") == 0) {
+        continue;  // handled above
+      } else if (parse_flag(arg, "--batch", value)) {
+        options.batch = std::stoul(value);
+      } else if (parse_flag(arg, "--workload", value)) {
+        options.workload = value;
+      } else if (parse_flag(arg, "--tasks", value)) {
+        options.tasks = std::stoul(value);
+      } else if (parse_flag(arg, "--steps", value)) {
+        options.steps = std::stoul(value);
+      } else if (parse_flag(arg, "--universe", value)) {
+        options.universe = std::stoul(value);
+      } else if (parse_flag(arg, "--seed", value)) {
+        options.seed = std::stoull(value);
+      } else if (parse_flag(arg, "--portfolio", value)) {
+        options.portfolio = split_csv(value);
+      } else if (parse_flag(arg, "--deadline-ms", value)) {
+        options.deadline = std::chrono::milliseconds{std::stoll(value)};
+      } else if (parse_flag(arg, "--jobs", value)) {
+        options.jobs = std::stoul(value);
+      } else if (parse_flag(arg, "--trace", value)) {
+        options.trace_files.push_back(value);
+      } else if (parse_flag(arg, "--out", value)) {
+        options.out = value;
+      } else {
+        std::fprintf(stderr, "unknown argument: %s\n", arg);
+        std::fprintf(stderr,
+                     "usage: %s [--batch=N] [--workload=KIND] [--tasks=M] "
+                     "[--steps=N] [--universe=L] [--seed=S] [--portfolio=a,b] "
+                     "[--deadline-ms=D] [--jobs=P] [--trace=FILE] "
+                     "[--out=FILE] [--smoke]\n",
+                     argv[0]);
+        return 1;
+      }
+    }
+    const std::vector<std::string>& kinds = workload::family_names();
+    std::vector<engine::BatchJob> jobs;
+    if (!options.trace_files.empty()) {
+      for (const std::string& path : options.trace_files) {
+        jobs.push_back(make_loaded_job(path));
+      }
+    } else {
+      for (std::size_t i = 0; i < options.batch; ++i) {
+        const std::string kind = options.workload == "mixed"
+                                     ? kinds[i % kinds.size()]
+                                     : options.workload;
+        jobs.push_back(make_generated_job(kind, options, i));
+      }
+    }
+
+    engine::BatchEngineConfig config;
+    config.parallelism = options.jobs;
+    config.portfolio.solvers = options.portfolio;
+    config.portfolio.deadline = options.deadline;
+    const engine::BatchEngine batch_engine(std::move(config));
+    const engine::BatchResult result = batch_engine.solve(jobs);
+
+    if (options.out.empty()) {
+      io::save_batch_result_json(std::cout, result);
+    } else {
+      std::ofstream file(options.out);
+      HYPERREC_ENSURE(file.good(), "cannot open output file: " + options.out);
+      io::save_batch_result_json(file, result);
+    }
+
+    std::size_t failed = 0;
+    for (const auto& job : result.jobs) {
+      if (!job.ok) ++failed;
+    }
+    std::fprintf(stderr,
+                 "%zu jobs (%zu failed) on %zu workers in %lld us\n",
+                 result.jobs.size(), failed, result.parallelism,
+                 static_cast<long long>(result.elapsed.count()));
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -63,13 +63,13 @@ int main(int argc, char** argv) {
     const std::string wanted = argc >= 3 ? argv[2] : "coord-descent";
     MTSolverFn solve;
     for (const auto& solver : standard_solvers()) {
-      if (solver.name == wanted) solve = solver.solve;
+      if (solver.name == wanted) solve = solver.fn;
     }
     HYPERREC_ENSURE(static_cast<bool>(solve), "unknown solver name");
 
     const EvalOptions options{UploadMode::kTaskParallel,
                               UploadMode::kTaskSequential, false};
-    const MTSolution solution = solve(trace, machine, options);
+    const MTSolution solution = solve(trace, machine, options, CancelToken{});
     const Cost baseline =
         no_hyperreconfiguration_cost(machine, trace.steps());
 

@@ -55,6 +55,7 @@ MTSolution solve_annealing(const MultiTaskTrace& trace,
                            : static_cast<double>(machine.total_switches());
 
   for (std::size_t it = 0; it < config.iterations; ++it) {
+    if (config.cancel.cancelled()) break;
     // Move: flip a random boundary bit, or slide a boundary by one step.
     const std::size_t j = rng.uniform(m);
     const std::size_t s = 1 + rng.uniform(n - 1);

@@ -21,6 +21,9 @@ struct SaConfig {
   std::uint64_t seed = 0xC0FFEEull;
   /// Initial schedule; if empty, starts from the single-interval schedule.
   std::vector<MultiTaskSchedule> seed_schedule;  // 0 or 1 entries
+  /// Checked between iterations; when it fires the best incumbent found so
+  /// far is returned (re-evaluated, never torn).  Default: never cancels.
+  CancelToken cancel;
 };
 
 [[nodiscard]] MTSolution solve_annealing(const MultiTaskTrace& trace,

@@ -107,10 +107,18 @@ MTSolution solve_coordinate_descent(const MultiTaskTrace& trace,
                   "coordinate descent does not support changeover costs");
   HYPERREC_ENSURE(config.seed.size() <= 1, "at most one seed schedule");
 
-  MultiTaskSchedule schedule = config.seed.empty()
-                                   ? solve_aligned_dp(trace, machine, options)
-                                         .schedule
-                                   : config.seed.front();
+  MultiTaskSchedule schedule = [&]() {
+    if (!config.seed.empty()) return config.seed.front();
+    if (config.cancel.cancelled()) {
+      // Expired before any work: skip the aligned-DP seeding (it could blow
+      // the deadline) and start from the single-interval schedule.
+      MultiTaskSchedule single =
+          MultiTaskSchedule::all_single(trace.task_count(), trace.steps());
+      if (machine.has_global_resources()) single.global_boundaries.push_back(0);
+      return single;
+    }
+    return solve_aligned_dp(trace, machine, options).schedule;
+  }();
   Cost current =
       evaluate_fully_sync_switch(trace, machine, schedule, options).total;
 
@@ -118,6 +126,9 @@ MTSolution solve_coordinate_descent(const MultiTaskTrace& trace,
   for (std::size_t round = 0; round < config.max_rounds; ++round) {
     bool improved = false;
     for (std::size_t t = 0; t < m; ++t) {
+      if (config.cancel.cancelled()) {
+        return make_solution(trace, machine, std::move(schedule), options);
+      }
       const FrozenProfile profile =
           freeze(trace, machine, schedule, t, options);
       Partition candidate = optimize_task(trace, machine, profile, t, options);

@@ -28,6 +28,11 @@ struct CoordinateDescentConfig {
   std::size_t max_rounds = 32;
   /// Initial schedule; if empty, the aligned DP solution is used.
   std::vector<MultiTaskSchedule> seed;  // 0 or 1 entries
+  /// Checked between per-task sweeps; when it fires the current schedule is
+  /// returned (re-evaluated, never torn).  A token that is already expired
+  /// at entry skips the aligned-DP seeding and starts from the
+  /// single-interval schedule.  Default: never cancels.
+  CancelToken cancel;
 };
 
 [[nodiscard]] MTSolution solve_coordinate_descent(

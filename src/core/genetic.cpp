@@ -101,6 +101,18 @@ GaResult solve_genetic(const MultiTaskTrace& trace, const MachineSpec& machine,
 
   Xoshiro256 rng(config.seed);
 
+  if (config.cancel.cancelled()) {
+    // Expired before any work: the single-interval schedule is the cheapest
+    // feasible incumbent (aligned-DP seeding could blow the deadline).
+    GaResult result;
+    result.best = make_solution(
+        trace, machine,
+        decode(from_schedule(MultiTaskSchedule::all_single(m, n)),
+               global_resources),
+        options);
+    return result;
+  }
+
   // --- initial population: heuristic seeds + random densities -------------
   std::vector<Chromosome> population;
   population.reserve(config.population);
@@ -157,6 +169,7 @@ GaResult solve_genetic(const MultiTaskTrace& trace, const MachineSpec& machine,
   std::size_t stale = 0;
 
   for (std::size_t gen = 0; gen < config.generations; ++gen) {
+    if (config.cancel.cancelled()) break;
     // --- breed the next generation (serial, deterministic) ----------------
     std::vector<Chromosome> next;
     next.reserve(population.size());

@@ -36,6 +36,11 @@ struct GaConfig {
   /// Stop early when the best cost has not improved for this many
   /// generations; 0 disables early stopping.
   std::size_t patience = 0;
+  /// Checked between generations; when it fires the best incumbent found so
+  /// far is returned (re-evaluated, never torn).  A token that is already
+  /// expired at entry skips even the heuristic seeding and returns the
+  /// single-interval schedule.  Default: never cancels.
+  CancelToken cancel;
 };
 
 struct GaResult {

@@ -52,8 +52,10 @@ PrivateGlobalSolution solve_private_global(const MultiTaskTrace& trace,
   MTSolverFn inner = config.inner;
   if (!inner) {
     inner = [](const MultiTaskTrace& t, const MachineSpec& mach,
-               const EvalOptions& opts) {
-      return solve_coordinate_descent(t, mach, opts);
+               const EvalOptions& opts, const CancelToken& cancel) {
+      CoordinateDescentConfig cd_config;
+      cd_config.cancel = cancel;
+      return solve_coordinate_descent(t, mach, opts, cd_config);
     };
   }
 
@@ -94,7 +96,7 @@ PrivateGlobalSolution solve_private_global(const MultiTaskTrace& trace,
       if (!block_feasible(trace, machine, lo, hi)) continue;
       const MultiTaskTrace block = subtrace(trace, lo, hi);
       MachineSpec inner_machine = block_machine;
-      MTSolution solution = inner(block, inner_machine, options);
+      MTSolution solution = inner(block, inner_machine, options, config.cancel);
       block_cost[block_index(a, b)] = solution.total();
       block_solution[block_index(a, b)] = std::move(solution);
     }

@@ -24,6 +24,9 @@ struct PrivateGlobalConfig {
   std::vector<std::size_t> candidates;
   /// Inner solver for each block; defaults to coordinate descent.
   MTSolverFn inner;
+  /// Passed to the inner solver for every block, so a deadline set here
+  /// bounds the whole decomposition.  Default: never cancels.
+  CancelToken cancel;
 };
 
 struct PrivateGlobalSolution {

@@ -23,28 +23,36 @@ std::vector<NamedSolver> standard_solvers() {
   std::vector<NamedSolver> solvers;
   solvers.push_back({"aligned-dp",
                      [](const MultiTaskTrace& trace, const MachineSpec& machine,
-                        const EvalOptions& options) {
+                        const EvalOptions& options, const CancelToken&) {
                        return solve_aligned_dp(trace, machine, options);
                      }});
   solvers.push_back({"greedy-w8",
                      [](const MultiTaskTrace& trace, const MachineSpec& machine,
-                        const EvalOptions& options) {
+                        const EvalOptions& options, const CancelToken&) {
                        return solve_greedy(trace, machine, options);
                      }});
   solvers.push_back({"coord-descent",
                      [](const MultiTaskTrace& trace, const MachineSpec& machine,
-                        const EvalOptions& options) {
-                       return solve_coordinate_descent(trace, machine, options);
+                        const EvalOptions& options, const CancelToken& cancel) {
+                       CoordinateDescentConfig config;
+                       config.cancel = cancel;
+                       return solve_coordinate_descent(trace, machine, options,
+                                                       config);
                      }});
   solvers.push_back({"genetic",
                      [](const MultiTaskTrace& trace, const MachineSpec& machine,
-                        const EvalOptions& options) {
-                       return solve_genetic(trace, machine, options).best;
+                        const EvalOptions& options, const CancelToken& cancel) {
+                       GaConfig config;
+                       config.cancel = cancel;
+                       return solve_genetic(trace, machine, options, config)
+                           .best;
                      }});
   solvers.push_back({"annealing",
                      [](const MultiTaskTrace& trace, const MachineSpec& machine,
-                        const EvalOptions& options) {
-                       return solve_annealing(trace, machine, options);
+                        const EvalOptions& options, const CancelToken& cancel) {
+                       SaConfig config;
+                       config.cancel = cancel;
+                       return solve_annealing(trace, machine, options, config);
                      }});
   return solvers;
 }

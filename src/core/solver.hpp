@@ -14,6 +14,7 @@
 #include "model/machine.hpp"
 #include "model/schedule.hpp"
 #include "model/trace.hpp"
+#include "support/cancel.hpp"
 
 namespace hyperrec {
 
@@ -30,12 +31,26 @@ struct MTSolution {
                                        MultiTaskSchedule schedule,
                                        const EvalOptions& options);
 
+/// Solver entry point.  The CancelToken is a cooperative hook: iterative
+/// solvers poll it between iterations and return their incumbent when it
+/// fires; exact solvers may ignore it (they are fast on the instance sizes
+/// they accept).  Callers that do not care pass an inert token.
 using MTSolverFn = std::function<MTSolution(
-    const MultiTaskTrace&, const MachineSpec&, const EvalOptions&)>;
+    const MultiTaskTrace&, const MachineSpec&, const EvalOptions&,
+    const CancelToken&)>;
 
 struct NamedSolver {
   std::string name;
-  MTSolverFn solve;
+  MTSolverFn fn;
+
+  /// Invokes fn; the cancel hook defaults to an inert token so existing
+  /// three-argument call sites keep working.
+  [[nodiscard]] MTSolution solve(const MultiTaskTrace& trace,
+                                 const MachineSpec& machine,
+                                 const EvalOptions& options,
+                                 const CancelToken& cancel = {}) const {
+    return fn(trace, machine, options, cancel);
+  }
 };
 
 /// The library's standard solver line-up (aligned DP, coordinate descent,

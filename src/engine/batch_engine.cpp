@@ -1,0 +1,73 @@
+#include "engine/batch_engine.hpp"
+
+#include <future>
+#include <utility>
+
+namespace hyperrec::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+BatchEngine::BatchEngine(BatchEngineConfig config)
+    : config_(std::move(config)),
+      pool_(std::make_unique<ThreadPool>(config_.parallelism)) {}
+
+BatchResult BatchEngine::solve(const std::vector<BatchJob>& jobs) const {
+  BatchResult result;
+  result.parallelism = pool_->thread_count();
+  result.jobs.resize(jobs.size());
+  const Clock::time_point batch_start = Clock::now();
+
+  auto run_job = [this, &jobs, &result](std::size_t i) {
+    const BatchJob& job = jobs[i];
+    JobResult& out = result.jobs[i];
+    out.index = i;
+    out.name = job.name;
+    // Per-job token: fires on the engine-wide token or the per-job deadline,
+    // whichever comes first.
+    const CancelToken token =
+        config_.portfolio.deadline.count() > 0
+            ? CancelToken::linked(config_.cancel,
+                                  Clock::now() + config_.portfolio.deadline)
+            : CancelToken::linked(config_.cancel);
+    const Clock::time_point start = Clock::now();
+    try {
+      if (config_.solver) {
+        out.solution = config_.solver(job, token);
+        out.winner = "custom";
+      } else {
+        PortfolioConfig per_job = config_.portfolio;
+        per_job.parallel = false;  // the job is the unit of parallelism
+        per_job.pool = nullptr;
+        per_job.deadline = std::chrono::milliseconds{0};  // already in token
+        PortfolioResult race =
+            solve_portfolio(job.trace, job.machine, job.options, per_job,
+                            token);
+        out.solution = std::move(race.best);
+        out.winner = std::move(race.winner);
+        out.entries = std::move(race.entries);
+      }
+      out.ok = true;
+    } catch (const std::exception& error) {
+      out.error = error.what();
+    }
+    out.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        Clock::now() - start);
+  };
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    futures.push_back(pool_->submit([&run_job, i]() { run_job(i); }));
+  }
+  for (auto& future : futures) future.get();
+
+  result.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      Clock::now() - batch_start);
+  return result;
+}
+
+}  // namespace hyperrec::engine

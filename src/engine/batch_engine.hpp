@@ -1,0 +1,85 @@
+// Batch solving engine: shard many solve jobs across a thread pool.
+//
+// The serving-scale counterpart of the one-instance solvers: a BatchEngine
+// takes a vector of (trace, machine, options) jobs and overlaps them on its
+// own ThreadPool.  Each job is solved by the configured portfolio (see
+// portfolio.hpp) — or by a custom per-job solver, the hook experiments and
+// tests use to plug in alternative backends.  Results keep input order and
+// carry per-job wall time, the winning solver's name and full cost
+// breakdown, plus the per-member portfolio entries; io/result_json.hpp
+// serialises a BatchResult for downstream tooling.
+//
+// Concurrency model: the job is the unit of parallelism.  Inside a job the
+// portfolio runs serially — a pool worker blocking on more work queued
+// behind it would deadlock the shared-queue pool, and sharding jobs already
+// saturates the hardware.  A job that throws (infeasible instance, shape
+// mismatch) is reported in its JobResult; it never aborts the batch.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/portfolio.hpp"
+#include "support/cancel.hpp"
+
+namespace hyperrec::engine {
+
+struct BatchJob {
+  MultiTaskTrace trace;
+  MachineSpec machine;
+  EvalOptions options;
+  std::string name;  ///< free-form label echoed into the result/JSON
+};
+
+struct BatchEngineConfig {
+  /// Worker threads for the batch; 0 means hardware concurrency.
+  std::size_t parallelism = 0;
+  /// Per-job solving strategy.  `parallel` and `pool` are ignored: inside a
+  /// batch the portfolio always runs serially (see file comment).
+  PortfolioConfig portfolio;
+  /// Engine-wide cancellation; per-job deadlines are linked under it.
+  CancelToken cancel;
+  /// When set, solves each job instead of the portfolio.  The token passed
+  /// in is the job's deadline-linked token.
+  std::function<MTSolution(const BatchJob&, const CancelToken&)> solver;
+};
+
+struct JobResult {
+  std::size_t index = 0;  ///< position in the input vector
+  std::string name;
+  bool ok = false;
+  std::string error;  ///< exception text when !ok
+  std::string winner;
+  MTSolution solution;  ///< valid only when ok
+  std::vector<PortfolioEntry> entries;  ///< empty under a custom solver
+  std::chrono::microseconds elapsed{0};
+};
+
+struct BatchResult {
+  std::vector<JobResult> jobs;  ///< input order
+  std::chrono::microseconds elapsed{0};
+  std::size_t parallelism = 0;
+};
+
+class BatchEngine {
+ public:
+  explicit BatchEngine(BatchEngineConfig config = {});
+
+  /// Solves all jobs, overlapping them across the engine's pool.  Never
+  /// throws for per-job failures; see JobResult::ok.
+  [[nodiscard]] BatchResult solve(const std::vector<BatchJob>& jobs) const;
+
+  [[nodiscard]] std::size_t parallelism() const noexcept {
+    return pool_->thread_count();
+  }
+
+ private:
+  BatchEngineConfig config_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace hyperrec::engine

@@ -1,0 +1,116 @@
+#include "engine/portfolio.hpp"
+
+#include <future>
+#include <utility>
+
+namespace hyperrec::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::vector<NamedSolver> resolve_members(
+    const std::vector<std::string>& names) {
+  std::vector<NamedSolver> line_up = standard_solvers();
+  if (names.empty()) return line_up;
+  std::vector<NamedSolver> members;
+  members.reserve(names.size());
+  for (const std::string& name : names) {
+    bool found = false;
+    for (const NamedSolver& solver : line_up) {
+      if (solver.name == name) {
+        members.push_back(solver);
+        found = true;
+        break;
+      }
+    }
+    HYPERREC_ENSURE(found, "unknown portfolio solver: " + name);
+  }
+  return members;
+}
+
+}  // namespace
+
+PortfolioResult solve_portfolio(const MultiTaskTrace& trace,
+                                const MachineSpec& machine,
+                                const EvalOptions& options,
+                                const PortfolioConfig& config,
+                                const CancelToken& cancel) {
+  const std::vector<NamedSolver> members = resolve_members(config.solvers);
+  HYPERREC_ENSURE(!members.empty(), "portfolio needs at least one member");
+
+  CancelToken race = config.deadline.count() > 0
+                         ? CancelToken::linked(cancel,
+                                               Clock::now() + config.deadline)
+                         : CancelToken::linked(cancel);
+
+  PortfolioResult result;
+  result.entries.resize(members.size());
+  std::vector<MTSolution> solutions(members.size());
+  const Clock::time_point race_start = Clock::now();
+
+  auto run_member = [&](std::size_t i) {
+    PortfolioEntry& entry = result.entries[i];
+    entry.solver = members[i].name;
+    const Clock::time_point start = Clock::now();
+    try {
+      solutions[i] = members[i].solve(trace, machine, options, race);
+      entry.total = solutions[i].total();
+      entry.ok = true;
+      if (config.cancel_losers) race.cancel();
+    } catch (const std::exception& error) {
+      entry.error = error.what();
+    }
+    entry.elapsed =
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start);
+  };
+
+  ThreadPool& pool = config.pool != nullptr ? *config.pool
+                                            : ThreadPool::global();
+  // on_worker_thread(): racing from inside a worker of the target pool
+  // would block it on members queued behind it (no work stealing) —
+  // degrade to the serial branch, mirroring parallel_for's guard.
+  if (config.parallel && members.size() > 1 && !pool.on_worker_thread()) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      futures.push_back(pool.submit([&run_member, i]() { run_member(i); }));
+    }
+    for (auto& future : futures) future.get();
+  } else {
+    bool decided = false;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (config.cancel_losers && decided) {
+        // Running a member after the race is decided would only hand it an
+        // already-cancelled token and collect a degenerate incumbent —
+        // report it as skipped instead of as a plausible-looking result.
+        result.entries[i].solver = members[i].name;
+        result.entries[i].error = "skipped: an earlier member won the race";
+        continue;
+      }
+      run_member(i);
+      decided = decided || result.entries[i].ok;
+    }
+  }
+
+  result.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      Clock::now() - race_start);
+
+  bool have_winner = false;
+  std::size_t winner = 0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (!result.entries[i].ok) continue;
+    if (!have_winner || result.entries[i].total < result.entries[winner].total) {
+      have_winner = true;
+      winner = i;
+    }
+  }
+  HYPERREC_ENSURE(have_winner, "every portfolio member failed: " +
+                                   result.entries.front().error);
+  result.best = std::move(solutions[winner]);
+  result.winner = members[winner].name;
+  return result;
+}
+
+}  // namespace hyperrec::engine

@@ -1,0 +1,78 @@
+// Portfolio solving: race several registry solvers on one instance.
+//
+// Algorithm-portfolio runtimes (one instance, many strategies, pick the
+// best answer available when the budget runs out) are the standard way to
+// serve optimisation problems under latency targets.  solve_portfolio runs
+// a configurable subset of standard_solvers() on the same (trace, machine,
+// options) instance, all sharing one CancelToken:
+//
+//   * with a deadline, iterative solvers (annealing, genetic, coordinate
+//     descent) return their incumbent when it fires, so every member
+//     produces a feasible answer;
+//   * with cancel_losers, the first member to finish cancels the rest —
+//     latency mode for serving;
+//   * members run either concurrently on a ThreadPool or serially
+//     (deterministic, and required when called from inside a pool worker —
+//     see BatchEngine).
+//
+// The best completed answer wins; ties break towards the earlier line-up
+// position, so results are deterministic for a fixed member set.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "support/cancel.hpp"
+#include "support/thread_pool.hpp"
+
+namespace hyperrec::engine {
+
+struct PortfolioConfig {
+  /// Names from standard_solvers() to race; empty means the whole line-up.
+  /// Unknown names are a precondition error.
+  std::vector<std::string> solvers;
+  /// Per-call budget; 0 means none.  Implemented as a CancelToken deadline
+  /// shared by all members.
+  std::chrono::milliseconds deadline{0};
+  /// First completed member cancels the rest (latency mode).  Under
+  /// parallel execution the cancelled members still report their
+  /// incumbents; under serial execution the remaining members are skipped
+  /// outright (ok = false, error notes the skip) — running them would only
+  /// collect degenerate incumbents from an already-cancelled token.
+  bool cancel_losers = false;
+  /// Run members concurrently on `pool` (nullptr: the global pool).  When
+  /// the caller itself runs on a worker of that pool the race silently
+  /// degrades to serial execution (blocking a worker on work queued behind
+  /// it would deadlock the shared no-work-stealing queue).
+  bool parallel = true;
+  ThreadPool* pool = nullptr;
+};
+
+struct PortfolioEntry {
+  std::string solver;
+  Cost total = 0;
+  std::chrono::microseconds elapsed{0};
+  bool ok = false;    ///< solver returned a solution (did not throw)
+  std::string error;  ///< exception text when !ok
+};
+
+struct PortfolioResult {
+  MTSolution best;
+  std::string winner;  ///< name of the member that produced `best`
+  std::vector<PortfolioEntry> entries;  ///< line-up order
+  std::chrono::microseconds elapsed{0};
+};
+
+/// Races the configured members on one instance.  Throws PreconditionError
+/// for unknown member names or when every member throws (the instance
+/// itself is infeasible for the whole line-up).  `cancel` is the caller's
+/// token; the config deadline is linked under it, so either fires the race.
+[[nodiscard]] PortfolioResult solve_portfolio(const MultiTaskTrace& trace,
+                                              const MachineSpec& machine,
+                                              const EvalOptions& options = {},
+                                              const PortfolioConfig& config = {},
+                                              const CancelToken& cancel = {});
+
+}  // namespace hyperrec::engine

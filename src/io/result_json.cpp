@@ -1,0 +1,87 @@
+#include "io/result_json.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace hyperrec::io {
+
+namespace {
+
+/// RFC 8259 string escaping: quote, backslash and control characters; all
+/// other bytes pass through (UTF-8 payloads stay intact).
+void write_escaped(std::ostream& os, const std::string& text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buffer;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_entry(std::ostream& os, const engine::PortfolioEntry& entry) {
+  os << "{\"name\":";
+  write_escaped(os, entry.solver);
+  os << ",\"ok\":" << (entry.ok ? "true" : "false")
+     << ",\"total\":" << entry.total
+     << ",\"elapsed_us\":" << entry.elapsed.count() << '}';
+}
+
+void write_job(std::ostream& os, const engine::JobResult& job) {
+  os << "{\"index\":" << job.index << ",\"name\":";
+  write_escaped(os, job.name);
+  os << ",\"ok\":" << (job.ok ? "true" : "false") << ",\"error\":";
+  write_escaped(os, job.error);
+  os << ",\"winner\":";
+  write_escaped(os, job.winner);
+  const CostBreakdown& cost = job.solution.breakdown;
+  os << ",\"elapsed_us\":" << job.elapsed.count() << ",\"cost\":{\"total\":"
+     << cost.total << ",\"hyper\":" << cost.hyper << ",\"reconfig\":"
+     << cost.reconfig << ",\"global_hyper\":" << cost.global_hyper
+     << ",\"partial_hyper_steps\":" << cost.partial_hyper_steps
+     << "},\"solvers\":[";
+  for (std::size_t i = 0; i < job.entries.size(); ++i) {
+    if (i > 0) os << ',';
+    write_entry(os, job.entries[i]);
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+void save_batch_result_json(std::ostream& os,
+                            const engine::BatchResult& result) {
+  os << "{\"schema\":\"hyperrec-batch-result\",\"version\":1"
+     << ",\"parallelism\":" << result.parallelism
+     << ",\"elapsed_us\":" << result.elapsed.count()
+     << ",\"job_count\":" << result.jobs.size() << ",\"jobs\":[";
+  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+    if (i > 0) os << ',';
+    write_job(os, result.jobs[i]);
+  }
+  os << "]}\n";
+}
+
+std::string batch_result_to_json(const engine::BatchResult& result) {
+  std::ostringstream os;
+  save_batch_result_json(os, result);
+  return os.str();
+}
+
+}  // namespace hyperrec::io

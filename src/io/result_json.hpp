@@ -1,0 +1,48 @@
+// JSON serialisation of batch-engine results.
+//
+// Downstream tooling (dashboards, regression trackers, the hyperrec_cli
+// driver) consumes batch results as JSON.  The writer emits a stable,
+// documented schema:
+//
+//   {
+//     "schema": "hyperrec-batch-result",
+//     "version": 1,
+//     "parallelism": <workers>,
+//     "elapsed_us": <batch wall time>,
+//     "job_count": <n>,
+//     "jobs": [
+//       {
+//         "index": <input position>,
+//         "name": "<label>",
+//         "ok": true|false,
+//         "error": "<exception text, empty when ok>",
+//         "winner": "<solver name>",
+//         "elapsed_us": <job wall time>,
+//         "cost": { "total": t, "hyper": h, "reconfig": r,
+//                   "global_hyper": g, "partial_hyper_steps": s },
+//         "solvers": [
+//           { "name": "...", "ok": true|false, "total": t,
+//             "elapsed_us": us }, ... ]
+//       }, ... ]
+//   }
+//
+// Guarantees: keys always appear, in exactly this order (goldens may diff
+// the output); every number is a decimal integer — costs and durations are
+// integral, so NaN/Inf cannot occur; strings are escaped per RFC 8259.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "engine/batch_engine.hpp"
+
+namespace hyperrec::io {
+
+void save_batch_result_json(std::ostream& os,
+                            const engine::BatchResult& result);
+
+/// Convenience: the same document as a string.
+[[nodiscard]] std::string batch_result_to_json(
+    const engine::BatchResult& result);
+
+}  // namespace hyperrec::io

@@ -1,0 +1,128 @@
+// Cooperative cancellation with optional deadlines.
+//
+// A CancelToken is a cheap, copyable handle that long-running solvers poll
+// between iterations: when it reports cancelled() they stop early and return
+// their current incumbent instead of throwing.  Tokens come in four
+// flavours:
+//
+//   * default-constructed — inert: never cancels, checks are a null test;
+//   * manual()            — cancelled explicitly via cancel();
+//   * with_deadline()/after() — cancels once a steady-clock deadline passes;
+//   * linked(parent, …)   — cancels when the parent does *or* on its own
+//                           flag/deadline (used per job under an engine-wide
+//                           token).
+//
+// Copies share state, so a token handed to N racing solvers cancels them
+// all at once.  cancelled() is lock-free and safe to call from any thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "support/ensure.hpp"
+
+namespace hyperrec {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Inert token: cancellable() is false and cancelled() is always false.
+  CancelToken() = default;
+
+  /// Token that cancels only via cancel().
+  [[nodiscard]] static CancelToken manual() {
+    return CancelToken(std::make_shared<State>());
+  }
+
+  /// Token that cancels once `deadline` passes (or via cancel()).
+  [[nodiscard]] static CancelToken with_deadline(Clock::time_point deadline) {
+    auto state = std::make_shared<State>();
+    state->has_deadline = true;
+    state->deadline = deadline;
+    return CancelToken(std::move(state));
+  }
+
+  /// Token that cancels `budget` from now (or via cancel()).
+  [[nodiscard]] static CancelToken after(std::chrono::nanoseconds budget) {
+    return with_deadline(Clock::now() + budget);
+  }
+
+  /// Token that is already cancelled (for deadline-contract tests and
+  /// "evaluate the incumbent only" runs).
+  [[nodiscard]] static CancelToken expired() {
+    auto state = std::make_shared<State>();
+    state->flag.store(true, std::memory_order_relaxed);
+    return CancelToken(std::move(state));
+  }
+
+  /// Token that cancels when `parent` does, on its own cancel(), or once
+  /// `deadline` passes — whichever comes first.  An inert parent only
+  /// contributes nothing.
+  [[nodiscard]] static CancelToken linked(const CancelToken& parent,
+                                          Clock::time_point deadline) {
+    auto state = std::make_shared<State>();
+    state->has_deadline = true;
+    state->deadline = deadline;
+    state->parent = parent.state_;
+    return CancelToken(std::move(state));
+  }
+
+  /// Linked token without a deadline of its own.
+  [[nodiscard]] static CancelToken linked(const CancelToken& parent) {
+    auto state = std::make_shared<State>();
+    state->parent = parent.state_;
+    return CancelToken(std::move(state));
+  }
+
+  /// True when this token can ever report cancelled().
+  [[nodiscard]] bool cancellable() const noexcept {
+    return state_ != nullptr;
+  }
+
+  /// Requests cancellation; all copies observe it.  Inert tokens cannot be
+  /// cancelled — constructing one via manual()/after() is the caller's
+  /// statement of intent.
+  void cancel() const {
+    HYPERREC_ENSURE(state_ != nullptr, "cancel() on an inert CancelToken");
+    state_->flag.store(true, std::memory_order_release);
+  }
+
+  /// True once cancel() was called, the deadline passed, or a linked parent
+  /// cancelled.  Lock-free; the deadline latches on first observation.
+  [[nodiscard]] bool cancelled() const noexcept {
+    const State* state = state_.get();
+    if (state == nullptr) return false;
+    if (state->flag.load(std::memory_order_acquire)) return true;
+    if (state->has_deadline && Clock::now() >= state->deadline) {
+      state->flag.store(true, std::memory_order_release);
+      return true;
+    }
+    const State* parent = state->parent.get();
+    while (parent != nullptr) {
+      if (parent->flag.load(std::memory_order_acquire) ||
+          (parent->has_deadline && Clock::now() >= parent->deadline)) {
+        state->flag.store(true, std::memory_order_release);
+        return true;
+      }
+      parent = parent->parent.get();
+    }
+    return false;
+  }
+
+ private:
+  struct State {
+    mutable std::atomic<bool> flag{false};
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+    std::shared_ptr<const State> parent;
+  };
+
+  explicit CancelToken(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace hyperrec

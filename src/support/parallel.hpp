@@ -3,6 +3,11 @@
 // parallel_for statically chunks [begin, end) across the pool; exceptions
 // thrown by the body propagate to the caller (first one wins).  Bodies must
 // not touch overlapping mutable state for distinct indices.
+//
+// Both helpers are reentrancy-safe: called from a worker of the target pool
+// (e.g. a GA fitness loop inside a portfolio race on the same pool) they run
+// serially instead of blocking the worker on nested submissions, which would
+// deadlock the shared queue.
 #pragma once
 
 #include <algorithm>
@@ -23,7 +28,7 @@ void parallel_for(std::size_t begin, std::size_t end, Body&& body,
   if (begin >= end) return;
   const std::size_t total = end - begin;
   const std::size_t workers = pool.thread_count();
-  if (total <= grain || workers <= 1) {
+  if (total <= grain || workers <= 1 || pool.on_worker_thread()) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
@@ -51,7 +56,7 @@ T parallel_reduce(std::size_t begin, std::size_t end, T init, Fn&& fn,
   if (begin >= end) return init;
   const std::size_t total = end - begin;
   const std::size_t workers = pool.thread_count();
-  if (total <= grain || workers <= 1) {
+  if (total <= grain || workers <= 1 || pool.on_worker_thread()) {
     T acc = init;
     for (std::size_t i = begin; i < end; ++i) acc = combine(acc, fn(i));
     return acc;

@@ -21,7 +21,19 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+namespace {
+
+/// Pool whose worker_loop is running on this thread, if any.
+thread_local const ThreadPool* current_pool = nullptr;
+
+}  // namespace
+
+bool ThreadPool::on_worker_thread() const noexcept {
+  return current_pool == this;
+}
+
 void ThreadPool::worker_loop() {
+  current_pool = this;
   for (;;) {
     std::function<void()> job;
     {

@@ -38,6 +38,12 @@ class ThreadPool {
     return workers_.size();
   }
 
+  /// True when the calling thread is one of this pool's workers.  Blocking
+  /// a worker on work queued behind it deadlocks the shared queue (no work
+  /// stealing), so fork/join helpers use this to degrade to serial
+  /// execution instead of submitting nested work.
+  [[nodiscard]] bool on_worker_thread() const noexcept;
+
   /// Enqueues a nullary callable; returns a future for its result.
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {

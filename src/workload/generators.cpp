@@ -146,6 +146,61 @@ void add_private_demand(TaskTrace& trace, std::uint32_t low,
   trace = std::move(rebuilt);
 }
 
+const std::vector<std::string>& family_names() {
+  static const std::vector<std::string> kNames = {
+      "phased", "random", "random-walk", "bursty", "periodic"};
+  return kNames;
+}
+
+TaskTrace make_family(const std::string& kind, std::size_t steps,
+                      std::size_t universe, Xoshiro256& rng) {
+  if (kind == "phased") {
+    PhasedConfig config;
+    config.steps = steps;
+    config.universe = universe;
+    return make_phased(config, rng);
+  }
+  if (kind == "random") {
+    RandomConfig config;
+    config.steps = steps;
+    config.universe = universe;
+    return make_random(config, rng);
+  }
+  if (kind == "random-walk") {
+    RandomWalkConfig config;
+    config.steps = steps;
+    config.universe = universe;
+    config.window = universe / 4 + 1;
+    return make_random_walk(config, rng);
+  }
+  if (kind == "bursty") {
+    BurstyConfig config;
+    config.steps = steps;
+    config.universe = universe;
+    return make_bursty(config, rng);
+  }
+  if (kind == "periodic") {
+    PeriodicConfig config;
+    config.period = steps / 8 + 1;
+    config.repetitions = (steps + config.period - 1) / config.period;
+    config.universe = universe;
+    return make_periodic(config, rng);
+  }
+  HYPERREC_ENSURE(false, "unknown workload family: " + kind);
+}
+
+MultiTaskTrace make_multi_family(const std::string& kind, std::size_t tasks,
+                                 std::size_t steps, std::size_t universe,
+                                 Xoshiro256& rng) {
+  HYPERREC_ENSURE(tasks > 0, "at least one task required");
+  MultiTaskTrace trace;
+  for (std::size_t j = 0; j < tasks; ++j) {
+    Xoshiro256 task_rng = rng.split(j);
+    trace.add_task(make_family(kind, steps, universe, task_rng));
+  }
+  return trace;
+}
+
 MultiTaskTrace make_multi_phased(const MultiPhasedConfig& config,
                                  std::uint64_t seed) {
   HYPERREC_ENSURE(config.tasks > 0, "at least one task required");

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "model/trace.hpp"
@@ -90,6 +91,27 @@ struct PeriodicConfig {
 /// heavy phases — the paper's motivating example for private resources).
 void add_private_demand(TaskTrace& trace, std::uint32_t low,
                         std::uint32_t high, std::size_t phases);
+
+/// The five generator family names in canonical order: phased, random,
+/// random-walk, bursty, periodic.  The by-name entry points below keep the
+/// CLI, benches and test fixtures on one family list.
+[[nodiscard]] const std::vector<std::string>& family_names();
+
+/// Builds a trace of the named family with canonical derived parameters
+/// for the given shape (e.g. random-walk window = universe/4 + 1, periodic
+/// period = steps/8 + 1 with steps rounded up to whole periods).  Unknown
+/// names are a precondition error.
+[[nodiscard]] TaskTrace make_family(const std::string& kind,
+                                    std::size_t steps, std::size_t universe,
+                                    Xoshiro256& rng);
+
+/// Synchronized multi-task trace: `tasks` independent make_family streams
+/// split off `rng` (stream j for task j).
+[[nodiscard]] MultiTaskTrace make_multi_family(const std::string& kind,
+                                               std::size_t tasks,
+                                               std::size_t steps,
+                                               std::size_t universe,
+                                               Xoshiro256& rng);
 
 /// Composes a synchronized multi-task trace from per-task generators, all
 /// derived deterministically from one seed.

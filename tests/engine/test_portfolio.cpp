@@ -1,0 +1,146 @@
+#include "engine/portfolio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testutil/workload_instances.hpp"
+
+namespace hyperrec::engine {
+namespace {
+
+using testutil::seeded_workload_instances;
+using testutil::WorkloadInstance;
+
+WorkloadInstance small_instance() {
+  return seeded_workload_instances(3, 24, 12, 0xF01D)[0];
+}
+
+TEST(Portfolio, EmptyConfigRacesTheWholeLineUp) {
+  const WorkloadInstance instance = small_instance();
+  const PortfolioResult result =
+      solve_portfolio(instance.trace, instance.machine);
+  EXPECT_EQ(result.entries.size(), standard_solvers().size());
+  EXPECT_FALSE(result.winner.empty());
+}
+
+TEST(Portfolio, WinnerHasTheMinimumTotalAmongMembers) {
+  const WorkloadInstance instance = small_instance();
+  PortfolioConfig config;
+  config.solvers = {"aligned-dp", "greedy-w8", "coord-descent"};
+  const PortfolioResult result =
+      solve_portfolio(instance.trace, instance.machine, {}, config);
+  ASSERT_EQ(result.entries.size(), 3u);
+  Cost minimum = result.entries.front().total;
+  for (const PortfolioEntry& entry : result.entries) {
+    ASSERT_TRUE(entry.ok) << entry.solver << ": " << entry.error;
+    minimum = std::min(minimum, entry.total);
+  }
+  EXPECT_EQ(result.best.total(), minimum);
+  const bool winner_requested =
+      std::find(config.solvers.begin(), config.solvers.end(), result.winner) !=
+      config.solvers.end();
+  EXPECT_TRUE(winner_requested) << result.winner;
+}
+
+TEST(Portfolio, UnknownMemberNameIsAPreconditionError) {
+  const WorkloadInstance instance = small_instance();
+  PortfolioConfig config;
+  config.solvers = {"aligned-dp", "no-such-solver"};
+  EXPECT_THROW(solve_portfolio(instance.trace, instance.machine, {}, config),
+               PreconditionError);
+}
+
+TEST(Portfolio, SerialAndParallelAgreeWithoutADeadline) {
+  // All five members are deterministic given their fixed seeds, so without
+  // a deadline the execution mode cannot change any entry's cost.
+  const WorkloadInstance instance = small_instance();
+  PortfolioConfig serial;
+  serial.parallel = false;
+  PortfolioConfig parallel;
+  parallel.parallel = true;
+  const PortfolioResult a =
+      solve_portfolio(instance.trace, instance.machine, {}, serial);
+  const PortfolioResult b =
+      solve_portfolio(instance.trace, instance.machine, {}, parallel);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].solver, b.entries[i].solver);
+    EXPECT_EQ(a.entries[i].total, b.entries[i].total) << a.entries[i].solver;
+  }
+  EXPECT_EQ(a.best.total(), b.best.total());
+  EXPECT_EQ(a.winner, b.winner);
+}
+
+TEST(Portfolio, CancelLosersStillReportsEveryMember) {
+  const WorkloadInstance instance = small_instance();
+  PortfolioConfig config;
+  config.cancel_losers = true;
+  const PortfolioResult result =
+      solve_portfolio(instance.trace, instance.machine, {}, config);
+  EXPECT_EQ(result.entries.size(), standard_solvers().size());
+  for (const PortfolioEntry& entry : result.entries) {
+    EXPECT_TRUE(entry.ok) << entry.solver << ": " << entry.error;
+  }
+}
+
+TEST(Portfolio, SerialCancelLosersSkipsMembersAfterTheFirstWin) {
+  const WorkloadInstance instance = small_instance();
+  PortfolioConfig config;
+  config.solvers = {"greedy-w8", "coord-descent", "annealing"};
+  config.cancel_losers = true;
+  config.parallel = false;
+  const PortfolioResult result =
+      solve_portfolio(instance.trace, instance.machine, {}, config);
+  ASSERT_EQ(result.entries.size(), 3u);
+  EXPECT_TRUE(result.entries[0].ok) << result.entries[0].error;
+  EXPECT_EQ(result.winner, "greedy-w8");
+  for (std::size_t i = 1; i < result.entries.size(); ++i) {
+    EXPECT_FALSE(result.entries[i].ok);
+    EXPECT_NE(result.entries[i].error.find("skipped"), std::string::npos)
+        << result.entries[i].error;
+  }
+}
+
+TEST(Portfolio, RaceFromInsideItsOwnPoolDegradesToSerialInsteadOfDeadlock) {
+  // One worker, and the race is started from that worker: without the
+  // on_worker_thread() guard the member tasks would sit behind the blocked
+  // worker forever.
+  const WorkloadInstance instance = small_instance();
+  ThreadPool pool(1);
+  PortfolioConfig config;
+  config.solvers = {"aligned-dp", "greedy-w8"};
+  config.parallel = true;
+  config.pool = &pool;
+  auto future = pool.submit([&]() {
+    return solve_portfolio(instance.trace, instance.machine, {}, config);
+  });
+  const PortfolioResult result = future.get();
+  EXPECT_EQ(result.entries.size(), 2u);
+  EXPECT_FALSE(result.winner.empty());
+}
+
+TEST(Portfolio, ExternalCancelStillYieldsAFeasibleBest) {
+  const WorkloadInstance instance = small_instance();
+  const PortfolioResult result = solve_portfolio(
+      instance.trace, instance.machine, {}, {}, CancelToken::expired());
+  EXPECT_NO_THROW(result.best.schedule.validate(instance.trace.task_count(),
+                                                instance.trace.steps()));
+  const MTSolution check = make_solution(instance.trace, instance.machine,
+                                         result.best.schedule, {});
+  EXPECT_EQ(check.total(), result.best.total());
+}
+
+TEST(Portfolio, BestBreakdownMatchesReEvaluation) {
+  const WorkloadInstance instance = small_instance();
+  const PortfolioResult result =
+      solve_portfolio(instance.trace, instance.machine);
+  const MTSolution check = make_solution(instance.trace, instance.machine,
+                                         result.best.schedule, {});
+  EXPECT_EQ(check.breakdown.total, result.best.breakdown.total);
+  EXPECT_EQ(check.breakdown.hyper, result.best.breakdown.hyper);
+  EXPECT_EQ(check.breakdown.reconfig, result.best.breakdown.reconfig);
+}
+
+}  // namespace
+}  // namespace hyperrec::engine

@@ -1,0 +1,260 @@
+// result_json writer: golden output (stable key order is part of the
+// contract), RFC 8259 escaping, syntactic validity checked by a strict
+// mini-parser, and absence of NaN/Inf (costs and durations are integral).
+#include "io/result_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+
+#include "engine/batch_engine.hpp"
+#include "testutil/workload_instances.hpp"
+
+namespace hyperrec::io {
+namespace {
+
+// --- strict recursive-descent JSON validator (RFC 8259 subset) -----------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int k = 1; k <= 4; ++k) {
+            if (pos_ + k >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + k]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start || (text_[start] == '-' && pos_ == start + 1)) {
+      return false;
+    }
+    if (peek() == '.') {
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return true;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+engine::BatchResult handcrafted_result() {
+  engine::BatchResult result;
+  result.parallelism = 2;
+  result.elapsed = std::chrono::microseconds{777};
+
+  engine::JobResult job;
+  job.index = 0;
+  job.name = "phased-0";
+  job.ok = true;
+  job.winner = "coord-descent";
+  job.elapsed = std::chrono::microseconds{123};
+  job.solution.breakdown.total = 42;
+  job.solution.breakdown.hyper = 12;
+  job.solution.breakdown.reconfig = 30;
+  job.solution.breakdown.global_hyper = 0;
+  job.solution.breakdown.partial_hyper_steps = 3;
+  engine::PortfolioEntry entry;
+  entry.solver = "coord-descent";
+  entry.total = 42;
+  entry.elapsed = std::chrono::microseconds{99};
+  entry.ok = true;
+  job.entries.push_back(entry);
+  result.jobs.push_back(std::move(job));
+
+  engine::JobResult failed;
+  failed.index = 1;
+  failed.name = "bad";
+  failed.ok = false;
+  failed.error = "machine/trace mismatch";
+  failed.elapsed = std::chrono::microseconds{4};
+  result.jobs.push_back(std::move(failed));
+  return result;
+}
+
+TEST(ResultJson, GoldenEmptyBatch) {
+  engine::BatchResult result;
+  result.parallelism = 4;
+  result.elapsed = std::chrono::microseconds{0};
+  EXPECT_EQ(batch_result_to_json(result),
+            "{\"schema\":\"hyperrec-batch-result\",\"version\":1,"
+            "\"parallelism\":4,\"elapsed_us\":0,\"job_count\":0,"
+            "\"jobs\":[]}\n");
+}
+
+TEST(ResultJson, GoldenTwoJobBatchWithStableKeyOrder) {
+  EXPECT_EQ(
+      batch_result_to_json(handcrafted_result()),
+      "{\"schema\":\"hyperrec-batch-result\",\"version\":1,"
+      "\"parallelism\":2,\"elapsed_us\":777,\"job_count\":2,\"jobs\":["
+      "{\"index\":0,\"name\":\"phased-0\",\"ok\":true,\"error\":\"\","
+      "\"winner\":\"coord-descent\",\"elapsed_us\":123,"
+      "\"cost\":{\"total\":42,\"hyper\":12,\"reconfig\":30,"
+      "\"global_hyper\":0,\"partial_hyper_steps\":3},"
+      "\"solvers\":[{\"name\":\"coord-descent\",\"ok\":true,\"total\":42,"
+      "\"elapsed_us\":99}]},"
+      "{\"index\":1,\"name\":\"bad\",\"ok\":false,"
+      "\"error\":\"machine/trace mismatch\",\"winner\":\"\","
+      "\"elapsed_us\":4,\"cost\":{\"total\":0,\"hyper\":0,\"reconfig\":0,"
+      "\"global_hyper\":0,\"partial_hyper_steps\":0},\"solvers\":[]}]}\n");
+}
+
+TEST(ResultJson, HostileStringsAreEscapedAndStillValidJson) {
+  engine::BatchResult result;
+  result.parallelism = 1;
+  engine::JobResult job;
+  job.index = 0;
+  job.name = "quote\" backslash\\ newline\n tab\t bell\x07 end";
+  job.error = std::string("nul\x01" "byte");
+  job.winner = "naïve-ütf8";
+  result.jobs.push_back(std::move(job));
+
+  const std::string json = batch_result_to_json(result);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("quote\\\""), std::string::npos);
+  EXPECT_NE(json.find("backslash\\\\"), std::string::npos);
+  EXPECT_NE(json.find("newline\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\u0007"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("naïve-ütf8"), std::string::npos);
+}
+
+TEST(ResultJson, RealEngineOutputParsesAndIsNaNFree) {
+  std::vector<engine::BatchJob> jobs;
+  for (auto& instance :
+       testutil::seeded_workload_instances(2, 16, 8, 0x10AD)) {
+    engine::BatchJob job;
+    job.trace = std::move(instance.trace);
+    job.machine = std::move(instance.machine);
+    job.name = instance.name;
+    jobs.push_back(std::move(job));
+  }
+  engine::BatchEngineConfig config;
+  config.portfolio.solvers = {"aligned-dp", "greedy-w8"};
+  const engine::BatchResult result =
+      engine::BatchEngine(std::move(config)).solve(jobs);
+
+  const std::string json = batch_result_to_json(result);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  for (const char* forbidden : {"nan", "inf", "NaN", "Inf"}) {
+    EXPECT_EQ(json.find(forbidden), std::string::npos) << forbidden;
+  }
+}
+
+TEST(ResultJson, StreamAndStringOverloadsAgree) {
+  const engine::BatchResult result = handcrafted_result();
+  std::ostringstream os;
+  save_batch_result_json(os, result);
+  EXPECT_EQ(os.str(), batch_result_to_json(result));
+}
+
+}  // namespace
+}  // namespace hyperrec::io

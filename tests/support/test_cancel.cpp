@@ -1,0 +1,121 @@
+#include "support/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace hyperrec {
+namespace {
+
+TEST(CancelToken, DefaultIsInertAndNeverCancels) {
+  const CancelToken token;
+  EXPECT_FALSE(token.cancellable());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, CancelOnInertTokenIsAPreconditionError) {
+  const CancelToken token;
+  EXPECT_THROW(token.cancel(), PreconditionError);
+}
+
+TEST(CancelToken, ManualCancelObservedByAllCopies) {
+  const CancelToken token = CancelToken::manual();
+  const CancelToken copy = token;
+  EXPECT_TRUE(token.cancellable());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(copy.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(copy.cancelled());
+}
+
+TEST(CancelToken, ExpiredIsImmediatelyCancelled) {
+  EXPECT_TRUE(CancelToken::expired().cancelled());
+}
+
+TEST(CancelToken, PastDeadlineCancels) {
+  const CancelToken token = CancelToken::with_deadline(
+      CancelToken::Clock::now() - std::chrono::milliseconds{1});
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelToken, ZeroBudgetCancels) {
+  EXPECT_TRUE(CancelToken::after(std::chrono::nanoseconds{0}).cancelled());
+}
+
+TEST(CancelToken, FarDeadlineDoesNotCancelYet) {
+  const CancelToken token = CancelToken::after(std::chrono::hours{1});
+  EXPECT_TRUE(token.cancellable());
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();  // manual cancel still works on deadline tokens
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelToken, DeadlineLatchesOnceObserved) {
+  const CancelToken token = CancelToken::after(std::chrono::milliseconds{1});
+  std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelToken, LinkedSeesParentCancel) {
+  const CancelToken parent = CancelToken::manual();
+  const CancelToken child = CancelToken::linked(parent);
+  EXPECT_FALSE(child.cancelled());
+  parent.cancel();
+  EXPECT_TRUE(child.cancelled());
+}
+
+TEST(CancelToken, ChildCancelDoesNotPropagateUpwards) {
+  const CancelToken parent = CancelToken::manual();
+  const CancelToken child = CancelToken::linked(parent);
+  child.cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_FALSE(parent.cancelled());
+}
+
+TEST(CancelToken, LinkedDeadlineFiresIndependentlyOfParent) {
+  const CancelToken parent = CancelToken::manual();
+  const CancelToken child = CancelToken::linked(
+      parent, CancelToken::Clock::now() - std::chrono::milliseconds{1});
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_FALSE(parent.cancelled());
+}
+
+TEST(CancelToken, LinkedToInertParentBehavesLikePlainToken) {
+  const CancelToken child = CancelToken::linked(CancelToken{});
+  EXPECT_FALSE(child.cancelled());
+  child.cancel();
+  EXPECT_TRUE(child.cancelled());
+}
+
+TEST(CancelToken, GrandparentCancelReachesGrandchild) {
+  const CancelToken root = CancelToken::manual();
+  const CancelToken mid = CancelToken::linked(root);
+  const CancelToken leaf = CancelToken::linked(mid);
+  root.cancel();
+  EXPECT_TRUE(leaf.cancelled());
+}
+
+TEST(CancelToken, ConcurrentPollersAllObserveOneCancel) {
+  const CancelToken token = CancelToken::manual();
+  std::atomic<bool> go{false};
+  std::atomic<std::size_t> observed{0};
+  std::vector<std::thread> pollers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    pollers.emplace_back([&]() {
+      while (!go.load()) std::this_thread::yield();
+      while (!token.cancelled()) std::this_thread::yield();
+      observed.fetch_add(1);
+    });
+  }
+  go.store(true);
+  token.cancel();
+  for (auto& poller : pollers) poller.join();
+  EXPECT_EQ(observed.load(), 4u);
+}
+
+}  // namespace
+}  // namespace hyperrec

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <stdexcept>
+#include <string>
 
 namespace hyperrec {
 namespace {
@@ -67,6 +69,167 @@ TEST(ParallelReduce, ExceptionPropagates) {
                    },
                    [](int a, int b) { return a + b; }, pool),
                std::logic_error);
+}
+
+TEST(ParallelFor, EveryBodyThrowingPropagatesExactlyOneWinner) {
+  // All 64 bodies throw a distinct exception; the caller must observe
+  // exactly one of them (first future wins) and the rest must be swallowed
+  // without terminate() or leaks.
+  ThreadPool pool(4);
+  std::size_t caught = 0;
+  std::string winner;
+  try {
+    parallel_for(0, 64, [](std::size_t i) {
+      throw std::runtime_error(std::to_string(i));
+    }, pool);
+  } catch (const std::runtime_error& error) {
+    ++caught;
+    winner = error.what();
+  }
+  ASSERT_EQ(caught, 1u);
+  const int index = std::stoi(winner);
+  EXPECT_GE(index, 0);
+  EXPECT_LT(index, 64);
+}
+
+TEST(ParallelFor, EmptyAndInvertedRangesRunNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  parallel_for(5, 5, [&calls](std::size_t) { ++calls; }, pool);
+  parallel_for(7, 3, [&calls](std::size_t) { ++calls; }, pool);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, SingleElementRangeRunsOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::atomic<std::size_t> seen{0};
+  parallel_for(41, 42, [&](std::size_t i) {
+    ++calls;
+    seen = i;
+  }, pool);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen.load(), 41u);
+}
+
+TEST(ParallelFor, GrainLargerThanRangeFallsBackToSerialInOrder) {
+  ThreadPool pool(4);
+  std::vector<int> order;  // unsynchronised on purpose: must stay serial
+  parallel_for(0, 10, [&order](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  }, pool, /*grain=*/100);
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, NestedFireAndForgetSubmissionToSamePool) {
+  // Bodies may submit follow-up work to the pool they run on as long as
+  // they do not block on it (the shared queue has no work stealing).  The
+  // caller collects the inner futures after the outer loop joins.
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::vector<std::future<int>> inner;
+  parallel_for(0, 32, [&](std::size_t i) {
+    auto future = pool.submit([i]() { return static_cast<int>(i) * 2; });
+    const std::lock_guard<std::mutex> lock(mutex);
+    inner.push_back(std::move(future));
+  }, pool);
+  ASSERT_EQ(inner.size(), 32u);
+  int sum = 0;
+  for (auto& future : inner) sum += future.get();
+  EXPECT_EQ(sum, 2 * (31 * 32) / 2);
+}
+
+TEST(ParallelFor, NestedBlockingLoopOnSamePoolDegradesToSerial) {
+  // A body that runs another parallel_for on the SAME pool must not submit
+  // nested work (the worker would block on tasks queued behind it and
+  // deadlock the shared queue); the reentrancy guard runs it serially.
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  parallel_for(0, 16, [&](std::size_t) {
+    parallel_for(0, 16, [&count](std::size_t) { ++count; }, pool);
+  }, pool);
+  EXPECT_EQ(count.load(), 256);
+}
+
+TEST(ParallelReduce, NestedReduceOnSamePoolDegradesToSerial) {
+  ThreadPool pool(4);
+  const auto total = parallel_reduce<std::int64_t>(
+      0, 8, 0,
+      [&pool](std::size_t) {
+        return parallel_reduce<std::int64_t>(
+            0, 8, 0,
+            [](std::size_t j) { return static_cast<std::int64_t>(j); },
+            [](std::int64_t a, std::int64_t b) { return a + b; }, pool);
+      },
+      [](std::int64_t a, std::int64_t b) { return a + b; }, pool);
+  EXPECT_EQ(total, 8 * 28);
+}
+
+TEST(ThreadPoolReentrancy, OnWorkerThreadDetectsOwnPoolOnly) {
+  ThreadPool a(2);
+  ThreadPool b(2);
+  EXPECT_FALSE(a.on_worker_thread());
+  const bool on_a = a.submit([&a]() { return a.on_worker_thread(); }).get();
+  const bool cross = a.submit([&b]() { return b.on_worker_thread(); }).get();
+  EXPECT_TRUE(on_a);
+  EXPECT_FALSE(cross);
+}
+
+TEST(ParallelFor, NestedLoopOnSecondPoolCompletes) {
+  // Inner loops must run on their own pool: outer workers block in the
+  // inner join, which is safe because the inner pool makes progress.
+  ThreadPool outer(3);
+  ThreadPool inner(2);
+  std::atomic<int> count{0};
+  parallel_for(0, 8, [&](std::size_t) {
+    parallel_for(0, 8, [&count](std::size_t) { ++count; }, inner);
+  }, outer);
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ParallelFor, ConcurrentLoopsFromManyThreadsShareOnePool) {
+  // Hammer one pool from several caller threads at once; every loop must
+  // see all of its own iterations exactly once.
+  ThreadPool pool(4);
+  std::vector<std::thread> callers;
+  std::array<std::atomic<std::int64_t>, 6> sums{};
+  for (std::size_t t = 0; t < sums.size(); ++t) {
+    callers.emplace_back([&pool, &sums, t]() {
+      for (int repeat = 0; repeat < 20; ++repeat) {
+        sums[t] = 0;
+        parallel_for(0, 500, [&sums, t](std::size_t i) {
+          sums[t] += static_cast<std::int64_t>(i);
+        }, pool);
+        ASSERT_EQ(sums[t].load(), 500ll * 499 / 2);
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInit) {
+  ThreadPool pool(4);
+  const int result = parallel_reduce<int>(
+      9, 9, -7, [](std::size_t) { return 1; },
+      [](int a, int b) { return a + b; }, pool);
+  EXPECT_EQ(result, -7);
+}
+
+TEST(ParallelReduce, GrainLargerThanRangeFallsBackToSerial) {
+  ThreadPool pool(4);
+  const int result = parallel_reduce<int>(
+      0, 10, 0, [](std::size_t i) { return static_cast<int>(i); },
+      [](int a, int b) { return a + b; }, pool, /*grain=*/1000);
+  EXPECT_EQ(result, 45);
+}
+
+TEST(ParallelReduce, SingleElementRange) {
+  ThreadPool pool(4);
+  const int result = parallel_reduce<int>(
+      3, 4, 100, [](std::size_t i) { return static_cast<int>(i); },
+      [](int a, int b) { return a + b; }, pool);
+  EXPECT_EQ(result, 103);
 }
 
 }  // namespace

@@ -1,0 +1,27 @@
+#include "testutil/workload_instances.hpp"
+
+#include "workload/generators.hpp"
+
+namespace hyperrec::testutil {
+
+std::vector<WorkloadInstance> seeded_workload_instances(std::size_t tasks,
+                                                        std::size_t steps,
+                                                        std::size_t universe,
+                                                        std::uint64_t seed) {
+  std::vector<WorkloadInstance> instances;
+  Xoshiro256 root(seed);
+  std::uint64_t family_index = 0;
+  for (const std::string& kind : workload::family_names()) {
+    WorkloadInstance instance;
+    instance.name = kind;
+    Xoshiro256 family_rng = root.split(family_index++);
+    instance.trace =
+        workload::make_multi_family(kind, tasks, steps, universe, family_rng);
+    instance.machine =
+        MachineSpec::local_only(std::vector<std::size_t>(tasks, universe));
+    instances.push_back(std::move(instance));
+  }
+  return instances;
+}
+
+}  // namespace hyperrec::testutil

@@ -1,0 +1,31 @@
+// Seeded multi-task instances drawn from every workload generator family.
+//
+// The engine suites (portfolio races, batch sharding, deadline contracts)
+// all need "one instance per generator kind, deterministic in the seed";
+// this helper builds them so the five families stay in sync across tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/machine.hpp"
+#include "model/trace.hpp"
+
+namespace hyperrec::testutil {
+
+struct WorkloadInstance {
+  std::string name;  ///< generator family: phased, random, ...
+  MultiTaskTrace trace;
+  MachineSpec machine;  ///< local-only, l_j = trace universe
+};
+
+/// One instance per generator family (workload::family_names(), built via
+/// workload::make_family), each with `tasks` tasks of ~`steps` steps over
+/// `universe` switches.  Deterministic in `seed`.  The periodic family
+/// rounds `steps` up to a whole number of periods.
+[[nodiscard]] std::vector<WorkloadInstance> seeded_workload_instances(
+    std::size_t tasks, std::size_t steps, std::size_t universe,
+    std::uint64_t seed);
+
+}  // namespace hyperrec::testutil

@@ -1,0 +1,288 @@
+// Property tests shared by all five workload generators: determinism in
+// the seed, sensitivity to the seed, shape bounds, and behaviour at the
+// density extremes (0.0 and 1.0) where off-by-one windowing bugs live.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workload/generators.hpp"
+
+namespace hyperrec::workload {
+namespace {
+
+constexpr std::size_t kSteps = 48;
+constexpr std::size_t kUniverse = 18;
+
+struct Family {
+  std::string name;
+  std::function<TaskTrace(std::uint64_t seed)> generate;
+};
+
+/// All five generators with mid-range configs and a common shape.
+std::vector<Family> families() {
+  std::vector<Family> result;
+  result.push_back({"phased", [](std::uint64_t seed) {
+                      PhasedConfig config;
+                      config.steps = kSteps;
+                      config.universe = kUniverse;
+                      Xoshiro256 rng(seed);
+                      return make_phased(config, rng);
+                    }});
+  result.push_back({"random", [](std::uint64_t seed) {
+                      RandomConfig config;
+                      config.steps = kSteps;
+                      config.universe = kUniverse;
+                      Xoshiro256 rng(seed);
+                      return make_random(config, rng);
+                    }});
+  result.push_back({"random-walk", [](std::uint64_t seed) {
+                      RandomWalkConfig config;
+                      config.steps = kSteps;
+                      config.universe = kUniverse;
+                      config.window = 6;
+                      Xoshiro256 rng(seed);
+                      return make_random_walk(config, rng);
+                    }});
+  result.push_back({"bursty", [](std::uint64_t seed) {
+                      BurstyConfig config;
+                      config.steps = kSteps;
+                      config.universe = kUniverse;
+                      config.burst_probability = 0.2;
+                      Xoshiro256 rng(seed);
+                      return make_bursty(config, rng);
+                    }});
+  result.push_back({"periodic", [](std::uint64_t seed) {
+                      PeriodicConfig config;
+                      config.repetitions = 8;
+                      config.period = 6;  // 48 steps
+                      config.universe = kUniverse;
+                      Xoshiro256 rng(seed);
+                      return make_periodic(config, rng);
+                    }});
+  return result;
+}
+
+bool identical(const TaskTrace& a, const TaskTrace& b) {
+  if (a.size() != b.size() || a.local_universe() != b.local_universe()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a.at(i).local == b.at(i).local) ||
+        a.at(i).private_demand != b.at(i).private_demand) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(GeneratorProperties, SameSeedReproducesTheTraceBitForBit) {
+  for (const Family& family : families()) {
+    const TaskTrace a = family.generate(0x5EED);
+    const TaskTrace b = family.generate(0x5EED);
+    EXPECT_TRUE(identical(a, b)) << family.name;
+  }
+}
+
+TEST(GeneratorProperties, DifferentSeedsProduceDifferentTraces) {
+  for (const Family& family : families()) {
+    const TaskTrace a = family.generate(1);
+    const TaskTrace b = family.generate(2);
+    EXPECT_FALSE(identical(a, b)) << family.name;
+  }
+}
+
+TEST(GeneratorProperties, EveryStepRespectsUniverseAndStepBounds) {
+  for (const Family& family : families()) {
+    const TaskTrace trace = family.generate(0xB0B);
+    EXPECT_EQ(trace.size(), kSteps) << family.name;
+    EXPECT_EQ(trace.local_universe(), kUniverse) << family.name;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      EXPECT_EQ(trace.at(i).local.size(), kUniverse)
+          << family.name << " step " << i;
+      EXPECT_LE(trace.at(i).local.count(), kUniverse)
+          << family.name << " step " << i;
+    }
+  }
+}
+
+TEST(FamilyFactory, EveryNamedFamilyBuildsAValidTrace) {
+  for (const std::string& kind : family_names()) {
+    Xoshiro256 rng(0xFA);
+    const TaskTrace trace = make_family(kind, 20, 8, rng);
+    EXPECT_GE(trace.size(), 20u) << kind;  // periodic rounds up to periods
+    EXPECT_EQ(trace.local_universe(), 8u) << kind;
+  }
+}
+
+TEST(FamilyFactory, MatchesTheUnderlyingGeneratorForPlainConfigs) {
+  Xoshiro256 by_name_rng(0xAB);
+  const TaskTrace by_name = make_family("random", 15, 7, by_name_rng);
+  RandomConfig config;
+  config.steps = 15;
+  config.universe = 7;
+  Xoshiro256 direct_rng(0xAB);
+  const TaskTrace direct = make_random(config, direct_rng);
+  ASSERT_EQ(by_name.size(), direct.size());
+  for (std::size_t i = 0; i < by_name.size(); ++i) {
+    EXPECT_EQ(by_name.at(i).local, direct.at(i).local) << "step " << i;
+  }
+}
+
+TEST(FamilyFactory, UnknownFamilyIsAPreconditionError) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(make_family("fractal", 10, 5, rng), PreconditionError);
+}
+
+TEST(PhasedExtremes, ZeroDensityAndNoiseYieldEmptyRequirements) {
+  PhasedConfig config;
+  config.steps = 30;
+  config.universe = 12;
+  config.density = 0.0;
+  config.noise = 0.0;
+  Xoshiro256 rng(3);
+  const TaskTrace trace = make_phased(config, rng);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace.at(i).local.count(), 0u) << "step " << i;
+  }
+}
+
+TEST(PhasedExtremes, FullDensityFillsExactlyTheWindow) {
+  PhasedConfig config;
+  config.steps = 30;
+  config.universe = 12;
+  config.window_fraction = 0.25;  // window of 3
+  config.density = 1.0;
+  config.noise = 0.0;
+  Xoshiro256 rng(4);
+  const TaskTrace trace = make_phased(config, rng);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace.at(i).local.count(), 3u) << "step " << i;
+  }
+}
+
+TEST(PhasedExtremes, FullNoiseFillsTheUniverse) {
+  PhasedConfig config;
+  config.steps = 10;
+  config.universe = 9;
+  config.density = 0.0;
+  config.noise = 1.0;
+  Xoshiro256 rng(5);
+  const TaskTrace trace = make_phased(config, rng);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace.at(i).local.count(), 9u) << "step " << i;
+  }
+}
+
+TEST(RandomExtremes, DensityZeroIsEmptyAndOneIsFull) {
+  RandomConfig config;
+  config.steps = 25;
+  config.universe = 14;
+  config.density = 0.0;
+  Xoshiro256 rng(6);
+  const TaskTrace empty = make_random(config, rng);
+  config.density = 1.0;
+  const TaskTrace full = make_random(config, rng);
+  for (std::size_t i = 0; i < 25; ++i) {
+    EXPECT_EQ(empty.at(i).local.count(), 0u) << "step " << i;
+    EXPECT_EQ(full.at(i).local.count(), 14u) << "step " << i;
+  }
+}
+
+TEST(RandomWalkExtremes, FullDensityFillsExactlyTheWindow) {
+  RandomWalkConfig config;
+  config.steps = 40;
+  config.universe = 16;
+  config.window = 5;
+  config.density = 1.0;
+  Xoshiro256 rng(7);
+  const TaskTrace trace = make_random_walk(config, rng);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace.at(i).local.count(), 5u) << "step " << i;
+  }
+}
+
+TEST(RandomWalkExtremes, ZeroDensityIsEmpty) {
+  RandomWalkConfig config;
+  config.steps = 40;
+  config.universe = 16;
+  config.window = 5;
+  config.density = 0.0;
+  Xoshiro256 rng(8);
+  const TaskTrace trace = make_random_walk(config, rng);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace.at(i).local.count(), 0u) << "step " << i;
+  }
+}
+
+TEST(RandomWalkExtremes, WindowWiderThanUniverseIsClippedNotFatal) {
+  RandomWalkConfig config;
+  config.steps = 12;
+  config.universe = 4;
+  config.window = 9;  // wider than the universe
+  config.density = 1.0;
+  Xoshiro256 rng(9);
+  const TaskTrace trace = make_random_walk(config, rng);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace.at(i).local.count(), 4u) << "step " << i;
+  }
+}
+
+TEST(BurstyExtremes, NeverBurstingKeepsEveryStepQuiet) {
+  BurstyConfig config;
+  config.steps = 50;
+  config.universe = 20;
+  config.quiet_switches = 3;
+  config.burst_probability = 0.0;
+  Xoshiro256 rng(10);
+  const TaskTrace trace = make_bursty(config, rng);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_LE(trace.at(i).local.count(), 3u) << "step " << i;
+  }
+}
+
+TEST(BurstyExtremes, AlwaysBurstingAtFullFractionFillsTheUniverse) {
+  BurstyConfig config;
+  config.steps = 20;
+  config.universe = 11;
+  config.burst_probability = 1.0;
+  config.burst_length = 1;  // re-roll the burst every step
+  config.burst_fraction = 1.0;
+  Xoshiro256 rng(11);
+  const TaskTrace trace = make_bursty(config, rng);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace.at(i).local.count(), 11u) << "step " << i;
+  }
+}
+
+TEST(PeriodicExtremes, ZeroWindowFractionStillYieldsAOneSwitchWindow) {
+  PeriodicConfig config;
+  config.repetitions = 3;
+  config.period = 4;
+  config.universe = 10;
+  config.window_fraction = 0.0;
+  Xoshiro256 rng(12);
+  const TaskTrace trace = make_periodic(config, rng);
+  EXPECT_EQ(trace.size(), 12u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_LE(trace.at(i).local.count(), 1u) << "step " << i;
+  }
+}
+
+TEST(PeriodicExtremes, FullWindowFractionStaysWithinTheUniverse) {
+  PeriodicConfig config;
+  config.repetitions = 3;
+  config.period = 4;
+  config.universe = 10;
+  config.window_fraction = 1.0;
+  Xoshiro256 rng(13);
+  const TaskTrace trace = make_periodic(config, rng);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_LE(trace.at(i).local.count(), 10u) << "step " << i;
+    EXPECT_EQ(trace.at(i).local, trace.at(i % 4).local) << "step " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hyperrec::workload
