@@ -4,7 +4,8 @@
 //   hyperrec_cli [--batch=N] [--workload=KIND] [--tasks=M] [--steps=N]
 //                [--universe=L] [--seed=S] [--portfolio=a,b,c]
 //                [--deadline-ms=D] [--jobs=P] [--trace=FILE ...]
-//                [--out=FILE] [--smoke]
+//                [--cache-capacity=C] [--cache-ttl-ms=T] [--warm-start]
+//                [--repeat=R] [--out=FILE] [--smoke]
 //
 //     --batch=N        number of generated jobs (default 8)
 //     --workload=KIND  phased | random | random-walk | bursty | periodic |
@@ -18,6 +19,17 @@
 //     --jobs=P         worker threads, 0 = hardware (default 0)
 //     --trace=FILE     load a hyperrec-trace v1 file as one job instead of
 //                      generating; repeatable, overrides --batch
+//     --cache-capacity=C
+//                      memoizing solve cache with C entries, 0 = off
+//                      (default 0); duplicate jobs coalesce and repeats
+//                      return cached schedules
+//     --cache-ttl-ms=T cache entry time-to-live, 0 = no expiry (default 0)
+//     --warm-start     seed iterative solvers with same-shape cached
+//                      incumbents on cache misses (needs --cache-capacity)
+//     --repeat=R       solve the batch R times through the same engine and
+//                      cache (default 1); the JSON reports the last round,
+//                      whose cache stats are cumulative — with a cache,
+//                      round 2+ are pure hits
 //     --out=FILE       write JSON there instead of stdout
 //     --smoke          tiny batch for CI (4 small jobs, 50 ms deadline)
 //
@@ -31,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/solve_cache.hpp"
 #include "engine/batch_engine.hpp"
 #include "io/result_json.hpp"
 #include "io/trace_io.hpp"
@@ -51,6 +64,10 @@ struct CliOptions {
   std::chrono::milliseconds deadline{0};
   std::size_t jobs = 0;
   std::vector<std::string> trace_files;
+  std::size_t cache_capacity = 0;
+  std::chrono::milliseconds cache_ttl{0};
+  bool warm_start = false;
+  std::size_t repeat = 1;
   std::string out;
 };
 
@@ -147,6 +164,14 @@ int main(int argc, char** argv) {
         options.jobs = std::stoul(value);
       } else if (parse_flag(arg, "--trace", value)) {
         options.trace_files.push_back(value);
+      } else if (parse_flag(arg, "--cache-capacity", value)) {
+        options.cache_capacity = std::stoul(value);
+      } else if (parse_flag(arg, "--cache-ttl-ms", value)) {
+        options.cache_ttl = std::chrono::milliseconds{std::stoll(value)};
+      } else if (std::strcmp(arg, "--warm-start") == 0) {
+        options.warm_start = true;
+      } else if (parse_flag(arg, "--repeat", value)) {
+        options.repeat = std::stoul(value);
       } else if (parse_flag(arg, "--out", value)) {
         options.out = value;
       } else {
@@ -155,7 +180,8 @@ int main(int argc, char** argv) {
                      "usage: %s [--batch=N] [--workload=KIND] [--tasks=M] "
                      "[--steps=N] [--universe=L] [--seed=S] [--portfolio=a,b] "
                      "[--deadline-ms=D] [--jobs=P] [--trace=FILE] "
-                     "[--out=FILE] [--smoke]\n",
+                     "[--cache-capacity=C] [--cache-ttl-ms=T] [--warm-start] "
+                     "[--repeat=R] [--out=FILE] [--smoke]\n",
                      argv[0]);
         return 1;
       }
@@ -175,12 +201,47 @@ int main(int argc, char** argv) {
       }
     }
 
+    HYPERREC_ENSURE(options.repeat >= 1, "--repeat must be at least 1");
+    HYPERREC_ENSURE(!options.warm_start || options.cache_capacity > 0,
+                    "--warm-start requires --cache-capacity > 0");
     engine::BatchEngineConfig config;
     config.parallelism = options.jobs;
     config.portfolio.solvers = options.portfolio;
     config.portfolio.deadline = options.deadline;
+    if (options.cache_capacity > 0) {
+      cache::SolveCacheConfig cache_config;
+      cache_config.capacity = options.cache_capacity;
+      cache_config.ttl = options.cache_ttl;
+      config.cache = std::make_shared<cache::SolveCache>(cache_config);
+      config.warm_start = options.warm_start;
+    }
     const engine::BatchEngine batch_engine(std::move(config));
-    const engine::BatchResult result = batch_engine.solve(jobs);
+
+    engine::BatchResult result;
+    for (std::size_t round = 0; round < options.repeat; ++round) {
+      result = batch_engine.solve(jobs);
+      std::size_t failed = 0;
+      for (const auto& job : result.jobs) {
+        if (!job.ok) ++failed;
+      }
+      std::fprintf(stderr,
+                   "round %zu/%zu: %zu jobs (%zu failed) on %zu workers in "
+                   "%lld us",
+                   round + 1, options.repeat, result.jobs.size(), failed,
+                   result.parallelism,
+                   static_cast<long long>(result.elapsed.count()));
+      if (result.cache_enabled) {
+        std::fprintf(stderr,
+                     "; cache %zu/%zu entries, %llu hits, %llu misses, "
+                     "%llu coalesced",
+                     result.cache_size, result.cache_capacity,
+                     static_cast<unsigned long long>(result.cache_stats.hits),
+                     static_cast<unsigned long long>(result.cache_stats.misses),
+                     static_cast<unsigned long long>(
+                         result.cache_stats.coalesced));
+      }
+      std::fprintf(stderr, "\n");
+    }
 
     if (options.out.empty()) {
       io::save_batch_result_json(std::cout, result);
@@ -189,15 +250,6 @@ int main(int argc, char** argv) {
       HYPERREC_ENSURE(file.good(), "cannot open output file: " + options.out);
       io::save_batch_result_json(file, result);
     }
-
-    std::size_t failed = 0;
-    for (const auto& job : result.jobs) {
-      if (!job.ok) ++failed;
-    }
-    std::fprintf(stderr,
-                 "%zu jobs (%zu failed) on %zu workers in %lld us\n",
-                 result.jobs.size(), failed, result.parallelism,
-                 static_cast<long long>(result.elapsed.count()));
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

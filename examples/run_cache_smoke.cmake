@@ -1,0 +1,18 @@
+# Test driver for cache.hyperrec_cli_cache_smoke (cmake -P script mode):
+# run the CLI twice over the same batch through one cache, then hand the
+# stats JSON to tools/check_cache_stats.py for validation.  Two steps need
+# chaining, which add_test COMMAND cannot express portably on its own.
+execute_process(
+  COMMAND "${CLI}" --smoke --cache-capacity=64 --warm-start --repeat=2
+          "--out=${OUT}"
+  RESULT_VARIABLE cli_status)
+if(NOT cli_status EQUAL 0)
+  message(FATAL_ERROR "hyperrec_cli failed with status ${cli_status}")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" "${OUT}" 1
+  RESULT_VARIABLE check_status)
+if(NOT check_status EQUAL 0)
+  message(FATAL_ERROR "cache stats check failed with status ${check_status}")
+endif()

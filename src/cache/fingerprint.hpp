@@ -1,0 +1,80 @@
+// Stable 128-bit instance fingerprints for the solve cache.
+//
+// The paper's cost models (§2, §4) are pure functions of (trace, machine,
+// options), so solve results are safely memoizable once instances can be
+// identified.  This module canonicalizes an instance into a byte string —
+// tagged sections, fixed-width little-endian integers, bitset payloads as
+// raw words (the tail past size() is kept zero by every mutator) — and
+// hashes it with a hand-rolled FNV-1a-128 (no third-party dependency; the
+// container has no network for FetchContent).
+//
+// The canonical bytes are retained alongside the fingerprint: SolveCache
+// compares them on every hit, so even a forged or astronomically unlucky
+// 128-bit collision can never return the wrong instance's solution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "model/cost_switch.hpp"
+#include "model/machine.hpp"
+#include "model/trace.hpp"
+
+namespace hyperrec::cache {
+
+struct Fingerprint128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  [[nodiscard]] bool operator==(const Fingerprint128&) const noexcept =
+      default;
+
+  /// 32 lowercase hex characters, hi first — for diagnostics and logs.
+  [[nodiscard]] std::string to_hex() const;
+};
+
+struct Fingerprint128Hash {
+  [[nodiscard]] std::size_t operator()(
+      const Fingerprint128& fp) const noexcept {
+    return static_cast<std::size_t>(fp.lo ^ (fp.hi * 0x9E3779B97F4A7C15ull));
+  }
+};
+
+/// FNV-1a-128 over arbitrary bytes (offset basis and prime per the FNV
+/// reference parameters; the 128-bit multiply is decomposed into 64-bit
+/// halves).
+[[nodiscard]] Fingerprint128 fingerprint_bytes(std::string_view bytes);
+
+/// Canonical byte encoding of a solve instance.  Injective by construction:
+/// every field of the trace (universes, step counts, local words, private
+/// demands), the machine (task specs, global resources, init costs) and the
+/// options enters at a fixed, length-prefixed position.
+[[nodiscard]] std::string canonical_instance_key(const MultiTaskTrace& trace,
+                                                 const MachineSpec& machine,
+                                                 const EvalOptions& options);
+
+/// Canonical byte encoding of an instance's *shape* only: task count and
+/// per-task (steps, universe).  Two instances with equal shape fingerprints
+/// can exchange schedules — the warm-start index keys on this.
+[[nodiscard]] std::string canonical_shape_key(const MultiTaskTrace& trace);
+
+/// Fingerprint + canonical bytes + shape fingerprint of one instance; the
+/// unit the SolveCache is keyed on.
+struct InstanceKey {
+  Fingerprint128 fingerprint;
+  Fingerprint128 shape;
+  std::string canonical;
+};
+
+[[nodiscard]] InstanceKey make_instance_key(const MultiTaskTrace& trace,
+                                            const MachineSpec& machine,
+                                            const EvalOptions& options);
+
+[[nodiscard]] Fingerprint128 fingerprint_instance(const MultiTaskTrace& trace,
+                                                  const MachineSpec& machine,
+                                                  const EvalOptions& options);
+
+[[nodiscard]] Fingerprint128 fingerprint_shape(const MultiTaskTrace& trace);
+
+}  // namespace hyperrec::cache

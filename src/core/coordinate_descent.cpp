@@ -1,17 +1,17 @@
 #include "core/coordinate_descent.hpp"
 
-#include <limits>
-
 #include "core/aligned_dp.hpp"
+#include "support/cost_math.hpp"
 
 namespace hyperrec {
 
 namespace {
 
-constexpr Cost kInfinity = std::numeric_limits<Cost>::max() / 4;
+constexpr Cost kInfinity = kCostInfinity;
 
 Cost combine(UploadMode mode, Cost acc, Cost value) {
-  return mode == UploadMode::kTaskParallel ? std::max(acc, value) : acc + value;
+  return mode == UploadMode::kTaskParallel ? std::max(acc, value)
+                                           : cost_add(acc, value);
 }
 
 /// Per-step aggregates of the frozen tasks (all tasks except `t`).
@@ -74,11 +74,12 @@ Partition optimize_task(const MultiTaskTrace& trace, const MachineSpec& machine,
           combine(options.hyper_upload, profile.hyper[start], v);
       Cost interval_cost = hyper_with - profile.hyper[start];
       for (std::size_t l = start; l < end; ++l) {
-        interval_cost +=
+        interval_cost = cost_add(
+            interval_cost,
             combine(options.reconfig_upload, profile.reconfig[l], size) -
-            profile.reconfig[l];
+                profile.reconfig[l]);
       }
-      const Cost candidate = best[start] + interval_cost;
+      const Cost candidate = cost_add(best[start], interval_cost);
       if (candidate < best[end]) {
         best[end] = candidate;
         parent[end] = start;

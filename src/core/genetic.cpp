@@ -92,6 +92,7 @@ GaResult solve_genetic(const MultiTaskTrace& trace, const MachineSpec& machine,
   HYPERREC_ENSURE(trace.synchronized(), "GA needs equal-length traces");
   HYPERREC_ENSURE(config.population >= 4, "population too small");
   HYPERREC_ENSURE(config.tournament >= 1, "tournament size must be >= 1");
+  HYPERREC_ENSURE(config.seed_schedule.size() <= 1, "at most one seed");
   const std::size_t n = trace.steps();
   const std::size_t m = trace.task_count();
   const bool global_resources = machine.has_global_resources();
@@ -102,13 +103,15 @@ GaResult solve_genetic(const MultiTaskTrace& trace, const MachineSpec& machine,
   Xoshiro256 rng(config.seed);
 
   if (config.cancel.cancelled()) {
-    // Expired before any work: the single-interval schedule is the cheapest
-    // feasible incumbent (aligned-DP seeding could blow the deadline).
+    // Expired before any work: return the warm-start seed when given (one
+    // evaluation, same price as the fallback), else the single-interval
+    // schedule (aligned-DP seeding could blow the deadline).
     GaResult result;
+    const MultiTaskSchedule incumbent =
+        config.seed_schedule.empty() ? MultiTaskSchedule::all_single(m, n)
+                                     : config.seed_schedule.front();
     result.best = make_solution(
-        trace, machine,
-        decode(from_schedule(MultiTaskSchedule::all_single(m, n)),
-               global_resources),
+        trace, machine, decode(from_schedule(incumbent), global_resources),
         options);
     return result;
   }
@@ -116,6 +119,9 @@ GaResult solve_genetic(const MultiTaskTrace& trace, const MachineSpec& machine,
   // --- initial population: heuristic seeds + random densities -------------
   std::vector<Chromosome> population;
   population.reserve(config.population);
+  if (!config.seed_schedule.empty()) {
+    population.push_back(from_schedule(config.seed_schedule.front()));
+  }
   if (!options.changeover) {
     population.push_back(
         from_schedule(solve_aligned_dp(trace, machine, options).schedule));

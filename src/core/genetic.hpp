@@ -33,6 +33,9 @@ struct GaConfig {
   std::size_t immigrants = 2;
   std::uint64_t seed = 0x5EEDF00Dull;
   bool parallel_fitness = true;
+  /// Extra seed individual injected into the initial population (e.g. a
+  /// cached warm-start incumbent); 0 or 1 entries.
+  std::vector<MultiTaskSchedule> seed_schedule;
   /// Stop early when the best cost has not improved for this many
   /// generations; 0 disables early stopping.
   std::size_t patience = 0;

@@ -1,12 +1,12 @@
 #include "core/interval_dp.hpp"
 
-#include <limits>
+#include "support/cost_math.hpp"
 
 namespace hyperrec {
 
 namespace {
 
-constexpr Cost kInfinity = std::numeric_limits<Cost>::max() / 4;
+constexpr Cost kInfinity = kCostInfinity;
 
 SingleTaskSolution reconstruct(const TaskTrace& trace,
                                const std::vector<std::size_t>& parent,
@@ -47,8 +47,11 @@ SingleTaskSolution solve_single_task_switch(const TaskTrace& trace,
       max_priv = std::max(max_priv, trace.at(start).private_demand);
       const Cost per_step =
           static_cast<Cost>(union_size) + static_cast<Cost>(max_priv);
-      const Cost candidate = best[start] + hyper_init +
-                             per_step * static_cast<Cost>(end - start);
+      // Saturating arithmetic: adversarial hyper_init/private_demand must
+      // clamp at the sentinel instead of wrapping Cost (UB).
+      const Cost candidate =
+          cost_add(cost_add(best[start], hyper_init),
+                   cost_mul(per_step, static_cast<Cost>(end - start)));
       if (candidate < best[end]) {
         best[end] = candidate;
         parent[end] = start;
@@ -82,7 +85,7 @@ SingleTaskSolution solve_single_task_switch_changeover(const TaskTrace& trace,
   auto interval_base = [&](std::size_t i, std::size_t j) {
     const Cost per_step = static_cast<Cost>(unions[i * (n + 1) + j].count()) +
                           static_cast<Cost>(privs[i * (n + 1) + j]);
-    return hyper_init + per_step * static_cast<Cost>(j - i);
+    return cost_add(hyper_init, cost_mul(per_step, static_cast<Cost>(j - i)));
   };
 
   // state[i][j]: min cost of steps [0, j) whose last interval is [i, j).
@@ -91,8 +94,8 @@ SingleTaskSolution solve_single_task_switch_changeover(const TaskTrace& trace,
   auto at = [n](std::size_t i, std::size_t j) { return i * (n + 1) + j; };
 
   for (std::size_t j = 1; j <= n; ++j) {
-    state[at(0, j)] = interval_base(0, j) +
-                      static_cast<Cost>(unions[at(0, j)].count());
+    state[at(0, j)] = cost_add(interval_base(0, j),
+                               static_cast<Cost>(unions[at(0, j)].count()));
   }
   for (std::size_t j = 1; j < n; ++j) {      // previous interval end
     for (std::size_t i = 0; i < j; ++i) {    // previous interval start
@@ -100,7 +103,8 @@ SingleTaskSolution solve_single_task_switch_changeover(const TaskTrace& trace,
       for (std::size_t k = j + 1; k <= n; ++k) {  // new interval end
         const Cost delta = static_cast<Cost>(
             unions[at(j, k)].symmetric_difference_count(unions[at(i, j)]));
-        const Cost candidate = state[at(i, j)] + interval_base(j, k) + delta;
+        const Cost candidate =
+            cost_add(state[at(i, j)], cost_add(interval_base(j, k), delta));
         if (candidate < state[at(j, k)]) {
           state[at(j, k)] = candidate;
           parent[at(j, k)] = i;

@@ -1,5 +1,7 @@
 #include "core/solver.hpp"
 
+#include <memory>
+
 #include "core/aligned_dp.hpp"
 #include "core/annealing.hpp"
 #include "core/coordinate_descent.hpp"
@@ -19,7 +21,21 @@ MTSolution make_solution(const MultiTaskTrace& trace,
   return solution;
 }
 
-std::vector<NamedSolver> standard_solvers() {
+std::vector<NamedSolver> standard_solvers(const SolveHints& hints) {
+  HYPERREC_ENSURE(hints.warm_start.size() <= 1,
+                  "at most one warm-start schedule");
+  // One shared copy of the warm-start incumbent: the three iterative
+  // members' closures (and any NamedSolver copies the portfolio makes)
+  // alias it instead of deep-copying the schedule per capture; the solver
+  // configs copy it only when a member actually runs.
+  const std::shared_ptr<const MultiTaskSchedule> warm =
+      hints.warm_start.empty()
+          ? nullptr
+          : std::make_shared<const MultiTaskSchedule>(hints.warm_start.front());
+  const auto seed_of = [](const std::shared_ptr<const MultiTaskSchedule>& w) {
+    return w == nullptr ? std::vector<MultiTaskSchedule>{}
+                        : std::vector<MultiTaskSchedule>{*w};
+  };
   std::vector<NamedSolver> solvers;
   solvers.push_back({"aligned-dp",
                      [](const MultiTaskTrace& trace, const MachineSpec& machine,
@@ -32,25 +48,34 @@ std::vector<NamedSolver> standard_solvers() {
                        return solve_greedy(trace, machine, options);
                      }});
   solvers.push_back({"coord-descent",
-                     [](const MultiTaskTrace& trace, const MachineSpec& machine,
-                        const EvalOptions& options, const CancelToken& cancel) {
+                     [warm, seed_of](const MultiTaskTrace& trace,
+                                     const MachineSpec& machine,
+                                     const EvalOptions& options,
+                                     const CancelToken& cancel) {
                        CoordinateDescentConfig config;
+                       config.seed = seed_of(warm);
                        config.cancel = cancel;
                        return solve_coordinate_descent(trace, machine, options,
                                                        config);
                      }});
   solvers.push_back({"genetic",
-                     [](const MultiTaskTrace& trace, const MachineSpec& machine,
-                        const EvalOptions& options, const CancelToken& cancel) {
+                     [warm, seed_of](const MultiTaskTrace& trace,
+                                     const MachineSpec& machine,
+                                     const EvalOptions& options,
+                                     const CancelToken& cancel) {
                        GaConfig config;
+                       config.seed_schedule = seed_of(warm);
                        config.cancel = cancel;
                        return solve_genetic(trace, machine, options, config)
                            .best;
                      }});
   solvers.push_back({"annealing",
-                     [](const MultiTaskTrace& trace, const MachineSpec& machine,
-                        const EvalOptions& options, const CancelToken& cancel) {
+                     [warm, seed_of](const MultiTaskTrace& trace,
+                                     const MachineSpec& machine,
+                                     const EvalOptions& options,
+                                     const CancelToken& cancel) {
                        SaConfig config;
+                       config.seed_schedule = seed_of(warm);
                        config.cancel = cancel;
                        return solve_annealing(trace, machine, options, config);
                      }});

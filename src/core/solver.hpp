@@ -53,9 +53,19 @@ struct NamedSolver {
   }
 };
 
+/// Per-instance hints threaded into the solver configurations.
+struct SolveHints {
+  /// Warm-start incumbent (e.g. from the solve cache): seeds simulated
+  /// annealing and coordinate descent and joins the GA's initial
+  /// population; the exact solvers ignore it.  0 or 1 entries; must
+  /// validate against the instance being solved.
+  std::vector<MultiTaskSchedule> warm_start;
+};
+
 /// The library's standard solver line-up (aligned DP, coordinate descent,
 /// greedy, GA, SA) with default configurations — exhaustive search is
 /// excluded because it only handles tiny instances.
-[[nodiscard]] std::vector<NamedSolver> standard_solvers();
+[[nodiscard]] std::vector<NamedSolver> standard_solvers(
+    const SolveHints& hints = {});
 
 }  // namespace hyperrec

@@ -11,6 +11,16 @@ using Clock = std::chrono::steady_clock;
 
 }  // namespace
 
+const char* to_string(JobCacheOutcome outcome) noexcept {
+  switch (outcome) {
+    case JobCacheOutcome::kBypass: return "bypass";
+    case JobCacheOutcome::kMiss: return "miss";
+    case JobCacheOutcome::kHit: return "hit";
+    case JobCacheOutcome::kCoalesced: return "coalesced";
+  }
+  return "bypass";
+}
+
 BatchEngine::BatchEngine(BatchEngineConfig config)
     : config_(std::move(config)),
       pool_(std::make_unique<ThreadPool>(config_.parallelism)) {}
@@ -21,7 +31,36 @@ BatchResult BatchEngine::solve(const std::vector<BatchJob>& jobs) const {
   result.jobs.resize(jobs.size());
   const Clock::time_point batch_start = Clock::now();
 
-  auto run_job = [this, &jobs, &result](std::size_t i) {
+  // Fresh (uncached) solve; fills the job's winner/entries/warm_started —
+  // only after the solve returns, so a throwing job keeps the empty
+  // winner/flags the schema guarantees for failures.
+  auto solve_fresh = [this](const BatchJob& job, const CancelToken& token,
+                            JobResult& out) {
+    if (config_.solver) {
+      MTSolution fresh = config_.solver(job, token);
+      out.winner = "custom";
+      return fresh;
+    }
+    PortfolioConfig per_job = config_.portfolio;
+    per_job.parallel = false;  // the job is the unit of parallelism
+    per_job.pool = nullptr;
+    per_job.deadline = std::chrono::milliseconds{0};  // already in token
+    bool warm_used = false;
+    if (config_.warm_start && config_.cache != nullptr) {
+      if (auto warm = config_.cache->warm_start_for(job.trace, job.machine)) {
+        per_job.warm_start.push_back(std::move(*warm));
+        warm_used = true;
+      }
+    }
+    PortfolioResult race =
+        solve_portfolio(job.trace, job.machine, job.options, per_job, token);
+    out.warm_started = warm_used;
+    out.winner = std::move(race.winner);
+    out.entries = std::move(race.entries);
+    return std::move(race.best);
+  };
+
+  auto run_job = [this, &jobs, &result, &solve_fresh](std::size_t i) {
     const BatchJob& job = jobs[i];
     JobResult& out = result.jobs[i];
     out.index = i;
@@ -34,25 +73,59 @@ BatchResult BatchEngine::solve(const std::vector<BatchJob>& jobs) const {
                                   Clock::now() + config_.portfolio.deadline)
             : CancelToken::linked(config_.cancel);
     const Clock::time_point start = Clock::now();
+    bool consulted_cache = false;
+    cache::CacheOutcome outcome = cache::CacheOutcome::kMiss;
     try {
-      if (config_.solver) {
-        out.solution = config_.solver(job, token);
-        out.winner = "custom";
+      if (config_.cache != nullptr) {
+        consulted_cache = true;
+        const cache::InstanceKey key =
+            cache::make_instance_key(job.trace, job.machine, job.options);
+        out.solution = config_.cache->get_or_compute_guarded(
+            key,
+            [&]() {
+              // A token that is already expired at entry makes every
+              // member return its no-work fallback (typically the
+              // single-interval schedule) — serve that to this job and
+              // its coalesced waiters, but never memoize it as the
+              // instance's solution.  A per-job deadline firing *mid-run*
+              // is the normal serving regime (incumbents are genuine
+              // portfolio answers at the configured budget) and stays
+              // cacheable; an engine-wide cancel observed by the end of
+              // the solve means the whole batch was aborted, so that
+              // result is rushed and is not memoized either — this also
+              // closes the race where the cancel lands between the entry
+              // check and the first member starting work.
+              const bool degenerate = token.cancelled();
+              MTSolution fresh = solve_fresh(job, token, out);
+              const bool aborted =
+                  config_.cancel.cancellable() && config_.cancel.cancelled();
+              return cache::ComputeResult{std::move(fresh),
+                                          !degenerate && !aborted};
+            },
+            &outcome);
       } else {
-        PortfolioConfig per_job = config_.portfolio;
-        per_job.parallel = false;  // the job is the unit of parallelism
-        per_job.pool = nullptr;
-        per_job.deadline = std::chrono::milliseconds{0};  // already in token
-        PortfolioResult race =
-            solve_portfolio(job.trace, job.machine, job.options, per_job,
-                            token);
-        out.solution = std::move(race.best);
-        out.winner = std::move(race.winner);
-        out.entries = std::move(race.entries);
+        out.solution = solve_fresh(job, token, out);
       }
       out.ok = true;
     } catch (const std::exception& error) {
       out.error = error.what();
+    }
+    if (consulted_cache) {
+      // get_or_compute reports its path in `outcome` before computing or
+      // waiting, so this mapping is valid even when the job failed — a
+      // thrown solve is a "miss"/"coalesced", never a "bypass".
+      switch (outcome) {
+        case cache::CacheOutcome::kMiss:
+          out.cache = JobCacheOutcome::kMiss;
+          break;
+        case cache::CacheOutcome::kHit:
+          out.cache = JobCacheOutcome::kHit;
+          break;
+        case cache::CacheOutcome::kCoalesced:
+          out.cache = JobCacheOutcome::kCoalesced;
+          break;
+      }
+      if (out.ok && out.cache != JobCacheOutcome::kMiss) out.winner = "cache";
     }
     out.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
         Clock::now() - start);
@@ -67,6 +140,12 @@ BatchResult BatchEngine::solve(const std::vector<BatchJob>& jobs) const {
 
   result.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
       Clock::now() - batch_start);
+  if (config_.cache != nullptr) {
+    result.cache_enabled = true;
+    result.cache_capacity = config_.cache->capacity();
+    result.cache_size = config_.cache->size();
+    result.cache_stats = config_.cache->stats();
+  }
   return result;
 }
 

@@ -14,6 +14,12 @@
 // behind it would deadlock the shared-queue pool, and sharding jobs already
 // saturates the hardware.  A job that throws (infeasible instance, shape
 // mismatch) is reported in its JobResult; it never aborts the batch.
+//
+// Caching: with a SolveCache configured, each job is keyed by its instance
+// fingerprint — repeats are served from the cache, duplicates in flight
+// coalesce onto one solve (waiting on an *actively running* computation,
+// never on queued work, so the pool cannot deadlock), and optionally a
+// same-shape cached schedule warm-starts the iterative solvers on a miss.
 #pragma once
 
 #include <chrono>
@@ -23,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/solve_cache.hpp"
 #include "engine/portfolio.hpp"
 #include "support/cancel.hpp"
 
@@ -46,23 +53,55 @@ struct BatchEngineConfig {
   /// When set, solves each job instead of the portfolio.  The token passed
   /// in is the job's deadline-linked token.
   std::function<MTSolution(const BatchJob&, const CancelToken&)> solver;
+  /// Memoizing solve cache.  When set, duplicate jobs within a batch
+  /// coalesce onto one in-flight computation and repeats across batches
+  /// return the cached schedule.  Jobs whose token is already expired at
+  /// entry are served their fallback incumbent but never memoized.  The
+  /// cache key is (trace, machine,
+  /// options) only — it does NOT cover the solving configuration — so
+  /// share one cache only between engines with an equivalent setup (same
+  /// portfolio members and custom `solver`); engines with different
+  /// line-ups would serve each other's quality level as authoritative.
+  std::shared_ptr<cache::SolveCache> cache;
+  /// With a cache: on a miss, feed the most recent same-shape cached
+  /// schedule to the portfolio's iterative solvers as their initial
+  /// incumbent (see PortfolioConfig::warm_start).
+  bool warm_start = false;
 };
+
+/// How a job's solution was obtained relative to the cache.
+enum class JobCacheOutcome : std::uint8_t {
+  kBypass,     ///< no cache configured
+  kMiss,       ///< solved fresh (and inserted)
+  kHit,        ///< served from the cache
+  kCoalesced,  ///< waited on an identical in-flight job
+};
+
+[[nodiscard]] const char* to_string(JobCacheOutcome outcome) noexcept;
 
 struct JobResult {
   std::size_t index = 0;  ///< position in the input vector
   std::string name;
   bool ok = false;
   std::string error;  ///< exception text when !ok
-  std::string winner;
+  std::string winner;   ///< "cache" when served by a hit or coalesced wait
   MTSolution solution;  ///< valid only when ok
   std::vector<PortfolioEntry> entries;  ///< empty under a custom solver
   std::chrono::microseconds elapsed{0};
+  JobCacheOutcome cache = JobCacheOutcome::kBypass;
+  bool warm_started = false;  ///< a warm-start incumbent seeded the solve
 };
 
 struct BatchResult {
   std::vector<JobResult> jobs;  ///< input order
   std::chrono::microseconds elapsed{0};
   std::size_t parallelism = 0;
+  /// Cache state snapshotted after the batch (cumulative over the cache's
+  /// lifetime, not per batch); zeros when no cache is configured.
+  bool cache_enabled = false;
+  std::size_t cache_capacity = 0;
+  std::size_t cache_size = 0;
+  cache::SolveCacheStats cache_stats;
 };
 
 class BatchEngine {

@@ -10,8 +10,8 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 std::vector<NamedSolver> resolve_members(
-    const std::vector<std::string>& names) {
-  std::vector<NamedSolver> line_up = standard_solvers();
+    const std::vector<std::string>& names, const SolveHints& hints) {
+  std::vector<NamedSolver> line_up = standard_solvers(hints);
   if (names.empty()) return line_up;
   std::vector<NamedSolver> members;
   members.reserve(names.size());
@@ -36,7 +36,22 @@ PortfolioResult solve_portfolio(const MultiTaskTrace& trace,
                                 const EvalOptions& options,
                                 const PortfolioConfig& config,
                                 const CancelToken& cancel) {
-  const std::vector<NamedSolver> members = resolve_members(config.solvers);
+  HYPERREC_ENSURE(config.warm_start.size() <= 1,
+                  "at most one warm-start schedule");
+  SolveHints hints;
+  if (!config.warm_start.empty()) {
+    // Normalize the incumbent for this machine (a cached schedule may come
+    // from a machine with different global resources), then insist it fits
+    // the instance — a mis-shaped seed would only surface deep inside a
+    // member solver.
+    MultiTaskSchedule warm = config.warm_start.front();
+    warm.global_boundaries.clear();
+    if (machine.has_global_resources()) warm.global_boundaries.push_back(0);
+    warm.validate(trace.task_count(), trace.steps());
+    hints.warm_start.push_back(std::move(warm));
+  }
+  const std::vector<NamedSolver> members =
+      resolve_members(config.solvers, hints);
   HYPERREC_ENSURE(!members.empty(), "portfolio needs at least one member");
 
   CancelToken race = config.deadline.count() > 0

@@ -48,6 +48,11 @@ struct PortfolioConfig {
   /// it would deadlock the shared no-work-stealing queue).
   bool parallel = true;
   ThreadPool* pool = nullptr;
+  /// Warm-start incumbent fed to the iterative members (SA/GA/coordinate
+  /// descent) as their initial solution — e.g. a same-shape schedule from
+  /// the solve cache.  0 or 1 entries; must validate against the instance
+  /// (global boundaries are normalized for the machine automatically).
+  std::vector<MultiTaskSchedule> warm_start;
 };
 
 struct PortfolioEntry {

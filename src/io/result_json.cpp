@@ -50,6 +50,8 @@ void write_job(std::ostream& os, const engine::JobResult& job) {
   write_escaped(os, job.error);
   os << ",\"winner\":";
   write_escaped(os, job.winner);
+  os << ",\"cache\":\"" << engine::to_string(job.cache) << '"'
+     << ",\"warm_started\":" << (job.warm_started ? "true" : "false");
   const CostBreakdown& cost = job.solution.breakdown;
   os << ",\"elapsed_us\":" << job.elapsed.count() << ",\"cost\":{\"total\":"
      << cost.total << ",\"hyper\":" << cost.hyper << ",\"reconfig\":"
@@ -67,10 +69,20 @@ void write_job(std::ostream& os, const engine::JobResult& job) {
 
 void save_batch_result_json(std::ostream& os,
                             const engine::BatchResult& result) {
-  os << "{\"schema\":\"hyperrec-batch-result\",\"version\":1"
+  const cache::SolveCacheStats& stats = result.cache_stats;
+  os << "{\"schema\":\"hyperrec-batch-result\",\"version\":2"
      << ",\"parallelism\":" << result.parallelism
      << ",\"elapsed_us\":" << result.elapsed.count()
-     << ",\"job_count\":" << result.jobs.size() << ",\"jobs\":[";
+     << ",\"job_count\":" << result.jobs.size()
+     << ",\"cache\":{\"enabled\":" << (result.cache_enabled ? "true" : "false")
+     << ",\"capacity\":" << result.cache_capacity
+     << ",\"size\":" << result.cache_size << ",\"hits\":" << stats.hits
+     << ",\"misses\":" << stats.misses << ",\"coalesced\":" << stats.coalesced
+     << ",\"insertions\":" << stats.insertions
+     << ",\"evictions\":" << stats.evictions
+     << ",\"expirations\":" << stats.expirations
+     << ",\"collisions\":" << stats.collisions
+     << ",\"warm_hits\":" << stats.warm_hits << "},\"jobs\":[";
   for (std::size_t i = 0; i < result.jobs.size(); ++i) {
     if (i > 0) os << ',';
     write_job(os, result.jobs[i]);

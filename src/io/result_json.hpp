@@ -6,17 +6,24 @@
 //
 //   {
 //     "schema": "hyperrec-batch-result",
-//     "version": 1,
+//     "version": 2,
 //     "parallelism": <workers>,
 //     "elapsed_us": <batch wall time>,
 //     "job_count": <n>,
+//     "cache": { "enabled": true|false, "capacity": c, "size": s,
+//                "hits": h, "misses": m, "coalesced": q, "insertions": i,
+//                "evictions": e, "expirations": x, "collisions": k,
+//                "warm_hits": w },   // zeros when disabled; counters are
+//                                    // cumulative over the cache lifetime
 //     "jobs": [
 //       {
 //         "index": <input position>,
 //         "name": "<label>",
 //         "ok": true|false,
 //         "error": "<exception text, empty when ok>",
-//         "winner": "<solver name>",
+//         "winner": "<solver name, or \"cache\">",
+//         "cache": "bypass"|"miss"|"hit"|"coalesced",
+//         "warm_started": true|false,
 //         "elapsed_us": <job wall time>,
 //         "cost": { "total": t, "hyper": h, "reconfig": r,
 //                   "global_hyper": g, "partial_hyper_steps": s },

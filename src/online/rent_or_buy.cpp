@@ -14,18 +14,21 @@ RentOrBuyScheduler::RentOrBuyScheduler(std::size_t universe, Cost hyper_init,
   HYPERREC_ENSURE(config_.alpha >= 0.0, "alpha must be non-negative");
 }
 
-void RentOrBuyScheduler::refit(const ContextRequirement& requirement) {
-  DynamicBitset fitted(universe_);
-  std::uint32_t priv = 0;
+RentOrBuyScheduler::FittedContext RentOrBuyScheduler::fitted_context(
+    const ContextRequirement& requirement) const {
+  FittedContext fit{DynamicBitset(universe_), 0};
   for (const ContextRequirement& past : window_) {
-    fitted |= past.local;
-    priv = std::max(priv, past.private_demand);
+    fit.local |= past.local;
+    fit.private_avail = std::max(fit.private_avail, past.private_demand);
   }
-  fitted |= requirement.local;
-  priv = std::max(priv, requirement.private_demand);
+  fit.local |= requirement.local;
+  fit.private_avail = std::max(fit.private_avail, requirement.private_demand);
+  return fit;
+}
 
-  current_ = std::move(fitted);
-  current_priv_ = priv;
+void RentOrBuyScheduler::refit(FittedContext fit) {
+  current_ = std::move(fit.local);
+  current_priv_ = fit.private_avail;
   waste_ = 0.0;
   boundaries_.push_back(step_);
   total_ += hyper_init_;
@@ -40,8 +43,10 @@ bool RentOrBuyScheduler::step(const ContextRequirement& requirement) {
                        requirement.local.subset_of(current_) &&
                        requirement.private_demand <= current_priv_;
   if (!covered) {
-    // Mandatory re-fit: the hypercontext cannot serve this step.
-    refit(requirement);
+    // Mandatory re-fit: the hypercontext cannot serve this step.  On the
+    // very first step this is the boundary-at-0 hyperreconfiguration every
+    // partition carries.
+    refit(fitted_context(requirement));
     hyperreconfigured = true;
     started_ = true;
   } else {
@@ -52,8 +57,18 @@ bool RentOrBuyScheduler::step(const ContextRequirement& requirement) {
     waste_ += excess;
     if (waste_ >= config_.alpha * static_cast<double>(hyper_init_) &&
         excess > 0.0) {
-      refit(requirement);
-      hyperreconfigured = true;
+      FittedContext fit = fitted_context(requirement);
+      if (fit.local == current_ && fit.private_avail == current_priv_) {
+        // A re-fit would reproduce the current hypercontext exactly (the
+        // window still needs everything): buying gains nothing, so restart
+        // the rental clock instead of churning a paid refit every step —
+        // with alpha = 0 this is what keeps covered steps from each
+        // triggering a no-op hyperreconfiguration.
+        waste_ = 0.0;
+      } else {
+        refit(std::move(fit));
+        hyperreconfigured = true;
+      }
     }
   }
 
@@ -72,6 +87,10 @@ Partition run_online_single(const TaskTrace& trace, Cost hyper_init,
   for (std::size_t i = 0; i < trace.size(); ++i) {
     scheduler.step(trace.at(i));
   }
+  // Boundary-at-0 invariant: step 0 always performs the mandatory first
+  // re-fit, so the boundaries are valid partition starts as-is.
+  HYPERREC_ASSERT(!scheduler.boundaries().empty() &&
+                  scheduler.boundaries().front() == 0);
   return Partition::from_starts(scheduler.boundaries(), trace.size());
 }
 

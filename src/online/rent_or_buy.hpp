@@ -61,7 +61,14 @@ class RentOrBuyScheduler {
   [[nodiscard]] std::size_t steps_seen() const noexcept { return step_; }
 
  private:
-  void refit(const ContextRequirement& requirement);
+  /// Minimal hypercontext covering the recent window plus `requirement`.
+  struct FittedContext {
+    DynamicBitset local;
+    std::uint32_t private_avail;
+  };
+  [[nodiscard]] FittedContext fitted_context(
+      const ContextRequirement& requirement) const;
+  void refit(FittedContext fit);
 
   std::size_t universe_;
   Cost hyper_init_;

@@ -12,7 +12,20 @@ std::size_t DynamicBitset::count() const noexcept {
 
 DynamicBitset& DynamicBitset::set_range(std::size_t first, std::size_t last) {
   HYPERREC_ENSURE(first <= last && last <= size_, "bit range out of bounds");
-  for (std::size_t pos = first; pos < last; ++pos) set(pos);
+  if (first == last) return *this;
+  const std::size_t first_word = first / kWordBits;
+  const std::size_t last_word = (last - 1) / kWordBits;
+  const Word first_mask = ~Word{0} << (first % kWordBits);
+  const std::size_t last_rem = last % kWordBits;
+  const Word last_mask =
+      last_rem == 0 ? ~Word{0} : ~Word{0} >> (kWordBits - last_rem);
+  if (first_word == last_word) {
+    words_[first_word] |= first_mask & last_mask;
+    return *this;
+  }
+  words_[first_word] |= first_mask;
+  for (std::size_t w = first_word + 1; w < last_word; ++w) words_[w] = ~Word{0};
+  words_[last_word] |= last_mask;
   return *this;
 }
 

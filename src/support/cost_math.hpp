@@ -1,0 +1,55 @@
+// Saturating arithmetic for Cost values.
+//
+// The interval DPs use kCostInfinity = max/4 as their "unreachable"
+// sentinel, chosen so that a couple of careless additions of sentinels
+// cannot wrap.  That headroom is not enough against adversarial inputs: a
+// caller-supplied hyper_init or private_demand near the Cost maximum makes
+// `best[start] + hyper_init + per_step * (end - start)` overflow, which is
+// undefined behaviour for the signed Cost and in practice wraps negative —
+// the DP then "prefers" the corrupted candidate and reconstructs a garbage
+// partition.  cost_add/cost_mul detect overflow exactly and clamp the
+// result into [-kCostInfinity, kCostInfinity]: ordering among unsaturated
+// values is preserved, saturated values compare equal to the sentinel
+// ("unrepresentably expensive"), and no operation can wrap.
+#pragma once
+
+#include <limits>
+
+#include "model/types.hpp"
+
+namespace hyperrec {
+
+/// Shared "unreachable" sentinel of the interval DPs.  Costs at or above it
+/// are treated as infinite; cost_add/cost_mul never produce values beyond it.
+constexpr Cost kCostInfinity = std::numeric_limits<Cost>::max() / 4;
+
+namespace detail {
+
+constexpr Cost clamp_cost(Cost value) noexcept {
+  if (value > kCostInfinity) return kCostInfinity;
+  if (value < -kCostInfinity) return -kCostInfinity;
+  return value;
+}
+
+}  // namespace detail
+
+/// a + b, saturating at ±kCostInfinity.
+[[nodiscard]] constexpr Cost cost_add(Cost a, Cost b) noexcept {
+  Cost out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    // Signed addition only overflows when both operands share a sign.
+    return a > 0 ? kCostInfinity : -kCostInfinity;
+  }
+  return detail::clamp_cost(out);
+}
+
+/// a · b, saturating at ±kCostInfinity.
+[[nodiscard]] constexpr Cost cost_mul(Cost a, Cost b) noexcept {
+  Cost out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return (a > 0) == (b > 0) ? kCostInfinity : -kCostInfinity;
+  }
+  return detail::clamp_cost(out);
+}
+
+}  // namespace hyperrec

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "support/cost_math.hpp"
 #include "support/rng.hpp"
 #include "testutil/oracles.hpp"
 #include "testutil/trace_builders.hpp"
@@ -163,6 +166,53 @@ TEST(SingleTaskChangeoverDp, ChangeoverNeverCheaperThanPlainMinusDiffs) {
   const auto plain = solve_single_task_switch(trace, 4);
   const auto change = solve_single_task_switch_changeover(trace, 4);
   EXPECT_GE(change.total, plain.total);
+}
+
+// --- overflow regressions: near-max costs must saturate, never wrap -------
+
+TEST(SingleTaskDp, AdversarialInitCostSaturatesInsteadOfWrapping) {
+  // best[start] + hyper_init + per_step·len with hyper_init near the Cost
+  // maximum used to wrap negative (signed overflow, UB) and make the DP
+  // "prefer" the corrupted candidate.  With saturating cost arithmetic the
+  // total clamps at the kCostInfinity sentinel and stays a valid partition.
+  const TaskTrace trace = trace_from({"1100", "1100", "0011", "0011"});
+  for (const Cost huge :
+       {kCostInfinity - 1, kCostInfinity, kCostInfinity + 7,
+        std::numeric_limits<Cost>::max() / 2,
+        std::numeric_limits<Cost>::max() - 1,
+        std::numeric_limits<Cost>::max()}) {
+    const auto solution = solve_single_task_switch(trace, huge);
+    EXPECT_GT(solution.total, 0) << "wrapped negative for v = " << huge;
+    EXPECT_LE(solution.total, kCostInfinity) << "v = " << huge;
+    EXPECT_GE(solution.partition.interval_count(), 1u);
+    EXPECT_LE(solution.partition.interval_count(), trace.size());
+    // A huge init cost must never buy extra hyperreconfigurations.
+    EXPECT_EQ(solution.partition.interval_count(), 1u) << "v = " << huge;
+  }
+}
+
+TEST(SingleTaskDp, CostsJustBelowSaturationStayExact) {
+  // A single interval of 4 steps with |union| = 4: total = v + 16 — check
+  // exactness right up to the clamp edge.
+  const TaskTrace trace = trace_from({"1100", "1100", "0011", "0011"});
+  const Cost v = kCostInfinity - 100;
+  const auto solution = solve_single_task_switch(trace, v);
+  EXPECT_EQ(solution.total, v + 16) << "still exact just below the sentinel";
+  EXPECT_EQ(solution.partition.interval_count(), 1u);
+  const Cost exact_v = 1000;
+  EXPECT_EQ(solve_single_task_switch(trace, exact_v).total, exact_v + 16);
+}
+
+TEST(SingleTaskChangeoverDp, AdversarialInitCostSaturatesInsteadOfWrapping) {
+  const TaskTrace trace = trace_from({"1100", "0011", "1100"});
+  for (const Cost huge :
+       {kCostInfinity, std::numeric_limits<Cost>::max() / 2,
+        std::numeric_limits<Cost>::max()}) {
+    const auto solution = solve_single_task_switch_changeover(trace, huge);
+    EXPECT_GT(solution.total, 0) << "wrapped negative for v = " << huge;
+    EXPECT_LE(solution.total, kCostInfinity) << "v = " << huge;
+    EXPECT_EQ(solution.partition.interval_count(), 1u) << "v = " << huge;
+  }
 }
 
 }  // namespace

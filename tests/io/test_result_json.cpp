@@ -151,11 +151,23 @@ engine::BatchResult handcrafted_result() {
   result.parallelism = 2;
   result.elapsed = std::chrono::microseconds{777};
 
+  result.cache_enabled = true;
+  result.cache_capacity = 16;
+  result.cache_size = 1;
+  result.cache_stats.hits = 3;
+  result.cache_stats.misses = 2;
+  result.cache_stats.coalesced = 1;
+  result.cache_stats.insertions = 2;
+  result.cache_stats.evictions = 1;
+  result.cache_stats.warm_hits = 1;
+
   engine::JobResult job;
   job.index = 0;
   job.name = "phased-0";
   job.ok = true;
   job.winner = "coord-descent";
+  job.cache = engine::JobCacheOutcome::kMiss;
+  job.warm_started = true;
   job.elapsed = std::chrono::microseconds{123};
   job.solution.breakdown.total = 42;
   job.solution.breakdown.hyper = 12;
@@ -185,24 +197,34 @@ TEST(ResultJson, GoldenEmptyBatch) {
   result.parallelism = 4;
   result.elapsed = std::chrono::microseconds{0};
   EXPECT_EQ(batch_result_to_json(result),
-            "{\"schema\":\"hyperrec-batch-result\",\"version\":1,"
+            "{\"schema\":\"hyperrec-batch-result\",\"version\":2,"
             "\"parallelism\":4,\"elapsed_us\":0,\"job_count\":0,"
+            "\"cache\":{\"enabled\":false,\"capacity\":0,\"size\":0,"
+            "\"hits\":0,\"misses\":0,\"coalesced\":0,\"insertions\":0,"
+            "\"evictions\":0,\"expirations\":0,\"collisions\":0,"
+            "\"warm_hits\":0},"
             "\"jobs\":[]}\n");
 }
 
 TEST(ResultJson, GoldenTwoJobBatchWithStableKeyOrder) {
   EXPECT_EQ(
       batch_result_to_json(handcrafted_result()),
-      "{\"schema\":\"hyperrec-batch-result\",\"version\":1,"
-      "\"parallelism\":2,\"elapsed_us\":777,\"job_count\":2,\"jobs\":["
+      "{\"schema\":\"hyperrec-batch-result\",\"version\":2,"
+      "\"parallelism\":2,\"elapsed_us\":777,\"job_count\":2,"
+      "\"cache\":{\"enabled\":true,\"capacity\":16,\"size\":1,"
+      "\"hits\":3,\"misses\":2,\"coalesced\":1,\"insertions\":2,"
+      "\"evictions\":1,\"expirations\":0,\"collisions\":0,"
+      "\"warm_hits\":1},\"jobs\":["
       "{\"index\":0,\"name\":\"phased-0\",\"ok\":true,\"error\":\"\","
-      "\"winner\":\"coord-descent\",\"elapsed_us\":123,"
+      "\"winner\":\"coord-descent\",\"cache\":\"miss\","
+      "\"warm_started\":true,\"elapsed_us\":123,"
       "\"cost\":{\"total\":42,\"hyper\":12,\"reconfig\":30,"
       "\"global_hyper\":0,\"partial_hyper_steps\":3},"
       "\"solvers\":[{\"name\":\"coord-descent\",\"ok\":true,\"total\":42,"
       "\"elapsed_us\":99}]},"
       "{\"index\":1,\"name\":\"bad\",\"ok\":false,"
       "\"error\":\"machine/trace mismatch\",\"winner\":\"\","
+      "\"cache\":\"bypass\",\"warm_started\":false,"
       "\"elapsed_us\":4,\"cost\":{\"total\":0,\"hyper\":0,\"reconfig\":0,"
       "\"global_hyper\":0,\"partial_hyper_steps\":0},\"solvers\":[]}]}\n");
 }

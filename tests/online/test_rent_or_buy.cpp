@@ -128,14 +128,115 @@ TEST(RentOrBuy, MultiTaskScheduleIsValidAndEvaluable) {
   EXPECT_GT(breakdown.total, 0);
 }
 
-TEST(RentOrBuy, AlphaZeroRefitsWheneverWastePositive) {
+TEST(RentOrBuy, AlphaZeroRefitsOnlyWhenTheFitActuallyShrinks) {
+  // With alpha = 0 any waste crosses the threshold, but a refit is only
+  // worth buying when the windowed fit differs from the current
+  // hypercontext — at the second step the window still holds the wide first
+  // requirement, so refitting would reproduce {s0,s1} exactly and must be
+  // skipped (no paid no-op churn).
   RentOrBuyConfig config;
   config.alpha = 0.0;
   config.fit_window = 1;
   RentOrBuyScheduler scheduler(4, 4, config);
   scheduler.step({DynamicBitset::from_string("1100"), 0});
-  const bool hyper = scheduler.step({DynamicBitset::from_string("1000"), 0});
-  EXPECT_TRUE(hyper) << "any positive waste triggers an immediate refit";
+  const DynamicBitset narrow = DynamicBitset::from_string("1000");
+  EXPECT_FALSE(scheduler.step({narrow, 0}))
+      << "window still forces {s0,s1}: a refit would be a paid no-op";
+  EXPECT_TRUE(scheduler.step({narrow, 0}))
+      << "window now allows shrinking to {s0}";
+  EXPECT_EQ(scheduler.hypercontext().to_string(), "1000");
+  EXPECT_EQ(scheduler.hyper_count(), 2u);
+}
+
+TEST(RentOrBuy, AlphaZeroDoesNotChurnOnSteadyCoveredSteps) {
+  // Steady identical requirements narrower than what the window union can
+  // shed: after the one productive shrink, every further covered step must
+  // ride the fitted hypercontext without buying more refits.
+  RentOrBuyConfig config;
+  config.alpha = 0.0;
+  config.fit_window = 4;
+  RentOrBuyScheduler scheduler(6, 10, config);
+  scheduler.step({DynamicBitset::from_string("111100"), 0});
+  const DynamicBitset narrow = DynamicBitset::from_string("110000");
+  std::size_t refits = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (scheduler.step({narrow, 0})) ++refits;
+  }
+  EXPECT_EQ(refits, 1u) << "exactly one shrink once the window drains";
+  EXPECT_EQ(scheduler.hyper_count(), 2u);
+  EXPECT_EQ(scheduler.hypercontext().to_string(), "110000");
+}
+
+TEST(RentOrBuy, AlwaysCoveredTraceBuysExactlyTheMandatoryRefit) {
+  // Identical requirements every step: the hypercontext is perfectly
+  // fitted from step 0, waste stays 0, and only the boundary-at-0
+  // hyperreconfiguration is ever paid — for any alpha.
+  for (const double alpha : {0.0, 1.0, 1e9}) {
+    RentOrBuyConfig config;
+    config.alpha = alpha;
+    RentOrBuyScheduler scheduler(4, 7, config);
+    const DynamicBitset req = DynamicBitset::from_string("0110");
+    for (int i = 0; i < 15; ++i) scheduler.step({req, 1});
+    EXPECT_EQ(scheduler.hyper_count(), 1u) << "alpha " << alpha;
+    ASSERT_FALSE(scheduler.boundaries().empty());
+    EXPECT_EQ(scheduler.boundaries().front(), 0u);
+    // Cost: one init + 15 steps of |h| = 2 switches + 1 private unit.
+    EXPECT_EQ(scheduler.total_cost(), 7 + 15 * 3);
+  }
+}
+
+TEST(RentOrBuy, NeverCoveredTraceRefitsEveryStep) {
+  // Each step demands a switch the previous hypercontext cannot have (with
+  // fit_window = 1 the window is too short to retain it): every step is a
+  // mandatory refit and a partition boundary.
+  RentOrBuyConfig config;
+  config.alpha = 1e9;  // voluntary refits disabled; all refits are forced
+  config.fit_window = 1;
+  const std::size_t n = 6;
+  TaskTrace trace(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DynamicBitset req(n);
+    req.set(i);
+    trace.push_back_local(std::move(req));
+  }
+  RentOrBuyScheduler scheduler(n, 3, config);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(scheduler.step(trace.at(i))) << "step " << i;
+  }
+  EXPECT_EQ(scheduler.hyper_count(), n);
+  const Partition partition = run_online_single(trace, 3, config);
+  EXPECT_EQ(partition.interval_count(), n);
+  EXPECT_EQ(partition.starts().front(), 0u);
+}
+
+TEST(RentOrBuy, HugeAlphaNeverBuysVoluntaryRefits) {
+  // Wide first step then narrow ones: waste accrues every step but can
+  // never reach alpha·v, so the only boundaries are forced ones.
+  RentOrBuyConfig config;
+  config.alpha = 1e12;
+  config.fit_window = 1;
+  RentOrBuyScheduler scheduler(4, 2, config);
+  scheduler.step({DynamicBitset::from_string("1111"), 0});
+  const DynamicBitset narrow = DynamicBitset::from_string("1000");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(scheduler.step({narrow, 0})) << "step " << i;
+  }
+  EXPECT_EQ(scheduler.hyper_count(), 1u);
+  EXPECT_EQ(scheduler.hypercontext().to_string(), "1111");
+}
+
+TEST(RentOrBuy, BoundaryAtZeroInvariantHoldsAcrossWorkloads) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const TaskTrace trace = phased_trace(seed, 33, 9);
+    for (const double alpha : {0.0, 0.5, 2.0}) {
+      RentOrBuyConfig config;
+      config.alpha = alpha;
+      const Partition partition = run_online_single(trace, 9, config);
+      EXPECT_EQ(partition.starts().front(), 0u)
+          << "seed " << seed << " alpha " << alpha;
+      EXPECT_EQ(partition.n(), trace.size());
+    }
+  }
 }
 
 TEST(RentOrBuy, BadConfigRejected) {

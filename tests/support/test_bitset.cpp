@@ -67,6 +67,76 @@ TEST(DynamicBitset, SetRangeOutOfBoundsThrows) {
   EXPECT_THROW(bits.set_range(7, 3), PreconditionError);
 }
 
+TEST(DynamicBitset, SetRangeEmptyAtEveryWordEdge) {
+  DynamicBitset bits(200);
+  for (const std::size_t pos : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 200u}) {
+    bits.set_range(pos, pos);
+  }
+  EXPECT_TRUE(bits.none());
+}
+
+TEST(DynamicBitset, SetRangeWithinOneWord) {
+  DynamicBitset bits(64);
+  bits.set_range(3, 9);
+  EXPECT_EQ(bits.count(), 6u);
+  EXPECT_FALSE(bits.test(2));
+  EXPECT_TRUE(bits.test(3));
+  EXPECT_TRUE(bits.test(8));
+  EXPECT_FALSE(bits.test(9));
+}
+
+TEST(DynamicBitset, SetRangeCrossingManyWords) {
+  DynamicBitset bits(300);
+  bits.set_range(10, 290);
+  EXPECT_EQ(bits.count(), 280u);
+  EXPECT_FALSE(bits.test(9));
+  EXPECT_TRUE(bits.test(10));
+  EXPECT_TRUE(bits.test(289));
+  EXPECT_FALSE(bits.test(290));
+}
+
+TEST(DynamicBitset, SetRangeExactWordEdges) {
+  // Ranges whose endpoints land exactly on the 63/64/65 word seams — the
+  // cases a word-masked fill gets wrong when the tail mask is off by one.
+  struct Case {
+    std::size_t first, last;
+  };
+  for (const Case c : {Case{0, 63}, Case{0, 64}, Case{0, 65}, Case{63, 64},
+                       Case{63, 65}, Case{64, 65}, Case{63, 128},
+                       Case{64, 128}, Case{65, 129}}) {
+    DynamicBitset bits(129);
+    bits.set_range(c.first, c.last);
+    EXPECT_EQ(bits.count(), c.last - c.first) << c.first << ".." << c.last;
+    for (std::size_t pos = 0; pos < bits.size(); ++pos) {
+      EXPECT_EQ(bits.test(pos), pos >= c.first && pos < c.last)
+          << "range [" << c.first << "," << c.last << ") at bit " << pos;
+    }
+  }
+}
+
+TEST(DynamicBitset, SetRangeFullUniverseAndTailStaysClear) {
+  DynamicBitset bits(70);
+  bits.set_range(0, 70);
+  EXPECT_EQ(bits.count(), 70u);
+  // The tail bits past size() must stay zero (words() exposes them).
+  EXPECT_EQ(bits.words().back() >> (70 % 64), 0u);
+}
+
+TEST(DynamicBitset, SetRangeMatchesPerBitReference) {
+  Xoshiro256 rng(0x5E7A);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t size = 1 + rng.uniform(180);
+    std::size_t lo = rng.uniform(size + 1);
+    std::size_t hi = rng.uniform(size + 1);
+    if (lo > hi) std::swap(lo, hi);
+    DynamicBitset fast(size);
+    fast.set_range(lo, hi);
+    DynamicBitset slow(size);
+    for (std::size_t pos = lo; pos < hi; ++pos) slow.set(pos);
+    EXPECT_EQ(fast, slow) << size << " [" << lo << "," << hi << ")";
+  }
+}
+
 TEST(DynamicBitset, ResetAllClearsEverything) {
   DynamicBitset bits(90);
   bits.set_range(0, 90);

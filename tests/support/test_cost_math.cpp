@@ -1,0 +1,68 @@
+// Saturating cost arithmetic: clamping at the shared DP sentinel, ordering
+// preservation, and the adversarial-input contracts the interval DPs rely
+// on (see tests/core/test_interval_dp.cpp for the end-to-end regression).
+#include "support/cost_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace hyperrec {
+namespace {
+
+constexpr Cost kMax = std::numeric_limits<Cost>::max();
+
+TEST(CostMath, InfinityLeavesWrapHeadroom) {
+  EXPECT_EQ(kCostInfinity, kMax / 4);
+  // The historical reason for max/4: a few raw additions of sentinels must
+  // not wrap even without the saturating helpers.
+  EXPECT_GT(kCostInfinity + kCostInfinity, 0);
+}
+
+TEST(CostMath, AddIsExactBelowSaturation) {
+  EXPECT_EQ(cost_add(0, 0), 0);
+  EXPECT_EQ(cost_add(2, 3), 5);
+  EXPECT_EQ(cost_add(-7, 3), -4);
+  EXPECT_EQ(cost_add(kCostInfinity - 1, 1), kCostInfinity);
+}
+
+TEST(CostMath, AddSaturatesInsteadOfWrapping) {
+  EXPECT_EQ(cost_add(kMax, kMax), kCostInfinity);
+  EXPECT_EQ(cost_add(kCostInfinity, kCostInfinity), kCostInfinity);
+  EXPECT_EQ(cost_add(kMax / 2, kMax / 2), kCostInfinity);
+  EXPECT_EQ(cost_add(-kMax, -kMax), -kCostInfinity);
+}
+
+TEST(CostMath, MulIsExactBelowSaturation) {
+  EXPECT_EQ(cost_mul(0, 12345), 0);
+  EXPECT_EQ(cost_mul(6, 7), 42);
+  EXPECT_EQ(cost_mul(-6, 7), -42);
+}
+
+TEST(CostMath, MulSaturatesInsteadOfWrapping) {
+  EXPECT_EQ(cost_mul(kMax, 2), kCostInfinity);
+  EXPECT_EQ(cost_mul(kMax, kMax), kCostInfinity);
+  EXPECT_EQ(cost_mul(kMax, -2), -kCostInfinity);
+  EXPECT_EQ(cost_mul(-kMax, -kMax), kCostInfinity);
+  // The minimum is the classic two's-complement negation trap.
+  EXPECT_EQ(cost_mul(std::numeric_limits<Cost>::min(), -1), kCostInfinity);
+}
+
+TEST(CostMath, SaturationPreservesOrderingUpToTheSentinel) {
+  const Cost cheap = cost_add(100, 200);
+  const Cost expensive = cost_add(kMax / 2, kMax / 2);
+  EXPECT_LT(cheap, expensive);
+  EXPECT_EQ(expensive, kCostInfinity);
+  // Two saturated values compare equal — both are "unreachably expensive".
+  EXPECT_EQ(cost_add(kMax, 1), cost_mul(kMax, 3));
+}
+
+TEST(CostMath, HelpersAreConstexpr) {
+  static_assert(cost_add(1, 2) == 3);
+  static_assert(cost_mul(kMax, kMax) == kCostInfinity);
+  static_assert(cost_add(kMax, kMax) == kCostInfinity);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hyperrec

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""CI gate for the solve cache: validate a hyperrec_cli result JSON and
+assert the cache reports activity.
+
+Usage: check_cache_stats.py RESULT.json [MIN_HITS]
+
+Runs `python -m json.tool` over the file first (strict syntactic check, the
+same gate CI applies to the plain CLI smoke), then asserts the schema-v2
+cache object is present, enabled, and reports at least MIN_HITS hits
+(default 1) — the contract for a --repeat=2 run over the same batch, where
+every second-round job must be served from the cache.
+"""
+import json
+import subprocess
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    min_hits = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+
+    subprocess.run(
+        [sys.executable, "-m", "json.tool", path],
+        check=True,
+        stdout=subprocess.DEVNULL,
+    )
+
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+
+    assert doc["schema"] == "hyperrec-batch-result", doc["schema"]
+    assert doc["version"] >= 2, "cache stats need schema v2"
+    cache = doc["cache"]
+    assert cache["enabled"] is True, "cache should be enabled for this run"
+    assert cache["hits"] >= min_hits, (
+        f"expected >= {min_hits} cache hits, got {cache['hits']}"
+    )
+    assert cache["misses"] >= 1, "first round must record misses"
+
+    served = sum(1 for job in doc["jobs"] if job["cache"] == "hit")
+    assert served == len(doc["jobs"]), (
+        f"every job in the final round should be a hit, got {served}"
+        f"/{len(doc['jobs'])}"
+    )
+    print(
+        f"cache smoke OK: {cache['hits']} hits, {cache['misses']} misses, "
+        f"{served}/{len(doc['jobs'])} jobs served from cache"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
