@@ -38,8 +38,10 @@ TaskTrace phased_trace(std::size_t steps, std::size_t universe,
 void BM_SingleTaskDp(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const TaskTrace trace = phased_trace(n, 48, 7);
+  // Stats built once at the boundary (BM_InstanceBuild prices that step).
+  const TaskTraceStats stats(trace);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(solve_single_task_switch(trace, 48).total);
+    benchmark::DoNotOptimize(solve_single_task_switch(stats, 48).total);
   }
   state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
 }
@@ -51,10 +53,12 @@ void BM_AlignedDp(benchmark::State& state) {
   config.tasks = m;
   config.task_config.steps = 256;
   config.task_config.universe = 16;
-  const auto trace = workload::make_multi_phased(config, 11);
-  const auto machine = MachineSpec::uniform_local(m, 16);
+  // The instance is built once at the boundary; the timed loop measures
+  // pure solving against the shared precomputation.
+  const SolveInstance instance(workload::make_multi_phased(config, 11),
+                               MachineSpec::uniform_local(m, 16));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(solve_aligned_dp(trace, machine, {}).total());
+    benchmark::DoNotOptimize(solve_aligned_dp(instance).total());
   }
 }
 BENCHMARK(BM_AlignedDp)->DenseRange(1, 8, 1);
@@ -65,11 +69,10 @@ void BM_CoordDescent(benchmark::State& state) {
   config.tasks = 4;
   config.task_config.steps = n;
   config.task_config.universe = 12;
-  const auto trace = workload::make_multi_phased(config, 5);
-  const auto machine = MachineSpec::uniform_local(4, 12);
+  const SolveInstance instance(workload::make_multi_phased(config, 5),
+                               MachineSpec::uniform_local(4, 12));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        solve_coordinate_descent(trace, machine, {}).total());
+    benchmark::DoNotOptimize(solve_coordinate_descent(instance).total());
   }
   state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
 }
@@ -81,14 +84,32 @@ void BM_Exhaustive(benchmark::State& state) {
   config.tasks = 2;
   config.task_config.steps = n;
   config.task_config.universe = 6;
-  const auto trace = workload::make_multi_phased(config, 3);
-  const auto machine = MachineSpec::uniform_local(2, 6);
+  const SolveInstance instance(workload::make_multi_phased(config, 3),
+                               MachineSpec::uniform_local(2, 6));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(solve_exhaustive(trace, machine, {}).total());
+    benchmark::DoNotOptimize(solve_exhaustive(instance).total());
   }
   state.SetLabel("2^{2(n-1)} schedules");
 }
 BENCHMARK(BM_Exhaustive)->DenseRange(4, 10, 1);
+
+// Cost of building the SolveInstance IR itself (validation + sparse-table
+// unions + presence counts) — the one-off price the whole portfolio shares.
+void BM_InstanceBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  workload::MultiPhasedConfig config;
+  config.tasks = 4;
+  config.task_config.steps = n;
+  config.task_config.universe = 48;
+  const auto trace = workload::make_multi_phased(config, 17);
+  const auto machine = MachineSpec::uniform_local(4, 48);
+  for (auto _ : state) {
+    const SolveInstance instance(trace, machine);
+    benchmark::DoNotOptimize(&instance);
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_InstanceBuild)->RangeMultiplier(4)->Range(64, 1024)->Complexity();
 
 void BM_ImplicitGeneral(benchmark::State& state) {
   const auto universe = static_cast<std::size_t>(state.range(0));
@@ -131,7 +152,7 @@ int main(int argc, char** argv) {
   }
   std::string filter = "--benchmark_filter="
       "BM_SingleTaskDp/64$|BM_AlignedDp/1$|BM_CoordDescent/32$|"
-      "BM_Exhaustive/4$|BM_ImplicitGeneral/6$";
+      "BM_Exhaustive/4$|BM_ImplicitGeneral/6$|BM_InstanceBuild/64$";
   // Note: plain seconds value — the "0.01s" suffix form needs benchmark
   // >= 1.8, and the floor here is 1.7.
   std::string min_time = "--benchmark_min_time=0.01";

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "core/interval_dp.hpp"
+#include "model/trace_stats.hpp"
 #include "online/rent_or_buy.hpp"
 #include "workload/generators.hpp"
 
@@ -33,9 +34,10 @@ int main() {
 
   // Offline references.
   const auto offline = solve_single_task_switch(trace, v);
-  const Cost never = v + static_cast<Cost>(
-                             trace.local_union(0, trace.size()).count()) *
-                             static_cast<Cost>(trace.size());
+  const TaskTraceStats stats(trace);
+  const Cost never =
+      v + static_cast<Cost>(stats.local_union_count(0, trace.size())) *
+              static_cast<Cost>(trace.size());
 
   std::printf("drifting workload, %zu steps over %zu switches, v = %lld\n\n",
               trace.size(), static_cast<std::size_t>(config.universe),

@@ -69,7 +69,9 @@ int main(int argc, char** argv) {
 
     const EvalOptions options{UploadMode::kTaskParallel,
                               UploadMode::kTaskSequential, false};
-    const MTSolution solution = solve(trace, machine, options, CancelToken{});
+    // One instance at the CLI boundary; the solver queries its stats.
+    const SolveInstance instance(trace, machine, options);
+    const MTSolution solution = solve(instance, CancelToken{});
     const Cost baseline =
         no_hyperreconfiguration_cost(machine, trace.steps());
 

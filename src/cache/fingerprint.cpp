@@ -134,10 +134,20 @@ InstanceKey make_instance_key(const MultiTaskTrace& trace,
   return key;
 }
 
+InstanceKey make_instance_key(const SolveInstance& instance) {
+  return make_instance_key(instance.trace(), instance.machine(),
+                           instance.options());
+}
+
 Fingerprint128 fingerprint_instance(const MultiTaskTrace& trace,
                                     const MachineSpec& machine,
                                     const EvalOptions& options) {
   return fingerprint_bytes(canonical_instance_key(trace, machine, options));
+}
+
+Fingerprint128 fingerprint_instance(const SolveInstance& instance) {
+  return fingerprint_instance(instance.trace(), instance.machine(),
+                              instance.options());
 }
 
 Fingerprint128 fingerprint_shape(const MultiTaskTrace& trace) {

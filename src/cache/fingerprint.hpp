@@ -18,6 +18,7 @@
 #include <string_view>
 
 #include "model/cost_switch.hpp"
+#include "model/instance.hpp"
 #include "model/machine.hpp"
 #include "model/trace.hpp"
 
@@ -71,9 +72,16 @@ struct InstanceKey {
                                             const MachineSpec& machine,
                                             const EvalOptions& options);
 
+/// Fingerprints a SolveInstance — the one encoding path the engine/cache
+/// stack uses: the instance already carries the validated triple, so the
+/// key is derived from exactly the bytes the solvers consumed.
+[[nodiscard]] InstanceKey make_instance_key(const SolveInstance& instance);
+
 [[nodiscard]] Fingerprint128 fingerprint_instance(const MultiTaskTrace& trace,
                                                   const MachineSpec& machine,
                                                   const EvalOptions& options);
+
+[[nodiscard]] Fingerprint128 fingerprint_instance(const SolveInstance& instance);
 
 [[nodiscard]] Fingerprint128 fingerprint_shape(const MultiTaskTrace& trace);
 

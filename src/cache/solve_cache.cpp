@@ -307,6 +307,11 @@ std::optional<MultiTaskSchedule> SolveCache::warm_start_for(
   return found;
 }
 
+std::optional<MultiTaskSchedule> SolveCache::warm_start_for(
+    const SolveInstance& instance) {
+  return warm_start_for(instance.trace(), instance.machine());
+}
+
 void SolveCache::update_warm_index(const InstanceKey& key,
                                    const MTSolution& solution) {
   if (warm_ == nullptr) return;

@@ -118,6 +118,10 @@ class SolveCache {
   [[nodiscard]] std::optional<MultiTaskSchedule> warm_start_for(
       const MultiTaskTrace& trace, const MachineSpec& machine);
 
+  /// Instance-keyed warm-start lookup (same semantics).
+  [[nodiscard]] std::optional<MultiTaskSchedule> warm_start_for(
+      const SolveInstance& instance);
+
   [[nodiscard]] SolveCacheStats stats() const;
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }

@@ -15,7 +15,13 @@ Cost combine(UploadMode mode, Cost acc, Cost value) {
 MTSolution solve_aligned_dp(const MultiTaskTrace& trace,
                             const MachineSpec& machine,
                             const EvalOptions& options) {
-  machine.validate_trace(trace);
+  return solve_aligned_dp(SolveInstance(trace, machine, options));
+}
+
+MTSolution solve_aligned_dp(const SolveInstance& instance) {
+  const MultiTaskTrace& trace = instance.trace();
+  const MachineSpec& machine = instance.machine();
+  const EvalOptions& options = instance.options();
   HYPERREC_ENSURE(trace.synchronized(), "aligned DP needs equal-length traces");
   HYPERREC_ENSURE(!options.changeover,
                   "aligned DP does not support changeover costs; use the "
@@ -77,7 +83,7 @@ MTSolution solve_aligned_dp(const MultiTaskTrace& trace,
   if (machine.has_global_resources()) {
     schedule.global_boundaries.push_back(0);
   }
-  return make_solution(trace, machine, std::move(schedule), options);
+  return make_solution(instance, std::move(schedule));
 }
 
 }  // namespace hyperrec

@@ -9,7 +9,13 @@ namespace hyperrec {
 MTSolution solve_annealing(const MultiTaskTrace& trace,
                            const MachineSpec& machine,
                            const EvalOptions& options, const SaConfig& config) {
-  machine.validate_trace(trace);
+  return solve_annealing(SolveInstance(trace, machine, options), config);
+}
+
+MTSolution solve_annealing(const SolveInstance& instance,
+                           const SaConfig& config) {
+  const MultiTaskTrace& trace = instance.trace();
+  const MachineSpec& machine = instance.machine();
   HYPERREC_ENSURE(trace.synchronized(), "annealing needs equal-length traces");
   HYPERREC_ENSURE(config.seed_schedule.size() <= 1, "at most one seed");
   const std::size_t n = trace.steps();
@@ -42,8 +48,7 @@ MTSolution solve_annealing(const MultiTaskTrace& trace,
     return schedule;
   };
   auto cost_of = [&](const std::vector<DynamicBitset>& genes) {
-    return evaluate_fully_sync_switch(trace, machine, build(genes), options)
-        .total;
+    return evaluate_fully_sync_switch(instance, build(genes)).total;
   };
 
   Cost current = cost_of(masks);
@@ -93,7 +98,7 @@ MTSolution solve_annealing(const MultiTaskTrace& trace,
     }
     temperature *= config.cooling;
   }
-  return make_solution(trace, machine, build(best), options);
+  return make_solution(instance, build(best));
 }
 
 }  // namespace hyperrec

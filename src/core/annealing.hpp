@@ -26,6 +26,10 @@ struct SaConfig {
   CancelToken cancel;
 };
 
+[[nodiscard]] MTSolution solve_annealing(const SolveInstance& instance,
+                                         const SaConfig& config = {});
+
+/// Boundary convenience: builds a one-off instance.
 [[nodiscard]] MTSolution solve_annealing(const MultiTaskTrace& trace,
                                          const MachineSpec& machine,
                                          const EvalOptions& options = {},

@@ -20,23 +20,27 @@ struct FrozenProfile {
   std::vector<Cost> reconfig;  ///< combined reconfig term incl. |h^pub|
 };
 
-FrozenProfile freeze(const MultiTaskTrace& trace, const MachineSpec& machine,
-                     const MultiTaskSchedule& schedule, std::size_t t,
-                     const EvalOptions& options) {
-  const std::size_t n = trace.steps();
-  const std::size_t m = trace.task_count();
+FrozenProfile freeze(const SolveInstance& instance,
+                     const MultiTaskSchedule& schedule, std::size_t t) {
+  const MachineSpec& machine = instance.machine();
+  const EvalOptions& options = instance.options();
+  const std::size_t n = instance.steps();
+  const std::size_t m = instance.task_count();
   FrozenProfile profile;
   profile.hyper.assign(n, 0);
   profile.reconfig.assign(n, static_cast<Cost>(machine.public_context_size));
 
   for (std::size_t j = 0; j < m; ++j) {
     if (j == t) continue;
+    const TaskTraceStats& stats = instance.task_stats(j);
     const Partition& partition = schedule.tasks[j];
     for (std::size_t k = 0; k < partition.interval_count(); ++k) {
       const auto [lo, hi] = partition.interval_bounds(k);
+      // The no-allocation count fast path: the frozen profile only needs
+      // |U| + priv, never the union bitset itself.
       const Cost size =
-          static_cast<Cost>(trace.task(j).local_union(lo, hi).count()) +
-          static_cast<Cost>(trace.task(j).max_private_demand(lo, hi));
+          static_cast<Cost>(stats.local_union_count(lo, hi)) +
+          static_cast<Cost>(stats.max_private_demand(lo, hi));
       profile.hyper[lo] = combine(options.hyper_upload, profile.hyper[lo],
                                   machine.tasks[j].local_init);
       for (std::size_t l = lo; l < hi; ++l) {
@@ -49,12 +53,12 @@ FrozenProfile freeze(const MultiTaskTrace& trace, const MachineSpec& machine,
 }
 
 /// Exact DP for task t against a frozen profile; returns its new partition.
-Partition optimize_task(const MultiTaskTrace& trace, const MachineSpec& machine,
-                        const FrozenProfile& profile, std::size_t t,
-                        const EvalOptions& options) {
-  const TaskTrace& task = trace.task(t);
+Partition optimize_task(const SolveInstance& instance,
+                        const FrozenProfile& profile, std::size_t t) {
+  const TaskTrace& task = instance.trace().task(t);
+  const EvalOptions& options = instance.options();
   const std::size_t n = task.size();
-  const Cost v = machine.tasks[t].local_init;
+  const Cost v = instance.machine().tasks[t].local_init;
 
   std::vector<Cost> best(n + 1, kInfinity);
   std::vector<std::size_t> parent(n + 1, 0);
@@ -101,7 +105,15 @@ MTSolution solve_coordinate_descent(const MultiTaskTrace& trace,
                                     const MachineSpec& machine,
                                     const EvalOptions& options,
                                     const CoordinateDescentConfig& config) {
-  machine.validate_trace(trace);
+  return solve_coordinate_descent(SolveInstance(trace, machine, options),
+                                  config);
+}
+
+MTSolution solve_coordinate_descent(const SolveInstance& instance,
+                                    const CoordinateDescentConfig& config) {
+  const MultiTaskTrace& trace = instance.trace();
+  const MachineSpec& machine = instance.machine();
+  const EvalOptions& options = instance.options();
   HYPERREC_ENSURE(trace.synchronized(),
                   "coordinate descent needs equal-length traces");
   HYPERREC_ENSURE(!options.changeover,
@@ -118,25 +130,22 @@ MTSolution solve_coordinate_descent(const MultiTaskTrace& trace,
       if (machine.has_global_resources()) single.global_boundaries.push_back(0);
       return single;
     }
-    return solve_aligned_dp(trace, machine, options).schedule;
+    return solve_aligned_dp(instance).schedule;
   }();
-  Cost current =
-      evaluate_fully_sync_switch(trace, machine, schedule, options).total;
+  Cost current = evaluate_fully_sync_switch(instance, schedule).total;
 
   const std::size_t m = trace.task_count();
   for (std::size_t round = 0; round < config.max_rounds; ++round) {
     bool improved = false;
     for (std::size_t t = 0; t < m; ++t) {
       if (config.cancel.cancelled()) {
-        return make_solution(trace, machine, std::move(schedule), options);
+        return make_solution(instance, std::move(schedule));
       }
-      const FrozenProfile profile =
-          freeze(trace, machine, schedule, t, options);
-      Partition candidate = optimize_task(trace, machine, profile, t, options);
+      const FrozenProfile profile = freeze(instance, schedule, t);
+      Partition candidate = optimize_task(instance, profile, t);
       MultiTaskSchedule trial = schedule;
       trial.tasks[t] = std::move(candidate);
-      const Cost trial_cost =
-          evaluate_fully_sync_switch(trace, machine, trial, options).total;
+      const Cost trial_cost = evaluate_fully_sync_switch(instance, trial).total;
       if (trial_cost < current) {
         schedule = std::move(trial);
         current = trial_cost;
@@ -145,7 +154,7 @@ MTSolution solve_coordinate_descent(const MultiTaskTrace& trace,
     }
     if (!improved) break;
   }
-  return make_solution(trace, machine, std::move(schedule), options);
+  return make_solution(instance, std::move(schedule));
 }
 
 }  // namespace hyperrec

@@ -12,7 +12,12 @@ double exhaustive_search_space(std::size_t m, std::size_t n) {
 MTSolution solve_exhaustive(const MultiTaskTrace& trace,
                             const MachineSpec& machine,
                             const EvalOptions& options) {
-  machine.validate_trace(trace);
+  return solve_exhaustive(SolveInstance(trace, machine, options));
+}
+
+MTSolution solve_exhaustive(const SolveInstance& instance) {
+  const MultiTaskTrace& trace = instance.trace();
+  const MachineSpec& machine = instance.machine();
   HYPERREC_ENSURE(trace.synchronized(),
                   "exhaustive search needs equal-length traces");
   const std::size_t n = trace.steps();
@@ -46,14 +51,13 @@ MTSolution solve_exhaustive(const MultiTaskTrace& trace,
   const std::uint64_t limit = std::uint64_t{1} << free_bits;
   for (std::uint64_t code = 0; code < limit; ++code) {
     const MultiTaskSchedule schedule = decode(code);
-    const Cost total =
-        evaluate_fully_sync_switch(trace, machine, schedule, options).total;
+    const Cost total = evaluate_fully_sync_switch(instance, schedule).total;
     if (total < best_cost) {
       best_cost = total;
       best_code = code;
     }
   }
-  return make_solution(trace, machine, decode(best_code), options);
+  return make_solution(instance, decode(best_code));
 }
 
 }  // namespace hyperrec

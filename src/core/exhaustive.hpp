@@ -12,6 +12,9 @@
 
 namespace hyperrec {
 
+[[nodiscard]] MTSolution solve_exhaustive(const SolveInstance& instance);
+
+/// Boundary convenience: builds a one-off instance.
 [[nodiscard]] MTSolution solve_exhaustive(const MultiTaskTrace& trace,
                                           const MachineSpec& machine,
                                           const EvalOptions& options = {});

@@ -88,7 +88,13 @@ void mutate(Chromosome& genes, double rate, Xoshiro256& rng) {
 
 GaResult solve_genetic(const MultiTaskTrace& trace, const MachineSpec& machine,
                        const EvalOptions& options, const GaConfig& config) {
-  machine.validate_trace(trace);
+  return solve_genetic(SolveInstance(trace, machine, options), config);
+}
+
+GaResult solve_genetic(const SolveInstance& instance, const GaConfig& config) {
+  const MultiTaskTrace& trace = instance.trace();
+  const MachineSpec& machine = instance.machine();
+  const EvalOptions& options = instance.options();
   HYPERREC_ENSURE(trace.synchronized(), "GA needs equal-length traces");
   HYPERREC_ENSURE(config.population >= 4, "population too small");
   HYPERREC_ENSURE(config.tournament >= 1, "tournament size must be >= 1");
@@ -111,8 +117,7 @@ GaResult solve_genetic(const MultiTaskTrace& trace, const MachineSpec& machine,
         config.seed_schedule.empty() ? MultiTaskSchedule::all_single(m, n)
                                      : config.seed_schedule.front();
     result.best = make_solution(
-        trace, machine, decode(from_schedule(incumbent), global_resources),
-        options);
+        instance, decode(from_schedule(incumbent), global_resources));
     return result;
   }
 
@@ -123,8 +128,7 @@ GaResult solve_genetic(const MultiTaskTrace& trace, const MachineSpec& machine,
     population.push_back(from_schedule(config.seed_schedule.front()));
   }
   if (!options.changeover) {
-    population.push_back(
-        from_schedule(solve_aligned_dp(trace, machine, options).schedule));
+    population.push_back(from_schedule(solve_aligned_dp(instance).schedule));
   }
   population.push_back(from_schedule(MultiTaskSchedule::all_single(m, n)));
   population.push_back(from_schedule(MultiTaskSchedule::all_every_step(m, n)));
@@ -134,8 +138,7 @@ GaResult solve_genetic(const MultiTaskTrace& trace, const MachineSpec& machine,
   }
 
   auto fitness_of = [&](const Chromosome& genes) {
-    return evaluate_fully_sync_switch(
-               trace, machine, decode(genes, global_resources), options)
+    return evaluate_fully_sync_switch(instance, decode(genes, global_resources))
         .total;
   };
 
@@ -217,8 +220,8 @@ GaResult solve_genetic(const MultiTaskTrace& trace, const MachineSpec& machine,
     if (config.patience > 0 && stale >= config.patience) break;
   }
 
-  result.best = make_solution(trace, machine,
-                              decode(best_genes, global_resources), options);
+  result.best =
+      make_solution(instance, decode(best_genes, global_resources));
   result.evaluations = evaluations;
   return result;
 }

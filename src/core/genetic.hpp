@@ -53,6 +53,10 @@ struct GaResult {
   std::size_t evaluations = 0;
 };
 
+[[nodiscard]] GaResult solve_genetic(const SolveInstance& instance,
+                                     const GaConfig& config = {});
+
+/// Boundary convenience: builds a one-off instance.
 [[nodiscard]] GaResult solve_genetic(const MultiTaskTrace& trace,
                                      const MachineSpec& machine,
                                      const EvalOptions& options = {},

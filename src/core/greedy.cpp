@@ -7,7 +7,13 @@ namespace hyperrec {
 MTSolution solve_greedy(const MultiTaskTrace& trace, const MachineSpec& machine,
                         const EvalOptions& options,
                         const GreedyConfig& config) {
-  machine.validate_trace(trace);
+  return solve_greedy(SolveInstance(trace, machine, options), config);
+}
+
+MTSolution solve_greedy(const SolveInstance& instance,
+                        const GreedyConfig& config) {
+  const MultiTaskTrace& trace = instance.trace();
+  const MachineSpec& machine = instance.machine();
   HYPERREC_ENSURE(trace.synchronized(), "greedy needs equal-length traces");
   HYPERREC_ENSURE(config.window >= 1, "window must be at least 1");
   const std::size_t n = trace.steps();
@@ -18,6 +24,7 @@ MTSolution solve_greedy(const MultiTaskTrace& trace, const MachineSpec& machine,
 
   for (std::size_t j = 0; j < m; ++j) {
     const TaskTrace& task = trace.task(j);
+    const TaskTraceStats& stats = instance.task_stats(j);
     const Cost v = machine.tasks[j].local_init;
     std::vector<std::size_t> starts{0};
 
@@ -28,19 +35,24 @@ MTSolution solve_greedy(const MultiTaskTrace& trace, const MachineSpec& machine,
     for (std::size_t l = 1; l < n; ++l) {
       const std::size_t window_end = std::min(n, l + config.window);
 
-      DynamicBitset window_union = task.local_union(l, window_end);
-      std::uint32_t window_priv = task.max_private_demand(l, window_end);
+      // Window scoring against the precomputed views, allocation-free: the
+      // fresh size is the count fast path, the extended size a fused
+      // |current ∪ window| pass; the window union is materialised only on
+      // the rarer new-interval branch.
+      const std::uint32_t window_priv =
+          stats.max_private_demand(l, window_end);
       const Cost len = static_cast<Cost>(window_end - l);
-
-      const Cost fresh_size = static_cast<Cost>(window_union.count()) +
-                              static_cast<Cost>(window_priv);
+      const Cost fresh_size =
+          static_cast<Cost>(stats.local_union_count(l, window_end)) +
+          static_cast<Cost>(window_priv);
       const Cost extended_size =
-          static_cast<Cost>(current.union_count(window_union)) +
+          static_cast<Cost>(
+              stats.local_union_count_with(current, l, window_end)) +
           static_cast<Cost>(std::max(current_priv, window_priv));
 
       if (v + fresh_size * len < extended_size * len) {
         starts.push_back(l);
-        current = std::move(window_union);
+        current = stats.local_union(l, window_end);
         current_priv = window_priv;
       } else {
         current |= task.at(l).local;
@@ -50,7 +62,7 @@ MTSolution solve_greedy(const MultiTaskTrace& trace, const MachineSpec& machine,
     schedule.tasks.push_back(Partition::from_starts(std::move(starts), n));
   }
   if (machine.has_global_resources()) schedule.global_boundaries.push_back(0);
-  return make_solution(trace, machine, std::move(schedule), options);
+  return make_solution(instance, std::move(schedule));
 }
 
 }  // namespace hyperrec

@@ -17,6 +17,10 @@ struct GreedyConfig {
   std::size_t window = 8;
 };
 
+[[nodiscard]] MTSolution solve_greedy(const SolveInstance& instance,
+                                      const GreedyConfig& config = {});
+
+/// Boundary convenience: builds a one-off instance.
 [[nodiscard]] MTSolution solve_greedy(const MultiTaskTrace& trace,
                                       const MachineSpec& machine,
                                       const EvalOptions& options = {},

@@ -1,5 +1,6 @@
 #include "core/interval_dp.hpp"
 
+#include "model/trace_stats.hpp"
 #include "support/cost_math.hpp"
 
 namespace hyperrec {
@@ -8,10 +9,10 @@ namespace {
 
 constexpr Cost kInfinity = kCostInfinity;
 
-SingleTaskSolution reconstruct(const TaskTrace& trace,
+SingleTaskSolution reconstruct(const TaskTraceStats& stats,
                                const std::vector<std::size_t>& parent,
                                Cost total) {
-  const std::size_t n = trace.size();
+  const std::size_t n = stats.steps();
   std::vector<std::size_t> starts;
   for (std::size_t cursor = n; cursor != 0; cursor = parent[cursor]) {
     starts.push_back(parent[cursor]);
@@ -21,7 +22,7 @@ SingleTaskSolution reconstruct(const TaskTrace& trace,
   SingleTaskSolution solution{Partition::from_starts(starts, n), total, {}};
   for (std::size_t k = 0; k < solution.partition.interval_count(); ++k) {
     const auto [lo, hi] = solution.partition.interval_bounds(k);
-    solution.hypercontexts.push_back(trace.local_union(lo, hi));
+    solution.hypercontexts.push_back(stats.local_union(lo, hi));
   }
   return solution;
 }
@@ -30,15 +31,25 @@ SingleTaskSolution reconstruct(const TaskTrace& trace,
 
 SingleTaskSolution solve_single_task_switch(const TaskTrace& trace,
                                             Cost hyper_init) {
+  return solve_single_task_switch(TaskTraceStats(trace), hyper_init);
+}
+
+SingleTaskSolution solve_single_task_switch(const TaskTraceStats& stats,
+                                            Cost hyper_init) {
+  const TaskTrace& trace = stats.trace();
   const std::size_t n = trace.size();
   HYPERREC_ENSURE(n > 0, "empty trace");
 
+  // The stats back the reconstruction-time union queries; the DP's inner
+  // loop keeps its incrementally merged running union (amortised O(words)
+  // per extension beats a table query per pair).
   std::vector<Cost> best(n + 1, kInfinity);
   std::vector<std::size_t> parent(n + 1, 0);
   best[0] = 0;
 
+  DynamicBitset running(trace.local_universe());
   for (std::size_t end = 1; end <= n; ++end) {
-    DynamicBitset running(trace.local_universe());
+    running.reset_all();
     std::size_t union_size = 0;
     std::uint32_t max_priv = 0;
     // Extend the candidate interval [start, end) leftwards.
@@ -58,7 +69,7 @@ SingleTaskSolution solve_single_task_switch(const TaskTrace& trace,
       }
     }
   }
-  return reconstruct(trace, parent, best[n]);
+  return reconstruct(stats, parent, best[n]);
 }
 
 SingleTaskSolution solve_single_task_switch_changeover(const TaskTrace& trace,
@@ -137,7 +148,8 @@ SingleTaskSolution solve_single_task_switch_changeover(const TaskTrace& trace,
   SingleTaskSolution solution{Partition::from_starts(starts, n), total, {}};
   for (std::size_t k = 0; k < solution.partition.interval_count(); ++k) {
     const auto [lo, hi] = solution.partition.interval_bounds(k);
-    solution.hypercontexts.push_back(trace.local_union(lo, hi));
+    // The DP already materialised every interval union; reuse its table.
+    solution.hypercontexts.push_back(unions[lo * (n + 1) + hi]);
   }
   return solution;
 }

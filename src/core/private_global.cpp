@@ -25,11 +25,12 @@ MultiTaskTrace subtrace(const MultiTaskTrace& trace, std::size_t lo,
   return result;
 }
 
-bool block_feasible(const MultiTaskTrace& trace, const MachineSpec& machine,
-                    std::size_t lo, std::size_t hi) {
+bool block_feasible(const MultiTaskTraceStats& stats,
+                    const MachineSpec& machine, std::size_t lo,
+                    std::size_t hi) {
   std::uint64_t quota_sum = 0;
-  for (std::size_t j = 0; j < trace.task_count(); ++j) {
-    quota_sum += trace.task(j).max_private_demand(lo, hi);
+  for (std::size_t j = 0; j < stats.task_count(); ++j) {
+    quota_sum += stats.task(j).max_private_demand(lo, hi);
   }
   return quota_sum <= machine.private_global_units;
 }
@@ -51,13 +52,16 @@ PrivateGlobalSolution solve_private_global(const MultiTaskTrace& trace,
 
   MTSolverFn inner = config.inner;
   if (!inner) {
-    inner = [](const MultiTaskTrace& t, const MachineSpec& mach,
-               const EvalOptions& opts, const CancelToken& cancel) {
+    inner = [](const SolveInstance& block, const CancelToken& cancel) {
       CoordinateDescentConfig cd_config;
       cd_config.cancel = cancel;
-      return solve_coordinate_descent(t, mach, opts, cd_config);
+      return solve_coordinate_descent(block, cd_config);
     };
   }
+
+  // Shared interval-query precomputation for the feasibility scans and the
+  // per-block quota extraction (O(1) per query instead of O(range)).
+  const MultiTaskTraceStats stats(trace);
 
   // Candidate boundaries, always containing 0, sorted + deduplicated.
   std::vector<std::size_t> candidates = config.candidates;
@@ -93,10 +97,12 @@ PrivateGlobalSolution solve_private_global(const MultiTaskTrace& trace,
     for (std::size_t b = a + 1; b <= c; ++b) {
       const std::size_t lo = candidates[a];
       const std::size_t hi = b < c ? candidates[b] : n;
-      if (!block_feasible(trace, machine, lo, hi)) continue;
-      const MultiTaskTrace block = subtrace(trace, lo, hi);
-      MachineSpec inner_machine = block_machine;
-      MTSolution solution = inner(block, inner_machine, options, config.cancel);
+      if (!block_feasible(stats, machine, lo, hi)) continue;
+      // One SolveInstance per block: the inner solver (and anything it
+      // races) shares the block's precomputation.
+      const SolveInstance block(subtrace(trace, lo, hi), block_machine,
+                                options);
+      MTSolution solution = inner(block, config.cancel);
       block_cost[block_index(a, b)] = solution.total();
       block_solution[block_index(a, b)] = std::move(solution);
     }
@@ -142,7 +148,7 @@ PrivateGlobalSolution solve_private_global(const MultiTaskTrace& trace,
     }
     std::vector<std::uint32_t> quotas(m);
     for (std::size_t j = 0; j < m; ++j) {
-      quotas[j] = trace.task(j).max_private_demand(lo, hi);
+      quotas[j] = stats.task(j).max_private_demand(lo, hi);
     }
     result.quotas.push_back(std::move(quotas));
   }

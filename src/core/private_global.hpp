@@ -22,7 +22,9 @@ struct PrivateGlobalConfig {
   /// Candidate steps for global boundaries (0 is always included).  Empty
   /// means every step — O(n²) blocks, fine up to a few hundred steps.
   std::vector<std::size_t> candidates;
-  /// Inner solver for each block; defaults to coordinate descent.
+  /// Inner solver for each block; defaults to coordinate descent.  Each
+  /// block is handed its own SolveInstance (local-only machine, the block's
+  /// sub-trace) with freshly built precomputation.
   MTSolverFn inner;
   /// Passed to the inner solver for every block, so a deadline set here
   /// bounds the whole decomposition.  Default: never cancels.

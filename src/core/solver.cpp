@@ -10,6 +10,14 @@
 
 namespace hyperrec {
 
+MTSolution make_solution(const SolveInstance& instance,
+                         MultiTaskSchedule schedule) {
+  MTSolution solution;
+  solution.breakdown = evaluate_fully_sync_switch(instance, schedule);
+  solution.schedule = std::move(schedule);
+  return solution;
+}
+
 MTSolution make_solution(const MultiTaskTrace& trace,
                          const MachineSpec& machine,
                          MultiTaskSchedule schedule,
@@ -38,46 +46,36 @@ std::vector<NamedSolver> standard_solvers(const SolveHints& hints) {
   };
   std::vector<NamedSolver> solvers;
   solvers.push_back({"aligned-dp",
-                     [](const MultiTaskTrace& trace, const MachineSpec& machine,
-                        const EvalOptions& options, const CancelToken&) {
-                       return solve_aligned_dp(trace, machine, options);
+                     [](const SolveInstance& instance, const CancelToken&) {
+                       return solve_aligned_dp(instance);
                      }});
   solvers.push_back({"greedy-w8",
-                     [](const MultiTaskTrace& trace, const MachineSpec& machine,
-                        const EvalOptions& options, const CancelToken&) {
-                       return solve_greedy(trace, machine, options);
+                     [](const SolveInstance& instance, const CancelToken&) {
+                       return solve_greedy(instance);
                      }});
   solvers.push_back({"coord-descent",
-                     [warm, seed_of](const MultiTaskTrace& trace,
-                                     const MachineSpec& machine,
-                                     const EvalOptions& options,
+                     [warm, seed_of](const SolveInstance& instance,
                                      const CancelToken& cancel) {
                        CoordinateDescentConfig config;
                        config.seed = seed_of(warm);
                        config.cancel = cancel;
-                       return solve_coordinate_descent(trace, machine, options,
-                                                       config);
+                       return solve_coordinate_descent(instance, config);
                      }});
   solvers.push_back({"genetic",
-                     [warm, seed_of](const MultiTaskTrace& trace,
-                                     const MachineSpec& machine,
-                                     const EvalOptions& options,
+                     [warm, seed_of](const SolveInstance& instance,
                                      const CancelToken& cancel) {
                        GaConfig config;
                        config.seed_schedule = seed_of(warm);
                        config.cancel = cancel;
-                       return solve_genetic(trace, machine, options, config)
-                           .best;
+                       return solve_genetic(instance, config).best;
                      }});
   solvers.push_back({"annealing",
-                     [warm, seed_of](const MultiTaskTrace& trace,
-                                     const MachineSpec& machine,
-                                     const EvalOptions& options,
+                     [warm, seed_of](const SolveInstance& instance,
                                      const CancelToken& cancel) {
                        SaConfig config;
                        config.seed_schedule = seed_of(warm);
                        config.cancel = cancel;
-                       return solve_annealing(trace, machine, options, config);
+                       return solve_annealing(instance, config);
                      }});
   return solvers;
 }

@@ -1,9 +1,14 @@
 // Common result type and registry for multi-task MT-Switch solvers.
 //
 // Every solver for the fully synchronised MT-Switch problem (§5 of the
-// paper) produces a MultiTaskSchedule; MTSolution bundles it with its cost
-// breakdown under the evaluation options it was optimised for.  The registry
-// lets benches and tests iterate all solvers uniformly.
+// paper) consumes a SolveInstance — the immutable IR bundling the validated
+// (trace, machine, options) triple with shared interval-query precomputation
+// (model/instance.hpp) — and produces a MultiTaskSchedule; MTSolution
+// bundles it with its cost breakdown under the instance's evaluation
+// options.  The registry lets benches, the portfolio racer and tests
+// iterate all solvers uniformly; because solvers take the instance by const
+// reference, a portfolio race pays the precomputation once per instance,
+// not once per racer.
 #pragma once
 
 #include <functional>
@@ -11,6 +16,7 @@
 #include <vector>
 
 #include "model/cost_switch.hpp"
+#include "model/instance.hpp"
 #include "model/machine.hpp"
 #include "model/schedule.hpp"
 #include "model/trace.hpp"
@@ -25,7 +31,13 @@ struct MTSolution {
   [[nodiscard]] Cost total() const noexcept { return breakdown.total; }
 };
 
-/// Re-evaluates a schedule and packages it as a solution.
+/// Re-evaluates a schedule against the instance and packages it as a
+/// solution; the evaluation hits the instance's precomputed views.
+[[nodiscard]] MTSolution make_solution(const SolveInstance& instance,
+                                       MultiTaskSchedule schedule);
+
+/// Boundary convenience: builds a one-off instance.  Prefer the instance
+/// overload anywhere a SolveInstance already exists.
 [[nodiscard]] MTSolution make_solution(const MultiTaskTrace& trace,
                                        const MachineSpec& machine,
                                        MultiTaskSchedule schedule,
@@ -35,21 +47,27 @@ struct MTSolution {
 /// solvers poll it between iterations and return their incumbent when it
 /// fires; exact solvers may ignore it (they are fast on the instance sizes
 /// they accept).  Callers that do not care pass an inert token.
-using MTSolverFn = std::function<MTSolution(
-    const MultiTaskTrace&, const MachineSpec&, const EvalOptions&,
-    const CancelToken&)>;
+using MTSolverFn =
+    std::function<MTSolution(const SolveInstance&, const CancelToken&)>;
 
 struct NamedSolver {
   std::string name;
   MTSolverFn fn;
 
-  /// Invokes fn; the cancel hook defaults to an inert token so existing
-  /// three-argument call sites keep working.
+  /// Invokes fn; the cancel hook defaults to an inert token.
+  [[nodiscard]] MTSolution solve(const SolveInstance& instance,
+                                 const CancelToken& cancel = {}) const {
+    return fn(instance, cancel);
+  }
+
+  /// Boundary convenience: builds a one-off instance for the call.  Tests
+  /// and examples use it; the engine/portfolio layers construct one
+  /// instance per job and share it across members instead.
   [[nodiscard]] MTSolution solve(const MultiTaskTrace& trace,
                                  const MachineSpec& machine,
                                  const EvalOptions& options,
                                  const CancelToken& cancel = {}) const {
-    return fn(trace, machine, options, cancel);
+    return fn(SolveInstance(trace, machine, options), cancel);
   }
 };
 

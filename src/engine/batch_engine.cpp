@@ -33,7 +33,11 @@ BatchResult BatchEngine::solve(const std::vector<BatchJob>& jobs) const {
 
   // Fresh (uncached) solve; fills the job's winner/entries/warm_started —
   // only after the solve returns, so a throwing job keeps the empty
-  // winner/flags the schema guarantees for failures.
+  // winner/flags the schema guarantees for failures.  This is the one place
+  // a job's SolveInstance is built: every portfolio member and the
+  // warm-start validator share its precomputation, while cache hits (which
+  // never reach this lambda) stay at fingerprint-lookup cost and the custom
+  // solver hook skips the build entirely.
   auto solve_fresh = [this](const BatchJob& job, const CancelToken& token,
                             JobResult& out) {
     if (config_.solver) {
@@ -41,19 +45,23 @@ BatchResult BatchEngine::solve(const std::vector<BatchJob>& jobs) const {
       out.winner = "custom";
       return fresh;
     }
+    const SolveInstance instance(job.trace, job.machine, job.options);
     PortfolioConfig per_job = config_.portfolio;
     per_job.parallel = false;  // the job is the unit of parallelism
     per_job.pool = nullptr;
     per_job.deadline = std::chrono::milliseconds{0};  // already in token
     bool warm_used = false;
-    if (config_.warm_start && config_.cache != nullptr) {
-      if (auto warm = config_.cache->warm_start_for(job.trace, job.machine)) {
+    // A caller-preset portfolio warm_start takes precedence — appending the
+    // cached incumbent next to it would trip the portfolio's one-seed
+    // contract and fail the job.
+    if (config_.warm_start && config_.cache != nullptr &&
+        per_job.warm_start.empty()) {
+      if (auto warm = config_.cache->warm_start_for(instance)) {
         per_job.warm_start.push_back(std::move(*warm));
         warm_used = true;
       }
     }
-    PortfolioResult race =
-        solve_portfolio(job.trace, job.machine, job.options, per_job, token);
+    PortfolioResult race = solve_portfolio(instance, per_job, token);
     out.warm_started = warm_used;
     out.winner = std::move(race.winner);
     out.entries = std::move(race.entries);
@@ -78,6 +86,9 @@ BatchResult BatchEngine::solve(const std::vector<BatchJob>& jobs) const {
     try {
       if (config_.cache != nullptr) {
         consulted_cache = true;
+        // Key straight off the triple: a cache hit must stay at
+        // encode-and-lookup cost, so the instance (trace copy + precompute)
+        // is only built inside the compute closure, on a genuine miss.
         const cache::InstanceKey key =
             cache::make_instance_key(job.trace, job.machine, job.options);
         out.solution = config_.cache->get_or_compute_guarded(

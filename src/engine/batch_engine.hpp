@@ -15,6 +15,13 @@
 // saturates the hardware.  A job that throws (infeasible instance, shape
 // mismatch) is reported in its JobResult; it never aborts the batch.
 //
+// Instance construction: a job that actually solves builds exactly one
+// SolveInstance (model/instance.hpp) — validation and the shared
+// interval-query precomputation come from that object, and every portfolio
+// member races it by const reference.  Cache hits never build one: the
+// fingerprint is encoded straight off the job triple, keeping the hit path
+// at encode-and-lookup cost.
+//
 // Caching: with a SolveCache configured, each job is keyed by its instance
 // fingerprint — repeats are served from the cache, duplicates in flight
 // coalesce onto one solve (waiting on an *actively running* computation,

@@ -9,22 +9,30 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-std::vector<NamedSolver> resolve_members(
-    const std::vector<std::string>& names, const SolveHints& hints) {
-  std::vector<NamedSolver> line_up = standard_solvers(hints);
-  if (names.empty()) return line_up;
+std::vector<NamedSolver> resolve_members(const PortfolioConfig& config,
+                                         const SolveHints& hints) {
   std::vector<NamedSolver> members;
-  members.reserve(names.size());
-  for (const std::string& name : names) {
-    bool found = false;
-    for (const NamedSolver& solver : line_up) {
-      if (solver.name == name) {
-        members.push_back(solver);
-        found = true;
-        break;
+  std::vector<NamedSolver> line_up = standard_solvers(hints);
+  if (config.solvers.empty()) {
+    members = std::move(line_up);
+  } else {
+    members.reserve(config.solvers.size());
+    for (const std::string& name : config.solvers) {
+      bool found = false;
+      for (const NamedSolver& solver : line_up) {
+        if (solver.name == name) {
+          members.push_back(solver);
+          found = true;
+          break;
+        }
       }
+      HYPERREC_ENSURE(found, "unknown portfolio solver: " + name);
     }
-    HYPERREC_ENSURE(found, "unknown portfolio solver: " + name);
+  }
+  for (const NamedSolver& solver : config.extra) {
+    HYPERREC_ENSURE(static_cast<bool>(solver.fn),
+                    "extra portfolio member has no solver function");
+    members.push_back(solver);
   }
   return members;
 }
@@ -34,6 +42,13 @@ std::vector<NamedSolver> resolve_members(
 PortfolioResult solve_portfolio(const MultiTaskTrace& trace,
                                 const MachineSpec& machine,
                                 const EvalOptions& options,
+                                const PortfolioConfig& config,
+                                const CancelToken& cancel) {
+  return solve_portfolio(SolveInstance(trace, machine, options), config,
+                         cancel);
+}
+
+PortfolioResult solve_portfolio(const SolveInstance& instance,
                                 const PortfolioConfig& config,
                                 const CancelToken& cancel) {
   HYPERREC_ENSURE(config.warm_start.size() <= 1,
@@ -46,12 +61,13 @@ PortfolioResult solve_portfolio(const MultiTaskTrace& trace,
     // member solver.
     MultiTaskSchedule warm = config.warm_start.front();
     warm.global_boundaries.clear();
-    if (machine.has_global_resources()) warm.global_boundaries.push_back(0);
-    warm.validate(trace.task_count(), trace.steps());
+    if (instance.machine().has_global_resources()) {
+      warm.global_boundaries.push_back(0);
+    }
+    warm.validate(instance.task_count(), instance.steps());
     hints.warm_start.push_back(std::move(warm));
   }
-  const std::vector<NamedSolver> members =
-      resolve_members(config.solvers, hints);
+  const std::vector<NamedSolver> members = resolve_members(config, hints);
   HYPERREC_ENSURE(!members.empty(), "portfolio needs at least one member");
 
   CancelToken race = config.deadline.count() > 0
@@ -69,7 +85,8 @@ PortfolioResult solve_portfolio(const MultiTaskTrace& trace,
     entry.solver = members[i].name;
     const Clock::time_point start = Clock::now();
     try {
-      solutions[i] = members[i].solve(trace, machine, options, race);
+      // Every member races the same shared instance (no per-racer copies).
+      solutions[i] = members[i].solve(instance, race);
       entry.total = solutions[i].total();
       entry.ok = true;
       if (config.cancel_losers) race.cancel();

@@ -53,6 +53,10 @@ struct PortfolioConfig {
   /// the solve cache.  0 or 1 entries; must validate against the instance
   /// (global boundaries are normalized for the machine automatically).
   std::vector<MultiTaskSchedule> warm_start;
+  /// Additional members raced after the named line-up — custom solvers for
+  /// experiments and tests (e.g. asserting that every racer observes the
+  /// same SolveInstance).  Unlike `solvers`, these need no registry entry.
+  std::vector<NamedSolver> extra;
 };
 
 struct PortfolioEntry {
@@ -70,10 +74,17 @@ struct PortfolioResult {
   std::chrono::microseconds elapsed{0};
 };
 
-/// Races the configured members on one instance.  Throws PreconditionError
-/// for unknown member names or when every member throws (the instance
-/// itself is infeasible for the whole line-up).  `cancel` is the caller's
-/// token; the config deadline is linked under it, so either fires the race.
+/// Races the configured members on one instance.  Every member receives the
+/// *same* SolveInstance by const reference — the shared precomputation is
+/// paid once per race, never per racer.  Throws PreconditionError for
+/// unknown member names or when every member throws (the instance itself is
+/// infeasible for the whole line-up).  `cancel` is the caller's token; the
+/// config deadline is linked under it, so either fires the race.
+[[nodiscard]] PortfolioResult solve_portfolio(const SolveInstance& instance,
+                                              const PortfolioConfig& config = {},
+                                              const CancelToken& cancel = {});
+
+/// Boundary convenience: builds the shared instance, then races on it.
 [[nodiscard]] PortfolioResult solve_portfolio(const MultiTaskTrace& trace,
                                               const MachineSpec& machine,
                                               const EvalOptions& options = {},

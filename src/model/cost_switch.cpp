@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "model/instance.hpp"
+#include "model/trace_stats.hpp"
+
 namespace hyperrec {
 
 namespace {
@@ -13,16 +16,16 @@ Cost combine(UploadMode mode, Cost acc, Cost value) {
 /// Cost of task j's local hyperreconfiguration into interval k, including
 /// the optional changeover term against the previous hypercontext.
 Cost local_hyper_cost(const MachineSpec& machine, std::size_t j,
-                      const std::vector<LocalHypercontext>& contexts,
-                      std::size_t k, bool changeover) {
+                      const std::vector<DynamicBitset>& unions, std::size_t k,
+                      bool changeover) {
   Cost cost = machine.tasks[j].local_init;
   if (changeover) {
-    const DynamicBitset& current = contexts[k].local;
+    const DynamicBitset& current = unions[k];
     if (k == 0) {
       cost += static_cast<Cost>(current.count());
     } else {
       cost += static_cast<Cost>(
-          current.symmetric_difference_count(contexts[k - 1].local));
+          current.symmetric_difference_count(unions[k - 1]));
     }
   }
   return cost;
@@ -30,8 +33,9 @@ Cost local_hyper_cost(const MachineSpec& machine, std::size_t j,
 
 /// Validates that within every global block the per-task private quotas fit
 /// into the machine's pool of g units (§3: the global hypercontext assigns
-/// the private-global resources to the tasks).
-void check_private_feasibility(const MultiTaskTrace& trace,
+/// the private-global resources to the tasks).  All range queries are O(1)
+/// against the precomputed stats.
+void check_private_feasibility(const MultiTaskTraceStats& stats,
                                const MachineSpec& machine,
                                const MultiTaskSchedule& schedule,
                                std::size_t steps) {
@@ -41,8 +45,15 @@ void check_private_feasibility(const MultiTaskTrace& trace,
   blocks.push_back(steps);
   for (std::size_t b = 0; b + 1 < blocks.size(); ++b) {
     std::uint64_t quota_sum = 0;
-    for (std::size_t j = 0; j < trace.task_count(); ++j) {
-      quota_sum += trace.task(j).max_private_demand(blocks[b], blocks[b + 1]);
+    // The per-step demand sum is a lower bound on the quota sum, so the
+    // O(1) cross-task query short-circuits clearly infeasible blocks.
+    if (stats.max_step_demand_sum(blocks[b], blocks[b + 1]) <=
+        machine.private_global_units) {
+      for (std::size_t j = 0; j < stats.task_count(); ++j) {
+        quota_sum += stats.task(j).max_private_demand(blocks[b], blocks[b + 1]);
+      }
+    } else {
+      quota_sum = machine.private_global_units + 1;
     }
     HYPERREC_ENSURE(quota_sum <= machine.private_global_units,
                     "private-global demand exceeds the unit pool within a "
@@ -50,29 +61,15 @@ void check_private_feasibility(const MultiTaskTrace& trace,
   }
 }
 
-}  // namespace
-
-std::vector<std::vector<LocalHypercontext>> derive_local_hypercontexts(
-    const MultiTaskTrace& trace, const MultiTaskSchedule& schedule) {
-  std::vector<std::vector<LocalHypercontext>> result(trace.task_count());
-  for (std::size_t j = 0; j < trace.task_count(); ++j) {
-    const TaskTrace& task = trace.task(j);
-    const Partition& partition = schedule.tasks[j];
-    result[j].reserve(partition.interval_count());
-    for (std::size_t k = 0; k < partition.interval_count(); ++k) {
-      const auto [start, end] = partition.interval_bounds(k);
-      result[j].push_back(LocalHypercontext{
-          task.local_union(start, end),
-          task.max_private_demand(start, end)});
-    }
-  }
-  return result;
-}
-
-CostBreakdown evaluate_fully_sync_switch(const MultiTaskTrace& trace,
-                                         const MachineSpec& machine,
-                                         const MultiTaskSchedule& schedule,
-                                         const EvalOptions& options) {
+/// Stats-backed §4.2 evaluation core.  Per task and interval it derives the
+/// minimal hypercontext *size* from the precomputed tables (O(words) per
+/// interval); the union bitsets themselves are materialised only when the
+/// changeover term needs them.
+CostBreakdown evaluate_fully_sync_impl(const MultiTaskTrace& trace,
+                                       const MultiTaskTraceStats& stats,
+                                       const MachineSpec& machine,
+                                       const MultiTaskSchedule& schedule,
+                                       const EvalOptions& options) {
   machine.validate_trace(trace);
   HYPERREC_ENSURE(trace.synchronized(),
                   "fully synchronised evaluation requires equal-length traces");
@@ -89,9 +86,24 @@ CostBreakdown evaluate_fully_sync_switch(const MultiTaskTrace& trace,
                     "machines without global resources cannot perform global "
                     "hyperreconfigurations");
   }
-  check_private_feasibility(trace, machine, schedule, n);
+  check_private_feasibility(stats, machine, schedule, n);
 
-  const auto contexts = derive_local_hypercontexts(trace, schedule);
+  // Per task: interval sizes |U| + priv from the stats views; union bitsets
+  // only under changeover (the Δ term needs the actual sets).
+  std::vector<std::vector<Cost>> sizes(m);
+  std::vector<std::vector<DynamicBitset>> unions(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const TaskTraceStats& task = stats.task(j);
+    const Partition& partition = schedule.tasks[j];
+    sizes[j].reserve(partition.interval_count());
+    if (options.changeover) unions[j].reserve(partition.interval_count());
+    for (std::size_t k = 0; k < partition.interval_count(); ++k) {
+      const auto [start, end] = partition.interval_bounds(k);
+      sizes[j].push_back(static_cast<Cost>(task.local_union_count(start, end)) +
+                         static_cast<Cost>(task.max_private_demand(start, end)));
+      if (options.changeover) unions[j].push_back(task.local_union(start, end));
+    }
+  }
 
   CostBreakdown breakdown;
   breakdown.per_step.resize(n);
@@ -114,13 +126,10 @@ CostBreakdown evaluate_fully_sync_switch(const MultiTaskTrace& trace,
         any_boundary = true;
         hyper_term = combine(
             options.hyper_upload, hyper_term,
-            local_hyper_cost(machine, j, contexts[j], k, options.changeover));
+            local_hyper_cost(machine, j, unions[j], k, options.changeover));
       }
-      const Cost task_reconfig =
-          static_cast<Cost>(contexts[j][k].local.count()) +
-          static_cast<Cost>(contexts[j][k].private_avail);
       reconfig_term =
-          combine(options.reconfig_upload, reconfig_term, task_reconfig);
+          combine(options.reconfig_upload, reconfig_term, sizes[j][k]);
     }
 
     Cost global_term = 0;
@@ -140,10 +149,11 @@ CostBreakdown evaluate_fully_sync_switch(const MultiTaskTrace& trace,
   return breakdown;
 }
 
-AsyncCostBreakdown evaluate_async_switch(const MultiTaskTrace& trace,
-                                         const MachineSpec& machine,
-                                         const MultiTaskSchedule& schedule,
-                                         const EvalOptions& options) {
+AsyncCostBreakdown evaluate_async_impl(const MultiTaskTrace& trace,
+                                       const MultiTaskTraceStats& stats,
+                                       const MachineSpec& machine,
+                                       const MultiTaskSchedule& schedule,
+                                       const EvalOptions& options) {
   machine.validate_trace(trace);
   HYPERREC_ENSURE(machine.public_context_size == 0,
                   "public resources require a context- or fully-synchronised "
@@ -161,25 +171,27 @@ AsyncCostBreakdown evaluate_async_switch(const MultiTaskTrace& trace,
   if (machine.private_global_units > 0) {
     std::uint64_t quota_sum = 0;
     for (std::size_t j = 0; j < trace.task_count(); ++j) {
-      quota_sum += trace.task(j).max_private_demand(0, trace.task(j).size());
+      quota_sum += stats.task(j).max_private_demand(0, trace.task(j).size());
     }
     HYPERREC_ENSURE(quota_sum <= machine.private_global_units,
                     "private-global demand exceeds the unit pool");
   }
 
-  const auto contexts = derive_local_hypercontexts(trace, schedule);
-
   AsyncCostBreakdown breakdown;
   breakdown.per_task.resize(trace.task_count(), 0);
   for (std::size_t j = 0; j < trace.task_count(); ++j) {
+    const TaskTraceStats& task = stats.task(j);
     const Partition& partition = schedule.tasks[j];
     Cost total = 0;
+    std::vector<DynamicBitset> unions;
+    if (options.changeover) unions.reserve(partition.interval_count());
     for (std::size_t k = 0; k < partition.interval_count(); ++k) {
       const auto [start, end] = partition.interval_bounds(k);
       const Cost reconfig_each =
-          static_cast<Cost>(contexts[j][k].local.count()) +
-          static_cast<Cost>(contexts[j][k].private_avail);
-      total += local_hyper_cost(machine, j, contexts[j], k, options.changeover);
+          static_cast<Cost>(task.local_union_count(start, end)) +
+          static_cast<Cost>(task.max_private_demand(start, end));
+      if (options.changeover) unions.push_back(task.local_union(start, end));
+      total += local_hyper_cost(machine, j, unions, k, options.changeover);
       total += reconfig_each * static_cast<Cost>(end - start);
     }
     breakdown.per_task[j] = total;
@@ -192,6 +204,59 @@ AsyncCostBreakdown evaluate_async_switch(const MultiTaskTrace& trace,
                                                breakdown.per_task.end());
   breakdown.total = breakdown.global_hyper + slowest;
   return breakdown;
+}
+
+}  // namespace
+
+std::vector<std::vector<LocalHypercontext>> derive_local_hypercontexts(
+    const MultiTaskTraceStats& stats, const MultiTaskSchedule& schedule) {
+  std::vector<std::vector<LocalHypercontext>> result(stats.task_count());
+  for (std::size_t j = 0; j < stats.task_count(); ++j) {
+    const TaskTraceStats& task = stats.task(j);
+    const Partition& partition = schedule.tasks[j];
+    result[j].reserve(partition.interval_count());
+    for (std::size_t k = 0; k < partition.interval_count(); ++k) {
+      const auto [start, end] = partition.interval_bounds(k);
+      result[j].push_back(LocalHypercontext{
+          task.local_union(start, end),
+          task.max_private_demand(start, end)});
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<LocalHypercontext>> derive_local_hypercontexts(
+    const MultiTaskTrace& trace, const MultiTaskSchedule& schedule) {
+  return derive_local_hypercontexts(MultiTaskTraceStats(trace), schedule);
+}
+
+CostBreakdown evaluate_fully_sync_switch(const MultiTaskTrace& trace,
+                                         const MachineSpec& machine,
+                                         const MultiTaskSchedule& schedule,
+                                         const EvalOptions& options) {
+  return evaluate_fully_sync_impl(trace, MultiTaskTraceStats(trace), machine,
+                                  schedule, options);
+}
+
+CostBreakdown evaluate_fully_sync_switch(const SolveInstance& instance,
+                                         const MultiTaskSchedule& schedule) {
+  return evaluate_fully_sync_impl(instance.trace(), instance.stats(),
+                                  instance.machine(), schedule,
+                                  instance.options());
+}
+
+AsyncCostBreakdown evaluate_async_switch(const MultiTaskTrace& trace,
+                                         const MachineSpec& machine,
+                                         const MultiTaskSchedule& schedule,
+                                         const EvalOptions& options) {
+  return evaluate_async_impl(trace, MultiTaskTraceStats(trace), machine,
+                             schedule, options);
+}
+
+AsyncCostBreakdown evaluate_async_switch(const SolveInstance& instance,
+                                         const MultiTaskSchedule& schedule) {
+  return evaluate_async_impl(instance.trace(), instance.stats(),
+                             instance.machine(), schedule, instance.options());
 }
 
 Cost no_hyperreconfiguration_cost(const MachineSpec& machine,

@@ -38,6 +38,9 @@
 
 namespace hyperrec {
 
+class SolveInstance;        // model/instance.hpp
+class MultiTaskTraceStats;  // model/trace_stats.hpp
+
 struct EvalOptions {
   UploadMode hyper_upload = UploadMode::kTaskParallel;
   UploadMode reconfig_upload = UploadMode::kTaskSequential;
@@ -51,8 +54,16 @@ struct LocalHypercontext {
 };
 
 /// hypercontexts[j][k] = minimal hypercontext of task j in its interval k.
+/// Builds a one-off stats view internally; prefer the stats overload when a
+/// SolveInstance (or its MultiTaskTraceStats) is already in hand.
 [[nodiscard]] std::vector<std::vector<LocalHypercontext>>
 derive_local_hypercontexts(const MultiTaskTrace& trace,
+                           const MultiTaskSchedule& schedule);
+
+/// As above, but queries the precomputed stats views — O(words) per
+/// interval instead of O(range·words).
+[[nodiscard]] std::vector<std::vector<LocalHypercontext>>
+derive_local_hypercontexts(const MultiTaskTraceStats& stats,
                            const MultiTaskSchedule& schedule);
 
 struct StepCost {
@@ -71,10 +82,18 @@ struct CostBreakdown {
 
 /// §4.2 evaluator for fully synchronised machines.  Requires a synchronized
 /// trace; validates the schedule, the private-global quota feasibility and
-/// the machine/trace shapes.
+/// the machine/trace shapes.  Builds a one-off stats view internally; the
+/// SolveInstance overload below reuses the instance's shared precomputation
+/// and is the hot-path entry point.
 [[nodiscard]] CostBreakdown evaluate_fully_sync_switch(
     const MultiTaskTrace& trace, const MachineSpec& machine,
     const MultiTaskSchedule& schedule, const EvalOptions& options = {});
+
+/// Instance-backed §4.2 evaluator: identical semantics (bit-identical
+/// CostBreakdown), but every interval union/demand query hits the
+/// instance's precomputed tables.
+[[nodiscard]] CostBreakdown evaluate_fully_sync_switch(
+    const SolveInstance& instance, const MultiTaskSchedule& schedule);
 
 struct AsyncCostBreakdown {
   Cost total = 0;
@@ -90,6 +109,10 @@ struct AsyncCostBreakdown {
 [[nodiscard]] AsyncCostBreakdown evaluate_async_switch(
     const MultiTaskTrace& trace, const MachineSpec& machine,
     const MultiTaskSchedule& schedule, const EvalOptions& options = {});
+
+/// Instance-backed §4.1 evaluator (shared precomputation, same result).
+[[nodiscard]] AsyncCostBreakdown evaluate_async_switch(
+    const SolveInstance& instance, const MultiTaskSchedule& schedule);
 
 /// §6 baseline: hyperreconfiguration disabled, every reconfiguration loads
 /// all |X| switches — n · total_switches().

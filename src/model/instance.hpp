@@ -1,0 +1,84 @@
+// SolveInstance: the immutable solver-facing IR of one MT-Switch problem.
+//
+// Every §5 solver, the §4.2 evaluator, the portfolio racer, the batch
+// engine and the solve cache consume the same validated triple
+// (trace, machine, options) — and, before this IR existed, each of them
+// re-derived the same interval facts from the raw trace.  SolveInstance
+// bundles the triple with eagerly built shared precomputation
+// (model/trace_stats.hpp): sparse-table interval unions, O(1) private-demand
+// maxima, per-switch presence counts and per-step global demand sums.
+// Construct once at the boundary (CLI, engine, bench, test), then share the
+// instance by const reference across every racer — the precomputation is
+// paid once per instance, not once per solver.
+//
+// Layering:
+//
+//   model (trace, machine, cost)        raw domain types
+//     └── SolveInstance                 validated triple + TraceStats views
+//           └── core solvers            MTSolution f(const SolveInstance&)
+//                 └── engine            portfolio race / batch sharding
+//                       └── cache, io   fingerprints, memoization, JSON
+//
+// The instance is move-only; its payload lives behind a unique_ptr so the
+// stats' internal pointers stay valid across moves.  Validation
+// (machine/trace shape) happens in the constructor, so a SolveInstance in
+// hand is always well-formed.
+#pragma once
+
+#include <memory>
+
+#include "model/cost_switch.hpp"
+#include "model/machine.hpp"
+#include "model/trace.hpp"
+#include "model/trace_stats.hpp"
+
+namespace hyperrec {
+
+class SolveInstance {
+ public:
+  /// Validates the triple (machine/trace shape check) and builds the shared
+  /// precomputation.  Throws PreconditionError on shape mismatch.
+  SolveInstance(MultiTaskTrace trace, MachineSpec machine,
+                EvalOptions options = {});
+
+  SolveInstance(SolveInstance&&) noexcept = default;
+  SolveInstance& operator=(SolveInstance&&) noexcept = default;
+  SolveInstance(const SolveInstance&) = delete;
+  SolveInstance& operator=(const SolveInstance&) = delete;
+
+  [[nodiscard]] const MultiTaskTrace& trace() const noexcept {
+    return data_->trace;
+  }
+  [[nodiscard]] const MachineSpec& machine() const noexcept {
+    return data_->machine;
+  }
+  [[nodiscard]] const EvalOptions& options() const noexcept {
+    return data_->options;
+  }
+  [[nodiscard]] const MultiTaskTraceStats& stats() const noexcept {
+    return data_->stats;
+  }
+  [[nodiscard]] const TaskTraceStats& task_stats(std::size_t j) const {
+    return data_->stats.task(j);
+  }
+
+  [[nodiscard]] std::size_t task_count() const noexcept {
+    return data_->trace.task_count();
+  }
+  [[nodiscard]] bool synchronized() const noexcept {
+    return data_->stats.synchronized();
+  }
+  /// Common step count; requires a synchronized trace.
+  [[nodiscard]] std::size_t steps() const { return data_->trace.steps(); }
+
+ private:
+  struct Data {
+    MultiTaskTrace trace;
+    MachineSpec machine;
+    EvalOptions options;
+    MultiTaskTraceStats stats;
+  };
+  std::unique_ptr<const Data> data_;
+};
+
+}  // namespace hyperrec

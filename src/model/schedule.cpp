@@ -91,6 +91,13 @@ void MultiTaskSchedule::validate(std::size_t m, std::size_t n) const {
   for (const Partition& partition : tasks) {
     HYPERREC_ENSURE(partition.n() == n, "schedule step count mismatch");
   }
+  // The evaluators binary-search this vector, so the contract is strictly
+  // increasing — an unsorted or duplicated list would silently mis-count
+  // global hyperreconfigurations instead of failing here.
+  for (std::size_t b = 1; b < global_boundaries.size(); ++b) {
+    HYPERREC_ENSURE(global_boundaries[b - 1] < global_boundaries[b],
+                    "global boundaries must be strictly increasing");
+  }
   for (const std::size_t g : global_boundaries) {
     HYPERREC_ENSURE(g < n, "global boundary beyond last step");
     for (const Partition& partition : tasks) {

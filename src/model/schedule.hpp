@@ -68,9 +68,10 @@ class Partition {
 struct MultiTaskSchedule {
   std::vector<Partition> tasks;
 
-  /// Steps with a global hyperreconfiguration; must be a subset of every
-  /// task's boundaries (a global hyperreconfiguration invalidates all local
-  /// hypercontexts, §3).  Leave empty for machines without global resources.
+  /// Steps with a global hyperreconfiguration; strictly increasing, and a
+  /// subset of every task's boundaries (a global hyperreconfiguration
+  /// invalidates all local hypercontexts, §3).  Leave empty for machines
+  /// without global resources.
   std::vector<std::size_t> global_boundaries;
 
   /// All tasks hyperreconfigure exactly once, at step 0.

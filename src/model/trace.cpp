@@ -8,8 +8,8 @@ void TaskTrace::push_back(ContextRequirement req) {
   steps_.push_back(std::move(req));
 }
 
-DynamicBitset TaskTrace::local_union(std::size_t first,
-                                     std::size_t last) const {
+DynamicBitset TaskTrace::local_union_naive(std::size_t first,
+                                           std::size_t last) const {
   HYPERREC_ENSURE(first <= last && last <= steps_.size(),
                   "union range out of bounds");
   DynamicBitset result(local_universe_);
@@ -17,8 +17,8 @@ DynamicBitset TaskTrace::local_union(std::size_t first,
   return result;
 }
 
-std::uint32_t TaskTrace::max_private_demand(std::size_t first,
-                                            std::size_t last) const {
+std::uint32_t TaskTrace::max_private_demand_naive(std::size_t first,
+                                                  std::size_t last) const {
   HYPERREC_ENSURE(first <= last && last <= steps_.size(),
                   "demand range out of bounds");
   std::uint32_t demand = 0;

@@ -53,13 +53,18 @@ class TaskTrace {
     push_back({std::move(local), 0});
   }
 
-  /// Union of local requirements over steps [first, last).
-  [[nodiscard]] DynamicBitset local_union(std::size_t first,
-                                          std::size_t last) const;
+  /// Union of local requirements over steps [first, last) by linear rescan.
+  /// O(range·words) — kept as the property-test oracle for the precomputed
+  /// TaskTraceStats views (model/trace_stats.hpp), which every solver and
+  /// evaluator on the hot path queries instead.
+  [[nodiscard]] DynamicBitset local_union_naive(std::size_t first,
+                                                std::size_t last) const;
 
-  /// Maximum private demand over steps [first, last); 0 for empty range.
-  [[nodiscard]] std::uint32_t max_private_demand(std::size_t first,
-                                                 std::size_t last) const;
+  /// Maximum private demand over steps [first, last) by linear rescan; 0
+  /// for an empty range.  Oracle counterpart of
+  /// TaskTraceStats::max_private_demand.
+  [[nodiscard]] std::uint32_t max_private_demand_naive(std::size_t first,
+                                                       std::size_t last) const;
 
  private:
   std::size_t local_universe_;

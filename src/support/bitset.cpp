@@ -131,6 +131,18 @@ DynamicBitset DynamicBitset::from_string(const std::string& bits) {
   return result;
 }
 
+DynamicBitset DynamicBitset::from_or_words(std::size_t size, const Word* a,
+                                           const Word* b, std::size_t words) {
+  DynamicBitset result(size);
+  HYPERREC_ENSURE(words == result.words_.size(),
+                  "word count does not match the universe size");
+  for (std::size_t w = 0; w < words; ++w) {
+    result.words_[w] = a[w] | b[w];
+  }
+  result.clear_tail();
+  return result;
+}
+
 std::size_t DynamicBitset::hash() const noexcept {
   std::size_t h = 1469598103934665603ull;
   for (const Word w : words_) {

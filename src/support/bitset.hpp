@@ -136,6 +136,15 @@ class DynamicBitset {
   /// Parses a string of '0'/'1' characters (index 0 leftmost).
   [[nodiscard]] static DynamicBitset from_string(const std::string& bits);
 
+  /// Builds a set over `size` elements from the word-wise OR of two raw
+  /// rows of `words` words each (the materialisation path of
+  /// TaskTraceStats).  The rows' tail bits past `size` must be zero, and
+  /// `words` must match the universe's word count.
+  [[nodiscard]] static DynamicBitset from_or_words(std::size_t size,
+                                                   const Word* a,
+                                                   const Word* b,
+                                                   std::size_t words);
+
   /// FNV-1a over the words — for unordered_map memoisation keys.
   [[nodiscard]] std::size_t hash() const noexcept;
 

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <mutex>
 
+#include "core/greedy.hpp"
 #include "testutil/workload_instances.hpp"
 
 namespace hyperrec::engine {
@@ -129,6 +131,37 @@ TEST(Portfolio, ExternalCancelStillYieldsAFeasibleBest) {
   const MTSolution check = make_solution(instance.trace, instance.machine,
                                          result.best.schedule, {});
   EXPECT_EQ(check.total(), result.best.total());
+}
+
+TEST(Portfolio, AllRacersObserveTheSameSolveInstance) {
+  // The whole point of the SolveInstance IR: the race shares one instance
+  // (and hence one set of precomputed interval tables) across every member
+  // — no per-racer copies.  Probe members record the address they were
+  // handed; all must equal the caller's instance.
+  const WorkloadInstance workload = small_instance();
+  const SolveInstance instance(workload.trace, workload.machine);
+
+  std::mutex mutex;
+  std::vector<const SolveInstance*> observed;
+  PortfolioConfig config;
+  config.solvers = {"aligned-dp"};
+  for (int i = 0; i < 3; ++i) {
+    config.extra.push_back(NamedSolver{
+        "probe-" + std::to_string(i),
+        [&mutex, &observed](const SolveInstance& raced, const CancelToken&) {
+          {
+            const std::lock_guard<std::mutex> lock(mutex);
+            observed.push_back(&raced);
+          }
+          return solve_greedy(raced);
+        }});
+  }
+  const PortfolioResult result = solve_portfolio(instance, config);
+  ASSERT_EQ(result.entries.size(), 4u);
+  ASSERT_EQ(observed.size(), 3u);
+  for (const SolveInstance* seen : observed) {
+    EXPECT_EQ(seen, &instance) << "racer saw a per-racer instance copy";
+  }
 }
 
 TEST(Portfolio, BestBreakdownMatchesReEvaluation) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "model/instance.hpp"
+#include "testutil/reference_eval.hpp"
+#include "testutil/trace_builders.hpp"
+
 namespace hyperrec {
 namespace {
 
@@ -293,6 +297,62 @@ TEST(EvaluateSwitchTotal, DispatcherMatchesDirectCalls) {
   EXPECT_EQ(evaluate_switch_total(SyncMode::kNonSynchronized, trace, machine,
                                   schedule, options),
             evaluate_async_switch(trace, machine, schedule, options).total);
+}
+
+void expect_breakdowns_identical(const CostBreakdown& actual,
+                                 const CostBreakdown& expected,
+                                 const char* label) {
+  EXPECT_EQ(actual.total, expected.total) << label;
+  EXPECT_EQ(actual.hyper, expected.hyper) << label;
+  EXPECT_EQ(actual.reconfig, expected.reconfig) << label;
+  EXPECT_EQ(actual.global_hyper, expected.global_hyper) << label;
+  EXPECT_EQ(actual.partial_hyper_steps, expected.partial_hyper_steps) << label;
+  ASSERT_EQ(actual.per_step.size(), expected.per_step.size()) << label;
+  for (std::size_t l = 0; l < actual.per_step.size(); ++l) {
+    ASSERT_EQ(actual.per_step[l].hyper, expected.per_step[l].hyper)
+        << label << " step " << l;
+    ASSERT_EQ(actual.per_step[l].reconfig, expected.per_step[l].reconfig)
+        << label << " step " << l;
+  }
+}
+
+TEST(FullySyncSwitch, StatsBackedEvaluatorIsBitIdenticalToNaiveOracle) {
+  // Regression gate for the SolveInstance re-plumb: the evaluator now
+  // queries precomputed interval tables instead of rescanning the trace per
+  // boundary interval; on seeded random schedules every CostBreakdown field
+  // — including the per-step vector — must match the naive-rescan oracle
+  // exactly, for both upload-combine settings and with changeover on.
+  Xoshiro256 rng(0xC057C057ull);
+  const EvalOptions grids[] = {
+      {UploadMode::kTaskParallel, UploadMode::kTaskSequential, false},
+      {UploadMode::kTaskSequential, UploadMode::kTaskParallel, false},
+      {UploadMode::kTaskParallel, UploadMode::kTaskSequential, true},
+  };
+  for (std::size_t round = 0; round < 12; ++round) {
+    const std::size_t tasks = 1 + rng.uniform(3);
+    const std::size_t steps = 2 + rng.uniform(14);
+    const std::size_t universe = 1 + rng.uniform(70);
+    const MultiTaskTrace trace =
+        testutil::random_multi_trace(rng, tasks, steps, universe);
+    const MachineSpec machine = MachineSpec::local_only(
+        std::vector<std::size_t>(tasks, universe));
+    for (const EvalOptions& options : grids) {
+      const SolveInstance instance(trace, machine, options);
+      for (std::size_t s = 0; s < 4; ++s) {
+        const MultiTaskSchedule schedule =
+            testutil::random_schedule(rng, trace, machine, 0.3);
+        const CostBreakdown expected =
+            testutil::reference_fully_sync_breakdown(trace, machine, schedule,
+                                                     options);
+        expect_breakdowns_identical(
+            evaluate_fully_sync_switch(instance, schedule), expected,
+            "instance evaluator");
+        expect_breakdowns_identical(
+            evaluate_fully_sync_switch(trace, machine, schedule, options),
+            expected, "trace-overload evaluator");
+      }
+    }
+  }
 }
 
 }  // namespace

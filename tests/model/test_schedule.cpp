@@ -125,5 +125,18 @@ TEST(MultiTaskSchedule, GlobalBoundaryBeyondRangeRejected) {
   EXPECT_THROW(schedule.validate(1, 4), PreconditionError);
 }
 
+TEST(MultiTaskSchedule, GlobalBoundariesMustBeStrictlyIncreasing) {
+  // The evaluators binary-search this vector; unsorted or duplicated lists
+  // must fail validation instead of silently mis-counting global
+  // hyperreconfigurations.
+  auto schedule = MultiTaskSchedule::all_every_step(1, 4);
+  schedule.global_boundaries = {2, 0};
+  EXPECT_THROW(schedule.validate(1, 4), PreconditionError);
+  schedule.global_boundaries = {0, 0};
+  EXPECT_THROW(schedule.validate(1, 4), PreconditionError);
+  schedule.global_boundaries = {0, 2};
+  EXPECT_NO_THROW(schedule.validate(1, 4));
+}
+
 }  // namespace
 }  // namespace hyperrec

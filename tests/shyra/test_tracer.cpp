@@ -81,7 +81,7 @@ TEST(Tracer, MuxSelector5NeverRequired) {
   // LUT2's third input is never live in the counter schedule, so the MUX
   // task's bits 20–23 (selector 5 within the 24-bit task universe) stay 0.
   const auto trace = to_multi_task_trace(counter_trace());
-  const auto mux_union = trace.task(3).local_union(0, trace.steps());
+  const auto mux_union = trace.task(3).local_union_naive(0, trace.steps());
   for (std::size_t bit = 20; bit < 24; ++bit) {
     EXPECT_FALSE(mux_union.test(bit));
   }

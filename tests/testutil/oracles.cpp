@@ -18,8 +18,8 @@ Cost brute_force_single_task(const TaskTrace& trace, Cost v) {
     for (std::size_t k = 0; k + 1 < starts.size(); ++k) {
       const std::size_t lo = starts[k];
       const std::size_t hi = starts[k + 1];
-      const Cost size = static_cast<Cost>(trace.local_union(lo, hi).count()) +
-                        static_cast<Cost>(trace.max_private_demand(lo, hi));
+      const Cost size = static_cast<Cost>(trace.local_union_naive(lo, hi).count()) +
+                        static_cast<Cost>(trace.max_private_demand_naive(lo, hi));
       total += v + size * static_cast<Cost>(hi - lo);
     }
     best = std::min(best, total);
@@ -39,7 +39,7 @@ Cost brute_force_changeover(const TaskTrace& trace, Cost v) {
     Cost total = 0;
     DynamicBitset previous(trace.local_universe());
     for (std::size_t k = 0; k + 1 < starts.size(); ++k) {
-      const DynamicBitset current = trace.local_union(starts[k], starts[k + 1]);
+      const DynamicBitset current = trace.local_union_naive(starts[k], starts[k + 1]);
       total += v +
                static_cast<Cost>(current.symmetric_difference_count(previous)) +
                static_cast<Cost>(current.count()) *

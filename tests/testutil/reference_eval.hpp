@@ -20,4 +20,12 @@ namespace hyperrec::testutil {
                                         const MultiTaskSchedule& schedule,
                                         const EvalOptions& options);
 
+/// Full CostBreakdown via the naive linear-rescan oracles
+/// (local_union_naive / max_private_demand_naive) — the pre-SolveInstance
+/// evaluator, kept verbatim so the stats-backed production evaluator can be
+/// checked for bit-identical breakdowns, not just equal totals.
+[[nodiscard]] CostBreakdown reference_fully_sync_breakdown(
+    const MultiTaskTrace& trace, const MachineSpec& machine,
+    const MultiTaskSchedule& schedule, const EvalOptions& options);
+
 }  // namespace hyperrec::testutil

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Compare bench --smoke wall times against bench/BENCH_BASELINE.json.
+
+Runs every bench executable found in <build-dir>/bench in smoke mode,
+measures wall time, and flags regressions of more than --threshold
+(default 25%) against the recorded baseline.  Small absolute drifts are
+ignored (--min-delta, default 0.05 s) because sub-100ms smoke runs are
+dominated by process start-up noise on shared CI hardware.
+
+Intended as a *non-blocking* CI step: the exit code is 1 when a regression
+is flagged so the step shows red, but the workflow marks it
+continue-on-error.
+
+Usage:
+  tools/compare_bench.py --build-dir build              # compare
+  tools/compare_bench.py --build-dir build --update     # rewrite baseline
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import time
+
+DESCRIPTION = (
+    "Smoke-mode (--smoke) baseline per bench: wall time and captured "
+    "stdout. Trajectory anchor for future performance PRs; timings "
+    "measured on the CI container, 1 core. CAUTION: this box is shared "
+    "and absolute timings drift 20%+ between recording days — compare "
+    "performance within one session (before/after builds of the same "
+    "day), not against these historical numbers; tools/compare_bench.py "
+    "applies a relative threshold plus an absolute min-delta for exactly "
+    "this reason."
+)
+
+
+def run_bench(executable: pathlib.Path) -> dict:
+    start = time.monotonic()
+    proc = subprocess.run(
+        [str(executable), "--smoke"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    wall = time.monotonic() - start
+    return {
+        "exit_code": proc.returncode,
+        "wall_seconds": round(wall, 3),
+        "stdout": proc.stdout.rstrip("\n").split("\n") if proc.stdout else [],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument(
+        "--baseline",
+        default=str(pathlib.Path(__file__).resolve().parent.parent
+                    / "bench" / "BENCH_BASELINE.json"),
+    )
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative regression threshold (0.25 = +25%%)")
+    parser.add_argument("--min-delta", type=float, default=0.05,
+                        help="ignore regressions smaller than this many "
+                             "seconds of absolute drift")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run instead of "
+                             "comparing")
+    args = parser.parse_args()
+
+    bench_dir = pathlib.Path(args.build_dir) / "bench"
+    executables = sorted(
+        p for p in bench_dir.glob("bench_*")
+        if p.is_file() and p.stat().st_mode & 0o111
+    )
+    if not executables:
+        print(f"no bench executables under {bench_dir}", file=sys.stderr)
+        return 2
+
+    results = {p.name: run_bench(p) for p in executables}
+
+    baseline_path = pathlib.Path(args.baseline)
+    if args.update:
+        payload = {
+            "description": DESCRIPTION,
+            "command": "./build/bench/<name> --smoke",
+            "benches": results,
+        }
+        baseline_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"baseline rewritten: {baseline_path} "
+              f"({len(results)} benches)")
+        return 0
+
+    baseline = json.loads(baseline_path.read_text())["benches"]
+    regressions = []
+    for name, result in sorted(results.items()):
+        if result["exit_code"] != 0:
+            regressions.append(f"{name}: smoke run failed "
+                               f"(exit {result['exit_code']})")
+            continue
+        base = baseline.get(name)
+        if base is None:
+            print(f"  NEW  {name}: {result['wall_seconds']:.3f}s "
+                  "(no baseline entry)")
+            continue
+        before = base["wall_seconds"]
+        after = result["wall_seconds"]
+        delta = after - before
+        ratio = after / before if before > 0 else float("inf")
+        marker = "ok"
+        if delta > args.min_delta and ratio > 1.0 + args.threshold:
+            marker = "REGRESSION"
+            regressions.append(
+                f"{name}: {before:.3f}s -> {after:.3f}s "
+                f"({(ratio - 1.0) * 100.0:+.0f}%)")
+        print(f"  {marker:>10}  {name}: {before:.3f}s -> {after:.3f}s")
+
+    if regressions:
+        print("\nflagged smoke-mode regressions (>"
+              f"{args.threshold * 100:.0f}% and >{args.min_delta}s):")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print("\nno smoke-mode regressions flagged")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
