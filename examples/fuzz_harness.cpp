@@ -1,0 +1,221 @@
+// Differential solver fuzzer: random small instances, every registered
+// solver vs the exhaustive oracle.
+//
+//   fuzz_harness [--seed=S] [--iters=N] [--smoke]
+//
+//     --seed=S   root seed (default 1); iteration i fuzzes stream S+i, so a
+//                failure's reproducer is `--seed=<printed seed> --iters=1`
+//     --iters=N  iterations (default 100)
+//     --smoke    25 iterations — the ctest `fuzz` label registration
+//
+// Each iteration draws a random instance small enough for solve_exhaustive
+// (random workload family, task count, step count, universes, machine costs,
+// private-global demands, changeover/upload-mode options) and checks every
+// standard_solvers() member against three oracles:
+//
+//   1. the returned schedule validates against the instance shape,
+//   2. the reported cost equals an independent re-evaluation of the
+//      schedule (solvers cannot mis-report what their schedule costs), and
+//   3. the cost is bounded below by the exhaustive optimum (no solver may
+//      "beat" the ground truth — that would mean an invalid schedule or a
+//      broken evaluator).
+//
+// On any disagreement the harness prints the failing solver, the full
+// instance (trace serialised, machine and options inline) and the exact
+// reproducer seed, then exits 1.  tools/fuzz_solvers.py drives time-sliced
+// campaigns (CI runs a 60-second slice).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/exhaustive.hpp"
+#include "core/solver.hpp"
+#include "io/trace_io.hpp"
+#include "model/cost_switch.hpp"
+#include "model/instance.hpp"
+#include "support/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace hyperrec;
+
+struct FuzzInstance {
+  MultiTaskTrace trace;
+  MachineSpec machine;
+  EvalOptions options;
+  std::string family;
+};
+
+FuzzInstance draw_instance(Xoshiro256& rng) {
+  FuzzInstance fuzz;
+  const std::vector<std::string>& kinds = workload::family_names();
+  fuzz.family = kinds[rng.uniform(kinds.size())];
+
+  const std::size_t tasks = 1 + rng.uniform(2);     // 1..2
+  const std::size_t steps = 2 + rng.uniform(7);     // 2..8 (periodic rounds up)
+  const std::size_t universe = 1 + rng.uniform(6);  // 1..6
+  const std::uint32_t demand_high =
+      rng.flip(0.4) ? static_cast<std::uint32_t>(1 + rng.uniform(3)) : 0;
+
+  for (std::size_t j = 0; j < tasks; ++j) {
+    Xoshiro256 task_rng = rng.split(j + 1);
+    TaskTrace task = workload::make_family(fuzz.family, steps, universe,
+                                           task_rng);
+    if (demand_high > 0) workload::add_private_demand(task, 0, demand_high, 2);
+    fuzz.trace.add_task(std::move(task));
+  }
+
+  for (std::size_t j = 0; j < tasks; ++j) {
+    TaskSpec spec;
+    spec.local_switches = universe;
+    spec.local_init = static_cast<Cost>(1 + rng.uniform(2 * universe));
+    fuzz.machine.tasks.push_back(spec);
+  }
+  if (demand_high > 0) {
+    // A pool covering the worst-case quota sum keeps every schedule
+    // feasible — the fuzzer hunts cost disagreements, not quota rejections.
+    fuzz.machine.private_global_units = tasks * demand_high;
+    fuzz.machine.global_init = static_cast<Cost>(1 + rng.uniform(6));
+  }
+
+  fuzz.options.changeover = rng.flip(0.5);
+  fuzz.options.hyper_upload =
+      rng.flip(0.5) ? UploadMode::kTaskParallel : UploadMode::kTaskSequential;
+  fuzz.options.reconfig_upload =
+      rng.flip(0.5) ? UploadMode::kTaskParallel : UploadMode::kTaskSequential;
+  return fuzz;
+}
+
+void dump_reproducer(const FuzzInstance& fuzz, std::uint64_t seed,
+                     const std::string& solver, const std::string& what) {
+  std::fprintf(stderr, "\n=== FUZZ FAILURE ===\n");
+  std::fprintf(stderr, "reproduce: fuzz_harness --seed=%llu --iters=1\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(stderr, "solver: %s\nfamily: %s\nproblem: %s\n", solver.c_str(),
+               fuzz.family.c_str(), what.c_str());
+  std::fprintf(
+      stderr,
+      "machine: g=%zu w=%lld locals/init=", fuzz.machine.private_global_units,
+      static_cast<long long>(fuzz.machine.global_init));
+  for (const TaskSpec& task : fuzz.machine.tasks) {
+    std::fprintf(stderr, " %zu/%lld", task.local_switches,
+                 static_cast<long long>(task.local_init));
+  }
+  std::fprintf(stderr,
+               "\noptions: changeover=%d hyper_upload=%d reconfig_upload=%d\n",
+               fuzz.options.changeover ? 1 : 0,
+               static_cast<int>(fuzz.options.hyper_upload),
+               static_cast<int>(fuzz.options.reconfig_upload));
+  std::fprintf(stderr, "trace:\n%s", io::trace_to_string(fuzz.trace).c_str());
+}
+
+/// Checks one solver on one instance; returns false (after dumping the
+/// reproducer) on the first disagreement.  `skipped` counts solvers that
+/// legitimately declined the instance (the DP members reject changeover
+/// costs by documented precondition).
+bool check_solver(const NamedSolver& solver, const SolveInstance& instance,
+                  const FuzzInstance& fuzz, Cost optimum, std::uint64_t seed,
+                  std::size_t& skipped) {
+  MTSolution solution;
+  try {
+    solution = solver.solve(instance);
+  } catch (const PreconditionError& error) {
+    if (fuzz.options.changeover &&
+        std::string(error.what()).find("changeover") != std::string::npos) {
+      ++skipped;  // documented "does not support changeover" refusal
+      return true;
+    }
+    dump_reproducer(fuzz, seed, solver.name,
+                    std::string("solver threw: ") + error.what());
+    return false;
+  } catch (const std::exception& error) {
+    dump_reproducer(fuzz, seed, solver.name,
+                    std::string("solver threw: ") + error.what());
+    return false;
+  }
+  try {
+    solution.schedule.validate(instance.task_count(), instance.steps());
+  } catch (const std::exception& error) {
+    dump_reproducer(fuzz, seed, solver.name,
+                    std::string("schedule does not validate: ") +
+                        error.what());
+    return false;
+  }
+  try {
+    const CostBreakdown replay =
+        evaluate_fully_sync_switch(instance, solution.schedule);
+    if (replay.total != solution.total()) {
+      dump_reproducer(fuzz, seed, solver.name,
+                      "reported cost " + std::to_string(solution.total()) +
+                          " != re-evaluated cost " +
+                          std::to_string(replay.total));
+      return false;
+    }
+  } catch (const std::exception& error) {
+    dump_reproducer(fuzz, seed, solver.name,
+                    std::string("schedule does not evaluate: ") +
+                        error.what());
+    return false;
+  }
+  if (solution.total() < optimum) {
+    dump_reproducer(fuzz, seed, solver.name,
+                    "cost " + std::to_string(solution.total()) +
+                        " beats the exhaustive optimum " +
+                        std::to_string(optimum));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  std::size_t iters = 100;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--seed=", 7) == 0) {
+        seed = std::stoull(arg + 7);
+      } else if (std::strncmp(arg, "--iters=", 8) == 0) {
+        iters = std::stoul(arg + 8);
+      } else if (std::strcmp(arg, "--smoke") == 0) {
+        iters = 25;
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--seed=S] [--iters=N] [--smoke]\n", argv[0]);
+        return 1;
+      }
+    }
+
+    const std::vector<NamedSolver> solvers = standard_solvers();
+    std::size_t checks = 0;
+    std::size_t skipped = 0;
+    for (std::size_t iter = 0; iter < iters; ++iter) {
+      const std::uint64_t stream = seed + iter;
+      Xoshiro256 rng(stream * 0x9E3779B97F4A7C15ull + 0xF022);
+      const FuzzInstance fuzz = draw_instance(rng);
+      const SolveInstance instance(fuzz.trace, fuzz.machine, fuzz.options);
+      const Cost optimum = solve_exhaustive(instance).total();
+      for (const NamedSolver& solver : solvers) {
+        if (!check_solver(solver, instance, fuzz, optimum, stream, skipped)) {
+          return 1;
+        }
+        ++checks;
+      }
+    }
+    std::printf("fuzz_harness: %zu iterations x %zu solvers = %zu checks "
+                "(%zu changeover-declines), all consistent with the "
+                "exhaustive oracle (seeds %llu..%llu)\n",
+                iters, solvers.size(), checks, skipped,
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(seed + iters - 1));
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

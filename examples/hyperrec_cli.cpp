@@ -5,6 +5,7 @@
 //                [--universe=L] [--seed=S] [--portfolio=a,b,c]
 //                [--deadline-ms=D] [--jobs=P] [--trace=FILE ...]
 //                [--cache-capacity=C] [--cache-ttl-ms=T] [--warm-start]
+//                [--stream] [--window=W] [--trigger=SPEC]
 //                [--repeat=R] [--out=FILE] [--smoke]
 //
 //     --batch=N        number of generated jobs (default 8)
@@ -26,6 +27,14 @@
 //     --cache-ttl-ms=T cache entry time-to-live, 0 = no expiry (default 0)
 //     --warm-start     seed iterative solvers with same-shape cached
 //                      incumbents on cache misses (needs --cache-capacity)
+//     --stream         streaming replay: feed each job's trace step-by-step
+//                      through a windowed streaming engine (warm-started
+//                      re-solves + final flush) instead of one offline
+//                      solve; the JSON gains per-window reports
+//     --window=W       streaming solve window in steps (default 256)
+//     --trigger=SPEC   comma-separated re-solve triggers (needs --stream):
+//                      steps:N | spike:F | rent-or-buy | tick:MS
+//                      (default steps:16 when --stream is set)
 //     --repeat=R       solve the batch R times through the same engine and
 //                      cache (default 1); the JSON reports the last round,
 //                      whose cache stats are cumulative — with a cache,
@@ -47,6 +56,7 @@
 #include "engine/batch_engine.hpp"
 #include "io/result_json.hpp"
 #include "io/trace_io.hpp"
+#include "streaming/streaming_engine.hpp"
 #include "workload/generators.hpp"
 
 namespace {
@@ -67,6 +77,9 @@ struct CliOptions {
   std::size_t cache_capacity = 0;
   std::chrono::milliseconds cache_ttl{0};
   bool warm_start = false;
+  bool stream = false;
+  std::size_t window = 256;
+  std::string trigger;
   std::size_t repeat = 1;
   std::string out;
 };
@@ -89,6 +102,29 @@ std::vector<std::string> split_csv(const std::string& text) {
     begin = comma + 1;
   }
   return parts;
+}
+
+/// Parses "steps:N,spike:F,rent-or-buy,tick:MS" into a TriggerConfig.
+streaming::TriggerConfig parse_trigger(const std::string& spec) {
+  streaming::TriggerConfig trigger;
+  for (const std::string& item : split_csv(spec)) {
+    const std::size_t colon = item.find(':');
+    const std::string kind = item.substr(0, colon);
+    const std::string value =
+        colon == std::string::npos ? "" : item.substr(colon + 1);
+    if (kind == "steps") {
+      trigger.every_steps = std::stoul(value);
+    } else if (kind == "spike") {
+      trigger.spike_factor = std::stod(value);
+    } else if (kind == "rent-or-buy") {
+      trigger.rent_or_buy = true;
+    } else if (kind == "tick") {
+      trigger.tick = std::chrono::milliseconds{std::stoll(value)};
+    } else {
+      HYPERREC_ENSURE(false, "unknown trigger kind: " + kind);
+    }
+  }
+  return trigger;
 }
 
 /// Default machine for a trace: local-only, l_j = the task's universe.
@@ -170,6 +206,12 @@ int main(int argc, char** argv) {
         options.cache_ttl = std::chrono::milliseconds{std::stoll(value)};
       } else if (std::strcmp(arg, "--warm-start") == 0) {
         options.warm_start = true;
+      } else if (std::strcmp(arg, "--stream") == 0) {
+        options.stream = true;
+      } else if (parse_flag(arg, "--window", value)) {
+        options.window = std::stoul(value);
+      } else if (parse_flag(arg, "--trigger", value)) {
+        options.trigger = value;
       } else if (parse_flag(arg, "--repeat", value)) {
         options.repeat = std::stoul(value);
       } else if (parse_flag(arg, "--out", value)) {
@@ -181,6 +223,7 @@ int main(int argc, char** argv) {
                      "[--steps=N] [--universe=L] [--seed=S] [--portfolio=a,b] "
                      "[--deadline-ms=D] [--jobs=P] [--trace=FILE] "
                      "[--cache-capacity=C] [--cache-ttl-ms=T] [--warm-start] "
+                     "[--stream] [--window=W] [--trigger=SPEC] "
                      "[--repeat=R] [--out=FILE] [--smoke]\n",
                      argv[0]);
         return 1;
@@ -204,10 +247,19 @@ int main(int argc, char** argv) {
     HYPERREC_ENSURE(options.repeat >= 1, "--repeat must be at least 1");
     HYPERREC_ENSURE(!options.warm_start || options.cache_capacity > 0,
                     "--warm-start requires --cache-capacity > 0");
+    HYPERREC_ENSURE(options.trigger.empty() || options.stream,
+                    "--trigger requires --stream");
     engine::BatchEngineConfig config;
     config.parallelism = options.jobs;
     config.portfolio.solvers = options.portfolio;
     config.portfolio.deadline = options.deadline;
+    if (options.stream) {
+      config.stream.enabled = true;
+      config.stream.window = options.window;
+      config.stream.trigger = options.trigger.empty()
+                                  ? parse_trigger("steps:16")
+                                  : parse_trigger(options.trigger);
+    }
     if (options.cache_capacity > 0) {
       cache::SolveCacheConfig cache_config;
       cache_config.capacity = options.cache_capacity;

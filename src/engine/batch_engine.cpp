@@ -68,11 +68,54 @@ BatchResult BatchEngine::solve(const std::vector<BatchJob>& jobs) const {
     return std::move(race.best);
   };
 
-  auto run_job = [this, &jobs, &result, &solve_fresh](std::size_t i) {
+  // Streaming replay: feed the job's trace step-by-step through a
+  // per-job StreamingEngine.  The per-window deadline is the portfolio
+  // deadline; the stream as a whole is bounded only by the engine-wide
+  // cancel (a per-job deadline would silently truncate long streams).
+  auto solve_streamed = [this](const BatchJob& job, JobResult& out) {
+    HYPERREC_ENSURE(job.trace.task_count() > 0 && job.trace.synchronized(),
+                    "streaming replay needs a synchronized trace");
+    out.streamed = true;
+    streaming::StreamingConfig stream_config;
+    stream_config.window = config_.stream.window;
+    stream_config.trigger = config_.stream.trigger;
+    stream_config.portfolio = config_.portfolio;
+    stream_config.cache = config_.cache;
+    stream_config.warm_start = config_.stream.warm_start;
+    stream_config.cancel = CancelToken::linked(config_.cancel);
+    streaming::StreamingEngine stream(job.machine, job.options, stream_config);
+    const std::size_t n = job.trace.steps();
+    for (std::size_t i = 0; i < n; ++i) {
+      stream.append_step(job.trace.step(i));
+    }
+    stream.flush();
+    // Window reports are diagnostics: publish them before asking for the
+    // final solution, so a stream that never managed to publish a schedule
+    // (cancelled, every window failed) still reports its per-window errors.
+    out.windows = stream.windows();
+    MTSolution solution = stream.current_solution();
+    out.winner = "streaming";
+    return solution;
+  };
+
+  auto run_job = [this, &jobs, &result, &solve_fresh,
+                  &solve_streamed](std::size_t i) {
     const BatchJob& job = jobs[i];
     JobResult& out = result.jobs[i];
     out.index = i;
     out.name = job.name;
+    if (config_.stream.enabled) {
+      const Clock::time_point start = Clock::now();
+      try {
+        out.solution = solve_streamed(job, out);
+        out.ok = true;
+      } catch (const std::exception& error) {
+        out.error = error.what();
+      }
+      out.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+          Clock::now() - start);
+      return;
+    }
     // Per-job token: fires on the engine-wide token or the per-job deadline,
     // whichever comes first.
     const CancelToken token =

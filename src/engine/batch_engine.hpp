@@ -38,6 +38,7 @@
 
 #include "cache/solve_cache.hpp"
 #include "engine/portfolio.hpp"
+#include "streaming/streaming_engine.hpp"
 #include "support/cancel.hpp"
 
 namespace hyperrec::engine {
@@ -47,6 +48,20 @@ struct BatchJob {
   MachineSpec machine;
   EvalOptions options;
   std::string name;  ///< free-form label echoed into the result/JSON
+};
+
+/// Streaming-replay mode for a batch (see BatchEngineConfig::stream).
+struct StreamReplayConfig {
+  bool enabled = false;
+  /// Solve window for the per-job streaming engines.
+  std::size_t window = 256;
+  streaming::TriggerConfig trigger;
+  /// Seed each window re-solve with the previous window's schedule (and
+  /// the cache's same-shape incumbent).  On by default — it is the core
+  /// streaming economics; turn off for cold-start baselines.  Distinct
+  /// from BatchEngineConfig::warm_start, which only governs the offline
+  /// per-job path.
+  bool warm_start = true;
 };
 
 struct BatchEngineConfig {
@@ -74,6 +89,13 @@ struct BatchEngineConfig {
   /// schedule to the portfolio's iterative solvers as their initial
   /// incumbent (see PortfolioConfig::warm_start).
   bool warm_start = false;
+  /// Streaming replay: when enabled, each job's trace is fed step-by-step
+  /// through a streaming::StreamingEngine (windowed warm-started re-solves
+  /// + final flush) instead of one offline portfolio solve.  The job-level
+  /// memoization above is bypassed — the streaming engine caches *window*
+  /// instances through the same `cache` instead — and JobResult carries the
+  /// per-window reports.
+  StreamReplayConfig stream;
 };
 
 /// How a job's solution was obtained relative to the cache.
@@ -97,6 +119,9 @@ struct JobResult {
   std::chrono::microseconds elapsed{0};
   JobCacheOutcome cache = JobCacheOutcome::kBypass;
   bool warm_started = false;  ///< a warm-start incumbent seeded the solve
+  bool streamed = false;      ///< solved by streaming replay
+  /// One report per window re-solve (streaming replay only).
+  std::vector<streaming::WindowReport> windows;
 };
 
 struct BatchResult {

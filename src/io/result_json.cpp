@@ -43,6 +43,21 @@ void write_entry(std::ostream& os, const engine::PortfolioEntry& entry) {
      << ",\"elapsed_us\":" << entry.elapsed.count() << '}';
 }
 
+void write_window(std::ostream& os, const streaming::WindowReport& window) {
+  os << "{\"index\":" << window.index << ",\"trigger\":\""
+     << streaming::to_string(window.trigger) << '"'
+     << ",\"lo\":" << window.window_lo << ",\"hi\":" << window.window_hi
+     << ",\"ok\":" << (window.ok ? "true" : "false") << ",\"error\":";
+  write_escaped(os, window.error);
+  os << ",\"winner\":";
+  write_escaped(os, window.winner);
+  os << ",\"warm_started\":" << (window.warm_started ? "true" : "false")
+     << ",\"elapsed_us\":" << window.elapsed.count()
+     << ",\"window_cost\":" << window.window_cost
+     << ",\"published_cost\":" << window.published_cost
+     << ",\"prefix_boundaries\":" << window.splice_prefix_boundaries << '}';
+}
+
 void write_job(std::ostream& os, const engine::JobResult& job) {
   os << "{\"index\":" << job.index << ",\"name\":";
   write_escaped(os, job.name);
@@ -51,7 +66,8 @@ void write_job(std::ostream& os, const engine::JobResult& job) {
   os << ",\"winner\":";
   write_escaped(os, job.winner);
   os << ",\"cache\":\"" << engine::to_string(job.cache) << '"'
-     << ",\"warm_started\":" << (job.warm_started ? "true" : "false");
+     << ",\"warm_started\":" << (job.warm_started ? "true" : "false")
+     << ",\"streamed\":" << (job.streamed ? "true" : "false");
   const CostBreakdown& cost = job.solution.breakdown;
   os << ",\"elapsed_us\":" << job.elapsed.count() << ",\"cost\":{\"total\":"
      << cost.total << ",\"hyper\":" << cost.hyper << ",\"reconfig\":"
@@ -62,6 +78,11 @@ void write_job(std::ostream& os, const engine::JobResult& job) {
     if (i > 0) os << ',';
     write_entry(os, job.entries[i]);
   }
+  os << "],\"windows\":[";
+  for (std::size_t i = 0; i < job.windows.size(); ++i) {
+    if (i > 0) os << ',';
+    write_window(os, job.windows[i]);
+  }
   os << "]}";
 }
 
@@ -70,7 +91,7 @@ void write_job(std::ostream& os, const engine::JobResult& job) {
 void save_batch_result_json(std::ostream& os,
                             const engine::BatchResult& result) {
   const cache::SolveCacheStats& stats = result.cache_stats;
-  os << "{\"schema\":\"hyperrec-batch-result\",\"version\":2"
+  os << "{\"schema\":\"hyperrec-batch-result\",\"version\":3"
      << ",\"parallelism\":" << result.parallelism
      << ",\"elapsed_us\":" << result.elapsed.count()
      << ",\"job_count\":" << result.jobs.size()

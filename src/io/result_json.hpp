@@ -6,7 +6,7 @@
 //
 //   {
 //     "schema": "hyperrec-batch-result",
-//     "version": 2,
+//     "version": 3,
 //     "parallelism": <workers>,
 //     "elapsed_us": <batch wall time>,
 //     "job_count": <n>,
@@ -21,17 +21,34 @@
 //         "name": "<label>",
 //         "ok": true|false,
 //         "error": "<exception text, empty when ok>",
-//         "winner": "<solver name, or \"cache\">",
+//         "winner": "<solver name, \"cache\", or \"streaming\">",
 //         "cache": "bypass"|"miss"|"hit"|"coalesced",
 //         "warm_started": true|false,
+//         "streamed": true|false,
 //         "elapsed_us": <job wall time>,
 //         "cost": { "total": t, "hyper": h, "reconfig": r,
 //                   "global_hyper": g, "partial_hyper_steps": s },
 //         "solvers": [
 //           { "name": "...", "ok": true|false, "total": t,
-//             "elapsed_us": us }, ... ]
-//       }, ... ]
+//             "elapsed_us": us }, ... ],
+//         "windows": [              // streaming replay only; else []
+//           { "index": k, "trigger": "initial"|"quota-repair"|"step-count"
+//                                    |"demand-spike"|"rent-or-buy"
+//                                    |"deadline-tick"|"flush",
+//             "lo": a, "hi": b,     // solved steps [a, b)
+//             "ok": true|false, "error": "...",
+//             "winner": "<portfolio member or \"cache\">",
+//             "warm_started": true|false,
+//             "elapsed_us": us,     // window solve wall time
+//             "window_cost": c,     // portfolio best over the window alone
+//             "published_cost": p,  // spliced full-schedule cost
+//             "prefix_boundaries": f }, ... ]  // boundaries frozen from
+//       }, ... ]                               // the stable prefix
 //   }
+//
+// v2 → v3: per-job "streamed" flag and "windows" array (streaming replay
+// per-window timings, trigger kinds and splice stats); "winner" may now be
+// "streaming".
 //
 // Guarantees: keys always appear, in exactly this order (goldens may diff
 // the output); every number is a decimal integer — costs and durations are

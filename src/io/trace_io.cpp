@@ -37,15 +37,26 @@ void save_trace(std::ostream& os, const MultiTaskTrace& trace) {
   // Symmetric with load_trace, which rejects n = 0: refuse to emit a stream
   // that cannot be read back.
   HYPERREC_ENSURE(trace.steps() > 0, "cannot save a zero-step trace");
+  save_trace_prefix(os, trace, trace.steps());
+}
+
+void save_trace_prefix(std::ostream& os, const MultiTaskTrace& trace,
+                       std::size_t steps) {
+  HYPERREC_ENSURE(trace.task_count() > 0, "cannot save an empty trace");
+  HYPERREC_ENSURE(trace.synchronized(),
+                  "only synchronized traces are serialisable");
+  HYPERREC_ENSURE(steps > 0, "cannot save a zero-step checkpoint");
+  HYPERREC_ENSURE(steps <= trace.steps(),
+                  "checkpoint step count exceeds the trace");
   os << kTraceHeader << '\n';
   os << trace.task_count() << '\n';
-  os << trace.steps() << '\n';
+  os << steps << '\n';
   for (std::size_t j = 0; j < trace.task_count(); ++j) {
     os << trace.task(j).local_universe()
        << (j + 1 < trace.task_count() ? ' ' : '\n');
   }
   for (std::size_t j = 0; j < trace.task_count(); ++j) {
-    for (std::size_t i = 0; i < trace.steps(); ++i) {
+    for (std::size_t i = 0; i < steps; ++i) {
       const ContextRequirement& req = trace.task(j).at(i);
       // A universe-0 task has an empty bitstring; emit "-" so the token is
       // still parseable by operator>> on the way back in.

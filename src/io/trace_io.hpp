@@ -32,6 +32,15 @@ namespace hyperrec::io {
 void save_trace(std::ostream& os, const MultiTaskTrace& trace);
 [[nodiscard]] MultiTaskTrace load_trace(std::istream& is);
 
+/// Checkpoints a trace mid-growth: serialises only the first `steps` steps
+/// (0 < steps <= trace.steps()) as an ordinary hyperrec-trace v1 stream.
+/// The reload is append-aware by construction — load_trace the checkpoint,
+/// then MultiTaskTrace::append_step the steps recorded after it, and the
+/// result is identical to the straight-through build.  save_trace is the
+/// steps == trace.steps() special case.
+void save_trace_prefix(std::ostream& os, const MultiTaskTrace& trace,
+                       std::size_t steps);
+
 void save_schedule(std::ostream& os, const MultiTaskSchedule& schedule);
 [[nodiscard]] MultiTaskSchedule load_schedule(std::istream& is);
 

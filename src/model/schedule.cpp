@@ -60,6 +60,11 @@ bool Partition::is_boundary(std::size_t step) const {
   return std::binary_search(starts_.begin(), starts_.end(), step);
 }
 
+void Partition::extend(std::size_t new_n) {
+  HYPERREC_ENSURE(new_n >= n_, "extend cannot shrink a partition");
+  n_ = new_n;
+}
+
 DynamicBitset Partition::to_boundary_mask() const {
   DynamicBitset mask(n_);
   for (const std::size_t s : starts_) mask.set(s);

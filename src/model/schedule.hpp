@@ -54,6 +54,12 @@ class Partition {
   /// True iff an interval starts at `step`.
   [[nodiscard]] bool is_boundary(std::size_t step) const;
 
+  /// Grows the covered range to `new_n` steps (new_n >= n()); the appended
+  /// steps join the last interval.  O(1) — the streaming layer extends
+  /// every task's published partition once per appended step, so this must
+  /// not copy the starts.
+  void extend(std::size_t new_n);
+
   /// Boundary bitmask over [0, n).
   [[nodiscard]] DynamicBitset to_boundary_mask() const;
 

@@ -27,6 +27,34 @@ std::uint32_t TaskTrace::max_private_demand_naive(std::size_t first,
   return demand;
 }
 
+void MultiTaskTrace::append_step(std::vector<ContextRequirement> step) {
+  HYPERREC_ENSURE(!tasks_.empty(), "append_step needs at least one task");
+  HYPERREC_ENSURE(step.size() == tasks_.size(),
+                  "append_step needs exactly one requirement per task");
+  HYPERREC_ENSURE(synchronized(),
+                  "append_step requires a synchronized trace");
+  // Validate every universe before mutating ANY task: a mismatch surfacing
+  // after task 0 pushed would leave the trace permanently unsynchronized.
+  for (std::size_t j = 0; j < tasks_.size(); ++j) {
+    HYPERREC_ENSURE(step[j].local.size() == tasks_[j].local_universe(),
+                    "requirement universe differs from its task's universe");
+  }
+  for (std::size_t j = 0; j < tasks_.size(); ++j) {
+    tasks_[j].push_back(std::move(step[j]));
+  }
+}
+
+std::vector<ContextRequirement> MultiTaskTrace::step(std::size_t i) const {
+  HYPERREC_ENSURE(!tasks_.empty(), "step() needs at least one task");
+  HYPERREC_ENSURE(synchronized(), "step() requires a synchronized trace");
+  std::vector<ContextRequirement> step;
+  step.reserve(tasks_.size());
+  for (const TaskTrace& task : tasks_) {
+    step.push_back(task.at(i));
+  }
+  return step;
+}
+
 bool MultiTaskTrace::synchronized() const noexcept {
   for (std::size_t j = 1; j < tasks_.size(); ++j)
     if (tasks_[j].size() != tasks_[0].size()) return false;

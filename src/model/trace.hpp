@@ -82,6 +82,17 @@ class MultiTaskTrace {
 
   void add_task(TaskTrace trace) { tasks_.push_back(std::move(trace)); }
 
+  /// Appends one synchronized step: requirement j goes to task j.  Requires
+  /// at least one task, a synchronized trace, and exactly one requirement
+  /// per task (universes checked by TaskTrace::push_back).  This is the
+  /// mutation entry point for streams that grow step-by-step (streaming
+  /// layer, mid-growth checkpoints reloaded via io::load_trace).
+  void append_step(std::vector<ContextRequirement> step);
+
+  /// Read counterpart of append_step: step i of every task, in task order.
+  /// Requires a synchronized trace with i < steps().
+  [[nodiscard]] std::vector<ContextRequirement> step(std::size_t i) const;
+
   [[nodiscard]] std::size_t task_count() const noexcept {
     return tasks_.size();
   }

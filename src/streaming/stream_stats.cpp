@@ -1,0 +1,408 @@
+#include "streaming/stream_stats.hpp"
+
+#include <algorithm>
+
+#include "support/ensure.hpp"
+
+namespace hyperrec::streaming {
+
+namespace {
+
+constexpr std::size_t kNoSupport = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+// --- TaskStreamStats ------------------------------------------------------
+
+TaskStreamStats::TaskStreamStats(std::size_t universe)
+    : universe_(universe),
+      words_((universe + DynamicBitset::kWordBits - 1) /
+             DynamicBitset::kWordBits) {
+  log2_.push_back(0);  // index 0 unused, mirrors trace_stats' build_log2
+  support_index_.assign(universe_, kNoSupport);
+}
+
+TaskStreamStats::TaskStreamStats(const TaskTrace& trace)
+    : TaskStreamStats(trace.local_universe()) {
+  const std::size_t n = trace.size();
+  if (n == 0) return;
+
+  // log2 table in one pass.
+  log2_.reserve(n + 1);
+  std::uint8_t k = 0;
+  for (std::size_t len = 1; len <= n; ++len) {
+    if ((std::size_t{2} << k) <= len) ++k;
+    log2_.push_back(k);
+  }
+  steps_ = n;
+
+  // Sparse-table levels, each built from the previous in one pass.
+  const std::size_t levels = std::size_t{log2_[n]} + 1;
+  union_levels_.resize(levels);
+  priv_levels_.resize(levels);
+  union_levels_[0].assign(n * words_, 0);
+  priv_levels_[0].resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ContextRequirement& req = trace.at(i);
+    std::copy(req.local.words().begin(), req.local.words().end(),
+              union_levels_[0].begin() + static_cast<std::ptrdiff_t>(i * words_));
+    priv_levels_[0][i] = req.private_demand;
+  }
+  for (std::size_t level = 1; level < levels; ++level) {
+    const std::size_t half = std::size_t{1} << (level - 1);
+    const std::size_t rows = n - (std::size_t{1} << level) + 1;
+    union_levels_[level].assign(rows * words_, 0);
+    priv_levels_[level].resize(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      const DynamicBitset::Word* a =
+          union_levels_[level - 1].data() + i * words_;
+      const DynamicBitset::Word* b =
+          union_levels_[level - 1].data() + (i + half) * words_;
+      DynamicBitset::Word* out = union_levels_[level].data() + i * words_;
+      for (std::size_t w = 0; w < words_; ++w) out[w] = a[w] | b[w];
+      priv_levels_[level][i] = std::max(priv_levels_[level - 1][i],
+                                        priv_levels_[level - 1][i + half]);
+    }
+  }
+
+  // Support in first-appearance order (matches the append path exactly),
+  // then one prefix pass per column.
+  for (std::size_t i = 0; i < n; ++i) {
+    trace.at(i).local.for_each_set([this](std::size_t b) {
+      if (support_index_[b] == kNoSupport) {
+        support_index_[b] = support_.size();
+        support_.push_back(b);
+      }
+    });
+  }
+  presence_.resize(support_.size());
+  for (std::size_t si = 0; si < support_.size(); ++si) {
+    std::vector<std::uint32_t>& column = presence_[si];
+    column.resize(n + 1);
+    column[0] = 0;
+    const std::size_t b = support_[si];
+    for (std::size_t i = 0; i < n; ++i) {
+      column[i + 1] = column[i] + (trace.at(i).local.test(b) ? 1u : 0u);
+    }
+  }
+}
+
+void TaskStreamStats::append(const ContextRequirement& req) {
+  HYPERREC_ENSURE(req.local.size() == universe_,
+                  "requirement universe differs from stream universe");
+  const std::size_t n = steps_;  // new step index; new size is n + 1
+  const std::size_t size = n + 1;
+
+  // log2_[size] from log2_[size - 1].
+  if (size == 1) {
+    log2_.push_back(0);
+  } else {
+    const std::uint8_t prev = log2_[size - 1];
+    log2_.push_back((std::size_t{2} << prev) <= size
+                        ? static_cast<std::uint8_t>(prev + 1)
+                        : prev);
+  }
+
+  // One new row per level: level k gains row size − 2^k covering
+  // [size − 2^k, size), OR/max of the two level-(k−1) rows it straddles.
+  // Level k−1 already holds its row for this append (ascending k), and its
+  // last row — index size − 2^(k−1) — is exactly the second source.
+  const std::size_t levels = std::size_t{log2_[size]} + 1;
+  if (union_levels_.size() < levels) {
+    union_levels_.resize(levels);
+    priv_levels_.resize(levels);
+  }
+  union_levels_[0].insert(union_levels_[0].end(), req.local.words().begin(),
+                          req.local.words().end());
+  priv_levels_[0].push_back(req.private_demand);
+  for (std::size_t k = 1; k < levels; ++k) {
+    const std::size_t half = std::size_t{1} << (k - 1);
+    const std::size_t i = size - (std::size_t{1} << k);
+    const std::size_t old_words = union_levels_[k].size();
+    union_levels_[k].resize(old_words + words_);
+    const DynamicBitset::Word* a = union_levels_[k - 1].data() + i * words_;
+    const DynamicBitset::Word* b =
+        union_levels_[k - 1].data() + (i + half) * words_;
+    DynamicBitset::Word* out = union_levels_[k].data() + old_words;
+    for (std::size_t w = 0; w < words_; ++w) out[w] = a[w] | b[w];
+    priv_levels_[k].push_back(
+        std::max(priv_levels_[k - 1][i], priv_levels_[k - 1][i + half]));
+  }
+
+  // Presence columns: new switches join with a zero-padded history, then
+  // every support column extends by one prefix entry.
+  req.local.for_each_set([this, n](std::size_t b) {
+    if (support_index_[b] == kNoSupport) {
+      support_index_[b] = support_.size();
+      support_.push_back(b);
+      presence_.emplace_back(n + 1, 0u);
+    }
+  });
+  for (std::size_t si = 0; si < support_.size(); ++si) {
+    std::vector<std::uint32_t>& column = presence_[si];
+    column.push_back(column.back() +
+                     (req.local.test(support_[si]) ? 1u : 0u));
+  }
+
+  steps_ = size;
+}
+
+TaskStreamStats::RowPair TaskStreamStats::union_rows_for(std::size_t lo,
+                                                         std::size_t hi) const {
+  const std::size_t k = log2_[hi - lo];
+  const std::size_t span = std::size_t{1} << k;
+  return {union_levels_[k].data() + lo * words_,
+          union_levels_[k].data() + (hi - span) * words_};
+}
+
+DynamicBitset TaskStreamStats::local_union(std::size_t lo,
+                                           std::size_t hi) const {
+  check_range(lo, hi);
+  if (lo == hi || words_ == 0) return DynamicBitset(universe_);
+  const RowPair rows = union_rows_for(lo, hi);
+  return DynamicBitset::from_or_words(universe_, rows.a, rows.b, words_);
+}
+
+std::size_t TaskStreamStats::local_union_count(std::size_t lo,
+                                               std::size_t hi) const {
+  check_range(lo, hi);
+  if (lo == hi || words_ == 0) return 0;
+  const RowPair rows = union_rows_for(lo, hi);
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < words_; ++w) {
+    count += static_cast<std::size_t>(__builtin_popcountll(rows.a[w] |
+                                                           rows.b[w]));
+  }
+  return count;
+}
+
+std::uint32_t TaskStreamStats::max_private_demand(std::size_t lo,
+                                                  std::size_t hi) const {
+  check_range(lo, hi);
+  if (lo == hi) return 0;
+  const std::size_t k = log2_[hi - lo];
+  const std::size_t span = std::size_t{1} << k;
+  return std::max(priv_levels_[k][lo], priv_levels_[k][hi - span]);
+}
+
+bool TaskStreamStats::switch_present(std::size_t b, std::size_t lo,
+                                     std::size_t hi) const {
+  return switch_step_count(b, lo, hi) > 0;
+}
+
+std::uint32_t TaskStreamStats::switch_step_count(std::size_t b, std::size_t lo,
+                                                 std::size_t hi) const {
+  check_range(lo, hi);
+  HYPERREC_ENSURE(b < universe_, "switch index out of range");
+  const std::size_t si = support_index_[b];
+  if (si == kNoSupport) return 0;
+  return presence_[si][hi] - presence_[si][lo];
+}
+
+void TaskStreamStats::assert_consistent_with(const TaskTraceStats& full) const {
+  HYPERREC_ENSURE(steps_ == full.steps(),
+                  "stream/rebuild step count divergence");
+  HYPERREC_ENSURE(universe_ == full.universe(),
+                  "stream/rebuild universe divergence");
+
+  // Support as a set (the stream discovers switches in appearance order,
+  // the full build lists them ascending).
+  std::vector<std::size_t> sorted = support_;
+  std::sort(sorted.begin(), sorted.end());
+  HYPERREC_ENSURE(sorted == full.support(),
+                  "stream/rebuild support divergence");
+
+  // Power-of-two ranges read exactly one sparse-table row on each side, so
+  // this loop compares every row of every level bit-identically.
+  for (std::size_t k = 0; (std::size_t{1} << k) <= steps_; ++k) {
+    const std::size_t span = std::size_t{1} << k;
+    for (std::size_t i = 0; i + span <= steps_; ++i) {
+      HYPERREC_ENSURE(local_union(i, i + span) == full.local_union(i, i + span),
+                      "stream/rebuild union row divergence");
+      HYPERREC_ENSURE(max_private_demand(i, i + span) ==
+                          full.max_private_demand(i, i + span),
+                      "stream/rebuild private-demand row divergence");
+    }
+  }
+
+  // Every presence prefix of every switch (non-support switches must read 0
+  // on both sides).
+  for (std::size_t b = 0; b < universe_; ++b) {
+    for (std::size_t i = 0; i <= steps_; ++i) {
+      HYPERREC_ENSURE(switch_step_count(b, 0, i) ==
+                          full.switch_step_count(b, 0, i),
+                      "stream/rebuild presence divergence");
+    }
+  }
+}
+
+// --- TraceBuilderStats ----------------------------------------------------
+
+TraceBuilderStats::TraceBuilderStats(const std::vector<std::size_t>& universes,
+                                     TraceBuilderConfig config)
+    : config_(config) {
+  HYPERREC_ENSURE(!universes.empty(), "trace builder needs at least one task");
+  log2_.push_back(0);
+  for (const std::size_t universe : universes) {
+    trace_.add_task(TaskTrace(universe));
+    tasks_.emplace_back(universe);
+  }
+}
+
+TraceBuilderStats::TraceBuilderStats(MultiTaskTrace trace,
+                                     TraceBuilderConfig config)
+    : config_(config), trace_(std::move(trace)) {
+  HYPERREC_ENSURE(trace_.task_count() > 0,
+                  "trace builder needs at least one task");
+  HYPERREC_ENSURE(trace_.synchronized(),
+                  "trace builder requires a synchronized trace");
+  rebuild_all();
+  rebuilds_ = 0;  // the adopting build is construction, not a fallback
+}
+
+void TraceBuilderStats::ingest_step_views(
+    const std::vector<ContextRequirement>& step) {
+  // Validate every requirement before mutating ANY view: a mismatch
+  // surfacing after task 0 appended would leave the per-task tables shifted
+  // against each other with no rollback — silently wrong stats for a caller
+  // that catches the exception and keeps going.
+  for (std::size_t j = 0; j < tasks_.size(); ++j) {
+    HYPERREC_ENSURE(step[j].local.size() == tasks_[j].universe(),
+                    "requirement universe differs from its task's universe");
+  }
+  std::uint64_t sum = 0;
+  for (std::size_t j = 0; j < tasks_.size(); ++j) {
+    tasks_[j].append(step[j]);
+    sum += step[j].private_demand;
+  }
+
+  const std::size_t size = steps_ + 1;
+  if (size == 1) {
+    log2_.push_back(0);
+  } else {
+    const std::uint8_t prev = log2_[size - 1];
+    log2_.push_back((std::size_t{2} << prev) <= size
+                        ? static_cast<std::uint8_t>(prev + 1)
+                        : prev);
+  }
+  demand_sums_.push_back(sum);
+  const std::size_t levels = std::size_t{log2_[size]} + 1;
+  if (demand_levels_.size() < levels) demand_levels_.resize(levels);
+  demand_levels_[0].push_back(sum);
+  for (std::size_t k = 1; k < levels; ++k) {
+    const std::size_t half = std::size_t{1} << (k - 1);
+    const std::size_t i = size - (std::size_t{1} << k);
+    demand_levels_[k].push_back(
+        std::max(demand_levels_[k - 1][i], demand_levels_[k - 1][i + half]));
+  }
+  steps_ = size;
+}
+
+void TraceBuilderStats::append_step(std::vector<ContextRequirement> step) {
+  HYPERREC_ENSURE(step.size() == tasks_.size(),
+                  "append_step needs exactly one requirement per task");
+  ingest_step_views(step);
+  trace_.append_step(std::move(step));
+}
+
+void TraceBuilderStats::append_steps(
+    std::vector<std::vector<ContextRequirement>> steps) {
+  if (config_.rebuild_threshold > 0 &&
+      steps.size() >= config_.rebuild_threshold) {
+    // Validate the whole chunk before the first trace mutation — a throw
+    // halfway through would leave trace_ ahead of the (not yet rebuilt)
+    // stats views with no rollback.
+    for (const std::vector<ContextRequirement>& step : steps) {
+      HYPERREC_ENSURE(step.size() == tasks_.size(),
+                      "append_steps needs exactly one requirement per task");
+      for (std::size_t j = 0; j < step.size(); ++j) {
+        HYPERREC_ENSURE(step[j].local.size() == tasks_[j].universe(),
+                        "requirement universe differs from its task's "
+                        "universe");
+      }
+    }
+    for (std::vector<ContextRequirement>& step : steps) {
+      trace_.append_step(std::move(step));
+    }
+    rebuild_all();
+    ++rebuilds_;
+    return;
+  }
+  for (std::vector<ContextRequirement>& step : steps) {
+    append_step(std::move(step));
+  }
+}
+
+void TraceBuilderStats::rebuild_all() {
+  steps_ = trace_.task(0).size();
+  tasks_.clear();
+  tasks_.reserve(trace_.task_count());
+  for (std::size_t j = 0; j < trace_.task_count(); ++j) {
+    tasks_.emplace_back(trace_.task(j));
+  }
+
+  log2_.assign(1, 0);
+  std::uint8_t k = 0;
+  for (std::size_t len = 1; len <= steps_; ++len) {
+    if ((std::size_t{2} << k) <= len) ++k;
+    log2_.push_back(k);
+  }
+  demand_sums_.assign(steps_, 0);
+  for (std::size_t j = 0; j < trace_.task_count(); ++j) {
+    for (std::size_t i = 0; i < steps_; ++i) {
+      demand_sums_[i] += trace_.task(j).at(i).private_demand;
+    }
+  }
+  demand_levels_.clear();
+  if (steps_ == 0) return;
+  const std::size_t levels = std::size_t{log2_[steps_]} + 1;
+  demand_levels_.resize(levels);
+  demand_levels_[0] = demand_sums_;
+  for (std::size_t level = 1; level < levels; ++level) {
+    const std::size_t half = std::size_t{1} << (level - 1);
+    const std::size_t rows = steps_ - (std::size_t{1} << level) + 1;
+    demand_levels_[level].resize(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      demand_levels_[level][i] = std::max(demand_levels_[level - 1][i],
+                                          demand_levels_[level - 1][i + half]);
+    }
+  }
+}
+
+std::uint64_t TraceBuilderStats::step_demand_sum(std::size_t i) const {
+  HYPERREC_ENSURE(i < demand_sums_.size(), "step out of range");
+  return demand_sums_[i];
+}
+
+std::uint64_t TraceBuilderStats::max_step_demand_sum(std::size_t lo,
+                                                     std::size_t hi) const {
+  HYPERREC_ENSURE(lo <= hi && hi <= demand_sums_.size(),
+                  "stats query range out of bounds");
+  if (lo == hi) return 0;
+  const std::size_t k = log2_[hi - lo];
+  const std::size_t span = std::size_t{1} << k;
+  return std::max(demand_levels_[k][lo], demand_levels_[k][hi - span]);
+}
+
+void TraceBuilderStats::assert_consistent_with_rebuild() const {
+  const MultiTaskTraceStats full(trace_);
+  HYPERREC_ENSURE(full.task_count() == tasks_.size(),
+                  "stream/rebuild task count divergence");
+  for (std::size_t j = 0; j < tasks_.size(); ++j) {
+    tasks_[j].assert_consistent_with(full.task(j));
+  }
+  for (std::size_t i = 0; i < steps_; ++i) {
+    HYPERREC_ENSURE(step_demand_sum(i) == full.step_demand_sum(i),
+                    "stream/rebuild demand sum divergence");
+  }
+  for (std::size_t k = 0; (std::size_t{1} << k) <= steps_; ++k) {
+    const std::size_t span = std::size_t{1} << k;
+    for (std::size_t i = 0; i + span <= steps_; ++i) {
+      HYPERREC_ENSURE(max_step_demand_sum(i, i + span) ==
+                          full.max_step_demand_sum(i, i + span),
+                      "stream/rebuild demand range-max divergence");
+    }
+  }
+}
+
+}  // namespace hyperrec::streaming

@@ -1,0 +1,326 @@
+#include "streaming/streaming_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "cache/fingerprint.hpp"
+#include "support/ensure.hpp"
+
+namespace hyperrec::streaming {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::vector<std::size_t> machine_universes(const MachineSpec& machine) {
+  std::vector<std::size_t> universes;
+  universes.reserve(machine.task_count());
+  for (const TaskSpec& task : machine.tasks) {
+    universes.push_back(task.local_switches);
+  }
+  return universes;
+}
+
+}  // namespace
+
+const char* to_string(TriggerKind kind) noexcept {
+  switch (kind) {
+    case TriggerKind::kInitial: return "initial";
+    case TriggerKind::kQuotaRepair: return "quota-repair";
+    case TriggerKind::kStepCount: return "step-count";
+    case TriggerKind::kDemandSpike: return "demand-spike";
+    case TriggerKind::kRentOrBuy: return "rent-or-buy";
+    case TriggerKind::kDeadlineTick: return "deadline-tick";
+    case TriggerKind::kFlush: return "flush";
+  }
+  return "initial";
+}
+
+StreamingEngine::StreamingEngine(MachineSpec machine, EvalOptions options,
+                                 StreamingConfig config)
+    : machine_(std::move(machine)),
+      options_(options),
+      config_(std::move(config)),
+      stats_(machine_universes(machine_), config_.builder),
+      last_solve_(Clock::now()) {
+  HYPERREC_ENSURE(machine_.task_count() > 0,
+                  "streaming engine needs at least one task");
+  HYPERREC_ENSURE(config_.window >= 1, "window must be at least 1");
+  // The engine is the unit of sequencing: window solves run serially; batch
+  // jobs (or whole streams) are what parallelise.
+  config_.portfolio.parallel = false;
+  config_.portfolio.pool = nullptr;
+  if (config_.trigger.rent_or_buy) {
+    rent_or_buy_.reserve(machine_.task_count());
+    for (const TaskSpec& task : machine_.tasks) {
+      rent_or_buy_.emplace_back(task.local_switches, task.local_init,
+                                config_.trigger.rent_or_buy_config);
+    }
+  }
+}
+
+bool StreamingEngine::append_step(std::vector<ContextRequirement> step) {
+  HYPERREC_ENSURE(step.size() == machine_.task_count(),
+                  "append_step needs exactly one requirement per task");
+  for (const ContextRequirement& req : step) {
+    HYPERREC_ENSURE(req.private_demand <= machine_.private_global_units,
+                    "step private demand exceeds the machine's pool");
+  }
+
+  // Rent-or-buy controllers see every step (their waste accounting is
+  // stateful), whether or not their verdict ends up being the trigger.
+  bool bought = false;
+  if (config_.trigger.rent_or_buy) {
+    for (std::size_t j = 0; j < rent_or_buy_.size(); ++j) {
+      bought = rent_or_buy_[j].step(step[j]) || bought;
+    }
+  }
+
+  stats_.append_step(std::move(step));
+  ++pending_;
+  const std::size_t n = stats_.steps();
+
+  if (n == 1) {
+    // The first step must always produce a published schedule.
+    resolve_window(TriggerKind::kInitial);
+    return true;
+  }
+
+  // Grow the published schedule under the appended step before any
+  // re-solve: the splice freezes "boundaries before the window" out of it,
+  // so it must cover [0, n) at all times.  O(1) per task — the appended
+  // step joins each task's last interval.
+  for (Partition& partition : published_.tasks) {
+    partition.extend(n);
+  }
+  published_breakdown_.reset();  // the extended schedule has a new cost
+
+  // Correctness trigger, always on for private-global machines: the
+  // appended step joined the published schedule's last quota block, and if
+  // the block's Σ_j max demand now overflows the pool the §4.2 evaluator
+  // would reject the schedule.  Re-solving forces a global boundary at the
+  // splice seam, sealing the overflowing block off.  O(tasks) per step via
+  // the incremental range maxima.
+  if (machine_.private_global_units > 0 && !published_.tasks.empty()) {
+    const std::size_t block_lo = published_.global_boundaries.empty()
+                                     ? 0
+                                     : published_.global_boundaries.back();
+    std::uint64_t quota_sum = 0;
+    for (std::size_t j = 0; j < stats_.task_count(); ++j) {
+      quota_sum += stats_.task(j).max_private_demand(block_lo, n);
+    }
+    if (quota_sum > machine_.private_global_units) {
+      resolve_window(TriggerKind::kQuotaRepair);
+      return true;
+    }
+  }
+
+  const TriggerConfig& trigger = config_.trigger;
+  if (trigger.every_steps > 0 && pending_ >= trigger.every_steps) {
+    resolve_window(TriggerKind::kStepCount);
+    return true;
+  }
+  if (trigger.spike_factor > 0.0 && last_hi_ > last_lo_) {
+    const std::uint64_t fresh = stats_.step_demand_sum(n - 1);
+    const double baseline = static_cast<double>(
+        stats_.max_step_demand_sum(last_lo_, last_hi_));
+    if (static_cast<double>(fresh) > trigger.spike_factor * baseline) {
+      resolve_window(TriggerKind::kDemandSpike);
+      return true;
+    }
+  }
+  if (trigger.rent_or_buy && bought) {
+    resolve_window(TriggerKind::kRentOrBuy);
+    return true;
+  }
+  if (trigger.tick.count() > 0 && Clock::now() - last_solve_ >= trigger.tick) {
+    resolve_window(TriggerKind::kDeadlineTick);
+    return true;
+  }
+  return false;
+}
+
+bool StreamingEngine::flush() {
+  if (pending_ == 0 || stats_.steps() == 0) return false;
+  resolve_window(TriggerKind::kFlush);
+  return true;
+}
+
+MultiTaskTrace StreamingEngine::window_trace(std::size_t lo,
+                                             std::size_t hi) const {
+  MultiTaskTrace window;
+  for (std::size_t j = 0; j < stats_.task_count(); ++j) {
+    const TaskTrace& task = stats_.trace().task(j);
+    TaskTrace slice(task.local_universe());
+    for (std::size_t i = lo; i < hi; ++i) slice.push_back(task.at(i));
+    window.add_task(std::move(slice));
+  }
+  return window;
+}
+
+MultiTaskSchedule StreamingEngine::warm_seed(std::size_t lo,
+                                             std::size_t hi) const {
+  // Previous published boundaries restricted to [lo, hi) and re-anchored at
+  // 0 — the sliding window shares most of its steps with the previous one,
+  // so this is exactly the "previous window's schedule" seed.
+  MultiTaskSchedule seed;
+  for (const Partition& partition : published_.tasks) {
+    std::vector<std::size_t> starts{0};
+    for (const std::size_t s : partition.starts()) {
+      if (s > lo && s < hi) starts.push_back(s - lo);
+    }
+    seed.tasks.push_back(Partition::from_starts(std::move(starts), hi - lo));
+  }
+  // Global boundaries are normalized by the portfolio for the machine.
+  return seed;
+}
+
+MultiTaskSchedule StreamingEngine::splice(const MultiTaskSchedule& window,
+                                          std::size_t lo, std::size_t hi,
+                                          std::size_t* prefix_boundaries)
+    const {
+  MultiTaskSchedule spliced;
+  std::size_t frozen = 0;
+  for (std::size_t j = 0; j < window.tasks.size(); ++j) {
+    std::vector<std::size_t> starts;
+    if (lo > 0) {
+      for (const std::size_t s : published_.tasks[j].starts()) {
+        if (s < lo) starts.push_back(s);
+      }
+      frozen += starts.size();
+    }
+    // The window partition always has a boundary at 0 → the spliced
+    // sequence has one at lo, keeping it strictly increasing after the
+    // frozen prefix.
+    for (const std::size_t s : window.tasks[j].starts()) {
+      starts.push_back(lo + s);
+    }
+    spliced.tasks.push_back(Partition::from_starts(std::move(starts), hi));
+  }
+  if (lo > 0) {
+    for (const std::size_t g : published_.global_boundaries) {
+      if (g < lo) spliced.global_boundaries.push_back(g);
+    }
+  }
+  for (const std::size_t g : window.global_boundaries) {
+    spliced.global_boundaries.push_back(lo + g);
+  }
+  if (machine_.has_global_resources()) {
+    // Quota blocks must not span the splice seam: per-block feasibility was
+    // only checked inside each window.  Every task has a boundary at lo, so
+    // a global hyperreconfiguration there is always legal.
+    if (!std::binary_search(spliced.global_boundaries.begin(),
+                            spliced.global_boundaries.end(), lo)) {
+      spliced.global_boundaries.insert(
+          std::upper_bound(spliced.global_boundaries.begin(),
+                           spliced.global_boundaries.end(), lo),
+          lo);
+    }
+  }
+  if (prefix_boundaries != nullptr) *prefix_boundaries = frozen;
+  return spliced;
+}
+
+void StreamingEngine::resolve_window(TriggerKind trigger) {
+  const std::size_t hi = stats_.steps();
+  // No published schedule (a failed initial solve) means there is no stable
+  // prefix to splice against — solve the whole trace in that case.
+  const std::size_t lo = (published_.tasks.empty() || hi <= config_.window)
+                             ? 0
+                             : hi - config_.window;
+
+  WindowReport report;
+  report.index = windows_.size();
+  report.trigger = trigger;
+  report.window_lo = lo;
+  report.window_hi = hi;
+  const Clock::time_point start = Clock::now();
+
+  try {
+    HYPERREC_ENSURE(!config_.cancel.cancelled(),
+                    "stream cancelled before the window solve");
+    const SolveInstance instance(window_trace(lo, hi), machine_, options_);
+
+    engine::PortfolioConfig per_solve = config_.portfolio;
+    bool warm_seeded = false;
+    if (config_.warm_start && per_solve.warm_start.empty()) {
+      if (!published_.tasks.empty()) {
+        per_solve.warm_start.push_back(warm_seed(lo, hi));
+        warm_seeded = true;
+      } else if (config_.cache != nullptr) {
+        if (auto warm = config_.cache->warm_start_for(instance)) {
+          per_solve.warm_start.push_back(std::move(*warm));
+          warm_seeded = true;
+        }
+      }
+    }
+
+    MTSolution window_solution;
+    if (config_.cache != nullptr) {
+      const cache::InstanceKey key = cache::make_instance_key(instance);
+      cache::CacheOutcome outcome = cache::CacheOutcome::kMiss;
+      window_solution = config_.cache->get_or_compute_guarded(
+          key,
+          [&]() {
+            // warm_started is recorded here, where a solve actually runs —
+            // a cache hit never consumed the seed.
+            report.warm_started = warm_seeded;
+            engine::PortfolioResult race =
+                engine::solve_portfolio(instance, per_solve, config_.cancel);
+            report.winner = std::move(race.winner);
+            // A window solved under a fired stream token is a rushed
+            // incumbent — serve it, but never memoize it.
+            return cache::ComputeResult{std::move(race.best),
+                                        !config_.cancel.cancelled()};
+          },
+          &outcome);
+      if (outcome != cache::CacheOutcome::kMiss) report.winner = "cache";
+    } else {
+      report.warm_started = warm_seeded;
+      engine::PortfolioResult race =
+          engine::solve_portfolio(instance, per_solve, config_.cancel);
+      report.winner = std::move(race.winner);
+      window_solution = std::move(race.best);
+    }
+    report.window_cost = window_solution.total();
+
+    MultiTaskSchedule spliced = splice(window_solution.schedule, lo, hi,
+                                       &report.splice_prefix_boundaries);
+    spliced.validate(machine_.task_count(), hi);
+    CostBreakdown full = evaluate_fully_sync_switch(stats_.trace(), machine_,
+                                                    spliced, options_);
+    // Publish only after the spliced schedule validated and evaluated —
+    // a throw above leaves the previous published schedule untouched.
+    published_ = std::move(spliced);
+    report.published_cost = full.total;
+    published_breakdown_ = std::move(full);
+    report.ok = true;
+    pending_ = 0;
+    last_lo_ = lo;
+    last_hi_ = hi;
+    last_solve_ = Clock::now();
+  } catch (const std::exception& error) {
+    report.error = error.what();
+  }
+  report.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      Clock::now() - start);
+  windows_.push_back(std::move(report));
+}
+
+MTSolution StreamingEngine::current_solution() const {
+  HYPERREC_ENSURE(stats_.steps() > 0, "no steps appended yet");
+  HYPERREC_ENSURE(!published_.tasks.empty(),
+                  "no published schedule (initial solve failed?)");
+  MTSolution solution;
+  solution.schedule = published_;
+  // The last re-solve already evaluated exactly this schedule over exactly
+  // this trace; only appends invalidate that breakdown.
+  solution.breakdown = published_breakdown_.has_value()
+                           ? *published_breakdown_
+                           : evaluate_fully_sync_switch(
+                                 stats_.trace(), machine_, published_,
+                                 options_);
+  return solution;
+}
+
+}  // namespace hyperrec::streaming

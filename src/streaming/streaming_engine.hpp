@@ -1,0 +1,200 @@
+// Streaming solve engine: windowed, warm-started re-solves over a growing
+// trace.
+//
+// The paper's reconfiguration problems are stated offline — the whole
+// context-requirement trace is known before the solve.  Serving live
+// traffic inverts that: tasks issue requirements step-by-step, and the
+// published schedule must stay valid for every step seen so far while being
+// refreshed cheaply.  The classic results on run-time reconfiguration
+// (online prefetch scheduling, incremental window-bounded decisions) say
+// the win comes from *not* re-solving from scratch; this engine implements
+// that recipe on top of the existing stack:
+//
+//   trace grows ──► TraceBuilderStats (incremental tables, O(1) pre-checks)
+//        │
+//        ├── triggers: step count / demand spike (O(1) range-max) /
+//        │             rent-or-buy policy (online/) / wall-clock tick
+//        ▼
+//   re-solve the last `window` steps with the portfolio, warm-started from
+//   the previous window's schedule (and the solve cache's window-shape
+//   warm-start index when one is attached)
+//        ▼
+//   splice: published boundaries before the window stay frozen (the stable
+//   prefix), the fresh window schedule is shifted onto [w_lo, n) — one
+//   valid MultiTaskSchedule over the whole trace, swapped in atomically
+//   (a failed or cancelled window solve never tears the published schedule).
+//
+// Between re-solves an appended step simply extends every task's last
+// interval, so the published schedule always covers [0, steps()).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/solve_cache.hpp"
+#include "engine/portfolio.hpp"
+#include "model/instance.hpp"
+#include "online/rent_or_buy.hpp"
+#include "streaming/stream_stats.hpp"
+#include "support/cancel.hpp"
+
+namespace hyperrec::streaming {
+
+/// Why a window re-solve ran.
+enum class TriggerKind : std::uint8_t {
+  kInitial,      ///< first appended step
+  kQuotaRepair,  ///< the growing last quota block overflowed the pool
+  kStepCount,    ///< `every_steps` new steps accumulated
+  kDemandSpike,  ///< a step's cross-task demand sum spiked vs the last window
+  kRentOrBuy,    ///< a per-task rent-or-buy controller bought a re-fit
+  kDeadlineTick, ///< wall-clock budget since the last solve elapsed
+  kFlush,        ///< explicit flush() at stream end
+};
+
+[[nodiscard]] const char* to_string(TriggerKind kind) noexcept;
+
+struct TriggerConfig {
+  /// Re-solve every N appended steps; 0 disables.
+  std::size_t every_steps = 0;
+  /// Re-solve when a fresh step's cross-task private-demand sum exceeds
+  /// `spike_factor` x the maximum sum inside the last solved window (an
+  /// O(1) range-max pre-check on the incremental stats).  A zero baseline
+  /// fires on any positive sum.  0 disables.
+  double spike_factor = 0.0;
+  /// Re-solve when any task's online rent-or-buy controller performs a
+  /// (non-initial) hyperreconfiguration at the appended step.
+  bool rent_or_buy = false;
+  online::RentOrBuyConfig rent_or_buy_config;
+  /// Re-solve when this much wall time passed since the last solve and at
+  /// least one new step arrived; 0 disables.
+  std::chrono::milliseconds tick{0};
+};
+
+struct StreamingConfig {
+  /// Solve window: each re-solve covers the last `window` steps (all steps
+  /// while the trace is shorter).  Must be at least 1.
+  std::size_t window = 256;
+  TriggerConfig trigger;
+  /// Portfolio used for the window solves.  Runs serially inside the
+  /// engine (windows are small; batch jobs are the unit of parallelism).
+  engine::PortfolioConfig portfolio;
+  /// Optional solve cache: window instances are memoized by content
+  /// fingerprint (repeated windows across streams hit), and its
+  /// window-shape warm-start index seeds solves that have no previous
+  /// window to inherit from.
+  std::shared_ptr<cache::SolveCache> cache;
+  /// Seed each re-solve with the previous window's schedule (falling back
+  /// to the cache's same-shape incumbent).
+  bool warm_start = true;
+  /// Incremental-stats bulk-append fallback threshold.
+  TraceBuilderConfig builder;
+  /// Engine-wide cancellation: a fired token makes re-solves no-ops (the
+  /// previously published schedule stays intact and valid).
+  CancelToken cancel;
+};
+
+/// One window re-solve, for diagnostics and io/result_json v3.
+struct WindowReport {
+  std::size_t index = 0;  ///< re-solve ordinal, 0-based
+  TriggerKind trigger = TriggerKind::kInitial;
+  std::size_t window_lo = 0;  ///< solved steps [window_lo, window_hi)
+  std::size_t window_hi = 0;
+  bool ok = false;
+  std::string error;   ///< exception text when !ok
+  std::string winner;  ///< portfolio member (or "cache") behind the window
+  bool warm_started = false;
+  std::chrono::microseconds elapsed{0};  ///< window solve wall time
+  Cost window_cost = 0;     ///< portfolio best over the window alone
+  Cost published_cost = 0;  ///< spliced full-schedule cost after publishing
+  /// Boundaries frozen from the stable prefix (summed over tasks).
+  std::size_t splice_prefix_boundaries = 0;
+};
+
+/// Grows a synchronized multi-task trace step-by-step and keeps a valid
+/// published schedule over everything seen so far, re-solving a sliding
+/// window on configurable triggers.  Not thread-safe; one stream per engine.
+class StreamingEngine {
+ public:
+  StreamingEngine(MachineSpec machine, EvalOptions options,
+                  StreamingConfig config = {});
+
+  /// Appends one synchronized step (requirement j goes to task j), runs the
+  /// trigger checks, and re-solves the window when one fires.  Returns true
+  /// iff a window re-solve ran (successfully or not — see windows().back()).
+  bool append_step(std::vector<ContextRequirement> step);
+
+  /// Forces a final window re-solve when steps arrived since the last one.
+  /// Returns true iff a re-solve ran.
+  bool flush();
+
+  [[nodiscard]] std::size_t steps() const noexcept { return stats_.steps(); }
+  [[nodiscard]] const MultiTaskTrace& trace() const noexcept {
+    return stats_.trace();
+  }
+  [[nodiscard]] const TraceBuilderStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const MachineSpec& machine() const noexcept {
+    return machine_;
+  }
+
+  /// The published schedule; covers [0, steps()) and validates (shape-wise)
+  /// once at least one step has been appended.
+  [[nodiscard]] const MultiTaskSchedule& schedule() const noexcept {
+    return published_;
+  }
+
+  /// Published schedule evaluated over the full trace seen so far (reuses
+  /// the breakdown computed by the last re-solve when no steps arrived
+  /// since).  On machines with private-global resources the §4.2 evaluator
+  /// additionally enforces per-block quota feasibility: the engine forces a
+  /// repair re-solve (TriggerKind::kQuotaRepair) the moment the growing
+  /// last block overflows the pool, but while that repair window itself is
+  /// infeasible for the solver line-up (every standard solver keeps one
+  /// global block per instance) this call throws, exactly as an offline
+  /// solve of the same trace would.
+  [[nodiscard]] MTSolution current_solution() const;
+
+  /// One report per window re-solve, in order.
+  [[nodiscard]] const std::vector<WindowReport>& windows() const noexcept {
+    return windows_;
+  }
+  [[nodiscard]] std::size_t resolve_count() const noexcept {
+    return windows_.size();
+  }
+
+ private:
+  void resolve_window(TriggerKind trigger);
+  [[nodiscard]] MultiTaskTrace window_trace(std::size_t lo,
+                                            std::size_t hi) const;
+  [[nodiscard]] MultiTaskSchedule warm_seed(std::size_t lo,
+                                            std::size_t hi) const;
+  [[nodiscard]] MultiTaskSchedule splice(const MultiTaskSchedule& window,
+                                         std::size_t lo, std::size_t hi,
+                                         std::size_t* prefix_boundaries) const;
+
+  MachineSpec machine_;
+  EvalOptions options_;
+  StreamingConfig config_;
+
+  TraceBuilderStats stats_;
+  MultiTaskSchedule published_;  ///< covers [0, steps()) once non-empty
+  /// Breakdown of published_ over the full trace, computed by the last
+  /// successful re-solve; cleared by every append (the extended schedule
+  /// has a different cost).  Saves current_solution() a full re-evaluation
+  /// right after a re-solve — the flush-then-report path of BatchEngine.
+  std::optional<CostBreakdown> published_breakdown_;
+  std::vector<WindowReport> windows_;
+  std::vector<online::RentOrBuyScheduler> rent_or_buy_;
+
+  std::size_t pending_ = 0;  ///< steps appended since the last re-solve ran
+  std::size_t last_lo_ = 0;  ///< last solved window range (spike baseline)
+  std::size_t last_hi_ = 0;
+  std::chrono::steady_clock::time_point last_solve_;
+};
+
+}  // namespace hyperrec::streaming

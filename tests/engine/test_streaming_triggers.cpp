@@ -1,0 +1,247 @@
+// Deterministic trigger-policy coverage for the streaming engine: each
+// trigger kind fires exactly when specified, no-trigger streams never
+// re-solve past the initial window, and a failed or cancelled window solve
+// never tears the published schedule.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "model/cost_switch.hpp"
+#include "streaming/streaming_engine.hpp"
+#include "support/cancel.hpp"
+
+namespace hyperrec::streaming {
+namespace {
+
+ContextRequirement req_bits(std::size_t universe,
+                            std::initializer_list<std::size_t> bits,
+                            std::uint32_t demand = 0) {
+  ContextRequirement req{DynamicBitset(universe), demand};
+  for (const std::size_t b : bits) req.local.set(b);
+  return req;
+}
+
+StreamingConfig base_config(std::size_t window) {
+  StreamingConfig config;
+  config.window = window;
+  config.portfolio.solvers = {"aligned-dp"};
+  return config;
+}
+
+TEST(StreamingTriggers, StepCountFiresExactlyEveryN) {
+  StreamingConfig config = base_config(32);
+  config.trigger.every_steps = 4;
+  StreamingEngine engine(MachineSpec::local_only({6}), EvalOptions{}, config);
+
+  std::vector<std::size_t> resolve_steps;
+  for (std::size_t i = 0; i < 14; ++i) {
+    if (engine.append_step({req_bits(6, {i % 6})})) {
+      resolve_steps.push_back(i + 1);
+      EXPECT_TRUE(engine.windows().back().ok) << engine.windows().back().error;
+    }
+  }
+  // Initial at step 1, then exactly every 4 appended steps: 5, 9, 13.
+  EXPECT_EQ(resolve_steps, (std::vector<std::size_t>{1, 5, 9, 13}));
+  ASSERT_EQ(engine.resolve_count(), 4u);
+  EXPECT_EQ(engine.windows()[0].trigger, TriggerKind::kInitial);
+  for (std::size_t k = 1; k < engine.windows().size(); ++k) {
+    EXPECT_EQ(engine.windows()[k].trigger, TriggerKind::kStepCount);
+  }
+}
+
+TEST(StreamingTriggers, DemandSpikeFiresOnTheSpikeStepOnly) {
+  // Two tasks over a 4-unit pool; steady per-step demand sum 2, one spike
+  // of sum 4 at step index 8.  spike_factor 1.5 ⇒ fire iff sum > 3.
+  StreamingConfig config = base_config(32);
+  config.trigger.spike_factor = 1.5;
+  MachineSpec machine = MachineSpec::local_only({4, 4});
+  machine.private_global_units = 4;
+  machine.global_init = 3;
+  StreamingEngine engine(machine, EvalOptions{}, config);
+
+  std::vector<std::size_t> spike_steps;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const std::uint32_t demand = i == 8 ? 2 : 1;
+    const bool solved = engine.append_step(
+        {req_bits(4, {0}, demand), req_bits(4, {1}, demand)});
+    if (solved && engine.windows().back().trigger == TriggerKind::kDemandSpike) {
+      spike_steps.push_back(i);
+    }
+  }
+  EXPECT_EQ(spike_steps, (std::vector<std::size_t>{8}));
+  // Initial solve + the one spike re-solve; the steady steps never fire.
+  EXPECT_EQ(engine.resolve_count(), 2u);
+  EXPECT_TRUE(engine.windows().back().ok) << engine.windows().back().error;
+  // After the spike re-solve the baseline includes the spike, so an equal
+  // follow-up spike of sum 4 would need > 6 to fire again: appending more
+  // steady steps stays quiet.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(engine.append_step({req_bits(4, {0}, 1), req_bits(4, {1}, 1)}));
+  }
+}
+
+TEST(StreamingTriggers, QuotaRepairSealsAnOverflowingBlock) {
+  // Two tasks over a 2-unit pool.  Steps 0..3 demand (2, 0), steps 4+
+  // demand (0, 2): the published schedule's single growing quota block
+  // would need Σ_j max = 4 > 2 once both phases are inside it, which the
+  // §4.2 evaluator rejects.  The always-on quota-repair trigger must fire
+  // at the first overflowing step and — once the sliding window clears the
+  // phase boundary — seal the old block behind a global boundary so the
+  // published schedule evaluates again.
+  StreamingConfig config = base_config(2);  // window 2: clears the seam fast
+  MachineSpec machine = MachineSpec::local_only({4, 4});
+  machine.private_global_units = 2;
+  machine.global_init = 3;
+  StreamingEngine engine(machine, EvalOptions{}, config);
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(engine.append_step({req_bits(4, {0}, 2), req_bits(4, {1}, 0)}),
+              i == 0)
+        << "step " << i;  // only the initial solve fires in phase one
+  }
+  std::size_t repairs = 0;
+  for (std::size_t i = 4; i < 8; ++i) {
+    const bool solved =
+        engine.append_step({req_bits(4, {0}, 0), req_bits(4, {1}, 2)});
+    if (solved) {
+      EXPECT_EQ(engine.windows().back().trigger, TriggerKind::kQuotaRepair);
+      ++repairs;
+    }
+  }
+  EXPECT_GE(repairs, 1u);
+  // At least one repair succeeded: the published schedule carries a global
+  // boundary sealing the phase-one block and evaluates cleanly again.
+  EXPECT_TRUE(engine.windows().back().ok) << engine.windows().back().error;
+  EXPECT_GT(engine.schedule().global_boundaries.size(), 1u);
+  ASSERT_NO_THROW(engine.current_solution());
+}
+
+TEST(StreamingTriggers, RentOrBuyFiresOnAForcedRefit) {
+  // A single task that needs bit 0 for seven steps and then switches to bit
+  // 1: the rent-or-buy controller's hypercontext no longer covers the
+  // requirement, forcing a buy exactly there.  A huge alpha disables
+  // voluntary re-fits, so no other step can trigger.
+  StreamingConfig config = base_config(32);
+  config.trigger.rent_or_buy = true;
+  config.trigger.rent_or_buy_config.alpha = 1e9;
+  config.trigger.rent_or_buy_config.fit_window = 1;
+  StreamingEngine engine(MachineSpec::local_only({4}), EvalOptions{}, config);
+
+  std::vector<std::size_t> refit_steps;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const bool solved =
+        engine.append_step({i < 7 ? req_bits(4, {0}) : req_bits(4, {1})});
+    if (solved && engine.windows().back().trigger == TriggerKind::kRentOrBuy) {
+      refit_steps.push_back(i);
+    }
+  }
+  EXPECT_EQ(refit_steps, (std::vector<std::size_t>{7}));
+  EXPECT_EQ(engine.resolve_count(), 2u);  // initial + the forced re-fit
+}
+
+TEST(StreamingTriggers, DeadlineTickFiresAfterWallTimePasses) {
+  StreamingConfig config = base_config(32);
+  config.trigger.tick = std::chrono::milliseconds{15};
+  StreamingEngine engine(MachineSpec::local_only({4}), EvalOptions{}, config);
+
+  EXPECT_TRUE(engine.append_step({req_bits(4, {0})}));  // initial
+  EXPECT_FALSE(engine.append_step({req_bits(4, {1})}));  // tick not elapsed
+  std::this_thread::sleep_for(std::chrono::milliseconds{25});
+  EXPECT_TRUE(engine.append_step({req_bits(4, {2})}));
+  EXPECT_EQ(engine.windows().back().trigger, TriggerKind::kDeadlineTick);
+  EXPECT_TRUE(engine.windows().back().ok) << engine.windows().back().error;
+}
+
+TEST(StreamingTriggers, NoTriggerStreamsNeverResolvePastTheInitialWindow) {
+  StreamingConfig config = base_config(8);  // all triggers at their defaults
+  StreamingEngine engine(MachineSpec::local_only({5}), EvalOptions{}, config);
+  EXPECT_TRUE(engine.append_step({req_bits(5, {0})}));
+  for (std::size_t i = 1; i < 40; ++i) {
+    EXPECT_FALSE(engine.append_step({req_bits(5, {i % 5})})) << "step " << i;
+  }
+  EXPECT_EQ(engine.resolve_count(), 1u);
+  ASSERT_NO_THROW(engine.schedule().validate(1, 40));
+}
+
+TEST(StreamingTriggers, CancelledStreamNeverTearsThePublishedSchedule) {
+  const CancelToken cancel = CancelToken::manual();
+  StreamingConfig config = base_config(16);
+  config.trigger.every_steps = 3;
+  config.cancel = cancel;
+  StreamingEngine engine(MachineSpec::local_only({6}), EvalOptions{}, config);
+
+  for (std::size_t i = 0; i < 7; ++i) {
+    engine.append_step({req_bits(6, {i % 6})});
+  }
+  ASSERT_GE(engine.resolve_count(), 2u);
+  const std::vector<std::size_t> starts = engine.schedule().tasks[0].starts();
+  const Cost cost_before = engine.current_solution().total();
+  const std::size_t resolves_before = engine.resolve_count();
+
+  cancel.cancel();
+  for (std::size_t i = 0; i < 6; ++i) {
+    engine.append_step({req_bits(6, {(7 + i) % 6})});
+  }
+  // Triggers still fired, but every cancelled window solve failed without
+  // touching the published schedule.
+  EXPECT_GT(engine.resolve_count(), resolves_before);
+  for (std::size_t k = resolves_before; k < engine.windows().size(); ++k) {
+    EXPECT_FALSE(engine.windows()[k].ok);
+    EXPECT_NE(engine.windows()[k].error.find("cancel"), std::string::npos);
+  }
+  EXPECT_EQ(engine.schedule().tasks[0].starts(), starts);
+  ASSERT_NO_THROW(engine.schedule().validate(1, 13));
+  // The published schedule still extends over (and evaluates on) the steps
+  // appended after cancellation.
+  EXPECT_GE(engine.current_solution().total(), cost_before);
+
+  // flush() on a cancelled stream is likewise a failed, non-tearing window.
+  EXPECT_TRUE(engine.flush());
+  EXPECT_FALSE(engine.windows().back().ok);
+  EXPECT_EQ(engine.schedule().tasks[0].starts(), starts);
+}
+
+TEST(StreamingTriggers, InvalidWindowSolutionIsRejectedWithoutPublishing) {
+  // A hostile portfolio member that always "wins" with cost 0 but returns a
+  // schedule whose global boundary is out of range: the splice validation
+  // must reject it and keep the previous published schedule intact.
+  StreamingConfig config = base_config(16);
+  config.trigger.every_steps = 2;
+  config.portfolio.solvers = {"aligned-dp"};
+  NamedSolver hostile;
+  hostile.name = "hostile";
+  hostile.fn = [](const SolveInstance& instance, const CancelToken&) {
+    MTSolution solution;
+    solution.schedule = MultiTaskSchedule::all_single(instance.task_count(),
+                                                      instance.steps());
+    solution.schedule.global_boundaries = {instance.steps() + 7};
+    solution.breakdown.total = 0;  // beats every honest member
+    return solution;
+  };
+  config.portfolio.extra.push_back(hostile);
+  StreamingEngine engine(MachineSpec::local_only({4}), EvalOptions{}, config);
+
+  engine.append_step({req_bits(4, {0})});
+  // The initial window already went through the hostile winner: it failed
+  // to publish, so the engine has no published schedule yet...
+  ASSERT_EQ(engine.resolve_count(), 1u);
+  EXPECT_FALSE(engine.windows()[0].ok);
+
+  // ...and every later re-solve keeps failing the same way without ever
+  // publishing a torn schedule.
+  for (std::size_t i = 1; i < 6; ++i) {
+    engine.append_step({req_bits(4, {i % 4})});
+  }
+  for (const WindowReport& window : engine.windows()) {
+    EXPECT_FALSE(window.ok);
+    EXPECT_NE(window.error.find("global boundary"), std::string::npos)
+        << window.error;
+  }
+  EXPECT_TRUE(engine.schedule().tasks.empty());
+  EXPECT_THROW(engine.current_solution(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hyperrec::streaming

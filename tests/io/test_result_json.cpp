@@ -197,7 +197,7 @@ TEST(ResultJson, GoldenEmptyBatch) {
   result.parallelism = 4;
   result.elapsed = std::chrono::microseconds{0};
   EXPECT_EQ(batch_result_to_json(result),
-            "{\"schema\":\"hyperrec-batch-result\",\"version\":2,"
+            "{\"schema\":\"hyperrec-batch-result\",\"version\":3,"
             "\"parallelism\":4,\"elapsed_us\":0,\"job_count\":0,"
             "\"cache\":{\"enabled\":false,\"capacity\":0,\"size\":0,"
             "\"hits\":0,\"misses\":0,\"coalesced\":0,\"insertions\":0,"
@@ -209,7 +209,7 @@ TEST(ResultJson, GoldenEmptyBatch) {
 TEST(ResultJson, GoldenTwoJobBatchWithStableKeyOrder) {
   EXPECT_EQ(
       batch_result_to_json(handcrafted_result()),
-      "{\"schema\":\"hyperrec-batch-result\",\"version\":2,"
+      "{\"schema\":\"hyperrec-batch-result\",\"version\":3,"
       "\"parallelism\":2,\"elapsed_us\":777,\"job_count\":2,"
       "\"cache\":{\"enabled\":true,\"capacity\":16,\"size\":1,"
       "\"hits\":3,\"misses\":2,\"coalesced\":1,\"insertions\":2,"
@@ -217,16 +217,85 @@ TEST(ResultJson, GoldenTwoJobBatchWithStableKeyOrder) {
       "\"warm_hits\":1},\"jobs\":["
       "{\"index\":0,\"name\":\"phased-0\",\"ok\":true,\"error\":\"\","
       "\"winner\":\"coord-descent\",\"cache\":\"miss\","
-      "\"warm_started\":true,\"elapsed_us\":123,"
+      "\"warm_started\":true,\"streamed\":false,\"elapsed_us\":123,"
       "\"cost\":{\"total\":42,\"hyper\":12,\"reconfig\":30,"
       "\"global_hyper\":0,\"partial_hyper_steps\":3},"
       "\"solvers\":[{\"name\":\"coord-descent\",\"ok\":true,\"total\":42,"
-      "\"elapsed_us\":99}]},"
+      "\"elapsed_us\":99}],\"windows\":[]},"
       "{\"index\":1,\"name\":\"bad\",\"ok\":false,"
       "\"error\":\"machine/trace mismatch\",\"winner\":\"\","
-      "\"cache\":\"bypass\",\"warm_started\":false,"
+      "\"cache\":\"bypass\",\"warm_started\":false,\"streamed\":false,"
       "\"elapsed_us\":4,\"cost\":{\"total\":0,\"hyper\":0,\"reconfig\":0,"
-      "\"global_hyper\":0,\"partial_hyper_steps\":0},\"solvers\":[]}]}\n");
+      "\"global_hyper\":0,\"partial_hyper_steps\":0},\"solvers\":[],"
+      "\"windows\":[]}]}\n");
+}
+
+TEST(ResultJson, GoldenStreamedJobWithWindows) {
+  engine::BatchResult result;
+  result.parallelism = 1;
+  result.elapsed = std::chrono::microseconds{900};
+
+  engine::JobResult job;
+  job.index = 0;
+  job.name = "stream-0";
+  job.ok = true;
+  job.winner = "streaming";
+  job.streamed = true;
+  job.elapsed = std::chrono::microseconds{456};
+  job.solution.breakdown.total = 99;
+  job.solution.breakdown.hyper = 40;
+  job.solution.breakdown.reconfig = 59;
+  job.solution.breakdown.partial_hyper_steps = 5;
+
+  streaming::WindowReport first;
+  first.index = 0;
+  first.trigger = streaming::TriggerKind::kInitial;
+  first.window_lo = 0;
+  first.window_hi = 1;
+  first.ok = true;
+  first.winner = "aligned-dp";
+  first.elapsed = std::chrono::microseconds{11};
+  first.window_cost = 7;
+  first.published_cost = 7;
+  job.windows.push_back(first);
+
+  streaming::WindowReport second;
+  second.index = 1;
+  second.trigger = streaming::TriggerKind::kStepCount;
+  second.window_lo = 4;
+  second.window_hi = 12;
+  second.ok = true;
+  second.winner = "cache";
+  second.warm_started = true;
+  second.elapsed = std::chrono::microseconds{22};
+  second.window_cost = 31;
+  second.published_cost = 99;
+  second.splice_prefix_boundaries = 2;
+  job.windows.push_back(second);
+  result.jobs.push_back(std::move(job));
+
+  EXPECT_EQ(
+      batch_result_to_json(result),
+      "{\"schema\":\"hyperrec-batch-result\",\"version\":3,"
+      "\"parallelism\":1,\"elapsed_us\":900,\"job_count\":1,"
+      "\"cache\":{\"enabled\":false,\"capacity\":0,\"size\":0,"
+      "\"hits\":0,\"misses\":0,\"coalesced\":0,\"insertions\":0,"
+      "\"evictions\":0,\"expirations\":0,\"collisions\":0,"
+      "\"warm_hits\":0},\"jobs\":["
+      "{\"index\":0,\"name\":\"stream-0\",\"ok\":true,\"error\":\"\","
+      "\"winner\":\"streaming\",\"cache\":\"bypass\","
+      "\"warm_started\":false,\"streamed\":true,\"elapsed_us\":456,"
+      "\"cost\":{\"total\":99,\"hyper\":40,\"reconfig\":59,"
+      "\"global_hyper\":0,\"partial_hyper_steps\":5},\"solvers\":[],"
+      "\"windows\":["
+      "{\"index\":0,\"trigger\":\"initial\",\"lo\":0,\"hi\":1,"
+      "\"ok\":true,\"error\":\"\",\"winner\":\"aligned-dp\","
+      "\"warm_started\":false,\"elapsed_us\":11,\"window_cost\":7,"
+      "\"published_cost\":7,\"prefix_boundaries\":0},"
+      "{\"index\":1,\"trigger\":\"step-count\",\"lo\":4,\"hi\":12,"
+      "\"ok\":true,\"error\":\"\",\"winner\":\"cache\","
+      "\"warm_started\":true,\"elapsed_us\":22,\"window_cost\":31,"
+      "\"published_cost\":99,\"prefix_boundaries\":2}]}]}\n");
 }
 
 TEST(ResultJson, HostileStringsAreEscapedAndStillValidJson) {

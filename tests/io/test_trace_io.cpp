@@ -130,6 +130,64 @@ TEST(TraceIo, StreamSaveLoadRoundTrips) {
   expect_traces_equal(load_trace(stream), original);
 }
 
+TEST(TraceIo, MidGrowthCheckpointAppendsBackToStraightThroughBuild) {
+  const auto full = sample_trace();
+  const std::size_t n = full.steps();
+  // Checkpoint at every interior step k: save the first k steps, reload,
+  // append the remaining steps, and the result must equal the
+  // straight-through build exactly.
+  for (std::size_t k = 1; k < n; ++k) {
+    std::ostringstream os;
+    save_trace_prefix(os, full, k);
+    std::istringstream is(os.str());
+    MultiTaskTrace reloaded = load_trace(is);
+    ASSERT_EQ(reloaded.steps(), k);
+    for (std::size_t i = k; i < n; ++i) {
+      reloaded.append_step(full.step(i));
+    }
+    expect_traces_equal(reloaded, full);
+    // A reloaded-and-grown trace re-serialises identically too.
+    EXPECT_EQ(trace_to_string(reloaded), trace_to_string(full));
+  }
+}
+
+TEST(TraceIo, FullPrefixEqualsSaveTrace) {
+  const auto full = sample_trace();
+  std::ostringstream prefix;
+  save_trace_prefix(prefix, full, full.steps());
+  EXPECT_EQ(prefix.str(), trace_to_string(full));
+}
+
+TEST(TraceIo, PrefixRejectsZeroAndOversizedCheckpoints) {
+  const auto full = sample_trace();
+  std::ostringstream os;
+  EXPECT_THROW(save_trace_prefix(os, full, 0), PreconditionError);
+  EXPECT_THROW(save_trace_prefix(os, full, full.steps() + 1),
+               PreconditionError);
+}
+
+TEST(TraceIo, ConcatenatedCheckpointStreamLoadsEveryGrowthStage) {
+  // A growth journal: successive mid-growth checkpoints of the same trace
+  // concatenated into one stream (the existing concatenated-stream path).
+  const auto full = sample_trace();
+  const std::vector<std::size_t> stages = {3, 7, full.steps()};
+  std::ostringstream journal;
+  for (const std::size_t k : stages) save_trace_prefix(journal, full, k);
+
+  std::istringstream is(journal.str());
+  for (const std::size_t k : stages) {
+    MultiTaskTrace stage = load_trace(is);
+    ASSERT_EQ(stage.steps(), k);
+    // Each stage grows back to the full trace by appending its tail.
+    for (std::size_t i = k; i < full.steps(); ++i) {
+      stage.append_step(full.step(i));
+    }
+    expect_traces_equal(stage, full);
+  }
+  // The journal is fully consumed: one more load hits end-of-stream.
+  EXPECT_THROW(load_trace(is), PreconditionError);
+}
+
 TEST(TraceIo, RejectsWrongHeader) {
   EXPECT_THROW(trace_from_string("bogus v9\n"), PreconditionError);
 }
