@@ -1,0 +1,265 @@
+// Fleet-scale multiplexed streaming study: N concurrent streams through one
+// StreamMultiplexer over the shared pool and ONE shared solve cache.
+//
+// The multiplexer's contract has two halves, and phase 1 gates both:
+//
+//   * bit-identity: a multiplexed stream publishes exactly the schedule,
+//     cost, re-solve count and trigger sequence its solo StreamingEngine
+//     run would.  Spot-checked on three streams (first / middle / last of
+//     the fleet) against fresh cache-less solo replays.
+//
+//   * re-solves off the append path: append_step only enqueues — window
+//     re-solves run as pool jobs behind the producer.  Proven structurally
+//     (no timing thresholds, so the gate holds on a loaded single-core CI
+//     box): either at least one sampled snapshot lagged the producer
+//     (publication staleness > 0 at the sample point), or the enqueue loop
+//     finished in under half of the summed window-solve wall time — a
+//     producer that solved windows inline would have absorbed all of it.
+//
+//   * accounting: accepted == applied == N x steps, no faults, no drops.
+//
+// Phase 2 (informative) sweeps the fleet size — N = 1k and 10k full-size —
+// and reports appends/sec, re-solves/sec and publication staleness, the
+// numbers a serving deployment watches.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "streaming/stream_multiplexer.hpp"
+#include "support/table.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace hyperrec;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+bool schedules_equal(const MultiTaskSchedule& a, const MultiTaskSchedule& b) {
+  if (a.tasks.size() != b.tasks.size() ||
+      a.global_boundaries != b.global_boundaries) {
+    return false;
+  }
+  for (std::size_t j = 0; j < a.tasks.size(); ++j) {
+    if (a.tasks[j].n() != b.tasks[j].n() ||
+        a.tasks[j].starts() != b.tasks[j].starts()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct FleetRun {
+  std::uint64_t appends = 0;
+  std::uint64_t resolves = 0;
+  double enqueue_s = 0.0;
+  double total_s = 0.0;
+  double resolve_total_s = 0.0;  ///< summed window-solve wall time
+  std::size_t stale_max = 0;     ///< sampled right after the enqueue loop
+  double stale_mean = 0.0;
+  bool accounted = false;  ///< accepted == applied, no faults, no drops
+};
+
+streaming::StreamingConfig stream_config(std::size_t window,
+                                         std::size_t every_steps) {
+  streaming::StreamingConfig config;
+  config.window = window;
+  config.trigger.every_steps = every_steps;
+  config.portfolio.solvers = {"aligned-dp", "greedy-w8"};
+  return config;
+}
+
+std::vector<MultiTaskTrace> make_fleet_traces(std::size_t n,
+                                              std::size_t tasks,
+                                              std::size_t steps,
+                                              std::size_t universe) {
+  const std::vector<std::string>& families = workload::family_names();
+  Xoshiro256 root(0xF1EE7);
+  std::vector<MultiTaskTrace> traces;
+  traces.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Xoshiro256 rng = root.split(i);
+    traces.push_back(workload::make_multi_family(
+        families[i % families.size()], tasks, steps, universe, rng));
+  }
+  return traces;
+}
+
+/// Streams every trace through one multiplexer (appends interleaved
+/// round-robin, so the fleet is genuinely concurrent) and collects the
+/// rates, staleness sample and accounting flags.
+FleetRun run_fleet(streaming::StreamMultiplexer& mux,
+                   const std::vector<MultiTaskTrace>& traces,
+                   std::size_t universe) {
+  FleetRun run;
+  const std::size_t n = traces.size();
+  const MachineSpec machine = MachineSpec::local_only(
+      std::vector<std::size_t>(traces[0].task_count(), universe));
+  for (std::size_t i = 0; i < n; ++i) mux.open_stream(machine);
+
+  const Clock::time_point start = Clock::now();
+  const std::size_t steps = traces[0].steps();
+  for (std::size_t s = 0; s < steps; ++s) {
+    for (std::size_t i = 0; i < n; ++i) {
+      mux.append_step(i, traces[i].step(s));
+    }
+  }
+  run.enqueue_s = seconds_since(start);
+  run.appends = static_cast<std::uint64_t>(n) * steps;
+
+  std::size_t stale_sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto snap = mux.snapshot(i);
+    const std::size_t published = snap ? snap->steps : 0;
+    const std::size_t stale = steps - std::min(steps, published);
+    run.stale_max = std::max(run.stale_max, stale);
+    stale_sum += stale;
+  }
+  run.stale_mean = static_cast<double>(stale_sum) / static_cast<double>(n);
+
+  mux.flush_all();
+  mux.drain();
+  run.total_s = seconds_since(start);
+
+  const streaming::FleetStats fleet = mux.fleet_stats();
+  run.resolves = fleet.resolves;
+  run.accounted = fleet.accepted == run.appends &&
+                  fleet.applied == run.appends && fleet.failures == 0 &&
+                  fleet.dropped == 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const streaming::WindowReport& window : mux.engine(i).windows()) {
+      run.resolve_total_s +=
+          std::chrono::duration<double>(window.elapsed).count();
+    }
+  }
+  return run;
+}
+
+void report_row(Table& table, std::size_t n, const FleetRun& run) {
+  table.row(static_cast<std::uint64_t>(n), run.appends,
+            run.enqueue_s > 0
+                ? static_cast<double>(run.appends) / run.enqueue_s
+                : 0.0,
+            run.resolves,
+            run.total_s > 0 ? static_cast<double>(run.resolves) / run.total_s
+                            : 0.0,
+            static_cast<std::uint64_t>(run.stale_max), run.stale_mean,
+            run.total_s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_mode(argc, argv);
+  bool ok = true;
+
+  // --- phase 1: bit-identity + off-the-append-path (GATED) ----------------
+  const std::size_t tasks = 2;
+  const std::size_t universe = 12;
+  const std::size_t n1 = bench::pick<std::size_t>(smoke, 1000, 48);
+  const std::size_t steps1 = bench::pick<std::size_t>(smoke, 16, 8);
+  const std::size_t window = 8;
+  const std::size_t every_steps = 8;
+
+  std::printf("=== Multiplexed fleet vs solo streams (%zu streams x %zu "
+              "steps, %zu tasks, universe %zu, window %zu, trigger "
+              "steps:%zu) ===\n\n",
+              n1, steps1, tasks, universe, window, every_steps);
+
+  const std::vector<MultiTaskTrace> traces =
+      make_fleet_traces(n1, tasks, steps1, universe);
+  streaming::MultiplexerConfig mux_config;
+  mux_config.shards = 8;
+  mux_config.stream = stream_config(window, every_steps);
+  streaming::StreamMultiplexer mux(mux_config);
+  const FleetRun run = run_fleet(mux, traces, universe);
+
+  Table table;
+  table.headers({"streams", "appends", "appends/s", "resolves", "resolves/s",
+                 "stale max", "stale mean", "wall s"});
+  report_row(table, n1, run);
+  table.print(std::cout);
+  std::printf("\n(staleness sampled right after the enqueue loop: appended "
+              "steps minus published snapshot steps)\n\n");
+
+  if (!run.accounted) {
+    std::fprintf(stderr, "FAIL: fleet accounting off (accepted/applied/"
+                         "failures/dropped)\n");
+    ok = false;
+  }
+  // Structural async proof — no timing threshold (see file comment).
+  if (run.stale_max == 0 && run.enqueue_s >= 0.5 * run.resolve_total_s) {
+    std::fprintf(stderr,
+                 "FAIL: no publication lag and enqueue loop (%.3fs) absorbed "
+                 "the window-solve time (%.3fs) — re-solves look inline\n",
+                 run.enqueue_s, run.resolve_total_s);
+    ok = false;
+  }
+
+  // Bit-identity spot check: first / middle / last stream vs a fresh,
+  // cache-less solo replay of the same trace and configuration.
+  for (const std::size_t i : {std::size_t{0}, n1 / 2, n1 - 1}) {
+    streaming::StreamingEngine solo(
+        MachineSpec::local_only(std::vector<std::size_t>(tasks, universe)),
+        EvalOptions{}, stream_config(window, every_steps));
+    for (std::size_t s = 0; s < traces[i].steps(); ++s) {
+      solo.append_step(traces[i].step(s));
+    }
+    solo.flush();
+    const streaming::StreamingEngine& fleet_engine = mux.engine(i);
+    bool same = schedules_equal(solo.schedule(), fleet_engine.schedule()) &&
+                solo.resolve_count() == fleet_engine.resolve_count();
+    for (std::size_t k = 0; same && k < solo.windows().size(); ++k) {
+      same = solo.windows()[k].trigger == fleet_engine.windows()[k].trigger;
+    }
+    if (same &&
+        solo.current_solution().total() !=
+            fleet_engine.current_solution().total()) {
+      same = false;
+    }
+    if (!same) {
+      std::fprintf(stderr,
+                   "FAIL: stream %zu diverged from its solo replay\n", i);
+      ok = false;
+    }
+  }
+  std::printf("bit-identity spot check (streams 0, %zu, %zu): %s\n\n", n1 / 2,
+              n1 - 1, ok ? "identical" : "DIVERGED");
+
+  // --- phase 2: fleet-size sweep (informative) ----------------------------
+  const std::vector<std::size_t> fleet_sizes =
+      smoke ? std::vector<std::size_t>{16, 64}
+            : std::vector<std::size_t>{1000, 10000};
+  const std::size_t steps2 = bench::pick<std::size_t>(smoke, 8, 4);
+
+  std::printf("=== Fleet-size sweep (%zu tasks x %zu steps, universe %zu, "
+              "window %zu, initial+flush re-solves) ===\n\n",
+              tasks, steps2, universe, window);
+  Table sweep;
+  sweep.headers({"streams", "appends", "appends/s", "resolves", "resolves/s",
+                 "stale max", "stale mean", "wall s"});
+  for (const std::size_t n : fleet_sizes) {
+    const std::vector<MultiTaskTrace> sweep_traces =
+        make_fleet_traces(n, tasks, steps2, universe);
+    streaming::MultiplexerConfig sweep_config;
+    sweep_config.shards = 16;
+    sweep_config.stream = stream_config(window, /*every_steps=*/0);
+    streaming::StreamMultiplexer sweep_mux(sweep_config);
+    report_row(sweep, n, run_fleet(sweep_mux, sweep_traces, universe));
+  }
+  sweep.print(std::cout);
+  std::printf(
+      "\nExpected shape: appends/sec stays flat as the fleet grows (enqueue "
+      "is a mutex + deque push, independent of N); re-solves ride the pool "
+      "behind the producer, so staleness at the sample point grows with the "
+      "backlog and drains to zero by drain().\n");
+
+  return ok ? 0 : 1;
+}

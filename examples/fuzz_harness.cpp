@@ -1,12 +1,17 @@
 // Differential solver fuzzer: random small instances, every registered
 // solver vs the exhaustive oracle.
 //
-//   fuzz_harness [--seed=S] [--iters=N] [--smoke]
+//   fuzz_harness [--seed=S] [--iters=N] [--smoke] [--mux]
 //
 //     --seed=S   root seed (default 1); iteration i fuzzes stream S+i, so a
 //                failure's reproducer is `--seed=<printed seed> --iters=1`
 //     --iters=N  iterations (default 100)
 //     --smoke    25 iterations — the ctest `fuzz` label registration
+//     --mux      multiplexer differential mode: each iteration streams a
+//                small random fleet through one StreamMultiplexer (shared
+//                cache, interleaved appends, randomized window/triggers/
+//                shards) and diffs every stream's published windows,
+//                schedule and cost against its solo StreamingEngine replay
 //
 // Each iteration draws a random instance small enough for solve_exhaustive
 // (random workload family, task count, step count, universes, machine costs,
@@ -24,6 +29,7 @@
 // instance (trace serialised, machine and options inline) and the exact
 // reproducer seed, then exits 1.  tools/fuzz_solvers.py drives time-sliced
 // campaigns (CI runs a 60-second slice).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -35,6 +41,7 @@
 #include "io/trace_io.hpp"
 #include "model/cost_switch.hpp"
 #include "model/instance.hpp"
+#include "streaming/stream_multiplexer.hpp"
 #include "support/rng.hpp"
 #include "workload/generators.hpp"
 
@@ -90,9 +97,11 @@ FuzzInstance draw_instance(Xoshiro256& rng) {
 }
 
 void dump_reproducer(const FuzzInstance& fuzz, std::uint64_t seed,
-                     const std::string& solver, const std::string& what) {
+                     const std::string& solver, const std::string& what,
+                     bool mux_mode = false) {
   std::fprintf(stderr, "\n=== FUZZ FAILURE ===\n");
-  std::fprintf(stderr, "reproduce: fuzz_harness --seed=%llu --iters=1\n",
+  std::fprintf(stderr, "reproduce: fuzz_harness %s--seed=%llu --iters=1\n",
+               mux_mode ? "--mux " : "",
                static_cast<unsigned long long>(seed));
   std::fprintf(stderr, "solver: %s\nfamily: %s\nproblem: %s\n", solver.c_str(),
                fuzz.family.c_str(), what.c_str());
@@ -170,11 +179,120 @@ bool check_solver(const NamedSolver& solver, const SolveInstance& instance,
   return true;
 }
 
+/// One --mux iteration: a random fleet rides ONE StreamMultiplexer (shared
+/// cache, interleaved appends, randomized window/trigger/shard geometry) and
+/// every stream's published windows, schedule and cost must be bit-identical
+/// to a cache-less solo StreamingEngine replay of the same trace.  The
+/// oracle here is the solo engine, not solve_exhaustive — the mux fuzz hunts
+/// sequencing/coalescing bugs, not cost-model bugs.
+bool check_mux_iteration(std::uint64_t seed) {
+  Xoshiro256 rng(seed * 0x9E3779B97F4A7C15ull + 0xF1EE7);
+
+  streaming::StreamingConfig stream_config;
+  stream_config.window = 1 + rng.uniform(6);            // 1..6
+  stream_config.trigger.every_steps = rng.uniform(5);   // 0..4
+  if (rng.flip(0.3)) {
+    stream_config.trigger.spike_factor = 1.5;
+    stream_config.trigger.spike_min_demand = 2;
+  }
+  stream_config.portfolio.solvers = {"aligned-dp", "greedy-w8"};
+
+  const std::size_t streams = 2 + rng.uniform(4);  // 2..5
+  std::vector<FuzzInstance> fleet;
+  std::size_t max_steps = 0;
+  for (std::size_t j = 0; j < streams; ++j) {
+    Xoshiro256 stream_rng = rng.split(j + 17);
+    FuzzInstance fuzz = draw_instance(stream_rng);
+    // The portfolio's DP members reject changeover by precondition; the mux
+    // fuzz targets op sequencing, so keep every instance solvable.
+    fuzz.options.changeover = false;
+    max_steps = std::max(max_steps, fuzz.trace.steps());
+    fleet.push_back(std::move(fuzz));
+  }
+
+  streaming::MultiplexerConfig mux_config;
+  mux_config.shards = 1 + rng.uniform(4);  // 1..4
+  mux_config.stream = stream_config;
+  streaming::StreamMultiplexer mux(mux_config);
+  for (std::size_t j = 0; j < streams; ++j) {
+    mux.open_stream(fleet[j].machine, fleet[j].options);
+  }
+  for (std::size_t s = 0; s < max_steps; ++s) {
+    for (std::size_t j = 0; j < streams; ++j) {
+      if (s < fleet[j].trace.steps()) {
+        mux.append_step(j, fleet[j].trace.step(s));
+      }
+    }
+  }
+  mux.flush_all();
+  mux.drain();
+
+  for (std::size_t j = 0; j < streams; ++j) {
+    const std::string tag = "stream-multiplexer[" + std::to_string(j) + "]";
+    streaming::StreamingEngine solo(fleet[j].machine, fleet[j].options,
+                                    stream_config);
+    for (std::size_t s = 0; s < fleet[j].trace.steps(); ++s) {
+      solo.append_step(fleet[j].trace.step(s));
+    }
+    solo.flush();
+
+    const streaming::StreamingEngine& muxed = mux.engine(j);
+    std::string what;
+    if (mux.first_failure() && mux.first_failure()->stream == j) {
+      what = "stream poisoned at step " +
+             std::to_string(mux.first_failure()->step) + ": " +
+             mux.first_failure()->what;
+    } else if (muxed.steps() != solo.steps()) {
+      what = "applied " + std::to_string(muxed.steps()) + " steps, solo saw " +
+             std::to_string(solo.steps());
+    } else if (muxed.resolve_count() != solo.resolve_count()) {
+      what = "resolve count " + std::to_string(muxed.resolve_count()) +
+             " != solo " + std::to_string(solo.resolve_count());
+    } else {
+      for (std::size_t k = 0; k < solo.windows().size() && what.empty(); ++k) {
+        const streaming::WindowReport& a = muxed.windows()[k];
+        const streaming::WindowReport& b = solo.windows()[k];
+        if (a.trigger != b.trigger || a.window_lo != b.window_lo ||
+            a.window_hi != b.window_hi || a.ok != b.ok ||
+            a.window_cost != b.window_cost ||
+            a.published_cost != b.published_cost) {
+          what = "window " + std::to_string(k) +
+                 " diverged from the solo replay (trigger/range/cost)";
+        }
+      }
+      if (what.empty()) {
+        const MultiTaskSchedule& fs = muxed.schedule();
+        const MultiTaskSchedule& ss = solo.schedule();
+        for (std::size_t t = 0; t < ss.tasks.size() && what.empty(); ++t) {
+          if (fs.tasks[t].starts() != ss.tasks[t].starts()) {
+            what = "task " + std::to_string(t) + " schedule starts diverged";
+          }
+        }
+        if (what.empty() && fs.global_boundaries != ss.global_boundaries) {
+          what = "global boundaries diverged";
+        }
+        if (what.empty() &&
+            muxed.current_solution().total() != solo.current_solution().total()) {
+          what = "final cost " +
+                 std::to_string(muxed.current_solution().total()) +
+                 " != solo " + std::to_string(solo.current_solution().total());
+        }
+      }
+    }
+    if (!what.empty()) {
+      dump_reproducer(fleet[j], seed, tag, what, /*mux_mode=*/true);
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::size_t iters = 100;
+  bool mux = false;
   try {
     for (int i = 1; i < argc; ++i) {
       const char* arg = argv[i];
@@ -184,11 +302,25 @@ int main(int argc, char** argv) {
         iters = std::stoul(arg + 8);
       } else if (std::strcmp(arg, "--smoke") == 0) {
         iters = 25;
+      } else if (std::strcmp(arg, "--mux") == 0) {
+        mux = true;
       } else {
-        std::fprintf(stderr,
-                     "usage: %s [--seed=S] [--iters=N] [--smoke]\n", argv[0]);
+        std::fprintf(
+            stderr, "usage: %s [--seed=S] [--iters=N] [--smoke] [--mux]\n",
+            argv[0]);
         return 1;
       }
+    }
+
+    if (mux) {
+      for (std::size_t iter = 0; iter < iters; ++iter) {
+        if (!check_mux_iteration(seed + iter)) return 1;
+      }
+      std::printf("fuzz_harness: %zu multiplexed fleets bit-identical to "
+                  "their solo replays (seeds %llu..%llu)\n",
+                  iters, static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(seed + iters - 1));
+      return 0;
     }
 
     const std::vector<NamedSolver> solvers = standard_solvers();

@@ -6,6 +6,7 @@
 //                [--deadline-ms=D] [--jobs=P] [--trace=FILE ...]
 //                [--cache-capacity=C] [--cache-ttl-ms=T] [--warm-start]
 //                [--stream] [--window=W] [--trigger=SPEC]
+//                [--streams=N] [--mux-shards=K]
 //                [--repeat=R] [--out=FILE] [--smoke]
 //
 //     --batch=N        number of generated jobs (default 8)
@@ -33,8 +34,13 @@
 //                      solve; the JSON gains per-window reports
 //     --window=W       streaming solve window in steps (default 256)
 //     --trigger=SPEC   comma-separated re-solve triggers (needs --stream):
-//                      steps:N | spike:F | rent-or-buy | tick:MS
-//                      (default steps:16 when --stream is set)
+//                      steps:N | spike:F | spike-min:D | rent-or-buy |
+//                      tick:MS (default steps:16 when --stream is set)
+//     --streams=N      multiplexed streaming: N generated traces stream
+//                      concurrently through one StreamMultiplexer (implies
+//                      --stream, overrides --batch; the JSON gains the
+//                      "fleet" object)
+//     --mux-shards=K   multiplexer shard lanes (default 4; needs --streams)
 //     --repeat=R       solve the batch R times through the same engine and
 //                      cache (default 1); the JSON reports the last round,
 //                      whose cache stats are cumulative — with a cache,
@@ -80,6 +86,8 @@ struct CliOptions {
   bool stream = false;
   std::size_t window = 256;
   std::string trigger;
+  std::size_t streams = 0;
+  std::size_t mux_shards = 4;
   std::size_t repeat = 1;
   std::string out;
 };
@@ -116,6 +124,9 @@ streaming::TriggerConfig parse_trigger(const std::string& spec) {
       trigger.every_steps = std::stoul(value);
     } else if (kind == "spike") {
       trigger.spike_factor = std::stod(value);
+    } else if (kind == "spike-min") {
+      trigger.spike_min_demand =
+          static_cast<std::uint32_t>(std::stoul(value));
     } else if (kind == "rent-or-buy") {
       trigger.rent_or_buy = true;
     } else if (kind == "tick") {
@@ -212,6 +223,10 @@ int main(int argc, char** argv) {
         options.window = std::stoul(value);
       } else if (parse_flag(arg, "--trigger", value)) {
         options.trigger = value;
+      } else if (parse_flag(arg, "--streams", value)) {
+        options.streams = std::stoul(value);
+      } else if (parse_flag(arg, "--mux-shards", value)) {
+        options.mux_shards = std::stoul(value);
       } else if (parse_flag(arg, "--repeat", value)) {
         options.repeat = std::stoul(value);
       } else if (parse_flag(arg, "--out", value)) {
@@ -224,10 +239,17 @@ int main(int argc, char** argv) {
                      "[--deadline-ms=D] [--jobs=P] [--trace=FILE] "
                      "[--cache-capacity=C] [--cache-ttl-ms=T] [--warm-start] "
                      "[--stream] [--window=W] [--trigger=SPEC] "
+                     "[--streams=N] [--mux-shards=K] "
                      "[--repeat=R] [--out=FILE] [--smoke]\n",
                      argv[0]);
         return 1;
       }
+    }
+    // --streams=N is multiplexed streaming shorthand: it implies --stream
+    // and sizes the generated fleet (loaded --trace files keep their count).
+    if (options.streams > 0) {
+      options.stream = true;
+      options.batch = options.streams;
     }
     const std::vector<std::string>& kinds = workload::family_names();
     std::vector<engine::BatchJob> jobs;
@@ -259,6 +281,10 @@ int main(int argc, char** argv) {
       config.stream.trigger = options.trigger.empty()
                                   ? parse_trigger("steps:16")
                                   : parse_trigger(options.trigger);
+      if (options.streams > 0) {
+        config.stream.multiplex = true;
+        config.stream.shards = options.mux_shards;
+      }
     }
     if (options.cache_capacity > 0) {
       cache::SolveCacheConfig cache_config;
@@ -291,6 +317,13 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(result.cache_stats.misses),
                      static_cast<unsigned long long>(
                          result.cache_stats.coalesced));
+      }
+      if (result.fleet.has_value()) {
+        std::fprintf(
+            stderr, "; fleet %zu streams, %llu appends, %llu resolves",
+            result.fleet->streams,
+            static_cast<unsigned long long>(result.fleet->accepted),
+            static_cast<unsigned long long>(result.fleet->resolves));
       }
       std::fprintf(stderr, "\n");
     }

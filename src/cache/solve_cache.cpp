@@ -21,6 +21,7 @@ struct SolveCache::Counters {
   std::atomic<std::uint64_t> misses{0};
   std::atomic<std::uint64_t> coalesced{0};
   std::atomic<std::uint64_t> insertions{0};
+  std::atomic<std::uint64_t> refreshes{0};
   std::atomic<std::uint64_t> evictions{0};
   std::atomic<std::uint64_t> expirations{0};
   std::atomic<std::uint64_t> collisions{0};
@@ -93,7 +94,10 @@ struct SolveCache::Shard {
       it->second.solution = solution;
       it->second.expires = expires;
       touch(it->second);
-      counters.insertions.fetch_add(1, std::memory_order_relaxed);
+      // A refresh of a live entry is not an insertion: the fleet metrics
+      // read insertions as "distinct window instances stored", and
+      // re-storing the same key must not inflate that.
+      counters.refreshes.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     while (map.size() >= shard_capacity && !lru.empty()) {
@@ -324,6 +328,7 @@ SolveCacheStats SolveCache::stats() const {
   out.misses = counters_->misses.load(std::memory_order_relaxed);
   out.coalesced = counters_->coalesced.load(std::memory_order_relaxed);
   out.insertions = counters_->insertions.load(std::memory_order_relaxed);
+  out.refreshes = counters_->refreshes.load(std::memory_order_relaxed);
   out.evictions = counters_->evictions.load(std::memory_order_relaxed);
   out.expirations = counters_->expirations.load(std::memory_order_relaxed);
   out.collisions = counters_->collisions.load(std::memory_order_relaxed);

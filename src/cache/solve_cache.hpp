@@ -61,7 +61,8 @@ struct SolveCacheStats {
   std::uint64_t hits = 0;         ///< full-key-verified cache hits
   std::uint64_t misses = 0;       ///< lookups that had to (re)compute
   std::uint64_t coalesced = 0;    ///< waits piggybacked on an in-flight solve
-  std::uint64_t insertions = 0;
+  std::uint64_t insertions = 0;   ///< brand-new entries stored
+  std::uint64_t refreshes = 0;    ///< re-stores over an existing live entry
   std::uint64_t evictions = 0;    ///< LRU capacity evictions
   std::uint64_t expirations = 0;  ///< TTL expiries observed on access
   std::uint64_t collisions = 0;   ///< fingerprint matched, canonical bytes did not

@@ -1,6 +1,8 @@
 #include "engine/batch_engine.hpp"
 
+#include <algorithm>
 #include <future>
+#include <optional>
 #include <utility>
 
 namespace hyperrec::engine {
@@ -30,6 +32,13 @@ BatchResult BatchEngine::solve(const std::vector<BatchJob>& jobs) const {
   result.parallelism = pool_->thread_count();
   result.jobs.resize(jobs.size());
   const Clock::time_point batch_start = Clock::now();
+
+  if (config_.stream.enabled && config_.stream.multiplex) {
+    solve_multiplexed(jobs, result);
+    result.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        Clock::now() - batch_start);
+    return result;
+  }
 
   // Fresh (uncached) solve; fills the job's winner/entries/warm_started —
   // only after the solve returns, so a throwing job keeps the empty
@@ -201,6 +210,80 @@ BatchResult BatchEngine::solve(const std::vector<BatchJob>& jobs) const {
     result.cache_stats = config_.cache->stats();
   }
   return result;
+}
+
+void BatchEngine::solve_multiplexed(const std::vector<BatchJob>& jobs,
+                                    BatchResult& result) const {
+  streaming::MultiplexerConfig mux_config;
+  mux_config.shards = config_.stream.shards;
+  mux_config.pool = pool_.get();
+  mux_config.cache = config_.cache;  // nullptr: the mux creates the shared one
+  mux_config.cancel = config_.cancel;
+  mux_config.stream.window = config_.stream.window;
+  mux_config.stream.trigger = config_.stream.trigger;
+  mux_config.stream.portfolio = config_.portfolio;
+  mux_config.stream.warm_start = config_.stream.warm_start;
+  streaming::StreamMultiplexer mux(std::move(mux_config));
+
+  // One stream per job; a job the multiplexer cannot open (no tasks,
+  // unsynchronized trace) fails alone, like any other per-job error.
+  std::vector<std::optional<std::size_t>> streams(jobs.size());
+  std::size_t max_steps = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    result.jobs[i].index = i;
+    result.jobs[i].name = jobs[i].name;
+    result.jobs[i].streamed = true;
+    try {
+      HYPERREC_ENSURE(
+          jobs[i].trace.task_count() > 0 && jobs[i].trace.synchronized(),
+          "streaming replay needs a synchronized trace");
+      streams[i] = mux.open_stream(jobs[i].machine, jobs[i].options);
+      max_steps = std::max(max_steps, jobs[i].trace.steps());
+    } catch (const std::exception& error) {
+      result.jobs[i].error = error.what();
+    }
+  }
+
+  // Interleave appends round-robin across jobs: every stream is live at
+  // once, so same-window jobs genuinely coalesce on the shared cache.
+  for (std::size_t s = 0; s < max_steps; ++s) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (streams[i].has_value() && s < jobs[i].trace.steps()) {
+        mux.append_step(*streams[i], jobs[i].trace.step(s));
+      }
+    }
+  }
+  mux.flush_all();
+  mux.drain();
+
+  const std::vector<streaming::StreamSummary> rows = mux.stream_summaries();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!streams[i].has_value()) continue;
+    JobResult& out = result.jobs[i];
+    const streaming::StreamingEngine& engine = mux.engine(*streams[i]);
+    out.windows = engine.windows();
+    if (rows[*streams[i]].poisoned) {
+      const auto failure = mux.first_failure();
+      out.error = failure.has_value() && failure->stream == *streams[i]
+                      ? "stream poisoned: " + failure->what
+                      : "stream poisoned";
+      continue;
+    }
+    try {
+      out.solution = engine.current_solution();
+      out.winner = "streaming";
+      out.ok = true;
+    } catch (const std::exception& error) {
+      out.error = error.what();
+    }
+  }
+
+  result.fleet = mux.fleet_stats();
+  result.fleet_streams = rows;
+  result.cache_enabled = true;
+  result.cache_capacity = mux.cache()->capacity();
+  result.cache_size = mux.cache()->size();
+  result.cache_stats = mux.cache()->stats();
 }
 
 }  // namespace hyperrec::engine

@@ -38,6 +38,7 @@
 
 #include "cache/solve_cache.hpp"
 #include "engine/portfolio.hpp"
+#include "streaming/stream_multiplexer.hpp"
 #include "streaming/streaming_engine.hpp"
 #include "support/cancel.hpp"
 
@@ -62,6 +63,14 @@ struct StreamReplayConfig {
   /// from BatchEngineConfig::warm_start, which only governs the offline
   /// per-job path.
   bool warm_start = true;
+  /// Multiplexed replay: instead of one inline StreamingEngine per pool
+  /// job, ALL jobs stream concurrently through one StreamMultiplexer over
+  /// the engine's pool (one stream per job, appends interleaved round-robin
+  /// across jobs, re-solves as pool jobs, ONE shared SolveCache).
+  /// BatchResult then carries the fleet summary.
+  bool multiplex = false;
+  /// Shard lanes for the multiplexed replay.
+  std::size_t shards = 4;
 };
 
 struct BatchEngineConfig {
@@ -134,6 +143,11 @@ struct BatchResult {
   std::size_t cache_capacity = 0;
   std::size_t cache_size = 0;
   cache::SolveCacheStats cache_stats;
+  /// Multiplexed streaming replay only: fleet-wide counters and one row
+  /// per stream, in job order (io/result_json serialises them as the
+  /// "fleet" object).
+  std::optional<streaming::FleetStats> fleet;
+  std::vector<streaming::StreamSummary> fleet_streams;
 };
 
 class BatchEngine {
@@ -149,6 +163,9 @@ class BatchEngine {
   }
 
  private:
+  void solve_multiplexed(const std::vector<BatchJob>& jobs,
+                         BatchResult& result) const;
+
   BatchEngineConfig config_;
   mutable std::unique_ptr<ThreadPool> pool_;
 };

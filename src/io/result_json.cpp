@@ -43,6 +43,16 @@ void write_entry(std::ostream& os, const engine::PortfolioEntry& entry) {
      << ",\"elapsed_us\":" << entry.elapsed.count() << '}';
 }
 
+const char* window_cache_outcome(const streaming::WindowReport& window) {
+  if (!window.cache.has_value()) return "bypass";
+  switch (*window.cache) {
+    case cache::CacheOutcome::kMiss: return "miss";
+    case cache::CacheOutcome::kHit: return "hit";
+    case cache::CacheOutcome::kCoalesced: return "coalesced";
+  }
+  return "bypass";
+}
+
 void write_window(std::ostream& os, const streaming::WindowReport& window) {
   os << "{\"index\":" << window.index << ",\"trigger\":\""
      << streaming::to_string(window.trigger) << '"'
@@ -51,7 +61,8 @@ void write_window(std::ostream& os, const streaming::WindowReport& window) {
   write_escaped(os, window.error);
   os << ",\"winner\":";
   write_escaped(os, window.winner);
-  os << ",\"warm_started\":" << (window.warm_started ? "true" : "false")
+  os << ",\"cache\":\"" << window_cache_outcome(window) << '"'
+     << ",\"warm_started\":" << (window.warm_started ? "true" : "false")
      << ",\"elapsed_us\":" << window.elapsed.count()
      << ",\"window_cost\":" << window.window_cost
      << ",\"published_cost\":" << window.published_cost
@@ -86,12 +97,43 @@ void write_job(std::ostream& os, const engine::JobResult& job) {
   os << "]}";
 }
 
+void write_fleet(std::ostream& os, const engine::BatchResult& result) {
+  if (!result.fleet.has_value()) {
+    os << "null";
+    return;
+  }
+  const streaming::FleetStats& fleet = *result.fleet;
+  os << "{\"streams\":" << fleet.streams << ",\"accepted\":" << fleet.accepted
+     << ",\"applied\":" << fleet.applied << ",\"resolves\":" << fleet.resolves
+     << ",\"failed_windows\":" << fleet.failed_windows
+     << ",\"dropped\":" << fleet.dropped
+     << ",\"publications\":" << fleet.publications
+     << ",\"failures\":" << fleet.failures << ",\"per_stream\":[";
+  for (std::size_t i = 0; i < result.fleet_streams.size(); ++i) {
+    const streaming::StreamSummary& row = result.fleet_streams[i];
+    if (i > 0) os << ',';
+    os << "{\"id\":" << row.id << ",\"steps\":" << row.steps
+       << ",\"resolves\":" << row.resolves
+       << ",\"failed_windows\":" << row.failed_windows
+       << ",\"epoch\":" << row.epoch
+       << ",\"poisoned\":" << (row.poisoned ? "true" : "false")
+       << ",\"published_cost\":";
+    if (row.published_cost.has_value()) {
+      os << *row.published_cost;
+    } else {
+      os << "null";
+    }
+    os << '}';
+  }
+  os << "]}";
+}
+
 }  // namespace
 
 void save_batch_result_json(std::ostream& os,
                             const engine::BatchResult& result) {
   const cache::SolveCacheStats& stats = result.cache_stats;
-  os << "{\"schema\":\"hyperrec-batch-result\",\"version\":3"
+  os << "{\"schema\":\"hyperrec-batch-result\",\"version\":4"
      << ",\"parallelism\":" << result.parallelism
      << ",\"elapsed_us\":" << result.elapsed.count()
      << ",\"job_count\":" << result.jobs.size()
@@ -100,10 +142,13 @@ void save_batch_result_json(std::ostream& os,
      << ",\"size\":" << result.cache_size << ",\"hits\":" << stats.hits
      << ",\"misses\":" << stats.misses << ",\"coalesced\":" << stats.coalesced
      << ",\"insertions\":" << stats.insertions
+     << ",\"refreshes\":" << stats.refreshes
      << ",\"evictions\":" << stats.evictions
      << ",\"expirations\":" << stats.expirations
      << ",\"collisions\":" << stats.collisions
-     << ",\"warm_hits\":" << stats.warm_hits << "},\"jobs\":[";
+     << ",\"warm_hits\":" << stats.warm_hits << "},\"fleet\":";
+  write_fleet(os, result);
+  os << ",\"jobs\":[";
   for (std::size_t i = 0; i < result.jobs.size(); ++i) {
     if (i > 0) os << ',';
     write_job(os, result.jobs[i]);

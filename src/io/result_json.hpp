@@ -6,15 +6,26 @@
 //
 //   {
 //     "schema": "hyperrec-batch-result",
-//     "version": 3,
+//     "version": 4,
 //     "parallelism": <workers>,
 //     "elapsed_us": <batch wall time>,
 //     "job_count": <n>,
 //     "cache": { "enabled": true|false, "capacity": c, "size": s,
 //                "hits": h, "misses": m, "coalesced": q, "insertions": i,
-//                "evictions": e, "expirations": x, "collisions": k,
-//                "warm_hits": w },   // zeros when disabled; counters are
+//                "refreshes": r, "evictions": e, "expirations": x,
+//                "collisions": k, "warm_hits": w },
+//                                    // zeros when disabled; counters are
 //                                    // cumulative over the cache lifetime
+//     "fleet": null,                 // multiplexed streaming replay only:
+//       // { "streams": n, "accepted": a,   // appends accepted
+//       //   "applied": p,                  // appends applied to engines
+//       //   "resolves": r, "failed_windows": f, "dropped": d,
+//       //   "publications": u, "failures": x,   // poisoned-stream faults
+//       //   "per_stream": [                // one row per stream, id order
+//       //     { "id": i, "steps": s, "resolves": r, "failed_windows": f,
+//       //       "epoch": e,                // last published snapshot epoch
+//       //       "poisoned": true|false,
+//       //       "published_cost": c|null }, ... ] }
 //     "jobs": [
 //       {
 //         "index": <input position>,
@@ -37,7 +48,8 @@
 //                                    |"deadline-tick"|"flush",
 //             "lo": a, "hi": b,     // solved steps [a, b)
 //             "ok": true|false, "error": "...",
-//             "winner": "<portfolio member or \"cache\">",
+//             "winner": "<portfolio member, \"cache\" or \"coalesced\">",
+//             "cache": "bypass"|"miss"|"hit"|"coalesced",
 //             "warm_started": true|false,
 //             "elapsed_us": us,     // window solve wall time
 //             "window_cost": c,     // portfolio best over the window alone
@@ -49,6 +61,11 @@
 // v2 → v3: per-job "streamed" flag and "windows" array (streaming replay
 // per-window timings, trigger kinds and splice stats); "winner" may now be
 // "streaming".
+//
+// v3 → v4: top-level "fleet" object (StreamMultiplexer summary; null for
+// non-multiplexed batches), cache "refreshes" counter (re-stores of a live
+// entry, no longer folded into "insertions"), per-window "cache" outcome
+// (a window "winner" may now also be "coalesced").
 //
 // Guarantees: keys always appear, in exactly this order (goldens may diff
 // the output); every number is a decimal integer — costs and durations are

@@ -27,6 +27,15 @@ std::uint32_t TaskTrace::max_private_demand_naive(std::size_t first,
   return demand;
 }
 
+TaskTrace TaskTrace::slice(std::size_t first, std::size_t last) const {
+  HYPERREC_ENSURE(first <= last && last <= steps_.size(),
+                  "slice range out of bounds");
+  TaskTrace out(local_universe_);
+  out.steps_.assign(steps_.begin() + static_cast<std::ptrdiff_t>(first),
+                    steps_.begin() + static_cast<std::ptrdiff_t>(last));
+  return out;
+}
+
 void MultiTaskTrace::append_step(std::vector<ContextRequirement> step) {
   HYPERREC_ENSURE(!tasks_.empty(), "append_step needs at least one task");
   HYPERREC_ENSURE(step.size() == tasks_.size(),

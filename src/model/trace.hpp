@@ -66,6 +66,11 @@ class TaskTrace {
   [[nodiscard]] std::uint32_t max_private_demand_naive(std::size_t first,
                                                        std::size_t last) const;
 
+  /// Fresh trace holding copies of steps [first, last) — one bulk vector
+  /// copy instead of a push_back per step, for window cutting on hot paths
+  /// (the streaming engine slices a window per re-solve trigger).
+  [[nodiscard]] TaskTrace slice(std::size_t first, std::size_t last) const;
+
  private:
   std::size_t local_universe_;
   std::vector<ContextRequirement> steps_;

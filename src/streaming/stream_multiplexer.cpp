@@ -1,0 +1,336 @@
+#include "streaming/stream_multiplexer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/ensure.hpp"
+
+namespace hyperrec::streaming {
+
+// Work accounting: every accepted op and every scheduled pool job (shard
+// lane or re-solve) holds one `inflight_` unit from creation to completion.
+// New units are always acquired BEFORE the unit that spawned them is
+// released, so inflight_ can only reach zero when the fleet is genuinely
+// quiescent — drain() and the destructor rely on that.
+
+StreamMultiplexer::StreamMultiplexer(MultiplexerConfig config)
+    : config_(std::move(config)), cancel_(config_.cancel) {
+  pool_ = config_.pool != nullptr ? config_.pool : &ThreadPool::global();
+  const std::size_t shards =
+      std::clamp<std::size_t>(config_.shards, 1, 256);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // The ONE cache every engine shares; an explicitly injected cache wins,
+  // then the stream template's, then a fresh default-sized one.
+  if (config_.cache != nullptr) {
+    cache_ = config_.cache;
+  } else if (config_.stream.cache != nullptr) {
+    cache_ = config_.stream.cache;
+  } else {
+    cache_ = std::make_shared<cache::SolveCache>();
+  }
+}
+
+StreamMultiplexer::~StreamMultiplexer() { drain(); }
+
+std::size_t StreamMultiplexer::open_stream(MachineSpec machine,
+                                           EvalOptions options) {
+  StreamingConfig stream_config = config_.stream;
+  stream_config.cache = cache_;
+  // Fleet determinism: the shape-index fallback seed depends on what OTHER
+  // streams solved recently; with it off (and seeds mixed into the window
+  // cache keys) a tenant publishes bit-identically to a solo run.
+  stream_config.cache_warm_start = false;
+  stream_config.cancel = cancel_;
+  auto stream = std::make_shared<Stream>();
+  stream->engine = std::make_unique<StreamingEngine>(
+      std::move(machine), options, std::move(stream_config));
+  const std::lock_guard<std::mutex> lock(streams_mutex_);
+  stream->id = streams_.size();
+  streams_.push_back(std::move(stream));
+  return streams_.back()->id;
+}
+
+std::shared_ptr<StreamMultiplexer::Stream> StreamMultiplexer::stream_ptr(
+    std::size_t id) const {
+  const std::lock_guard<std::mutex> lock(streams_mutex_);
+  HYPERREC_ENSURE(id < streams_.size(), "stream id out of range");
+  return streams_[id];
+}
+
+void StreamMultiplexer::append_step(std::size_t stream,
+                                    std::vector<ContextRequirement> step) {
+  enqueue(stream, Op{Op::Kind::kAppend, std::move(step)});
+}
+
+void StreamMultiplexer::flush(std::size_t stream) {
+  enqueue(stream, Op{Op::Kind::kFlush, {}});
+}
+
+void StreamMultiplexer::flush_all() {
+  const std::size_t count = stream_count();
+  for (std::size_t id = 0; id < count; ++id) flush(id);
+}
+
+void StreamMultiplexer::enqueue(std::size_t id, Op op) {
+  const std::shared_ptr<Stream> stream = stream_ptr(id);
+  Shard& shard = *shards_[id % shards_.size()];
+  bool spawn = false;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (stream->poisoned) {
+      stream->dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (op.kind == Op::Kind::kAppend) {
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    inflight_.fetch_add(1, std::memory_order_relaxed);  // the op's unit
+    shard.queue.emplace_back(stream.get(), std::move(op));
+    if (!shard.active) {
+      shard.active = true;
+      spawn = true;
+      inflight_.fetch_add(1, std::memory_order_relaxed);  // the lane's unit
+    }
+  }
+  if (spawn) {
+    pool_->submit([this, &shard]() { drain_shard(shard); });
+  }
+}
+
+void StreamMultiplexer::drain_shard(Shard& shard) {
+  for (;;) {
+    Stream* stream = nullptr;
+    Op op;
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      while (!shard.queue.empty()) {
+        auto& front = shard.queue.front();
+        if (front.first->poisoned) {
+          front.first->dropped.fetch_add(1, std::memory_order_relaxed);
+          shard.queue.pop_front();
+          finish_unit();  // the dropped op's unit
+          continue;
+        }
+        if (front.first->resolving) {
+          // Park: the re-solve job must see the trace exactly as it was at
+          // the trigger, so no op may touch the engine until it returns.
+          front.first->parked.push_back(std::move(front.second));
+          shard.queue.pop_front();
+          continue;  // the op keeps its unit while parked
+        }
+        stream = front.first;
+        op = std::move(front.second);
+        shard.queue.pop_front();
+        break;
+      }
+      if (stream == nullptr) {
+        shard.active = false;
+        break;
+      }
+    }
+    apply(shard, *stream, std::move(op));
+  }
+  finish_unit();  // the lane's unit
+}
+
+void StreamMultiplexer::apply(Shard& shard, Stream& stream, Op op) {
+  std::optional<TriggerKind> trigger;
+  try {
+    if (op.kind == Op::Kind::kAppend) {
+      trigger = stream.engine->append_step_deferred(std::move(op.step));
+      stream.applied.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      trigger = stream.engine->request_flush();
+    }
+  } catch (const std::exception& error) {
+    // A faulting op (bad universe, demand over the pool, ...) poisons only
+    // its stream; the fleet keeps running (Xenomai switchtest idiom).
+    poison(shard, stream, error.what());
+    finish_unit();  // the op's unit
+    return;
+  }
+  if (trigger.has_value()) {
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      stream.resolving = true;
+    }
+    inflight_.fetch_add(1, std::memory_order_relaxed);  // the job's unit
+    pool_->submit([this, &shard, &stream]() { run_resolve(shard, stream); });
+  } else if (op.kind == Op::Kind::kAppend) {
+    // The append extended the published schedule in place; republish so
+    // readers see coverage of the new step.
+    publish(stream);
+  }
+  finish_unit();  // the op's unit
+}
+
+void StreamMultiplexer::run_resolve(Shard& shard, Stream& stream) {
+  try {
+    const CancelToken token = CancelToken::linked(cancel_);
+    stream.engine->resolve_pending(token);
+    stream.resolves.fetch_add(1, std::memory_order_relaxed);
+    if (!stream.engine->windows().back().ok) {
+      stream.failed_windows.fetch_add(1, std::memory_order_relaxed);
+    }
+    publish(stream);
+  } catch (const std::exception& error) {
+    poison(shard, stream, error.what());
+  }
+  // Unpark: ops held during the solve go to the FRONT of the shard queue,
+  // in order — anything the stream enqueued later is still behind them.
+  bool spawn = false;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    stream.resolving = false;
+    for (auto it = stream.parked.rbegin(); it != stream.parked.rend(); ++it) {
+      shard.queue.emplace_front(&stream, std::move(*it));
+    }
+    stream.parked.clear();
+    if (!shard.queue.empty() && !shard.active) {
+      shard.active = true;
+      spawn = true;
+      inflight_.fetch_add(1, std::memory_order_relaxed);  // the lane's unit
+    }
+  }
+  if (spawn) {
+    pool_->submit([this, &shard]() { drain_shard(shard); });
+  }
+  finish_unit();  // the job's unit
+}
+
+void StreamMultiplexer::publish(Stream& stream) {
+  const StreamingEngine& engine = *stream.engine;
+  auto snapshot = std::make_shared<StreamSnapshot>();
+  std::shared_ptr<const StreamSnapshot> previous;
+  {
+    const std::lock_guard<std::mutex> lock(stream.publish_mutex);
+    previous = stream.published;
+  }
+  snapshot->epoch = (previous != nullptr ? previous->epoch : 0) + 1;
+  snapshot->steps = engine.steps();
+  snapshot->resolves = engine.resolve_count();
+  snapshot->schedule = engine.schedule();
+  if (previous != nullptr && previous->resolves == snapshot->resolves) {
+    snapshot->published_cost = previous->published_cost;  // no new window
+  } else {
+    const auto& windows = engine.windows();
+    for (auto it = windows.rbegin(); it != windows.rend(); ++it) {
+      if (it->ok) {
+        snapshot->published_cost = it->published_cost;
+        break;
+      }
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stream.publish_mutex);
+    stream.published = std::move(snapshot);
+  }
+  publications_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StreamMultiplexer::poison(Shard& shard, Stream& stream,
+                               const char* what) {
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    stream.poisoned = true;
+    // Parked ops will never apply; account them as dropped right here.
+    for (std::size_t i = 0; i < stream.parked.size(); ++i) {
+      stream.dropped.fetch_add(1, std::memory_order_relaxed);
+      finish_unit();
+    }
+    stream.parked.clear();
+  }
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(failure_mutex_);
+  if (!first_failure_.has_value()) {
+    first_failure_ = FirstFailure{stream.id, stream.engine->steps(), what};
+  }
+}
+
+void StreamMultiplexer::finish_unit() {
+  if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    const std::lock_guard<std::mutex> lock(drain_mutex_);
+    drain_cv_.notify_all();
+  }
+}
+
+void StreamMultiplexer::drain() {
+  HYPERREC_ENSURE(!pool_->on_worker_thread(),
+                  "drain() would deadlock on a pool worker thread");
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock, [this]() {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+std::shared_ptr<const StreamSnapshot> StreamMultiplexer::snapshot(
+    std::size_t stream) const {
+  const std::shared_ptr<Stream> owner = stream_ptr(stream);
+  const std::lock_guard<std::mutex> lock(owner->publish_mutex);
+  return owner->published;
+}
+
+std::size_t StreamMultiplexer::stream_count() const {
+  const std::lock_guard<std::mutex> lock(streams_mutex_);
+  return streams_.size();
+}
+
+const StreamingEngine& StreamMultiplexer::engine(std::size_t stream) const {
+  return *stream_ptr(stream)->engine;
+}
+
+FleetStats StreamMultiplexer::fleet_stats() const {
+  FleetStats stats;
+  {
+    const std::lock_guard<std::mutex> lock(streams_mutex_);
+    stats.streams = streams_.size();
+    for (const std::shared_ptr<Stream>& stream : streams_) {
+      stats.applied += stream->applied.load(std::memory_order_relaxed);
+      stats.resolves += stream->resolves.load(std::memory_order_relaxed);
+      stats.failed_windows +=
+          stream->failed_windows.load(std::memory_order_relaxed);
+      stats.dropped += stream->dropped.load(std::memory_order_relaxed);
+    }
+  }
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.publications = publications_.load(std::memory_order_relaxed);
+  stats.failures = failures_.load(std::memory_order_relaxed);
+  stats.cache = cache_->stats();
+  return stats;
+}
+
+std::optional<FirstFailure> StreamMultiplexer::first_failure() const {
+  const std::lock_guard<std::mutex> lock(failure_mutex_);
+  return first_failure_;
+}
+
+std::vector<StreamSummary> StreamMultiplexer::stream_summaries() const {
+  const std::lock_guard<std::mutex> lock(streams_mutex_);
+  std::vector<StreamSummary> rows;
+  rows.reserve(streams_.size());
+  for (const std::shared_ptr<Stream>& stream : streams_) {
+    StreamSummary row;
+    row.id = stream->id;
+    row.steps = stream->engine->steps();
+    row.resolves = stream->resolves.load(std::memory_order_relaxed);
+    row.failed_windows =
+        stream->failed_windows.load(std::memory_order_relaxed);
+    std::shared_ptr<const StreamSnapshot> snapshot;
+    {
+      const std::lock_guard<std::mutex> publish_lock(stream->publish_mutex);
+      snapshot = stream->published;
+    }
+    if (snapshot != nullptr) {
+      row.epoch = snapshot->epoch;
+      row.published_cost = snapshot->published_cost;
+    }
+    row.poisoned = stream->poisoned;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace hyperrec::streaming

@@ -1,0 +1,239 @@
+// Fleet-scale concurrent streaming: N StreamingEngines multiplexed over
+// the shared thread pool.
+//
+// PR 5's StreamingEngine serves ONE growing trace; production (and the
+// online-multitasking line of related work) is multi-tenant — thousands of
+// independent traces streaming at once, sharing one solve cache so
+// same-window tenants coalesce onto a single solve.  The multiplexer lifts
+// the single-stream design to the fleet without touching its invariants:
+//
+//   producers ──► append_step(stream, step) ─┐   (any thread, non-blocking)
+//                                            ▼
+//        shard queues (stream id % shards): FIFO per stream,
+//        parallel across shards, one drain job per active shard
+//                                            ▼
+//        engine.append_step_deferred() on the shard lane — a fired trigger
+//        latches instead of solving inline; the stream parks further ops
+//                                            ▼
+//        window re-solve as a cancellable pool job (CancelToken linked to
+//        the fleet token), against the ONE shared SolveCache
+//                                            ▼
+//        epoch-published StreamSnapshot per stream: built entirely off-lock,
+//        swapped in under a publication mutex held only for the pointer
+//        exchange — readers never wait on solver work, never see a torn
+//        schedule
+//
+// Bit-identity: a multiplexed stream publishes exactly the schedule its
+// solo StreamingEngine run would.  Three mechanisms make that hold under
+// a shared cache: ops are FIFO per stream; appends are parked while the
+// stream's re-solve is in flight (the job sees the trace exactly as it was
+// at the trigger); and window cache keys mix in the warm seed while the
+// shape-index fallback is disabled (cache_warm_start = false), so a cache
+// hit or coalesced wait can only ever return the solution this stream
+// would have computed itself.
+//
+// Failure handling follows the Xenomai switchtest idiom: a fault on a
+// stream's lane never takes the fleet down — the stream is poisoned (later
+// ops are dropped and counted) and the FIRST failure's identifying
+// information (stream id, step, error) is latched for the harness.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/solve_cache.hpp"
+#include "streaming/streaming_engine.hpp"
+#include "support/thread_pool.hpp"
+
+namespace hyperrec::streaming {
+
+struct MultiplexerConfig {
+  /// Shard lanes; stream id % shards picks the lane.  Clamped to [1, 256].
+  std::size_t shards = 4;
+  /// Worker pool for drain and re-solve jobs; nullptr = ThreadPool::global().
+  ThreadPool* pool = nullptr;
+  /// Template config for every opened stream.  Its `cache` member is
+  /// replaced by the shared fleet cache, `cache_warm_start` is forced off
+  /// (fleet determinism — see the header comment) and `cancel` is linked
+  /// into the fleet token.
+  StreamingConfig stream;
+  /// The ONE cache shared by every engine; nullptr = the multiplexer
+  /// creates its own (stream.cache is used as the shared one when set).
+  std::shared_ptr<cache::SolveCache> cache;
+  /// Fleet-wide cancellation: re-solve jobs fail fast (published schedules
+  /// stay intact), appends keep accounting.
+  CancelToken cancel;
+};
+
+/// Immutable per-stream publication; the snapshot is assembled off-lock and
+/// swapped in under a mutex held only for the pointer exchange, so a read
+/// costs one refcounted pointer copy and never waits on a re-solve.
+struct StreamSnapshot {
+  std::uint64_t epoch = 0;     ///< publication ordinal for this stream, from 1
+  std::size_t steps = 0;       ///< steps covered by `schedule`
+  std::size_t resolves = 0;    ///< window re-solves behind this snapshot
+  MultiTaskSchedule schedule;  ///< covers [0, steps); validates once non-empty
+  /// Full-trace cost at the last successful re-solve (appends since then
+  /// extended the schedule, so the live cost may differ); nullopt before
+  /// the first successful window.
+  std::optional<Cost> published_cost;
+};
+
+/// First-failure capture: which stream faulted first, at which step, why.
+struct FirstFailure {
+  std::size_t stream = 0;
+  std::size_t step = 0;  ///< steps ingested by the stream when it faulted
+  std::string what;
+};
+
+/// Fleet-wide counters (monotonic; exact once drained).
+struct FleetStats {
+  std::size_t streams = 0;
+  std::uint64_t accepted = 0;       ///< appends accepted into shard queues
+  std::uint64_t applied = 0;        ///< appends applied to engines
+  std::uint64_t resolves = 0;       ///< window re-solve jobs completed
+  std::uint64_t failed_windows = 0; ///< completed windows with ok == false
+  std::uint64_t dropped = 0;        ///< ops discarded on poisoned streams
+  std::uint64_t publications = 0;   ///< snapshot swaps across the fleet
+  std::uint64_t failures = 0;       ///< lane faults (streams poisoned)
+  cache::SolveCacheStats cache;     ///< the shared cache's counters
+};
+
+/// One row of the per-stream fleet summary (io/result_json "fleet" object).
+struct StreamSummary {
+  std::size_t id = 0;
+  std::size_t steps = 0;     ///< steps applied to the engine
+  std::size_t resolves = 0;  ///< window re-solves completed
+  std::uint64_t failed_windows = 0;
+  std::uint64_t epoch = 0;   ///< last published snapshot epoch
+  bool poisoned = false;
+  std::optional<Cost> published_cost;
+};
+
+/// Multiplexes many StreamingEngines over the thread pool.  append_step /
+/// flush / snapshot are safe from any thread; drain() quiesces the fleet
+/// (call it from a non-pool thread, after producers stopped).  engine() and
+/// stream_summaries() read engine state and require a quiesced fleet.
+class StreamMultiplexer {
+ public:
+  explicit StreamMultiplexer(MultiplexerConfig config = {});
+  ~StreamMultiplexer();  ///< drains before tearing down
+
+  StreamMultiplexer(const StreamMultiplexer&) = delete;
+  StreamMultiplexer& operator=(const StreamMultiplexer&) = delete;
+
+  /// Registers a stream and returns its id (dense, from 0).  Thread-safe.
+  std::size_t open_stream(MachineSpec machine, EvalOptions options = {});
+
+  /// Enqueues one synchronized step for `stream`.  FIFO within the stream,
+  /// parallel across shards; returns immediately (re-solves never run on
+  /// the producer's thread).
+  void append_step(std::size_t stream, std::vector<ContextRequirement> step);
+
+  /// Enqueues a flush for `stream` (a final re-solve over pending steps).
+  void flush(std::size_t stream);
+
+  /// Enqueues a flush for every stream.
+  void flush_all();
+
+  /// Blocks until every enqueued op and every scheduled re-solve finished.
+  /// Producers must have stopped; never call from a pool worker thread.
+  void drain();
+
+  /// The stream's latest publication — lock-free, never blocks on writers;
+  /// nullptr before the first publication.
+  [[nodiscard]] std::shared_ptr<const StreamSnapshot> snapshot(
+      std::size_t stream) const;
+
+  [[nodiscard]] std::size_t stream_count() const;
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] const std::shared_ptr<cache::SolveCache>& cache()
+      const noexcept {
+    return cache_;
+  }
+
+  /// The stream's engine, for window reports and final solutions.  Only
+  /// valid on a quiesced fleet (after drain(), before new ops).
+  [[nodiscard]] const StreamingEngine& engine(std::size_t stream) const;
+
+  [[nodiscard]] FleetStats fleet_stats() const;
+  [[nodiscard]] std::optional<FirstFailure> first_failure() const;
+
+  /// Per-stream rows for the fleet summary; requires a quiesced fleet.
+  [[nodiscard]] std::vector<StreamSummary> stream_summaries() const;
+
+ private:
+  struct Op {
+    enum class Kind : std::uint8_t { kAppend, kFlush };
+    Kind kind = Kind::kAppend;
+    std::vector<ContextRequirement> step;
+  };
+
+  struct Stream {
+    std::size_t id = 0;
+    std::unique_ptr<StreamingEngine> engine;  ///< touched only on its lane
+    /// Epoch-published schedule; written by the single active lane/job,
+    /// read by anyone.  `publish_mutex` guards ONLY the pointer swap/copy
+    /// (never snapshot construction), so readers pay a pointer copy, not a
+    /// wait on solver work.  (std::atomic<shared_ptr> would express this
+    /// directly, but libstdc++'s lock-bit protocol is opaque to TSan.)
+    mutable std::mutex publish_mutex;
+    std::shared_ptr<const StreamSnapshot> published;
+    // The fields below are guarded by the owning shard's mutex.
+    std::deque<Op> parked;   ///< ops held while a re-solve job is in flight
+    bool resolving = false;  ///< a re-solve pool job owns the engine
+    bool poisoned = false;   ///< lane fault: later ops are dropped
+    // Monotonic per-stream counters (relaxed atomics; exact once drained).
+    std::atomic<std::uint64_t> applied{0};
+    std::atomic<std::uint64_t> resolves{0};
+    std::atomic<std::uint64_t> failed_windows{0};
+    std::atomic<std::uint64_t> dropped{0};
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    std::deque<std::pair<Stream*, Op>> queue;
+    bool active = false;  ///< a drain job for this shard is scheduled/running
+  };
+
+  [[nodiscard]] std::shared_ptr<Stream> stream_ptr(std::size_t id) const;
+  void enqueue(std::size_t id, Op op);
+  void drain_shard(Shard& shard);
+  void apply(Shard& shard, Stream& stream, Op op);
+  void run_resolve(Shard& shard, Stream& stream);
+  void publish(Stream& stream);
+  void poison(Shard& shard, Stream& stream, const char* what);
+  void finish_unit();
+
+  MultiplexerConfig config_;
+  ThreadPool* pool_ = nullptr;
+  std::shared_ptr<cache::SolveCache> cache_;
+  CancelToken cancel_;
+
+  mutable std::mutex streams_mutex_;
+  std::vector<std::shared_ptr<Stream>> streams_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Units of outstanding work: every accepted op and every scheduled
+  /// re-solve job counts one from acceptance to completion.
+  std::atomic<std::uint64_t> inflight_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> publications_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  mutable std::mutex failure_mutex_;
+  std::optional<FirstFailure> first_failure_;
+};
+
+}  // namespace hyperrec::streaming

@@ -21,6 +21,36 @@ std::vector<std::size_t> machine_universes(const MachineSpec& machine) {
   return universes;
 }
 
+/// Mixes the warm seed into a window cache key.  Deterministic solvers make
+/// (instance, seed) → solution a pure function, so a seed-keyed hit is
+/// guaranteed to be the exact solution this stream would have computed —
+/// the invariant the multiplexed-vs-solo bit-identity property rests on.
+/// Only seeds derived from the stream's own state (the published schedule,
+/// or a caller preset) are mixed; seeds pulled from the cache's shape index
+/// are opportunistic accelerators and stay out of the key.
+void mix_seed_into_key(cache::InstanceKey& key,
+                       const std::vector<MultiTaskSchedule>& seeds) {
+  std::string tag = "|warm:";
+  for (const MultiTaskSchedule& seed : seeds) {
+    tag += 's';
+    for (const Partition& partition : seed.tasks) {
+      tag += 'p';
+      for (const std::size_t s : partition.starts()) {
+        tag += std::to_string(s);
+        tag += ',';
+      }
+    }
+    tag += 'g';
+    for (const std::size_t g : seed.global_boundaries) {
+      tag += std::to_string(g);
+      tag += ',';
+    }
+  }
+  key.canonical += tag;
+  key.fingerprint = cache::fingerprint_bytes(key.canonical);
+  // key.shape stays untouched: the warm-start index still matches on shape.
+}
+
 }  // namespace
 
 const char* to_string(TriggerKind kind) noexcept {
@@ -59,7 +89,8 @@ StreamingEngine::StreamingEngine(MachineSpec machine, EvalOptions options,
   }
 }
 
-bool StreamingEngine::append_step(std::vector<ContextRequirement> step) {
+std::optional<TriggerKind> StreamingEngine::ingest(
+    std::vector<ContextRequirement> step) {
   HYPERREC_ENSURE(step.size() == machine_.task_count(),
                   "append_step needs exactly one requirement per task");
   for (const ContextRequirement& req : step) {
@@ -82,8 +113,7 @@ bool StreamingEngine::append_step(std::vector<ContextRequirement> step) {
 
   if (n == 1) {
     // The first step must always produce a published schedule.
-    resolve_window(TriggerKind::kInitial);
-    return true;
+    return TriggerKind::kInitial;
   }
 
   // Grow the published schedule under the appended step before any
@@ -110,50 +140,81 @@ bool StreamingEngine::append_step(std::vector<ContextRequirement> step) {
       quota_sum += stats_.task(j).max_private_demand(block_lo, n);
     }
     if (quota_sum > machine_.private_global_units) {
-      resolve_window(TriggerKind::kQuotaRepair);
-      return true;
+      return TriggerKind::kQuotaRepair;
     }
   }
 
   const TriggerConfig& trigger = config_.trigger;
   if (trigger.every_steps > 0 && pending_ >= trigger.every_steps) {
-    resolve_window(TriggerKind::kStepCount);
-    return true;
+    return TriggerKind::kStepCount;
   }
-  if (trigger.spike_factor > 0.0 && last_hi_ > last_lo_) {
+  if (trigger.spike_factor > 0.0) {
     const std::uint64_t fresh = stats_.step_demand_sum(n - 1);
-    const double baseline = static_cast<double>(
-        stats_.max_step_demand_sum(last_lo_, last_hi_));
-    if (static_cast<double>(fresh) > trigger.spike_factor * baseline) {
-      resolve_window(TriggerKind::kDemandSpike);
-      return true;
+    // Baseline: the trailing `window` steps of the *current* trace, fresh
+    // step excluded.  An absolute floor keeps an all-quiet baseline (max 0)
+    // from firing on the first trickle of demand.
+    const std::size_t base_lo =
+        n - 1 > config_.window ? n - 1 - config_.window : 0;
+    const std::uint64_t baseline = stats_.max_step_demand_sum(base_lo, n - 1);
+    if (fresh >= trigger.spike_min_demand &&
+        static_cast<double>(fresh) >
+            trigger.spike_factor * static_cast<double>(baseline)) {
+      return TriggerKind::kDemandSpike;
     }
   }
   if (trigger.rent_or_buy && bought) {
-    resolve_window(TriggerKind::kRentOrBuy);
-    return true;
+    return TriggerKind::kRentOrBuy;
   }
   if (trigger.tick.count() > 0 && Clock::now() - last_solve_ >= trigger.tick) {
-    resolve_window(TriggerKind::kDeadlineTick);
-    return true;
+    return TriggerKind::kDeadlineTick;
   }
-  return false;
+  return std::nullopt;
+}
+
+bool StreamingEngine::append_step(std::vector<ContextRequirement> step) {
+  const std::optional<TriggerKind> trigger = ingest(std::move(step));
+  if (!trigger.has_value()) return false;
+  resolve_window(*trigger, config_.cancel);
+  return true;
 }
 
 bool StreamingEngine::flush() {
   if (pending_ == 0 || stats_.steps() == 0) return false;
-  resolve_window(TriggerKind::kFlush);
+  resolve_window(TriggerKind::kFlush, config_.cancel);
   return true;
+}
+
+std::optional<TriggerKind> StreamingEngine::append_step_deferred(
+    std::vector<ContextRequirement> step) {
+  HYPERREC_ENSURE(!pending_trigger_.has_value(),
+                  "append_step_deferred with a trigger already pending — "
+                  "the driver must resolve_pending() first");
+  pending_trigger_ = ingest(std::move(step));
+  return pending_trigger_;
+}
+
+std::optional<TriggerKind> StreamingEngine::request_flush() {
+  HYPERREC_ENSURE(!pending_trigger_.has_value(),
+                  "request_flush with a trigger already pending — "
+                  "the driver must resolve_pending() first");
+  if (pending_ == 0 || stats_.steps() == 0) return std::nullopt;
+  pending_trigger_ = TriggerKind::kFlush;
+  return pending_trigger_;
+}
+
+void StreamingEngine::resolve_pending(const CancelToken& cancel) {
+  HYPERREC_ENSURE(pending_trigger_.has_value(),
+                  "resolve_pending without a latched trigger");
+  const TriggerKind trigger = *pending_trigger_;
+  pending_trigger_.reset();
+  resolve_window(trigger, cancel);
 }
 
 MultiTaskTrace StreamingEngine::window_trace(std::size_t lo,
                                              std::size_t hi) const {
   MultiTaskTrace window;
   for (std::size_t j = 0; j < stats_.task_count(); ++j) {
-    const TaskTrace& task = stats_.trace().task(j);
-    TaskTrace slice(task.local_universe());
-    for (std::size_t i = lo; i < hi; ++i) slice.push_back(task.at(i));
-    window.add_task(std::move(slice));
+    window.add_task(stats_.trace().task(j).slice(lo, hi));
   }
   return window;
 }
@@ -221,7 +282,8 @@ MultiTaskSchedule StreamingEngine::splice(const MultiTaskSchedule& window,
   return spliced;
 }
 
-void StreamingEngine::resolve_window(TriggerKind trigger) {
+void StreamingEngine::resolve_window(TriggerKind trigger,
+                                     const CancelToken& cancel) {
   const std::size_t hi = stats_.steps();
   // No published schedule (a failed initial solve) means there is no stable
   // prefix to splice against — solve the whole trace in that case.
@@ -237,17 +299,22 @@ void StreamingEngine::resolve_window(TriggerKind trigger) {
   const Clock::time_point start = Clock::now();
 
   try {
-    HYPERREC_ENSURE(!config_.cancel.cancelled(),
+    HYPERREC_ENSURE(!cancel.cancelled(),
                     "stream cancelled before the window solve");
     const SolveInstance instance(window_trace(lo, hi), machine_, options_);
 
     engine::PortfolioConfig per_solve = config_.portfolio;
     bool warm_seeded = false;
+    // Seeds that are a function of this stream's own state get mixed into
+    // the cache key below; a seed borrowed from the cache's shape index is
+    // not (it depends on what other tenants solved recently).
+    bool seed_in_key = !per_solve.warm_start.empty();
     if (config_.warm_start && per_solve.warm_start.empty()) {
       if (!published_.tasks.empty()) {
         per_solve.warm_start.push_back(warm_seed(lo, hi));
         warm_seeded = true;
-      } else if (config_.cache != nullptr) {
+        seed_in_key = true;
+      } else if (config_.cache != nullptr && config_.cache_warm_start) {
         if (auto warm = config_.cache->warm_start_for(instance)) {
           per_solve.warm_start.push_back(std::move(*warm));
           warm_seeded = true;
@@ -257,7 +324,8 @@ void StreamingEngine::resolve_window(TriggerKind trigger) {
 
     MTSolution window_solution;
     if (config_.cache != nullptr) {
-      const cache::InstanceKey key = cache::make_instance_key(instance);
+      cache::InstanceKey key = cache::make_instance_key(instance);
+      if (seed_in_key) mix_seed_into_key(key, per_solve.warm_start);
       cache::CacheOutcome outcome = cache::CacheOutcome::kMiss;
       window_solution = config_.cache->get_or_compute_guarded(
           key,
@@ -266,19 +334,28 @@ void StreamingEngine::resolve_window(TriggerKind trigger) {
             // a cache hit never consumed the seed.
             report.warm_started = warm_seeded;
             engine::PortfolioResult race =
-                engine::solve_portfolio(instance, per_solve, config_.cancel);
+                engine::solve_portfolio(instance, per_solve, cancel);
             report.winner = std::move(race.winner);
             // A window solved under a fired stream token is a rushed
             // incumbent — serve it, but never memoize it.
             return cache::ComputeResult{std::move(race.best),
-                                        !config_.cancel.cancelled()};
+                                        !cancel.cancelled()};
           },
           &outcome);
-      if (outcome != cache::CacheOutcome::kMiss) report.winner = "cache";
+      report.cache = outcome;
+      if (outcome == cache::CacheOutcome::kHit) {
+        report.winner = "cache";
+      } else if (outcome == cache::CacheOutcome::kCoalesced &&
+                 report.winner.empty()) {
+        // Piggybacked on another stream's in-flight solve of the same
+        // (window, seed): no portfolio member ran in this thread, so there
+        // is no real winner name to keep.
+        report.winner = "coalesced";
+      }
     } else {
       report.warm_started = warm_seeded;
       engine::PortfolioResult race =
-          engine::solve_portfolio(instance, per_solve, config_.cancel);
+          engine::solve_portfolio(instance, per_solve, cancel);
       report.winner = std::move(race.winner);
       window_solution = std::move(race.best);
     }
@@ -296,8 +373,6 @@ void StreamingEngine::resolve_window(TriggerKind trigger) {
     published_breakdown_ = std::move(full);
     report.ok = true;
     pending_ = 0;
-    last_lo_ = lo;
-    last_hi_ = hi;
     last_solve_ = Clock::now();
   } catch (const std::exception& error) {
     report.error = error.what();

@@ -61,10 +61,16 @@ struct TriggerConfig {
   /// Re-solve every N appended steps; 0 disables.
   std::size_t every_steps = 0;
   /// Re-solve when a fresh step's cross-task private-demand sum exceeds
-  /// `spike_factor` x the maximum sum inside the last solved window (an
-  /// O(1) range-max pre-check on the incremental stats).  A zero baseline
-  /// fires on any positive sum.  0 disables.
+  /// `spike_factor` x the maximum sum over the trailing `window` steps
+  /// before it (an O(1) range-max pre-check on the incremental stats).
+  /// The baseline tracks the *current* trailing window, not the last
+  /// solved one — a frozen baseline goes stale after a quiet stretch and
+  /// turns every post-lull demand step into a re-solve storm.  0 disables.
   double spike_factor = 0.0;
+  /// Absolute floor for the spike trigger: a fresh step's demand sum below
+  /// this never fires, however small the baseline (a zero baseline would
+  /// otherwise fire on any positive sum).
+  std::uint32_t spike_min_demand = 1;
   /// Re-solve when any task's online rent-or-buy controller performs a
   /// (non-initial) hyperreconfiguration at the appended step.
   bool rent_or_buy = false;
@@ -90,6 +96,11 @@ struct StreamingConfig {
   /// Seed each re-solve with the previous window's schedule (falling back
   /// to the cache's same-shape incumbent).
   bool warm_start = true;
+  /// Allow the cache's shape-keyed warm-start index as the fallback seed
+  /// when there is no published schedule yet.  The StreamMultiplexer turns
+  /// this off: an index seed depends on what OTHER streams solved recently,
+  /// and a fleet-tenant stream must publish bit-identically to a solo run.
+  bool cache_warm_start = true;
   /// Incremental-stats bulk-append fallback threshold.
   TraceBuilderConfig builder;
   /// Engine-wide cancellation: a fired token makes re-solves no-ops (the
@@ -105,7 +116,13 @@ struct WindowReport {
   std::size_t window_hi = 0;
   bool ok = false;
   std::string error;   ///< exception text when !ok
-  std::string winner;  ///< portfolio member (or "cache") behind the window
+  /// Portfolio member behind the window; "cache" on a verified cache hit;
+  /// "coalesced" when the window piggybacked on another stream's in-flight
+  /// solve of the same (instance, seed) without running a member itself.
+  std::string winner;
+  /// How the attached solve cache satisfied the window (nullopt when no
+  /// cache was attached or the solve failed before the lookup).
+  std::optional<cache::CacheOutcome> cache;
   bool warm_started = false;
   std::chrono::microseconds elapsed{0};  ///< window solve wall time
   Cost window_cost = 0;     ///< portfolio best over the window alone
@@ -130,6 +147,31 @@ class StreamingEngine {
   /// Forces a final window re-solve when steps arrived since the last one.
   /// Returns true iff a re-solve ran.
   bool flush();
+
+  // Deferred-sequencing hooks for external drivers (the StreamMultiplexer
+  // runs window re-solves as pool jobs instead of inline).  The engine
+  // stays single-sequenced: the driver must not interleave other mutations
+  // between a latched trigger and its resolve_pending() call — that is
+  // exactly the state the solo append_step path would have solved, which
+  // is what makes a multiplexed stream bit-identical to a solo one.
+
+  /// append_step, except a fired trigger is latched and returned instead
+  /// of re-solving inline.  Requires no trigger already pending.
+  std::optional<TriggerKind> append_step_deferred(
+      std::vector<ContextRequirement> step);
+
+  /// flush(), deferred: latches kFlush when steps are pending since the
+  /// last re-solve; returns the latched trigger or nullopt when idle.
+  std::optional<TriggerKind> request_flush();
+
+  /// The trigger latched by the deferred hooks, if any.
+  [[nodiscard]] std::optional<TriggerKind> pending_trigger() const noexcept {
+    return pending_trigger_;
+  }
+
+  /// Runs the latched window re-solve under `cancel` (the driver links its
+  /// per-job token to the engine-wide one) and clears the latch.
+  void resolve_pending(const CancelToken& cancel);
 
   [[nodiscard]] std::size_t steps() const noexcept { return stats_.steps(); }
   [[nodiscard]] const MultiTaskTrace& trace() const noexcept {
@@ -168,7 +210,10 @@ class StreamingEngine {
   }
 
  private:
-  void resolve_window(TriggerKind trigger);
+  /// Shared append path: validates, feeds the controllers and stats, runs
+  /// the trigger checks in priority order; returns the first firing trigger.
+  std::optional<TriggerKind> ingest(std::vector<ContextRequirement> step);
+  void resolve_window(TriggerKind trigger, const CancelToken& cancel);
   [[nodiscard]] MultiTaskTrace window_trace(std::size_t lo,
                                             std::size_t hi) const;
   [[nodiscard]] MultiTaskSchedule warm_seed(std::size_t lo,
@@ -192,8 +237,7 @@ class StreamingEngine {
   std::vector<online::RentOrBuyScheduler> rent_or_buy_;
 
   std::size_t pending_ = 0;  ///< steps appended since the last re-solve ran
-  std::size_t last_lo_ = 0;  ///< last solved window range (spike baseline)
-  std::size_t last_hi_ = 0;
+  std::optional<TriggerKind> pending_trigger_;  ///< deferred-mode latch
   std::chrono::steady_clock::time_point last_solve_;
 };
 

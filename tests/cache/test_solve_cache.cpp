@@ -54,6 +54,31 @@ TEST(SolveCache, MissThenInsertThenHit) {
   EXPECT_EQ(stats.evictions, 0u);
 }
 
+TEST(SolveCache, RefreshingALiveEntryIsNotAnInsertion) {
+  // Regression: re-storing over a live entry used to bump `insertions`, so
+  // fleet metrics overcounted "distinct window instances stored".  A
+  // re-store now counts as a refresh; the entry itself stays one entry and
+  // serves the newest solution.
+  SolveCache cache({.capacity = 8, .ttl = {}, .shards = 1});
+  const InstanceKey key = key_for(9);
+  cache.insert(key, solution_with(10));
+  cache.insert(key, solution_with(11));
+  cache.insert(key, solution_with(12));
+
+  const SolveCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.refreshes, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->total(), 12);
+
+  // A genuinely new key is an insertion again.
+  cache.insert(key_for(10), solution_with(1));
+  EXPECT_EQ(cache.stats().insertions, 2u);
+  EXPECT_EQ(cache.stats().refreshes, 2u);
+}
+
 TEST(SolveCache, ForcedFingerprintCollisionIsRejectedByFullKeyCheck) {
   SolveCache cache({.capacity = 8, .ttl = {}, .shards = 1});
   const InstanceKey genuine = key_for(2);

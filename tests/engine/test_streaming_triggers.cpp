@@ -82,6 +82,77 @@ TEST(StreamingTriggers, DemandSpikeFiresOnTheSpikeStepOnly) {
   }
 }
 
+TEST(StreamingTriggers, PostLullHeartbeatsNeverStormTheSolver) {
+  // Regression for the re-solve storm: a stream that alternates quiet
+  // stretches with tiny demand-1 heartbeats, with a step-count trigger
+  // keeping the last solved window all-quiet.  The old spike baseline was
+  // frozen at that last solved window — ~0 after every quiet stretch — so
+  // EVERY post-lull heartbeat fired a kDemandSpike re-solve (a storm: one
+  // expensive window solve per routine heartbeat).  The fixed trigger
+  // applies the absolute floor `spike_min_demand` before any ratio check,
+  // so sub-floor heartbeats can never fire however stale the baseline.
+  StreamingConfig config = base_config(4);
+  config.trigger.every_steps = 4;
+  config.trigger.spike_factor = 1.5;
+  config.trigger.spike_min_demand = 2;
+  MachineSpec machine = MachineSpec::local_only({4});
+  machine.private_global_units = 2;
+  machine.global_init = 3;
+  StreamingEngine engine(machine, EvalOptions{}, config);
+
+  // Busy steps 0-5 (demand 2), quiet steps 6-13, then four heartbeat
+  // cycles [demand-1, 0, 0, 0] — heartbeats land between the step-count
+  // re-solves, each seeing an all-quiet last solved window.
+  std::vector<std::uint32_t> demands;
+  for (std::size_t i = 0; i < 6; ++i) demands.push_back(2);
+  for (std::size_t i = 0; i < 8; ++i) demands.push_back(0);
+  for (std::size_t c = 0; c < 4; ++c) {
+    demands.push_back(1);
+    for (std::size_t i = 0; i < 3; ++i) demands.push_back(0);
+  }
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    engine.append_step({req_bits(4, {i % 4}, demands[i])});
+  }
+  // Deterministic schedule: the initial solve plus one step-count re-solve
+  // every 4 steps — and not one demand-spike window.  (The frozen-baseline
+  // logic fires 4 extra kDemandSpike windows here, one per heartbeat.)
+  EXPECT_EQ(engine.resolve_count(), 8u);
+  for (const WindowReport& window : engine.windows()) {
+    EXPECT_NE(window.trigger, TriggerKind::kDemandSpike);
+    EXPECT_TRUE(window.ok) << window.error;
+  }
+}
+
+TEST(StreamingTriggers, SpikeAfterLullFiresDespiteStaleBusyBaseline) {
+  // Dual of the storm: the frozen baseline also went stale in the other
+  // direction.  A busy initial window (demand 4) froze a HIGH baseline, so
+  // a genuine post-lull spike of demand 2 stayed below 1.5 x 4 and was
+  // missed.  The fixed baseline tracks the trailing `window` steps — all
+  // quiet by then — so the spike fires exactly once, at the spike step.
+  StreamingConfig config = base_config(4);
+  config.trigger.spike_factor = 1.5;
+  MachineSpec machine = MachineSpec::local_only({4});
+  machine.private_global_units = 4;
+  machine.global_init = 3;
+  StreamingEngine engine(machine, EvalOptions{}, config);
+
+  engine.append_step({req_bits(4, {0}, 4)});  // initial solve, busy step
+  for (std::size_t i = 1; i < 7; ++i) {
+    EXPECT_FALSE(engine.append_step({req_bits(4, {i % 4}, 0)}));
+  }
+  // The demand-2 step after six quiet steps is a spike against the trailing
+  // window (baseline 0), however busy the last *solved* window was.
+  EXPECT_TRUE(engine.append_step({req_bits(4, {3}, 2)}));
+  ASSERT_EQ(engine.resolve_count(), 2u);
+  EXPECT_EQ(engine.windows().back().trigger, TriggerKind::kDemandSpike);
+  EXPECT_TRUE(engine.windows().back().ok) << engine.windows().back().error;
+  // Quiet aftermath: nothing else fires.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(engine.append_step({req_bits(4, {i}, 0)}));
+  }
+  EXPECT_EQ(engine.resolve_count(), 2u);
+}
+
 TEST(StreamingTriggers, QuotaRepairSealsAnOverflowingBlock) {
   // Two tasks over a 2-unit pool.  Steps 0..3 demand (2, 0), steps 4+
   // demand (0, 2): the published schedule's single growing quota block

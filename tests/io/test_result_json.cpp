@@ -158,6 +158,7 @@ engine::BatchResult handcrafted_result() {
   result.cache_stats.misses = 2;
   result.cache_stats.coalesced = 1;
   result.cache_stats.insertions = 2;
+  result.cache_stats.refreshes = 4;
   result.cache_stats.evictions = 1;
   result.cache_stats.warm_hits = 1;
 
@@ -197,24 +198,24 @@ TEST(ResultJson, GoldenEmptyBatch) {
   result.parallelism = 4;
   result.elapsed = std::chrono::microseconds{0};
   EXPECT_EQ(batch_result_to_json(result),
-            "{\"schema\":\"hyperrec-batch-result\",\"version\":3,"
+            "{\"schema\":\"hyperrec-batch-result\",\"version\":4,"
             "\"parallelism\":4,\"elapsed_us\":0,\"job_count\":0,"
             "\"cache\":{\"enabled\":false,\"capacity\":0,\"size\":0,"
             "\"hits\":0,\"misses\":0,\"coalesced\":0,\"insertions\":0,"
-            "\"evictions\":0,\"expirations\":0,\"collisions\":0,"
-            "\"warm_hits\":0},"
+            "\"refreshes\":0,\"evictions\":0,\"expirations\":0,"
+            "\"collisions\":0,\"warm_hits\":0},\"fleet\":null,"
             "\"jobs\":[]}\n");
 }
 
 TEST(ResultJson, GoldenTwoJobBatchWithStableKeyOrder) {
   EXPECT_EQ(
       batch_result_to_json(handcrafted_result()),
-      "{\"schema\":\"hyperrec-batch-result\",\"version\":3,"
+      "{\"schema\":\"hyperrec-batch-result\",\"version\":4,"
       "\"parallelism\":2,\"elapsed_us\":777,\"job_count\":2,"
       "\"cache\":{\"enabled\":true,\"capacity\":16,\"size\":1,"
       "\"hits\":3,\"misses\":2,\"coalesced\":1,\"insertions\":2,"
-      "\"evictions\":1,\"expirations\":0,\"collisions\":0,"
-      "\"warm_hits\":1},\"jobs\":["
+      "\"refreshes\":4,\"evictions\":1,\"expirations\":0,\"collisions\":0,"
+      "\"warm_hits\":1},\"fleet\":null,\"jobs\":["
       "{\"index\":0,\"name\":\"phased-0\",\"ok\":true,\"error\":\"\","
       "\"winner\":\"coord-descent\",\"cache\":\"miss\","
       "\"warm_started\":true,\"streamed\":false,\"elapsed_us\":123,"
@@ -266,6 +267,7 @@ TEST(ResultJson, GoldenStreamedJobWithWindows) {
   second.window_hi = 12;
   second.ok = true;
   second.winner = "cache";
+  second.cache = cache::CacheOutcome::kHit;
   second.warm_started = true;
   second.elapsed = std::chrono::microseconds{22};
   second.window_cost = 31;
@@ -276,12 +278,12 @@ TEST(ResultJson, GoldenStreamedJobWithWindows) {
 
   EXPECT_EQ(
       batch_result_to_json(result),
-      "{\"schema\":\"hyperrec-batch-result\",\"version\":3,"
+      "{\"schema\":\"hyperrec-batch-result\",\"version\":4,"
       "\"parallelism\":1,\"elapsed_us\":900,\"job_count\":1,"
       "\"cache\":{\"enabled\":false,\"capacity\":0,\"size\":0,"
       "\"hits\":0,\"misses\":0,\"coalesced\":0,\"insertions\":0,"
-      "\"evictions\":0,\"expirations\":0,\"collisions\":0,"
-      "\"warm_hits\":0},\"jobs\":["
+      "\"refreshes\":0,\"evictions\":0,\"expirations\":0,\"collisions\":0,"
+      "\"warm_hits\":0},\"fleet\":null,\"jobs\":["
       "{\"index\":0,\"name\":\"stream-0\",\"ok\":true,\"error\":\"\","
       "\"winner\":\"streaming\",\"cache\":\"bypass\","
       "\"warm_started\":false,\"streamed\":true,\"elapsed_us\":456,"
@@ -290,12 +292,72 @@ TEST(ResultJson, GoldenStreamedJobWithWindows) {
       "\"windows\":["
       "{\"index\":0,\"trigger\":\"initial\",\"lo\":0,\"hi\":1,"
       "\"ok\":true,\"error\":\"\",\"winner\":\"aligned-dp\","
+      "\"cache\":\"bypass\","
       "\"warm_started\":false,\"elapsed_us\":11,\"window_cost\":7,"
       "\"published_cost\":7,\"prefix_boundaries\":0},"
       "{\"index\":1,\"trigger\":\"step-count\",\"lo\":4,\"hi\":12,"
       "\"ok\":true,\"error\":\"\",\"winner\":\"cache\","
+      "\"cache\":\"hit\","
       "\"warm_started\":true,\"elapsed_us\":22,\"window_cost\":31,"
       "\"published_cost\":99,\"prefix_boundaries\":2}]}]}\n");
+}
+
+TEST(ResultJson, GoldenFleetSummary) {
+  engine::BatchResult result;
+  result.parallelism = 2;
+  result.elapsed = std::chrono::microseconds{55};
+  result.cache_enabled = true;
+  result.cache_capacity = 8;
+  result.cache_size = 2;
+  result.cache_stats.hits = 5;
+  result.cache_stats.misses = 2;
+  result.cache_stats.insertions = 2;
+  result.cache_stats.refreshes = 1;
+
+  streaming::FleetStats fleet;
+  fleet.streams = 2;
+  fleet.accepted = 20;
+  fleet.applied = 18;
+  fleet.resolves = 6;
+  fleet.failed_windows = 1;
+  fleet.dropped = 2;
+  fleet.publications = 19;
+  fleet.failures = 1;
+  result.fleet = fleet;
+
+  streaming::StreamSummary healthy;
+  healthy.id = 0;
+  healthy.steps = 10;
+  healthy.resolves = 4;
+  healthy.epoch = 11;
+  healthy.published_cost = 37;
+  result.fleet_streams.push_back(healthy);
+  streaming::StreamSummary poisoned;
+  poisoned.id = 1;
+  poisoned.steps = 8;
+  poisoned.resolves = 2;
+  poisoned.failed_windows = 1;
+  poisoned.epoch = 8;
+  poisoned.poisoned = true;  // faulted before any successful window
+  result.fleet_streams.push_back(poisoned);
+
+  EXPECT_EQ(
+      batch_result_to_json(result),
+      "{\"schema\":\"hyperrec-batch-result\",\"version\":4,"
+      "\"parallelism\":2,\"elapsed_us\":55,\"job_count\":0,"
+      "\"cache\":{\"enabled\":true,\"capacity\":8,\"size\":2,"
+      "\"hits\":5,\"misses\":2,\"coalesced\":0,\"insertions\":2,"
+      "\"refreshes\":1,\"evictions\":0,\"expirations\":0,\"collisions\":0,"
+      "\"warm_hits\":0},\"fleet\":"
+      "{\"streams\":2,\"accepted\":20,\"applied\":18,\"resolves\":6,"
+      "\"failed_windows\":1,\"dropped\":2,\"publications\":19,"
+      "\"failures\":1,\"per_stream\":["
+      "{\"id\":0,\"steps\":10,\"resolves\":4,\"failed_windows\":0,"
+      "\"epoch\":11,\"poisoned\":false,\"published_cost\":37},"
+      "{\"id\":1,\"steps\":8,\"resolves\":2,\"failed_windows\":1,"
+      "\"epoch\":8,\"poisoned\":true,\"published_cost\":null}]},"
+      "\"jobs\":[]}\n");
+  EXPECT_TRUE(JsonChecker(batch_result_to_json(result)).valid());
 }
 
 TEST(ResultJson, HostileStringsAreEscapedAndStillValidJson) {

@@ -21,6 +21,43 @@ TEST(TaskTrace, SizeAndAccess) {
   EXPECT_EQ(trace.at(2).local.count(), 2u);
 }
 
+TEST(TaskTrace, SliceMatchesPerStepCopyAcrossWordSeams) {
+  // slice() is the bulk window-cut used on the streaming hot path; it must
+  // agree bit-for-bit with the per-step push_back oracle, in particular at
+  // the 64-bit word seams of the underlying bitsets.
+  for (const std::size_t universe : {std::size_t{63}, std::size_t{64},
+                                     std::size_t{65}}) {
+    TaskTrace trace(universe);
+    for (std::size_t i = 0; i < 12; ++i) {
+      DynamicBitset bits(universe);
+      bits.set(i % universe);
+      bits.set(universe - 1 - (i % universe));
+      if (i % 3 == 0) bits.set(universe / 2);
+      trace.push_back({std::move(bits), static_cast<std::uint32_t>(i)});
+    }
+    for (const auto [lo, hi] :
+         {std::pair<std::size_t, std::size_t>{0, 12}, {3, 9}, {5, 5},
+          {11, 12}, {0, 1}}) {
+      const TaskTrace cut = trace.slice(lo, hi);
+      TaskTrace oracle(universe);
+      for (std::size_t i = lo; i < hi; ++i) oracle.push_back(trace.at(i));
+      ASSERT_EQ(cut.size(), oracle.size()) << universe << " [" << lo << ","
+                                           << hi << ")";
+      EXPECT_EQ(cut.local_universe(), universe);
+      for (std::size_t i = 0; i < cut.size(); ++i) {
+        EXPECT_TRUE(cut.at(i).local == oracle.at(i).local);
+        EXPECT_EQ(cut.at(i).private_demand, oracle.at(i).private_demand);
+      }
+    }
+  }
+}
+
+TEST(TaskTrace, SliceOutOfBoundsThrows) {
+  const TaskTrace trace = sample_trace();
+  EXPECT_THROW((void)trace.slice(2, 1), PreconditionError);
+  EXPECT_THROW((void)trace.slice(0, 4), PreconditionError);
+}
+
 TEST(TaskTrace, UniverseMismatchRejected) {
   TaskTrace trace(4);
   EXPECT_THROW(trace.push_back_local(DynamicBitset(5)), PreconditionError);

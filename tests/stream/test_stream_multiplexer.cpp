@@ -1,0 +1,379 @@
+// StreamMultiplexer: FIFO-per-stream bit-identity against solo engines,
+// epoch-monotonic lock-free snapshots, exact drain accounting, shared-cache
+// attribution across identical streams, Xenomai-switchtest-style first
+// failure capture (stream id + step), and a concurrent append/read hammer
+// that must run clean under TSan.
+#include "streaming/stream_multiplexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "engine/batch_engine.hpp"
+#include "support/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace hyperrec::streaming {
+namespace {
+
+ContextRequirement req_bits(std::size_t universe,
+                            std::initializer_list<std::size_t> bits,
+                            std::uint32_t demand = 0) {
+  ContextRequirement req{DynamicBitset(universe), demand};
+  for (const std::size_t b : bits) req.local.set(b);
+  return req;
+}
+
+StreamingConfig fast_stream(std::size_t window, std::size_t every_steps) {
+  StreamingConfig config;
+  config.window = window;
+  config.trigger.every_steps = every_steps;
+  config.portfolio.solvers = {"aligned-dp"};
+  return config;
+}
+
+MultiplexerConfig mux_config(std::size_t shards, std::size_t window,
+                             std::size_t every_steps) {
+  MultiplexerConfig config;
+  config.shards = shards;
+  config.stream = fast_stream(window, every_steps);
+  return config;
+}
+
+MultiTaskTrace family_trace(const std::string& family, std::size_t tasks,
+                            std::size_t steps, std::size_t universe,
+                            std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  return workload::make_multi_family(family, tasks, steps, universe, rng);
+}
+
+bool schedules_equal(const MultiTaskSchedule& a, const MultiTaskSchedule& b) {
+  if (a.tasks.size() != b.tasks.size() ||
+      a.global_boundaries != b.global_boundaries) {
+    return false;
+  }
+  for (std::size_t j = 0; j < a.tasks.size(); ++j) {
+    if (a.tasks[j].n() != b.tasks[j].n() ||
+        a.tasks[j].starts() != b.tasks[j].starts()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(StreamMultiplexer, MultiplexedStreamsMatchSoloEnginesBitForBit) {
+  const std::size_t universe = 10;
+  const std::size_t tasks = 2;
+  const MachineSpec machine =
+      MachineSpec::local_only(std::vector<std::size_t>(tasks, universe));
+  std::vector<MultiTaskTrace> traces;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    traces.push_back(family_trace("random-walk", tasks, 20, universe, s + 1));
+  }
+
+  StreamMultiplexer mux(mux_config(2, 6, 4));
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    ASSERT_EQ(mux.open_stream(machine), i);
+  }
+  // Interleave round-robin so shard lanes genuinely multiplex the streams.
+  for (std::size_t s = 0; s < 20; ++s) {
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      mux.append_step(i, traces[i].step(s));
+    }
+  }
+  mux.flush_all();
+  mux.drain();
+
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    SCOPED_TRACE("stream " + std::to_string(i));
+    StreamingEngine solo(machine, EvalOptions{}, fast_stream(6, 4));
+    for (std::size_t s = 0; s < 20; ++s) solo.append_step(traces[i].step(s));
+    solo.flush();
+
+    const StreamingEngine& muxed = mux.engine(i);
+    ASSERT_EQ(muxed.resolve_count(), solo.resolve_count());
+    for (std::size_t k = 0; k < solo.windows().size(); ++k) {
+      EXPECT_EQ(muxed.windows()[k].trigger, solo.windows()[k].trigger);
+      EXPECT_EQ(muxed.windows()[k].published_cost,
+                solo.windows()[k].published_cost);
+    }
+    EXPECT_TRUE(schedules_equal(muxed.schedule(), solo.schedule()));
+    EXPECT_EQ(muxed.current_solution().total(), solo.current_solution().total());
+  }
+}
+
+TEST(StreamMultiplexer, SnapshotsPublishEpochsAndCoverEveryAppliedStep) {
+  const MachineSpec machine = MachineSpec::local_only({5});
+  StreamMultiplexer mux(mux_config(1, 4, 3));
+  const std::size_t id = mux.open_stream(machine);
+  EXPECT_EQ(mux.snapshot(id), nullptr) << "no publication before any append";
+
+  for (std::size_t i = 0; i < 11; ++i) {
+    mux.append_step(id, {req_bits(5, {i % 5})});
+  }
+  mux.drain();
+  const auto snap = mux.snapshot(id);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->steps, 11u);
+  EXPECT_GE(snap->epoch, 11u) << "one publication per applied append";
+  ASSERT_TRUE(snap->published_cost.has_value());
+  ASSERT_NO_THROW(snap->schedule.validate(1, snap->steps));
+
+  // A flush re-solve publishes again; the epoch strictly advances.
+  mux.flush(id);
+  mux.drain();
+  const auto after = mux.snapshot(id);
+  ASSERT_NE(after, nullptr);
+  EXPECT_GT(after->epoch, snap->epoch);
+  EXPECT_EQ(after->steps, 11u);
+}
+
+TEST(StreamMultiplexer, DrainAccountsEveryAcceptedOp) {
+  const MachineSpec machine = MachineSpec::local_only({6, 6});
+  StreamMultiplexer mux(mux_config(3, 5, 4));
+  const std::size_t streams = 7;
+  const std::size_t steps = 13;
+  for (std::size_t i = 0; i < streams; ++i) mux.open_stream(machine);
+  for (std::size_t s = 0; s < steps; ++s) {
+    for (std::size_t i = 0; i < streams; ++i) {
+      mux.append_step(i, {req_bits(6, {s % 6}), req_bits(6, {(s + 1) % 6})});
+    }
+  }
+  mux.flush_all();
+  mux.drain();
+
+  const FleetStats stats = mux.fleet_stats();
+  EXPECT_EQ(stats.streams, streams);
+  EXPECT_EQ(stats.accepted, streams * steps);
+  EXPECT_EQ(stats.applied, streams * steps);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_GT(stats.resolves, 0u);
+  EXPECT_GT(stats.publications, 0u);
+  EXPECT_FALSE(mux.first_failure().has_value());
+
+  const std::vector<StreamSummary> rows = mux.stream_summaries();
+  ASSERT_EQ(rows.size(), streams);
+  for (const StreamSummary& row : rows) {
+    EXPECT_EQ(row.steps, steps);
+    EXPECT_FALSE(row.poisoned);
+    EXPECT_TRUE(row.published_cost.has_value());
+  }
+}
+
+TEST(StreamMultiplexer, FirstFailureNamesTheStreamAndStep) {
+  // Switchtest idiom: when a lane faults, the harness needs WHICH stream
+  // and WHERE.  Stream 1 sends a malformed step (2 requirements into a
+  // 1-task engine) after 3 good ones — it is poisoned, its later ops are
+  // dropped and counted, the first failure is latched with its id and step,
+  // and every other stream finishes untouched.
+  const MachineSpec machine = MachineSpec::local_only({4});
+  StreamMultiplexer mux(mux_config(2, 4, 2));
+  for (std::size_t i = 0; i < 3; ++i) mux.open_stream(machine);
+
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      mux.append_step(i, {req_bits(4, {s % 4})});
+    }
+  }
+  mux.drain();
+  mux.append_step(1, {req_bits(4, {0}), req_bits(4, {1})});  // malformed
+  mux.drain();
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      mux.append_step(i, {req_bits(4, {(s + 1) % 4})});
+    }
+  }
+  mux.flush_all();
+  mux.drain();
+
+  const auto failure = mux.first_failure();
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(failure->stream, 1u);
+  EXPECT_EQ(failure->step, 3u) << "faulted after 3 ingested steps";
+  EXPECT_FALSE(failure->what.empty());
+
+  const FleetStats stats = mux.fleet_stats();
+  EXPECT_EQ(stats.failures, 1u);
+  // The 4 post-fault appends + the flush for stream 1 were dropped.
+  EXPECT_EQ(stats.dropped, 5u);
+
+  const std::vector<StreamSummary> rows = mux.stream_summaries();
+  EXPECT_TRUE(rows[1].poisoned);
+  EXPECT_EQ(rows[1].steps, 3u);
+  for (const std::size_t healthy : {std::size_t{0}, std::size_t{2}}) {
+    EXPECT_FALSE(rows[healthy].poisoned);
+    EXPECT_EQ(rows[healthy].steps, 7u);
+    ASSERT_NO_THROW(mux.engine(healthy).current_solution());
+  }
+}
+
+TEST(StreamMultiplexer, SharedCacheServesIdenticalTenants) {
+  // 6 tenants stream the SAME trace concurrently through one shared cache:
+  // identical windows must be solved far fewer times than they are needed
+  // (hits or coalesced waits cover the rest) while every tenant still
+  // publishes the identical result.
+  const std::size_t universe = 10;
+  const MachineSpec machine = MachineSpec::local_only({universe, universe});
+  const MultiTaskTrace trace = family_trace("phased", 2, 16, universe, 0xCAC);
+
+  StreamMultiplexer mux(mux_config(3, 8, 4));
+  const std::size_t tenants = 6;
+  for (std::size_t i = 0; i < tenants; ++i) mux.open_stream(machine);
+  for (std::size_t s = 0; s < trace.steps(); ++s) {
+    for (std::size_t i = 0; i < tenants; ++i) {
+      mux.append_step(i, trace.step(s));
+    }
+  }
+  mux.flush_all();
+  mux.drain();
+
+  const FleetStats stats = mux.fleet_stats();
+  EXPECT_GT(stats.resolves, 0u);
+  // Every window needed = one per resolve; distinct solves = cache misses.
+  EXPECT_LT(stats.cache.misses, stats.resolves);
+  EXPECT_GT(stats.cache.hits + stats.cache.coalesced, 0u);
+
+  const Cost reference = mux.engine(0).current_solution().total();
+  for (std::size_t i = 1; i < tenants; ++i) {
+    EXPECT_EQ(mux.engine(i).current_solution().total(), reference);
+    EXPECT_TRUE(
+        schedules_equal(mux.engine(i).schedule(), mux.engine(0).schedule()));
+  }
+  // Attribution: served windows carry a real outcome, never a mislabel.
+  for (std::size_t i = 0; i < tenants; ++i) {
+    for (const WindowReport& window : mux.engine(i).windows()) {
+      ASSERT_TRUE(window.cache.has_value());
+      if (*window.cache == cache::CacheOutcome::kHit) {
+        EXPECT_EQ(window.winner, "cache");
+      } else if (*window.cache == cache::CacheOutcome::kMiss) {
+        EXPECT_NE(window.winner, "cache");
+        EXPECT_NE(window.winner, "coalesced");
+      }
+    }
+  }
+}
+
+TEST(StreamMultiplexer, ShardCountIsClamped) {
+  MultiplexerConfig zero = mux_config(0, 4, 0);
+  EXPECT_EQ(StreamMultiplexer(zero).shard_count(), 1u);
+  MultiplexerConfig huge = mux_config(100000, 4, 0);
+  EXPECT_EQ(StreamMultiplexer(huge).shard_count(), 256u);
+}
+
+TEST(StreamMultiplexer, ConcurrentAppendAndSnapshotHammer) {
+  // 4 producer threads drive 2 streams each while a reader thread spins on
+  // snapshot(): epochs must be monotonic per stream, every observed
+  // snapshot internally consistent (schedule covers its steps), and the
+  // whole dance data-race-free — this test is the TSan workload.
+  const std::size_t universe = 6;
+  const std::size_t producers = 4;
+  const std::size_t per_producer = 2;
+  const std::size_t steps = 24;
+  const MachineSpec machine = MachineSpec::local_only({universe});
+
+  StreamMultiplexer mux(mux_config(4, 4, 3));
+  const std::size_t streams = producers * per_producer;
+  for (std::size_t i = 0; i < streams; ++i) mux.open_stream(machine);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> observed{0};
+  std::thread reader([&]() {
+    std::vector<std::uint64_t> last_epoch(streams, 0);
+    while (!stop.load(std::memory_order_acquire)) {
+      for (std::size_t i = 0; i < streams; ++i) {
+        const auto snap = mux.snapshot(i);
+        if (!snap) continue;
+        EXPECT_GE(snap->epoch, last_epoch[i]) << "stream " << i;
+        last_epoch[i] = snap->epoch;
+        EXPECT_GE(snap->steps, 1u);
+        ASSERT_NO_THROW(snap->schedule.validate(1, snap->steps));
+        observed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (std::size_t p = 0; p < producers; ++p) {
+    writers.emplace_back([&, p]() {
+      for (std::size_t s = 0; s < steps; ++s) {
+        for (std::size_t k = 0; k < per_producer; ++k) {
+          mux.append_step(p * per_producer + k,
+                          {req_bits(universe, {(p + s + k) % universe})});
+        }
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  mux.flush_all();
+  mux.drain();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_GT(observed.load(), 0u);
+  const FleetStats stats = mux.fleet_stats();
+  EXPECT_EQ(stats.accepted, streams * steps);
+  EXPECT_EQ(stats.applied, streams * steps);
+  EXPECT_EQ(stats.failures, 0u);
+  for (std::size_t i = 0; i < streams; ++i) {
+    const auto snap = mux.snapshot(i);
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->steps, steps);
+  }
+}
+
+TEST(StreamMultiplexer, BatchEngineMultiplexedReplayMatchesPerJobReplay) {
+  // The BatchEngine's multiplex mode must produce the same per-job
+  // solutions as its inline per-job streaming replay, and additionally
+  // carry the fleet summary.
+  std::vector<engine::BatchJob> jobs;
+  const std::size_t universe = 8;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    engine::BatchJob job;
+    job.trace = family_trace(workload::family_names()[s % 5], 2, 14, universe,
+                             s + 11);
+    job.machine = MachineSpec::local_only({universe, universe});
+    job.name = "job-" + std::to_string(s);
+    jobs.push_back(std::move(job));
+  }
+
+  engine::BatchEngineConfig inline_config;
+  inline_config.portfolio.solvers = {"aligned-dp"};
+  inline_config.stream.enabled = true;
+  inline_config.stream.window = 6;
+  inline_config.stream.trigger.every_steps = 4;
+  engine::BatchEngineConfig mux_engine_config = inline_config;
+  mux_engine_config.stream.multiplex = true;
+  mux_engine_config.stream.shards = 3;
+
+  const engine::BatchResult inline_result =
+      engine::BatchEngine(std::move(inline_config)).solve(jobs);
+  const engine::BatchResult mux_result =
+      engine::BatchEngine(std::move(mux_engine_config)).solve(jobs);
+
+  EXPECT_FALSE(inline_result.fleet.has_value());
+  ASSERT_TRUE(mux_result.fleet.has_value());
+  EXPECT_EQ(mux_result.fleet->streams, jobs.size());
+  EXPECT_EQ(mux_result.fleet->failures, 0u);
+  ASSERT_EQ(mux_result.fleet_streams.size(), jobs.size());
+  EXPECT_TRUE(mux_result.cache_enabled);
+
+  ASSERT_EQ(mux_result.jobs.size(), inline_result.jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    ASSERT_TRUE(mux_result.jobs[i].ok) << mux_result.jobs[i].error;
+    ASSERT_TRUE(inline_result.jobs[i].ok) << inline_result.jobs[i].error;
+    EXPECT_TRUE(mux_result.jobs[i].streamed);
+    EXPECT_EQ(mux_result.jobs[i].winner, "streaming");
+    EXPECT_EQ(mux_result.jobs[i].solution.total(),
+              inline_result.jobs[i].solution.total());
+    EXPECT_EQ(mux_result.jobs[i].windows.size(),
+              inline_result.jobs[i].windows.size());
+    EXPECT_EQ(mux_result.fleet_streams[i].published_cost.has_value(), true);
+  }
+}
+
+}  // namespace
+}  // namespace hyperrec::streaming

@@ -150,9 +150,25 @@ TEST(StreamingEngine, SharedCacheServesRepeatedWindowsAcrossStreams) {
   EXPECT_GT(cache->stats().hits, 0u);
   ASSERT_EQ(second.resolve_count(), first.resolve_count());
   for (std::size_t k = 0; k < second.windows().size(); ++k) {
+    // Attribution: a verified hit reports winner "cache" AND outcome kHit;
+    // "cache" must never stand in for a coalesced wait (that is a distinct
+    // outcome with its own winner label) or a fresh solve.
     EXPECT_EQ(second.windows()[k].winner, "cache") << "window " << k;
+    ASSERT_TRUE(second.windows()[k].cache.has_value()) << "window " << k;
+    EXPECT_EQ(*second.windows()[k].cache, cache::CacheOutcome::kHit)
+        << "window " << k;
     EXPECT_EQ(second.windows()[k].published_cost,
               first.windows()[k].published_cost);
+  }
+  // The first stream solved fresh: its windows are misses won by a real
+  // portfolio member, never mislabelled "cache".
+  for (std::size_t k = 0; k < first.windows().size(); ++k) {
+    ASSERT_TRUE(first.windows()[k].cache.has_value()) << "window " << k;
+    EXPECT_EQ(*first.windows()[k].cache, cache::CacheOutcome::kMiss)
+        << "window " << k;
+    EXPECT_NE(first.windows()[k].winner, "cache") << "window " << k;
+    EXPECT_NE(first.windows()[k].winner, "coalesced") << "window " << k;
+    EXPECT_FALSE(first.windows()[k].winner.empty()) << "window " << k;
   }
   EXPECT_EQ(second.current_solution().total(),
             first.current_solution().total());

@@ -10,6 +10,8 @@ command is printed; the exit code is nonzero so CI fails the step.
 Usage:
   tools/fuzz_solvers.py --binary build/examples/fuzz_harness --seconds 60
   tools/fuzz_solvers.py --binary ... --seed 1234 --chunk 100   # fixed start
+  tools/fuzz_solvers.py --binary ... --mux --seconds 30        # multiplexer
+                                                               # vs solo mode
 
 CI runs a 60-second slice; the ctest `fuzz` label runs the harness's own
 --smoke mode instead (no python needed there).
@@ -32,6 +34,10 @@ def main() -> int:
                         help="first seed; chunk i starts at seed + i*chunk")
     parser.add_argument("--chunk", type=int, default=100,
                         help="iterations per harness invocation")
+    parser.add_argument("--mux", action="store_true",
+                        help="fuzz the StreamMultiplexer against solo "
+                             "StreamingEngine replays instead of the "
+                             "solver-vs-exhaustive oracle")
     args = parser.parse_args()
 
     binary = pathlib.Path(args.binary)
@@ -45,6 +51,8 @@ def main() -> int:
     iterations = 0
     while time.monotonic() < deadline:
         command = [str(binary), f"--seed={seed}", f"--iters={args.chunk}"]
+        if args.mux:
+            command.append("--mux")
         proc = subprocess.run(command, capture_output=True, text=True)
         if proc.returncode != 0:
             sys.stderr.write(proc.stdout)
