@@ -63,6 +63,7 @@
 #include "io/result_json.hpp"
 #include "io/trace_io.hpp"
 #include "streaming/streaming_engine.hpp"
+#include "streaming/trigger_spec.hpp"
 #include "workload/generators.hpp"
 
 namespace {
@@ -110,32 +111,6 @@ std::vector<std::string> split_csv(const std::string& text) {
     begin = comma + 1;
   }
   return parts;
-}
-
-/// Parses "steps:N,spike:F,rent-or-buy,tick:MS" into a TriggerConfig.
-streaming::TriggerConfig parse_trigger(const std::string& spec) {
-  streaming::TriggerConfig trigger;
-  for (const std::string& item : split_csv(spec)) {
-    const std::size_t colon = item.find(':');
-    const std::string kind = item.substr(0, colon);
-    const std::string value =
-        colon == std::string::npos ? "" : item.substr(colon + 1);
-    if (kind == "steps") {
-      trigger.every_steps = std::stoul(value);
-    } else if (kind == "spike") {
-      trigger.spike_factor = std::stod(value);
-    } else if (kind == "spike-min") {
-      trigger.spike_min_demand =
-          static_cast<std::uint32_t>(std::stoul(value));
-    } else if (kind == "rent-or-buy") {
-      trigger.rent_or_buy = true;
-    } else if (kind == "tick") {
-      trigger.tick = std::chrono::milliseconds{std::stoll(value)};
-    } else {
-      HYPERREC_ENSURE(false, "unknown trigger kind: " + kind);
-    }
-  }
-  return trigger;
 }
 
 /// Default machine for a trace: local-only, l_j = the task's universe.
@@ -278,9 +253,10 @@ int main(int argc, char** argv) {
     if (options.stream) {
       config.stream.enabled = true;
       config.stream.window = options.window;
-      config.stream.trigger = options.trigger.empty()
-                                  ? parse_trigger("steps:16")
-                                  : parse_trigger(options.trigger);
+      config.stream.trigger =
+          options.trigger.empty()
+              ? streaming::parse_trigger_spec("steps:16")
+              : streaming::parse_trigger_spec(options.trigger);
       if (options.streams > 0) {
         config.stream.multiplex = true;
         config.stream.shards = options.mux_shards;

@@ -1,0 +1,160 @@
+// The persistent solve daemon: a SolveService behind a Unix-socket
+// line-delimited JSON protocol (see src/service/protocol.hpp).
+//
+//   hyperrec_serve --socket=PATH [--workers=N] [--queue-capacity=C]
+//                  [--cache-capacity=C] [--cache-ttl-ms=T]
+//                  [--portfolio=a,b,c] [--deadline-ms=D]
+//                  [--quota-rate=R] [--quota-burst=B]
+//                  [--tenant-quota=NAME:RATE:BURST ...]
+//                  [--mux-shards=K] [--window=W] [--trigger=SPEC]
+//
+//     --socket=PATH    Unix socket to listen on (required; an existing
+//                      socket file at that path is replaced)
+//     --workers=N      solve worker threads (default 2)
+//     --queue-capacity=C
+//                      admission queue bound; a full queue answers
+//                      reject="backpressure" (default 64)
+//     --cache-capacity=C
+//                      shared solve-cache entries (default 512, 0 = off)
+//     --cache-ttl-ms=T cache entry time-to-live, 0 = no expiry (default 0)
+//     --portfolio=...  comma-separated standard_solvers() subset
+//                      (default: full line-up)
+//     --deadline-ms=D  per-job budget, 0 = none (default 0)
+//     --quota-rate=R   default tenant rate, requests/second as a decimal;
+//                      0 = unlimited (default 0)
+//     --quota-burst=B  default tenant burst size (default 8)
+//     --tenant-quota=NAME:RATE:BURST
+//                      per-tenant override; repeatable
+//     --mux-shards=K   streaming multiplexer shard lanes (default 4)
+//     --window=W       streaming solve window in steps (default 256)
+//     --trigger=SPEC   fleet-wide streaming trigger spec (strict grammar:
+//                      steps:N | spike:F | spike-min:D | rent-or-buy |
+//                      tick:MS; default steps:16).  A malformed spec is a
+//                      startup error, never silently ignored.
+//
+// The daemon runs until a client sends {"op":"shutdown"} (graceful drain:
+// accepted jobs finish, streams flush) or it receives SIGINT/SIGTERM.
+// Exit status: 0 on clean shutdown, 1 on malformed invocation.
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "service/socket_server.hpp"
+#include "service/solve_service.hpp"
+#include "streaming/trigger_spec.hpp"
+
+namespace {
+
+using namespace hyperrec;
+
+service::SocketServer* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+bool parse_flag(const char* arg, const char* name, std::string& value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  value = arg + len + 1;
+  return true;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t comma = text.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > begin) parts.push_back(text.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return parts;
+}
+
+/// NAME:RATE:BURST — tenant names must not contain ':'.
+void parse_tenant_quota(const std::string& spec,
+                        std::map<std::string, service::QuotaConfig>& quotas) {
+  const std::size_t first = spec.find(':');
+  const std::size_t second =
+      first == std::string::npos ? std::string::npos : spec.find(':', first + 1);
+  HYPERREC_ENSURE(first != std::string::npos && second != std::string::npos &&
+                      first > 0,
+                  "--tenant-quota needs NAME:RATE:BURST, got \"" + spec + "\"");
+  service::QuotaConfig quota;
+  quota.rate_per_sec = std::stod(spec.substr(first + 1, second - first - 1));
+  quota.burst = std::stod(spec.substr(second + 1));
+  quotas[spec.substr(0, first)] = quota;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  service::ServiceConfig config;
+  config.cache.capacity = 512;
+  config.default_quota.burst = 8.0;
+  try {
+    std::string value;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (parse_flag(arg, "--socket", value)) {
+        socket_path = value;
+      } else if (parse_flag(arg, "--workers", value)) {
+        config.workers = std::stoul(value);
+      } else if (parse_flag(arg, "--queue-capacity", value)) {
+        config.queue_capacity = std::stoul(value);
+      } else if (parse_flag(arg, "--cache-capacity", value)) {
+        config.cache.capacity = std::stoul(value);
+      } else if (parse_flag(arg, "--cache-ttl-ms", value)) {
+        config.cache.ttl = std::chrono::milliseconds{std::stoll(value)};
+      } else if (parse_flag(arg, "--portfolio", value)) {
+        config.portfolio = split_csv(value);
+      } else if (parse_flag(arg, "--deadline-ms", value)) {
+        config.deadline = std::chrono::milliseconds{std::stoll(value)};
+      } else if (parse_flag(arg, "--quota-rate", value)) {
+        config.default_quota.rate_per_sec = std::stod(value);
+      } else if (parse_flag(arg, "--quota-burst", value)) {
+        config.default_quota.burst = std::stod(value);
+      } else if (parse_flag(arg, "--tenant-quota", value)) {
+        parse_tenant_quota(value, config.tenant_quotas);
+      } else if (parse_flag(arg, "--mux-shards", value)) {
+        config.mux_shards = std::stoul(value);
+      } else if (parse_flag(arg, "--window", value)) {
+        config.stream_window = std::stoul(value);
+      } else if (parse_flag(arg, "--trigger", value)) {
+        // Validate eagerly so a typo aborts startup with a precise message
+        // instead of surfacing on the first stream_open.
+        (void)streaming::parse_trigger_spec(value);
+        config.stream_trigger = value;
+      } else {
+        HYPERREC_ENSURE(false, std::string("unknown argument: ") + arg);
+      }
+    }
+    HYPERREC_ENSURE(!socket_path.empty(), "--socket=PATH is required");
+
+    service::SolveService solve_service(std::move(config));
+    service::SocketServer server(
+        socket_path, [&solve_service](const std::string& line) {
+          service::SocketServer::LineResponse response;
+          response.line = solve_service.handle_line(line);
+          response.stop = solve_service.draining();
+          return response;
+        });
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::cerr << "hyperrec_serve: listening on " << socket_path << "\n";
+    server.wait();
+    server.stop();
+    g_server = nullptr;
+    solve_service.shutdown();
+    std::cerr << "hyperrec_serve: drained, bye\n";
+  } catch (const std::exception& error) {
+    std::cerr << "hyperrec_serve: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

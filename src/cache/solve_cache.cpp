@@ -20,6 +20,7 @@ struct SolveCache::Counters {
   std::atomic<std::uint64_t> hits{0};
   std::atomic<std::uint64_t> misses{0};
   std::atomic<std::uint64_t> coalesced{0};
+  std::atomic<std::uint64_t> coalesced_failures{0};
   std::atomic<std::uint64_t> insertions{0};
   std::atomic<std::uint64_t> refreshes{0};
   std::atomic<std::uint64_t> evictions{0};
@@ -254,9 +255,19 @@ MTSolution SolveCache::get_or_compute_guarded(
   }
 
   if (!leader && flight != nullptr) {
-    counters_->coalesced.fetch_add(1, std::memory_order_relaxed);
+    // `outcome` is still written before the wait (the documented exits-by-
+    // exception contract), but the *stats* record the flight's fate: a
+    // leader that throws must not leave its waiters counted as successful
+    // coalesced hits.
     if (outcome != nullptr) *outcome = CacheOutcome::kCoalesced;
-    return flight->future.get();  // rethrows the leader's exception
+    try {
+      MTSolution coalesced = flight->future.get();  // rethrows the leader's
+      counters_->coalesced.fetch_add(1, std::memory_order_relaxed);
+      return coalesced;
+    } catch (...) {
+      counters_->coalesced_failures.fetch_add(1, std::memory_order_relaxed);
+      throw;
+    }
   }
 
   counters_->misses.fetch_add(1, std::memory_order_relaxed);
@@ -327,6 +338,8 @@ SolveCacheStats SolveCache::stats() const {
   out.hits = counters_->hits.load(std::memory_order_relaxed);
   out.misses = counters_->misses.load(std::memory_order_relaxed);
   out.coalesced = counters_->coalesced.load(std::memory_order_relaxed);
+  out.coalesced_failures =
+      counters_->coalesced_failures.load(std::memory_order_relaxed);
   out.insertions = counters_->insertions.load(std::memory_order_relaxed);
   out.refreshes = counters_->refreshes.load(std::memory_order_relaxed);
   out.evictions = counters_->evictions.load(std::memory_order_relaxed);
@@ -341,6 +354,15 @@ std::size_t SolveCache::size() const {
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mutex);
     total += shard->map.size();
+  }
+  return total;
+}
+
+std::size_t SolveCache::inflight() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->inflight.size();
   }
   return total;
 }

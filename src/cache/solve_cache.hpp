@@ -60,7 +60,10 @@ struct SolveCacheConfig {
 struct SolveCacheStats {
   std::uint64_t hits = 0;         ///< full-key-verified cache hits
   std::uint64_t misses = 0;       ///< lookups that had to (re)compute
-  std::uint64_t coalesced = 0;    ///< waits piggybacked on an in-flight solve
+  std::uint64_t coalesced = 0;    ///< waits served by an in-flight solve
+  /// Piggybacked waits whose leader threw: the waiter rethrows and gets no
+  /// solution, so it must not count as a successful coalesced hit.
+  std::uint64_t coalesced_failures = 0;
   std::uint64_t insertions = 0;   ///< brand-new entries stored
   std::uint64_t refreshes = 0;    ///< re-stores over an existing live entry
   std::uint64_t evictions = 0;    ///< LRU capacity evictions
@@ -125,6 +128,10 @@ class SolveCache {
 
   [[nodiscard]] SolveCacheStats stats() const;
   [[nodiscard]] std::size_t size() const;
+  /// Single-flight computations currently registered across all shards —
+  /// a quiesced serving stack must read 0 (the soak gate and /statz use
+  /// this to prove flights never leak).
+  [[nodiscard]] std::size_t inflight() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:

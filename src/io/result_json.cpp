@@ -131,16 +131,31 @@ void write_fleet(std::ostream& os, const engine::BatchResult& result) {
 }  // namespace
 
 void save_batch_result_json(std::ostream& os,
-                            const engine::BatchResult& result) {
+                            const engine::BatchResult& result,
+                            const ServiceFields* service) {
   const cache::SolveCacheStats& stats = result.cache_stats;
-  os << "{\"schema\":\"hyperrec-batch-result\",\"version\":4"
+  os << "{\"schema\":\"hyperrec-batch-result\",\"version\":5"
      << ",\"parallelism\":" << result.parallelism
      << ",\"elapsed_us\":" << result.elapsed.count()
-     << ",\"job_count\":" << result.jobs.size()
-     << ",\"cache\":{\"enabled\":" << (result.cache_enabled ? "true" : "false")
+     << ",\"job_count\":" << result.jobs.size() << ",\"tenant\":";
+  if (service != nullptr) {
+    write_escaped(os, service->tenant);
+  } else {
+    os << "null";
+  }
+  os << ",\"queue\":";
+  if (service != nullptr) {
+    os << "{\"priority\":" << service->priority
+       << ",\"depth\":" << service->queue_depth
+       << ",\"wait_us\":" << service->wait.count() << '}';
+  } else {
+    os << "null";
+  }
+  os << ",\"cache\":{\"enabled\":" << (result.cache_enabled ? "true" : "false")
      << ",\"capacity\":" << result.cache_capacity
      << ",\"size\":" << result.cache_size << ",\"hits\":" << stats.hits
      << ",\"misses\":" << stats.misses << ",\"coalesced\":" << stats.coalesced
+     << ",\"coalesced_failures\":" << stats.coalesced_failures
      << ",\"insertions\":" << stats.insertions
      << ",\"refreshes\":" << stats.refreshes
      << ",\"evictions\":" << stats.evictions
@@ -156,9 +171,10 @@ void save_batch_result_json(std::ostream& os,
   os << "]}\n";
 }
 
-std::string batch_result_to_json(const engine::BatchResult& result) {
+std::string batch_result_to_json(const engine::BatchResult& result,
+                                 const ServiceFields* service) {
   std::ostringstream os;
-  save_batch_result_json(os, result);
+  save_batch_result_json(os, result, service);
   return os.str();
 }
 

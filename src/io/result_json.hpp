@@ -6,12 +6,19 @@
 //
 //   {
 //     "schema": "hyperrec-batch-result",
-//     "version": 4,
+//     "version": 5,
 //     "parallelism": <workers>,
 //     "elapsed_us": <batch wall time>,
 //     "job_count": <n>,
+//     "tenant": null,                // solve-service responses only: the
+//                                    // requesting tenant name
+//     "queue": null,                 // solve-service responses only:
+//       // { "priority": p,          // admission priority of the request
+//       //   "depth": d,             // queue depth observed at admission
+//       //   "wait_us": w }          // time spent queued before a worker
 //     "cache": { "enabled": true|false, "capacity": c, "size": s,
-//                "hits": h, "misses": m, "coalesced": q, "insertions": i,
+//                "hits": h, "misses": m, "coalesced": q,
+//                "coalesced_failures": cf, "insertions": i,
 //                "refreshes": r, "evictions": e, "expirations": x,
 //                "collisions": k, "warm_hits": w },
 //                                    // zeros when disabled; counters are
@@ -67,23 +74,44 @@
 // entry, no longer folded into "insertions"), per-window "cache" outcome
 // (a window "winner" may now also be "coalesced").
 //
+// v4 → v5: top-level "tenant" and "queue" fields (solve-service responses
+// carry the requesting tenant and its admission telemetry; null for one-shot
+// CLI batches — the rest of the document is bit-identical either way, which
+// is how the serve smoke proves daemon answers match CLI answers), cache
+// "coalesced_failures" counter (piggybacked waits whose leader threw).
+//
 // Guarantees: keys always appear, in exactly this order (goldens may diff
 // the output); every number is a decimal integer — costs and durations are
 // integral, so NaN/Inf cannot occur; strings are escaped per RFC 8259.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "engine/batch_engine.hpp"
 
 namespace hyperrec::io {
 
+/// Service-layer envelope for a batch result: who asked and how the request
+/// moved through the admission queue.  Serialized into the top-level
+/// "tenant" / "queue" fields; a null pointer (the CLI path) writes both as
+/// JSON null.
+struct ServiceFields {
+  std::string tenant;
+  std::uint64_t priority = 0;
+  std::uint64_t queue_depth = 0;       ///< depth observed at admission
+  std::chrono::microseconds wait{0};   ///< admission-to-dequeue latency
+};
+
 void save_batch_result_json(std::ostream& os,
-                            const engine::BatchResult& result);
+                            const engine::BatchResult& result,
+                            const ServiceFields* service = nullptr);
 
 /// Convenience: the same document as a string.
 [[nodiscard]] std::string batch_result_to_json(
-    const engine::BatchResult& result);
+    const engine::BatchResult& result,
+    const ServiceFields* service = nullptr);
 
 }  // namespace hyperrec::io

@@ -1,0 +1,120 @@
+#include "service/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/ensure.hpp"
+
+namespace hyperrec::service {
+
+const char* to_string(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kRate: return "rate";
+    case RejectReason::kBackpressure: return "backpressure";
+    case RejectReason::kDraining: return "draining";
+  }
+  return "rate";
+}
+
+TokenBucket::TokenBucket(QuotaConfig quota)
+    : quota_(quota), tokens_(std::max(quota.burst, 1.0)) {
+  // burst < 1 would deadlock the tenant (no request ever fits); clamp up.
+  quota_.burst = std::max(quota_.burst, 1.0);
+}
+
+Admission TokenBucket::try_acquire(Clock::time_point now) {
+  if (quota_.rate_per_sec <= 0.0) return {true, {}};  // unlimited
+  if (!primed_) {
+    last_ = now;
+    primed_ = true;
+  }
+  if (now > last_) {
+    const double elapsed =
+        std::chrono::duration<double>(now - last_).count();
+    tokens_ = std::min(quota_.burst, tokens_ + elapsed * quota_.rate_per_sec);
+  }
+  last_ = now;
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return {true, {}};
+  }
+  const double deficit_seconds = (1.0 - tokens_) / quota_.rate_per_sec;
+  // Round UP to a whole millisecond: a client that sleeps exactly
+  // retry_after must find a full token, and a 0 ms answer would invite a
+  // hot retry loop.
+  const auto retry = std::chrono::milliseconds{
+      static_cast<std::int64_t>(std::ceil(deficit_seconds * 1000.0))};
+  return {false, std::max(retry, std::chrono::milliseconds{1})};
+}
+
+TenantRegistry::TenantRegistry(QuotaConfig default_quota,
+                               std::map<std::string, QuotaConfig> overrides)
+    : default_quota_(default_quota), overrides_(std::move(overrides)) {}
+
+TenantRegistry::Tenant& TenantRegistry::tenant_locked(
+    const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    const auto quota = overrides_.find(name);
+    it = tenants_
+             .emplace(name, Tenant(quota == overrides_.end() ? default_quota_
+                                                             : quota->second))
+             .first;
+  }
+  return it->second;
+}
+
+Admission TenantRegistry::admit(const std::string& tenant,
+                                TokenBucket::Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Tenant& entry = tenant_locked(tenant);
+  entry.counters.received += 1;
+  const Admission verdict = entry.bucket.try_acquire(now);
+  if (!verdict.admitted) entry.counters.rejected_rate += 1;
+  return verdict;
+}
+
+void TenantRegistry::record_admitted(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tenant_locked(tenant).counters.admitted += 1;
+}
+
+void TenantRegistry::record_backpressure(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tenant_locked(tenant).counters.rejected_backpressure += 1;
+}
+
+void TenantRegistry::record_draining(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Tenant& entry = tenant_locked(tenant);
+  entry.counters.received += 1;
+  entry.counters.rejected_draining += 1;
+}
+
+void TenantRegistry::record_completed(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tenant_locked(tenant).counters.completed += 1;
+}
+
+void TenantRegistry::record_failed(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tenant_locked(tenant).counters.failed += 1;
+}
+
+void TenantRegistry::record_append(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tenant_locked(tenant).counters.appends += 1;
+}
+
+std::vector<std::pair<std::string, TenantCounters>> TenantRegistry::snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, TenantCounters>> rows;
+  rows.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) {
+    rows.emplace_back(name, tenant.counters);  // std::map: already sorted
+  }
+  return rows;
+}
+
+}  // namespace hyperrec::service

@@ -1,0 +1,211 @@
+// Admission control for the solve daemon: per-tenant token buckets with
+// quota accounting, and a bounded priority queue with backpressure.
+//
+// The admission pipeline runs in request order, cheapest check first:
+//
+//   draining? ──reject──► token bucket ──reject + retry-after──►
+//   bounded queue try_push ──reject (backpressure)──► admitted
+//
+// Rejections are answers, not errors: a rate-limited tenant gets an exact
+// retry-after (time until its bucket refills one token), and a full queue
+// rejects instead of buffering unboundedly — the caller retries, the daemon
+// never falls over from memory growth.  Every verdict is counted per
+// tenant, and the counters obey `received == admitted + rejected_*` by
+// construction (one verdict per request, recorded under one lock).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace hyperrec::service {
+
+/// Token-bucket quota: sustained `rate_per_sec` with bursts up to `burst`.
+/// rate_per_sec <= 0 disables limiting (the bucket always admits).
+struct QuotaConfig {
+  double rate_per_sec = 0.0;
+  double burst = 1.0;
+};
+
+/// One bucket verdict; retry_after is 0 when admitted.
+struct Admission {
+  bool admitted = false;
+  std::chrono::milliseconds retry_after{0};
+};
+
+/// Classic token bucket over a steady clock.  Not thread-safe on its own —
+/// the TenantRegistry serializes access per tenant.
+class TokenBucket {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit TokenBucket(QuotaConfig quota);
+
+  /// Takes one token if available; otherwise reports how long until the
+  /// bucket refills one (rounded up to a whole millisecond so a client
+  /// sleeping exactly retry_after is admitted, never re-rejected at 0 ms).
+  [[nodiscard]] Admission try_acquire(Clock::time_point now);
+
+  [[nodiscard]] double tokens() const noexcept { return tokens_; }
+
+ private:
+  QuotaConfig quota_;
+  double tokens_;
+  Clock::time_point last_;
+  bool primed_ = false;  ///< last_ is set lazily on the first acquire
+};
+
+/// Why a request was turned away.
+enum class RejectReason : std::uint8_t {
+  kRate,          ///< tenant token bucket empty
+  kBackpressure,  ///< admission queue full
+  kDraining,      ///< daemon is shutting down
+};
+
+[[nodiscard]] const char* to_string(RejectReason reason) noexcept;
+
+/// Per-tenant admission/outcome counters (monotonic).
+struct TenantCounters {
+  std::uint64_t received = 0;  ///< == admitted + the three rejected buckets
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_rate = 0;
+  std::uint64_t rejected_backpressure = 0;
+  std::uint64_t rejected_draining = 0;
+  std::uint64_t completed = 0;  ///< admitted jobs that solved ok
+  std::uint64_t failed = 0;     ///< admitted jobs whose solve reported !ok
+  std::uint64_t appends = 0;    ///< streaming steps accepted (not metered)
+};
+
+/// Tenant directory: one token bucket plus counters per tenant name,
+/// created on first contact with the default quota (or a configured
+/// per-tenant override).  All methods are thread-safe.
+class TenantRegistry {
+ public:
+  TenantRegistry(QuotaConfig default_quota,
+                 std::map<std::string, QuotaConfig> overrides);
+
+  /// Bucket verdict for one request; counts received plus, on a rate
+  /// rejection, rejected_rate.  The queue verdict is reported separately
+  /// (the bucket must be consulted first — see the pipeline above).
+  [[nodiscard]] Admission admit(const std::string& tenant,
+                                TokenBucket::Clock::time_point now);
+
+  /// Records the queue verdict for an already-bucket-admitted request.
+  void record_admitted(const std::string& tenant);
+  void record_backpressure(const std::string& tenant);
+  /// Counts a request turned away because the daemon is draining (the
+  /// bucket is not consulted: received + rejected_draining only).
+  void record_draining(const std::string& tenant);
+
+  void record_completed(const std::string& tenant);
+  void record_failed(const std::string& tenant);
+  void record_append(const std::string& tenant);
+
+  /// Stable snapshot, sorted by tenant name.
+  [[nodiscard]] std::vector<std::pair<std::string, TenantCounters>>
+  snapshot() const;
+
+ private:
+  struct Tenant {
+    TokenBucket bucket;
+    TenantCounters counters;
+    explicit Tenant(QuotaConfig quota) : bucket(quota) {}
+  };
+
+  Tenant& tenant_locked(const std::string& name);
+
+  mutable std::mutex mutex_;
+  QuotaConfig default_quota_;
+  std::map<std::string, QuotaConfig> overrides_;
+  std::map<std::string, Tenant> tenants_;
+};
+
+/// Bounded MPMC priority queue: higher priority pops first, FIFO within a
+/// priority level (a sequence number breaks ties — a starving same-priority
+/// request can never be overtaken by a later arrival).  try_push never
+/// blocks: a full or closed queue is the caller's backpressure signal.
+template <typename T>
+class BoundedPriorityQueue {
+ public:
+  explicit BoundedPriorityQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False when full or closed — the caller rejects with retry-after.
+  bool try_push(T value, std::uint64_t priority) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || heap_.size() >= capacity_) return false;
+      heap_.push(Entry{priority, next_seq_++, std::move(value)});
+      peak_ = std::max(peak_, heap_.size());
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available; nullopt once closed AND empty —
+  /// close() lets workers finish every accepted item before exiting, which
+  /// is what "graceful drain loses no accepted job" rests on.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !heap_.empty(); });
+    if (heap_.empty()) return std::nullopt;
+    // std::priority_queue::top() is const&; the move is safe because pop()
+    // immediately destroys the entry.
+    T value = std::move(const_cast<Entry&>(heap_.top()).value);
+    heap_.pop();
+    return value;
+  }
+
+  /// Stops admissions and wakes every waiter; queued items still drain.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return heap_.size();
+  }
+
+  [[nodiscard]] std::size_t peak_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t priority = 0;
+    std::uint64_t seq = 0;
+    T value;
+    /// Max-heap order: higher priority first, then earlier seq.
+    bool operator<(const Entry& other) const noexcept {
+      if (priority != other.priority) return priority < other.priority;
+      return seq > other.seq;
+    }
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t peak_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace hyperrec::service

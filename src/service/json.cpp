@@ -1,0 +1,287 @@
+#include "service/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "support/ensure.hpp"
+
+namespace hyperrec::service {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    skip_ws();
+    JsonValue value = parse_value();
+    skip_ws();
+    HYPERREC_ENSURE(pos_ == text_.size(),
+                    "trailing content after JSON document at byte " +
+                        std::to_string(pos_));
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    HYPERREC_ENSURE(false,
+                    "malformed JSON: " + what + " at byte " +
+                        std::to_string(pos_));
+    std::abort();  // unreachable; HYPERREC_ENSURE(false, ...) throws
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  char take() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void literal(const char* word, std::size_t len) {
+    if (text_.compare(pos_, len, word) != 0) fail("invalid literal");
+    pos_ += len;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't': literal("true", 4); return JsonValue(true);
+      case 'f': literal("false", 5); return JsonValue(false);
+      case 'n': literal("null", 4); return JsonValue();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(object));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      HYPERREC_ENSURE(object.find(key) == object.end(),
+                      "malformed JSON: duplicate key \"" + key + "\"");
+      skip_ws();
+      expect(':');
+      skip_ws();
+      object.emplace(std::move(key), parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return JsonValue(std::move(object));
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(array));
+    }
+    while (true) {
+      skip_ws();
+      array.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return JsonValue(std::move(array));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': out.append(parse_unicode_escape()); break;
+        default:
+          --pos_;
+          fail("invalid escape sequence");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    // \uXXXX → UTF-8.  Surrogate pairs are rejected (the protocol is plain
+    // ASCII plus UTF-8 payloads that never need them); lone BMP code points
+    // encode directly.
+    std::uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        --pos_;
+        fail("invalid \\u escape");
+      }
+    }
+    if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate \\u escape");
+    std::string out;
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t begin = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("invalid number");
+    }
+    bool integral = true;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("invalid number");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      integral = false;
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("invalid number");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string token = text_.substr(begin, pos_ - begin);
+    if (integral) {
+      std::int64_t value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc{} && ptr == token.data() + token.size()) {
+        return JsonValue(value);
+      }
+      // Out of int64 range: fall through to double.
+    }
+    const double value = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(value)) fail("non-finite number");
+    return JsonValue(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  HYPERREC_ENSURE(kind_ == Kind::kBool, "JSON value is not a boolean");
+  return bool_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  HYPERREC_ENSURE(kind_ == Kind::kInt, "JSON value is not an integer");
+  return int_;
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  const std::int64_t value = as_int();
+  HYPERREC_ENSURE(value >= 0, "JSON value is negative");
+  return static_cast<std::uint64_t>(value);
+}
+
+double JsonValue::as_double() const {
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  HYPERREC_ENSURE(kind_ == Kind::kDouble, "JSON value is not a number");
+  return double_;
+}
+
+const std::string& JsonValue::as_string() const {
+  HYPERREC_ENSURE(kind_ == Kind::kString, "JSON value is not a string");
+  return string_;
+}
+
+const JsonArray& JsonValue::as_array() const {
+  HYPERREC_ENSURE(kind_ == Kind::kArray, "JSON value is not an array");
+  return array_;
+}
+
+const JsonObject& JsonValue::as_object() const {
+  HYPERREC_ENSURE(kind_ == Kind::kObject, "JSON value is not an object");
+  return *object_;
+}
+
+const JsonValue* JsonValue::get(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_->find(key);
+  return it == object_->end() ? nullptr : &it->second;
+}
+
+JsonValue parse_json(const std::string& text) {
+  return Parser(text).parse();
+}
+
+}  // namespace hyperrec::service

@@ -1,0 +1,87 @@
+// Minimal JSON reader for the solve daemon's wire protocol.
+//
+// The daemon speaks line-delimited JSON over a local socket; requests are
+// small, hand-written documents, so this is a strict recursive-descent
+// parser over the RFC 8259 grammar — no dependencies, no streaming, no
+// comments, no trailing garbage.  Malformed input throws PreconditionError
+// with a byte offset: a daemon must answer a broken request with a precise
+// error line, never by guessing.
+//
+// Numbers keep the integer/double distinction: a token without '.'/'e' that
+// fits std::int64_t parses as an integer (the protocol's counts, seeds and
+// ids are all integral, and the result_json writer guarantees integer
+// output), everything else as a double.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hyperrec::service {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+/// Insertion order is irrelevant for requests; a sorted map keeps lookups
+/// simple and duplicate keys detectable.
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() = default;
+  explicit JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}
+  explicit JsonValue(std::int64_t value) : kind_(Kind::kInt), int_(value) {}
+  explicit JsonValue(double value) : kind_(Kind::kDouble), double_(value) {}
+  explicit JsonValue(std::string value)
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  explicit JsonValue(JsonArray value)
+      : kind_(Kind::kArray), array_(std::move(value)) {}
+  explicit JsonValue(JsonObject value)
+      : kind_(Kind::kObject),
+        object_(std::make_shared<JsonObject>(std::move(value))) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+
+  // Typed accessors; the wrong kind throws PreconditionError (the daemon
+  // turns that into an error response naming the field).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  /// as_int plus a non-negative check — sizes, seeds and counts.
+  [[nodiscard]] std::uint64_t as_uint() const;
+  /// Accepts both integer and double tokens.
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or when this is not an
+  /// object — absent and wrong-shape read the same to an optional field).
+  [[nodiscard]] const JsonValue* get(const std::string& key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  /// shared_ptr breaks the JsonValue→JsonObject→JsonValue size recursion.
+  std::shared_ptr<JsonObject> object_;
+};
+
+/// Parses exactly one JSON document; trailing non-whitespace throws.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
+
+}  // namespace hyperrec::service

@@ -1,0 +1,81 @@
+#include "service/latency_sketch.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "support/ensure.hpp"
+
+namespace hyperrec::service {
+
+std::size_t LatencySketch::bucket_index(std::uint64_t us) noexcept {
+  if (us == 0) return 0;
+  std::size_t octave =
+      static_cast<std::size_t>(std::bit_width(us)) - 1;  // 2^octave <= us
+  if (octave >= kOctaves) {
+    octave = kOctaves - 1;
+    us = (std::uint64_t{1} << kOctaves) - 1;  // clamp into the top octave
+  }
+  // Linear position inside the octave: (us - 2^octave) / 2^octave in kSub
+  // slices.  Octaves narrower than kSub collapse onto slice 0 — exact
+  // values there anyway.
+  const std::uint64_t base = std::uint64_t{1} << octave;
+  const std::size_t sub =
+      static_cast<std::size_t>(((us - base) * kSub) >> octave);
+  return octave * kSub + std::min(sub, kSub - 1);
+}
+
+std::uint64_t LatencySketch::bucket_upper(std::size_t index) noexcept {
+  const std::size_t octave = index / kSub;
+  const std::size_t sub = index % kSub;
+  const std::uint64_t base = std::uint64_t{1} << octave;
+  // Upper edge of slice `sub`: base * (1 + (sub + 1) / kSub).
+  return base + ((base * (sub + 1)) / kSub);
+}
+
+void LatencySketch::record(std::chrono::microseconds sample) {
+  const std::uint64_t us =
+      sample.count() < 0 ? 0 : static_cast<std::uint64_t>(sample.count());
+  buckets_[bucket_index(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (us > seen &&
+         !max_.compare_exchange_weak(seen, us, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t LatencySketch::quantile(double q) const {
+  HYPERREC_ENSURE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  std::array<std::uint64_t, kBuckets> local;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    local[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += local[i];
+  }
+  if (total == 0) return 0;
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))));
+  const std::uint64_t observed_max = max_.load(std::memory_order_relaxed);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += local[i];
+    if (seen >= target) {
+      // The last occupied bucket answers with the true max: its nominal
+      // upper edge can sit below the max when samples overflowed the top
+      // octave, and quantile(1.0) == max() must hold regardless.
+      if (seen == total) return observed_max;
+      return std::min(bucket_upper(i), observed_max);
+    }
+  }
+  return observed_max;
+}
+
+std::uint64_t LatencySketch::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t LatencySketch::max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+}  // namespace hyperrec::service

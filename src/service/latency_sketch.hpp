@@ -1,0 +1,51 @@
+// Streaming quantile sketch for service latency metrics.
+//
+// /statz wants p50/p99 over an unbounded stream of solve latencies without
+// storing samples.  A histogram with geometric buckets does this in fixed
+// memory with a bounded *relative* error: each power-of-two octave is split
+// into `kSub` linear sub-buckets, so a bucket's width is at most 1/kSub of
+// its magnitude (~12.5% worst-case relative error at kSub = 8 — plenty for
+// a latency percentile, which is read at order-of-magnitude granularity).
+//
+// record() is lock-free (one relaxed fetch_add plus a relaxed CAS for the
+// max) and safe from any number of threads; quantile() is a read-side scan
+// over the bucket array — monotone, deterministic for a quiesced sketch,
+// and conservative (it reports the bucket's upper bound, clamped to the
+// true observed max).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace hyperrec::service {
+
+class LatencySketch {
+ public:
+  /// Records one non-negative sample, in microseconds.
+  void record(std::chrono::microseconds sample);
+
+  /// Value at quantile `q` in [0, 1]: the upper bound of the bucket holding
+  /// the ceil(q * count)-th smallest sample, clamped to the observed max
+  /// (so quantile(1.0) == max()).  0 when nothing was recorded.
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] std::uint64_t max() const;
+
+ private:
+  /// 40 octaves cover [1 us, ~2^40 us ≈ 12.7 days) — beyond any solve.
+  static constexpr std::size_t kOctaves = 40;
+  static constexpr std::size_t kSub = 8;
+  static constexpr std::size_t kBuckets = kOctaves * kSub;
+
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t us) noexcept;
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t index) noexcept;
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace hyperrec::service

@@ -1,0 +1,267 @@
+#include "service/protocol.hpp"
+
+#include <cstdio>
+
+#include "service/json.hpp"
+#include "support/ensure.hpp"
+#include "support/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace hyperrec::service {
+
+namespace {
+
+std::uint64_t uint_field(const JsonValue& object, const std::string& key,
+                         std::uint64_t fallback) {
+  const JsonValue* value = object.get(key);
+  if (value == nullptr) return fallback;
+  HYPERREC_ENSURE(value->kind() == JsonValue::Kind::kInt,
+                  "request field \"" + key + "\" must be an integer");
+  HYPERREC_ENSURE(value->as_int() >= 0,
+                  "request field \"" + key + "\" must be non-negative");
+  return value->as_uint();
+}
+
+std::string string_field(const JsonValue& object, const std::string& key,
+                         std::string fallback) {
+  const JsonValue* value = object.get(key);
+  if (value == nullptr) return fallback;
+  HYPERREC_ENSURE(value->kind() == JsonValue::Kind::kString,
+                  "request field \"" + key + "\" must be a string");
+  return value->as_string();
+}
+
+std::vector<std::size_t> universes_field(const JsonValue& object,
+                                         const std::string& key) {
+  const JsonValue* value = object.get(key);
+  HYPERREC_ENSURE(value != nullptr,
+                  "request needs a \"" + key + "\" array");
+  std::vector<std::size_t> universes;
+  for (const JsonValue& entry : value->as_array()) {
+    const std::uint64_t universe = entry.as_uint();
+    HYPERREC_ENSURE(universe >= 1, "task universes must be at least 1");
+    universes.push_back(static_cast<std::size_t>(universe));
+  }
+  HYPERREC_ENSURE(!universes.empty(), "\"" + key + "\" must be non-empty");
+  return universes;
+}
+
+/// One synchronized step: [{"bits":[...], "demand":D?}, ...], requirement j
+/// for task j with universe universes[j].
+std::vector<ContextRequirement> parse_step(
+    const JsonValue& step, const std::vector<std::size_t>& universes) {
+  const JsonArray& reqs = step.as_array();
+  HYPERREC_ENSURE(reqs.size() == universes.size(),
+                  "step must carry exactly one requirement per task");
+  std::vector<ContextRequirement> parsed;
+  parsed.reserve(reqs.size());
+  for (std::size_t j = 0; j < reqs.size(); ++j) {
+    DynamicBitset local(universes[j]);
+    const JsonValue* bits = reqs[j].get("bits");
+    HYPERREC_ENSURE(bits != nullptr,
+                    "step requirement needs a \"bits\" array");
+    for (const JsonValue& bit : bits->as_array()) {
+      const std::uint64_t index = bit.as_uint();
+      HYPERREC_ENSURE(index < universes[j],
+                      "requirement bit " + std::to_string(index) +
+                          " outside the task's universe");
+      local.set(static_cast<std::size_t>(index));
+    }
+    const std::uint64_t demand = uint_field(reqs[j], "demand", 0);
+    HYPERREC_ENSURE(demand <= 0xFFFFFFFFull,
+                    "requirement demand out of range");
+    parsed.push_back(ContextRequirement{
+        std::move(local), static_cast<std::uint32_t>(demand)});
+  }
+  return parsed;
+}
+
+JobSpec parse_job(const JsonValue& job) {
+  JobSpec spec;
+  const JsonValue* trace = job.get("trace");
+  if (trace != nullptr) {
+    spec.inline_universes = universes_field(*trace, "universes");
+    const JsonValue* steps = trace->get("steps");
+    HYPERREC_ENSURE(steps != nullptr,
+                    "inline trace needs a \"steps\" array");
+    MultiTaskTrace parsed;
+    std::vector<TaskTrace> tasks;
+    tasks.reserve(spec.inline_universes.size());
+    for (const std::size_t universe : spec.inline_universes) {
+      tasks.emplace_back(universe);
+    }
+    const JsonArray& rows = steps->as_array();
+    HYPERREC_ENSURE(!rows.empty(), "inline trace needs at least one step");
+    for (const JsonValue& row : rows) {
+      std::vector<ContextRequirement> step =
+          parse_step(row, spec.inline_universes);
+      for (std::size_t j = 0; j < step.size(); ++j) {
+        tasks[j].push_back(std::move(step[j]));
+      }
+    }
+    for (TaskTrace& task : tasks) parsed.add_task(std::move(task));
+    spec.inline_trace = std::move(parsed);
+    spec.name = string_field(job, "name", "inline");
+    return spec;
+  }
+
+  const JsonValue* workload = job.get("workload");
+  HYPERREC_ENSURE(workload != nullptr,
+                  "job needs either \"workload\" or \"trace\"");
+  spec.workload = workload->as_string();
+  bool known = false;
+  for (const std::string& kind : workload::family_names()) {
+    known = known || kind == spec.workload;
+  }
+  HYPERREC_ENSURE(known, "unknown workload family \"" + spec.workload + "\"");
+  spec.tasks = static_cast<std::size_t>(uint_field(job, "tasks", 4));
+  spec.steps = static_cast<std::size_t>(uint_field(job, "steps", 96));
+  spec.universe = static_cast<std::size_t>(uint_field(job, "universe", 32));
+  spec.seed = uint_field(job, "seed", 1);
+  spec.stream = uint_field(job, "stream", 0);
+  HYPERREC_ENSURE(spec.tasks >= 1 && spec.steps >= 1 && spec.universe >= 1,
+                  "job shape fields must be at least 1");
+  spec.name = string_field(
+      job, "name", spec.workload + "-" + std::to_string(spec.stream));
+  return spec;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  const JsonValue doc = parse_json(line);
+  HYPERREC_ENSURE(doc.kind() == JsonValue::Kind::kObject,
+                  "request must be a JSON object");
+  Request request;
+  const std::string op = string_field(doc, "op", "");
+  HYPERREC_ENSURE(!op.empty(), "request needs an \"op\" field");
+  request.tenant = string_field(doc, "tenant", "default");
+  HYPERREC_ENSURE(!request.tenant.empty(), "tenant name must be non-empty");
+  request.priority = uint_field(doc, "priority", 0);
+  request.id = string_field(doc, "id", "");
+
+  if (op == "solve") {
+    request.op = Op::kSolve;
+    const JsonValue* job = doc.get("job");
+    HYPERREC_ENSURE(job != nullptr, "solve request needs a \"job\" object");
+    request.job = parse_job(*job);
+  } else if (op == "stream_open") {
+    request.op = Op::kStreamOpen;
+    request.universes = universes_field(doc, "universes");
+    request.trigger = string_field(doc, "trigger", "");
+  } else if (op == "stream_append") {
+    request.op = Op::kStreamAppend;
+    request.stream = static_cast<std::size_t>(uint_field(doc, "stream", 0));
+    const JsonValue* step = doc.get("step");
+    HYPERREC_ENSURE(step != nullptr,
+                    "stream_append needs a \"step\" array");
+    const JsonArray& reqs = step->as_array();
+    HYPERREC_ENSURE(!reqs.empty(), "step must be non-empty");
+    for (const JsonValue& req : reqs) {
+      StepRequirement parsed;
+      const JsonValue* bits = req.get("bits");
+      HYPERREC_ENSURE(bits != nullptr,
+                      "step requirement needs a \"bits\" array");
+      for (const JsonValue& bit : bits->as_array()) {
+        parsed.bits.push_back(static_cast<std::size_t>(bit.as_uint()));
+      }
+      const std::uint64_t demand = uint_field(req, "demand", 0);
+      HYPERREC_ENSURE(demand <= 0xFFFFFFFFull,
+                      "requirement demand out of range");
+      parsed.demand = static_cast<std::uint32_t>(demand);
+      request.step.push_back(std::move(parsed));
+    }
+  } else if (op == "stream_flush") {
+    request.op = Op::kStreamFlush;
+    request.stream = static_cast<std::size_t>(uint_field(doc, "stream", 0));
+  } else if (op == "stream_result") {
+    request.op = Op::kStreamResult;
+    request.stream = static_cast<std::size_t>(uint_field(doc, "stream", 0));
+  } else if (op == "statz") {
+    request.op = Op::kStatz;
+  } else if (op == "shutdown") {
+    request.op = Op::kShutdown;
+  } else {
+    HYPERREC_ENSURE(false, "unknown op \"" + op + "\"");
+  }
+  return request;
+}
+
+engine::BatchJob make_job(const JobSpec& spec) {
+  engine::BatchJob job;
+  if (spec.inline_trace.has_value()) {
+    job.trace = *spec.inline_trace;
+  } else {
+    // CLI-identical derivation: root seed, per-job split, same generator.
+    Xoshiro256 root(spec.seed);
+    Xoshiro256 rng = root.split(spec.stream);
+    job.trace = workload::make_multi_family(spec.workload, spec.tasks,
+                                            spec.steps, spec.universe, rng);
+  }
+  std::vector<std::size_t> locals;
+  locals.reserve(job.trace.task_count());
+  for (std::size_t j = 0; j < job.trace.task_count(); ++j) {
+    locals.push_back(job.trace.task(j).local_universe());
+  }
+  job.machine = MachineSpec::local_only(locals);
+  job.name = spec.name;
+  return job;
+}
+
+std::string json_quote(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+std::string service_prefix(const std::string& id) {
+  return "{\"schema\":\"hyperrec-service\",\"version\":1,\"id\":" +
+         json_quote(id);
+}
+
+}  // namespace
+
+std::string error_line(const std::string& id, const std::string& message) {
+  return service_prefix(id) + ",\"ok\":false,\"error\":" +
+         json_quote(message) + "}";
+}
+
+std::string reject_line(const std::string& id, RejectReason reason,
+                        std::chrono::milliseconds retry_after) {
+  return service_prefix(id) + ",\"ok\":false,\"reject\":\"" +
+         to_string(reason) +
+         "\",\"retry_after_ms\":" + std::to_string(retry_after.count()) + "}";
+}
+
+std::string ack_line(const std::string& id) {
+  return service_prefix(id) + ",\"ok\":true}";
+}
+
+std::string stream_opened_line(const std::string& id, std::size_t stream) {
+  return service_prefix(id) + ",\"ok\":true,\"stream\":" +
+         std::to_string(stream) + "}";
+}
+
+}  // namespace hyperrec::service

@@ -1,0 +1,162 @@
+#include "service/socket_server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "support/ensure.hpp"
+
+namespace hyperrec::service {
+
+namespace {
+
+/// send() the whole buffer; MSG_NOSIGNAL turns a dead peer into an error
+/// return instead of SIGPIPE.
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(std::string path, Handler handler)
+    : path_(std::move(path)), handler_(std::move(handler)) {
+  HYPERREC_ENSURE(handler_ != nullptr, "socket server needs a handler");
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  HYPERREC_ENSURE(path_.size() < sizeof(address.sun_path),
+                  "socket path too long: " + path_);
+  std::memcpy(address.sun_path, path_.c_str(), path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  HYPERREC_ENSURE(listen_fd_ >= 0,
+                  std::string("socket() failed: ") + std::strerror(errno));
+  ::unlink(path_.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    HYPERREC_ENSURE(false, "bind(" + path_ +
+                               ") failed: " + std::strerror(saved));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(path_.c_str());
+    HYPERREC_ENSURE(false, "listen(" + path_ +
+                               ") failed: " + std::strerror(saved));
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (stop) or unrecoverable
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    connection_fds_.push_back(fd);
+    connections_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void SocketServer::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool stop_requested = false;
+  while (!stop_requested) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // peer closed or connection shut down by stop()
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline = 0;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      LineResponse response = handler_(line);
+      response.line.push_back('\n');
+      if (!send_all(fd, response.line)) {
+        stop_requested = response.stop;
+        break;
+      }
+      if (response.stop) {
+        stop_requested = true;
+        break;
+      }
+    }
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  if (stop_requested) {
+    // Handler asked for shutdown: wake wait() and the acceptor, but leave
+    // the joins to stop() — this thread cannot join itself.
+    stopping_.store(true, std::memory_order_release);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+    stopped_cv_.notify_all();
+  }
+}
+
+void SocketServer::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  stopped_cv_.wait(lock, [this] { return stopped_; });
+}
+
+void SocketServer::stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+
+  std::vector<int> fds;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fds.swap(connection_fds_);
+    threads.swap(connections_);
+    stopped_ = true;
+    stopped_cv_.notify_all();
+  }
+  for (const int fd : fds) ::shutdown(fd, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& thread : threads) {
+    if (thread.get_id() == std::this_thread::get_id()) {
+      thread.detach();  // stop() from a connection thread: cannot self-join
+    } else if (thread.joinable()) {
+      thread.join();
+    }
+  }
+  for (const int fd : fds) ::close(fd);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(path_.c_str());
+  }
+}
+
+}  // namespace hyperrec::service

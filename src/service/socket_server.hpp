@@ -1,0 +1,70 @@
+// Unix-domain line transport for the solve daemon.
+//
+// A SocketServer listens on an AF_UNIX stream socket, spawns one thread per
+// connection, and pumps newline-delimited request lines through a handler
+// (one response line per request, in order — the wire contract of
+// protocol.hpp).  The handler decides when to stop: returning stop = true
+// (the solve service does so after a graceful shutdown drain) makes the
+// server close the listener and unblock wait().
+//
+// Scope: a local operational transport, deliberately minimal — no TLS, no
+// framing beyond '\n', no partial-write recovery gymnastics.  Tenancy and
+// trust live in the service layer; the socket is filesystem-permission
+// guarded like any other local daemon control socket.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hyperrec::service {
+
+class SocketServer {
+ public:
+  struct LineResponse {
+    std::string line;  ///< sent back followed by '\n'
+    bool stop = false; ///< close the server after sending this response
+  };
+  using Handler = std::function<LineResponse(const std::string&)>;
+
+  /// Binds and listens on `path` (an existing socket file is removed first
+  /// — a daemon restart must not fail on its own leftovers) and starts the
+  /// accept loop.  Throws PreconditionError when the socket cannot be set
+  /// up.
+  SocketServer(std::string path, Handler handler);
+  ~SocketServer();  ///< stop() + join
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Blocks until the server stopped (handler-requested or stop()).
+  void wait();
+
+  /// Stops accepting, shuts down live connections, joins all threads.
+  /// Idempotent and safe from any thread (including a connection thread).
+  void stop();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  std::string path_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mutex_;
+  std::condition_variable stopped_cv_;
+  bool stopped_ = false;
+  std::vector<int> connection_fds_;      ///< guarded by mutex_
+  std::vector<std::thread> connections_; ///< guarded by mutex_
+  std::thread acceptor_;
+};
+
+}  // namespace hyperrec::service

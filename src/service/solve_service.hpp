@@ -1,0 +1,162 @@
+// The persistent solve service: one shared cache, admission control,
+// tenant quotas, streaming multiplexing and /statz — the layer that turns
+// the solver library into a long-running system.
+//
+// A SolveService owns exactly one SolveCache (and through it the warm-start
+// index), one BatchEngine for offline solve requests, and one
+// StreamMultiplexer for streaming tenants — all alive for the service's
+// lifetime, so repetition across requests is exploited instead of dying
+// with each process (ROADMAP item 1).  Transport is pluggable: the service
+// maps one request line to one response line (handle_line, thread-safe);
+// socket_server.hpp pumps a Unix socket through it, tests call it directly.
+//
+// Request lifecycle for a solve:
+//
+//   parse ─► draining? ─► tenant token bucket ─► bounded priority queue
+//             │ reject         │ reject (retry-after)   │ reject
+//             ▼                ▼                        ▼ (backpressure)
+//   ...admitted: a worker pops (priority desc, FIFO within), solves the
+//   one-job batch through the shared engine+cache, records latency and
+//   win-rate metrics, and fulfils the caller's future with the full
+//   io/result_json v5 document (tenant/queue envelope filled in).
+//
+// Graceful drain (shutdown(), idempotent): stop admitting, close the queue
+// so workers finish every accepted job, join the workers, then flush and
+// drain the multiplexer — no accepted work is ever dropped.  /statz keeps
+// answering during and after the drain.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/batch_engine.hpp"
+#include "service/admission.hpp"
+#include "service/latency_sketch.hpp"
+#include "service/protocol.hpp"
+#include "streaming/stream_multiplexer.hpp"
+
+namespace hyperrec::service {
+
+struct ServiceConfig {
+  /// Worker threads popping the admission queue (each runs its own
+  /// single-threaded BatchEngine solve; jobs are the unit of parallelism).
+  std::size_t workers = 2;
+  /// Admission queue bound; a full queue rejects with backpressure.
+  std::size_t queue_capacity = 64;
+  /// Suggested client wait after a backpressure rejection.
+  std::chrono::milliseconds backpressure_retry{50};
+  /// The ONE shared cache: entry budget, TTL, warm-start index budget.
+  cache::SolveCacheConfig cache;
+  /// Portfolio line-up for solve requests; empty = full standard line-up.
+  std::vector<std::string> portfolio;
+  /// Per-job solve deadline; 0 = none.
+  std::chrono::milliseconds deadline{0};
+  /// Seed misses with same-shape cached incumbents (the warm-start index).
+  bool warm_start = true;
+  /// Default tenant quota; rate_per_sec <= 0 = unlimited.
+  QuotaConfig default_quota;
+  /// Per-tenant quota overrides by tenant name.
+  std::map<std::string, QuotaConfig> tenant_quotas;
+  /// Streaming: multiplexer shard lanes, per-stream solve window, and the
+  /// fleet-wide trigger spec (strict grammar — see trigger_spec.hpp; parsed
+  /// at construction, so a malformed daemon config fails loudly at start).
+  std::size_t mux_shards = 4;
+  std::size_t stream_window = 256;
+  std::string stream_trigger = "steps:16";
+};
+
+class SolveService {
+ public:
+  explicit SolveService(ServiceConfig config);
+  ~SolveService();  ///< runs shutdown() when the owner did not
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// One request line in, one response line out (no trailing newline).
+  /// Thread-safe; never throws — malformed requests and internal failures
+  /// come back as error lines.  A solve blocks the calling thread until a
+  /// worker answers (admission happens up front; concurrent callers feel
+  /// backpressure through the bounded queue, not through buffering).
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// Graceful drain: stop admitting, finish every accepted job, flush and
+  /// drain every stream.  Idempotent; blocks until the drain completed.
+  void shutdown();
+
+  /// True from the moment shutdown() was requested (new work is rejected
+  /// with reject="draining").
+  [[nodiscard]] bool draining() const noexcept {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// The /statz metrics document (also served via {"op":"statz"}).
+  [[nodiscard]] std::string statz_json() const;
+
+  /// The shared cache — the soak gate asserts entries <= capacity and
+  /// inflight() == 0 through this.
+  [[nodiscard]] const cache::SolveCache& cache() const noexcept {
+    return *cache_;
+  }
+
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+
+ private:
+  /// An admitted solve waiting for a worker.
+  struct Pending {
+    engine::BatchJob job;
+    std::string tenant;
+    std::uint64_t priority = 0;
+    std::size_t depth_at_admission = 0;
+    std::chrono::steady_clock::time_point enqueued;
+    std::shared_ptr<std::promise<std::string>> response;
+  };
+
+  std::string handle_request(const Request& request);
+  std::string handle_solve(const Request& request);
+  std::string handle_stream_open(const Request& request);
+  std::string handle_stream_append(const Request& request);
+  std::string handle_stream_flush(const Request& request);
+  std::string handle_stream_result(const Request& request);
+  void worker_loop();
+
+  ServiceConfig config_;
+  std::shared_ptr<cache::SolveCache> cache_;
+  std::unique_ptr<engine::BatchEngine> engine_;
+  std::unique_ptr<streaming::StreamMultiplexer> mux_;
+
+  TenantRegistry tenants_;
+  BoundedPriorityQueue<Pending> queue_;
+  std::vector<std::thread> workers_;
+
+  /// Stream table: mux stream id → owner tenant and task universes (the
+  /// service validates append bits against these).  Shared lock for
+  /// appends/flushes, exclusive for open/result/shutdown (stream_result
+  /// drains the mux, which needs producers paused).
+  struct StreamInfo {
+    std::string tenant;
+    std::vector<std::size_t> universes;
+  };
+  mutable std::shared_mutex streams_mutex_;
+  std::map<std::size_t, StreamInfo> streams_;
+
+  // Metrics.
+  LatencySketch solve_latency_;
+  LatencySketch queue_wait_;
+  mutable std::mutex wins_mutex_;
+  std::map<std::string, std::uint64_t> solver_wins_;
+
+  std::atomic<bool> draining_{false};
+  std::once_flag shutdown_once_;
+  std::chrono::steady_clock::time_point started_;
+};
+
+}  // namespace hyperrec::service

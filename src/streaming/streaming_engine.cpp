@@ -71,8 +71,7 @@ StreamingEngine::StreamingEngine(MachineSpec machine, EvalOptions options,
     : machine_(std::move(machine)),
       options_(options),
       config_(std::move(config)),
-      stats_(machine_universes(machine_), config_.builder),
-      last_solve_(Clock::now()) {
+      stats_(machine_universes(machine_), config_.builder) {
   HYPERREC_ENSURE(machine_.task_count() > 0,
                   "streaming engine needs at least one task");
   HYPERREC_ENSURE(config_.window >= 1, "window must be at least 1");
@@ -93,6 +92,12 @@ std::optional<TriggerKind> StreamingEngine::ingest(
     std::vector<ContextRequirement> step) {
   HYPERREC_ENSURE(step.size() == machine_.task_count(),
                   "append_step needs exactly one requirement per task");
+  // Arm the tick clock on first ingest, not at construction: a daemon
+  // registers tenant engines ahead of traffic, and a construction-time
+  // baseline would let an idle gap before the first steps count as "time
+  // since the last solve" and fire kDeadlineTick although nothing was ever
+  // solved.
+  if (stats_.steps() == 0) last_solve_ = Clock::now();
   for (const ContextRequirement& req : step) {
     HYPERREC_ENSURE(req.private_demand <= machine_.private_global_units,
                     "step private demand exceeds the machine's pool");

@@ -238,7 +238,9 @@ class StreamingEngine {
 
   std::size_t pending_ = 0;  ///< steps appended since the last re-solve ran
   std::optional<TriggerKind> pending_trigger_;  ///< deferred-mode latch
-  std::chrono::steady_clock::time_point last_solve_;
+  /// Tick-trigger baseline: armed on first ingest (an engine may be built
+  /// long before traffic arrives), re-armed by every successful re-solve.
+  std::chrono::steady_clock::time_point last_solve_{};
 };
 
 }  // namespace hyperrec::streaming

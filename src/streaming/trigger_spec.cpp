@@ -1,0 +1,116 @@
+#include "streaming/trigger_spec.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "support/ensure.hpp"
+
+namespace hyperrec::streaming {
+
+namespace {
+
+/// Full-consumption unsigned parse: every character of `text` must be a
+/// digit of the value, no sign, no suffix, no empty string.
+std::uint64_t parse_u64(const std::string& text, const std::string& item) {
+  std::uint64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  HYPERREC_ENSURE(!text.empty() && ec == std::errc{} && ptr == last,
+                  "malformed trigger value in '" + item +
+                      "': expected a non-negative integer");
+  return value;
+}
+
+/// Full-consumption decimal parse; must be finite and non-negative.
+double parse_decimal(const std::string& text, const std::string& item) {
+  HYPERREC_ENSURE(!text.empty(), "malformed trigger value in '" + item +
+                                     "': expected a decimal number");
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  HYPERREC_ENSURE(end == text.c_str() + text.size() &&
+                      value >= 0.0 &&
+                      value <= std::numeric_limits<double>::max(),
+                  "malformed trigger value in '" + item +
+                      "': expected a non-negative decimal number");
+  return value;
+}
+
+}  // namespace
+
+TriggerConfig parse_trigger_spec(const std::string& spec) {
+  HYPERREC_ENSURE(!spec.empty(), "empty trigger spec");
+  TriggerConfig trigger;
+  bool seen_steps = false;
+  bool seen_spike = false;
+  bool seen_spike_min = false;
+  bool seen_rent_or_buy = false;
+  bool seen_tick = false;
+
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t comma = spec.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    const std::string item = spec.substr(begin, end - begin);
+    HYPERREC_ENSURE(!item.empty(),
+                    "empty trigger item in spec '" + spec + "'");
+
+    const std::size_t colon = item.find(':');
+    const bool has_value = colon != std::string::npos;
+    const std::string kind = item.substr(0, colon);
+    const std::string value = has_value ? item.substr(colon + 1) : "";
+
+    if (kind == "steps") {
+      HYPERREC_ENSURE(!seen_steps, "duplicate trigger key in '" + item + "'");
+      HYPERREC_ENSURE(has_value, "trigger 'steps' needs a value (steps:N)");
+      seen_steps = true;
+      trigger.every_steps = static_cast<std::size_t>(parse_u64(value, item));
+    } else if (kind == "spike") {
+      HYPERREC_ENSURE(!seen_spike, "duplicate trigger key in '" + item + "'");
+      HYPERREC_ENSURE(has_value, "trigger 'spike' needs a value (spike:F)");
+      seen_spike = true;
+      trigger.spike_factor = parse_decimal(value, item);
+    } else if (kind == "spike-min") {
+      HYPERREC_ENSURE(!seen_spike_min,
+                      "duplicate trigger key in '" + item + "'");
+      HYPERREC_ENSURE(has_value,
+                      "trigger 'spike-min' needs a value (spike-min:D)");
+      seen_spike_min = true;
+      const std::uint64_t demand = parse_u64(value, item);
+      HYPERREC_ENSURE(demand <= std::numeric_limits<std::uint32_t>::max(),
+                      "trigger value out of range in '" + item + "'");
+      trigger.spike_min_demand = static_cast<std::uint32_t>(demand);
+    } else if (kind == "rent-or-buy") {
+      HYPERREC_ENSURE(!seen_rent_or_buy,
+                      "duplicate trigger key in '" + item + "'");
+      HYPERREC_ENSURE(!has_value,
+                      "trigger 'rent-or-buy' is a flag and takes no value "
+                      "(got '" + item + "')");
+      seen_rent_or_buy = true;
+      trigger.rent_or_buy = true;
+    } else if (kind == "tick") {
+      HYPERREC_ENSURE(!seen_tick, "duplicate trigger key in '" + item + "'");
+      HYPERREC_ENSURE(has_value, "trigger 'tick' needs a value (tick:MS)");
+      seen_tick = true;
+      const std::uint64_t ms = parse_u64(value, item);
+      HYPERREC_ENSURE(
+          ms <= static_cast<std::uint64_t>(
+                    std::numeric_limits<std::int64_t>::max() / 1000000),
+          "trigger value out of range in '" + item + "'");
+      trigger.tick = std::chrono::milliseconds{static_cast<std::int64_t>(ms)};
+    } else {
+      HYPERREC_ENSURE(false, "unknown trigger kind '" + kind + "' in spec '" +
+                                 spec +
+                                 "' (known: steps, spike, spike-min, "
+                                 "rent-or-buy, tick)");
+    }
+
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return trigger;
+}
+
+}  // namespace hyperrec::streaming

@@ -1,0 +1,31 @@
+// Strict textual trigger specs, shared by the CLI and the solve daemon.
+//
+// A trigger spec is a comma-separated list of re-solve triggers:
+//
+//   steps:N       re-solve every N appended steps (N = 0 disables)
+//   spike:F       demand-spike factor (decimal, > 0)
+//   spike-min:D   absolute demand floor for the spike trigger
+//   rent-or-buy   per-task rent-or-buy controller (flag, no value)
+//   tick:MS       wall-clock budget in milliseconds (MS >= 0)
+//
+// Parsing is strict on purpose: a daemon config (or a long-running bench
+// invocation) with a silently dropped trigger key runs with the *wrong
+// policy* and nobody notices until the latency graphs do.  Unknown keys
+// ("spkie:2.0"), missing/empty/partial values ("steps", "steps:",
+// "steps:16abc"), values on flag-only keys ("rent-or-buy:5"), negative or
+// non-finite numbers and duplicate keys all throw PreconditionError with
+// the offending item in the message.
+#pragma once
+
+#include <string>
+
+#include "streaming/streaming_engine.hpp"
+
+namespace hyperrec::streaming {
+
+/// Parses a trigger spec (see file comment).  The spec must be non-empty —
+/// "no triggers" is expressed by not passing a spec at all, not by an empty
+/// string (which is almost always a quoting accident).
+[[nodiscard]] TriggerConfig parse_trigger_spec(const std::string& spec);
+
+}  // namespace hyperrec::streaming

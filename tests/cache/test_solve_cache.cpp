@@ -333,6 +333,66 @@ TEST(SolveCache, ComputeExceptionPropagatesToAllWaitersAndClearsFlight) {
   EXPECT_EQ(ok.total(), 8);
 }
 
+TEST(SolveCache, FailedPiggybackCountsAsCoalescedFailureNotAHit) {
+  // Regression: the waiter path bumped `coalesced` before blocking on the
+  // flight's future — i.e. the outcome was recorded before the flight
+  // resolved.  A leader that threw still left its waiters counted as
+  // successful coalesced hits, so /statz overstated cache effectiveness
+  // exactly when the portfolio was failing.  The fix records the flight's
+  // fate: a rethrowing waiter lands in `coalesced_failures`.
+  SolveCache cache({.capacity = 8, .ttl = {}, .shards = 1});
+  const InstanceKey key = key_for(61);
+  std::atomic<bool> leader_in_compute{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> attempts{0};
+  const auto failing = [&]() -> MTSolution {
+    attempts.fetch_add(1, std::memory_order_relaxed);
+    leader_in_compute.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    throw std::runtime_error("leader blew up");
+  };
+
+  std::atomic<int> caught{0};
+  std::thread leader([&]() {
+    try {
+      (void)cache.get_or_compute(key, failing);
+    } catch (const std::runtime_error&) {
+      caught.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  while (!leader_in_compute.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  CacheOutcome waiter_outcome = CacheOutcome::kMiss;
+  std::thread waiter([&]() {
+    try {
+      (void)cache.get_or_compute(key, failing, &waiter_outcome);
+    } catch (const std::runtime_error&) {
+      caught.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  // The flight stays registered while the leader is parked in compute; give
+  // the waiter time to find it and block, then let the leader throw.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release.store(true, std::memory_order_release);
+  leader.join();
+  waiter.join();
+
+  EXPECT_EQ(attempts.load(), 1) << "the waiter must piggyback, not recompute";
+  EXPECT_EQ(caught.load(), 2);
+  // `outcome` still reports the path taken (written before the wait, the
+  // documented exits-by-exception contract)...
+  EXPECT_EQ(waiter_outcome, CacheOutcome::kCoalesced);
+  // ...but the stats record the flight's fate: no successful coalesced hit
+  // happened here.
+  const SolveCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.coalesced, 0u);
+  EXPECT_EQ(stats.coalesced_failures, 1u);
+}
+
 TEST(SolveCache, WarmStartReturnsSameShapeSchedule) {
   SolveCache cache({.capacity = 8, .ttl = {}, .shards = 1});
   // Two same-shape instances with different content.

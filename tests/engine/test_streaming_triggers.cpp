@@ -225,6 +225,39 @@ TEST(StreamingTriggers, DeadlineTickFiresAfterWallTimePasses) {
   EXPECT_TRUE(engine.windows().back().ok) << engine.windows().back().error;
 }
 
+TEST(StreamingTriggers, TickClockArmsOnFirstIngestNotAtConstruction) {
+  // Regression: the tick baseline used to be stamped in the constructor, so
+  // an engine built ahead of traffic (a daemon registers tenant engines
+  // before their first request) counted the idle pre-traffic gap as "time
+  // since the last solve".  The repro pins the baseline: the engine-wide
+  // cancel token is already fired, so the initial solve fails and never
+  // re-arms the clock — with the construction-time baseline, the very next
+  // append then fired a bogus kDeadlineTick re-solve; with the clock armed
+  // on first ingest, back-to-back appends stay far inside the tick budget.
+  const CancelToken cancel = CancelToken::manual();
+  cancel.cancel();
+  StreamingConfig config = base_config(32);
+  config.trigger.tick = std::chrono::milliseconds{250};
+  config.cancel = cancel;
+  StreamingEngine engine(MachineSpec::local_only({4}), EvalOptions{}, config);
+
+  // Idle longer than the tick budget before any traffic arrives.
+  std::this_thread::sleep_for(std::chrono::milliseconds{400});
+
+  EXPECT_TRUE(engine.append_step({req_bits(4, {0})}));  // initial (fails)
+  ASSERT_EQ(engine.resolve_count(), 1u);
+  EXPECT_EQ(engine.windows().back().trigger, TriggerKind::kInitial);
+  EXPECT_FALSE(engine.windows().back().ok);
+
+  // Immediately after: nothing solved yet, but also no 250 ms elapsed since
+  // the first step arrived — the tick trigger must stay quiet.
+  EXPECT_FALSE(engine.append_step({req_bits(4, {1})}));
+  EXPECT_EQ(engine.resolve_count(), 1u);
+  for (const WindowReport& window : engine.windows()) {
+    EXPECT_NE(window.trigger, TriggerKind::kDeadlineTick);
+  }
+}
+
 TEST(StreamingTriggers, NoTriggerStreamsNeverResolvePastTheInitialWindow) {
   StreamingConfig config = base_config(8);  // all triggers at their defaults
   StreamingEngine engine(MachineSpec::local_only({5}), EvalOptions{}, config);

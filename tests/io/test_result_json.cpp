@@ -157,6 +157,7 @@ engine::BatchResult handcrafted_result() {
   result.cache_stats.hits = 3;
   result.cache_stats.misses = 2;
   result.cache_stats.coalesced = 1;
+  result.cache_stats.coalesced_failures = 1;
   result.cache_stats.insertions = 2;
   result.cache_stats.refreshes = 4;
   result.cache_stats.evictions = 1;
@@ -198,10 +199,12 @@ TEST(ResultJson, GoldenEmptyBatch) {
   result.parallelism = 4;
   result.elapsed = std::chrono::microseconds{0};
   EXPECT_EQ(batch_result_to_json(result),
-            "{\"schema\":\"hyperrec-batch-result\",\"version\":4,"
+            "{\"schema\":\"hyperrec-batch-result\",\"version\":5,"
             "\"parallelism\":4,\"elapsed_us\":0,\"job_count\":0,"
+            "\"tenant\":null,\"queue\":null,"
             "\"cache\":{\"enabled\":false,\"capacity\":0,\"size\":0,"
-            "\"hits\":0,\"misses\":0,\"coalesced\":0,\"insertions\":0,"
+            "\"hits\":0,\"misses\":0,\"coalesced\":0,"
+            "\"coalesced_failures\":0,\"insertions\":0,"
             "\"refreshes\":0,\"evictions\":0,\"expirations\":0,"
             "\"collisions\":0,\"warm_hits\":0},\"fleet\":null,"
             "\"jobs\":[]}\n");
@@ -210,10 +213,12 @@ TEST(ResultJson, GoldenEmptyBatch) {
 TEST(ResultJson, GoldenTwoJobBatchWithStableKeyOrder) {
   EXPECT_EQ(
       batch_result_to_json(handcrafted_result()),
-      "{\"schema\":\"hyperrec-batch-result\",\"version\":4,"
+      "{\"schema\":\"hyperrec-batch-result\",\"version\":5,"
       "\"parallelism\":2,\"elapsed_us\":777,\"job_count\":2,"
+      "\"tenant\":null,\"queue\":null,"
       "\"cache\":{\"enabled\":true,\"capacity\":16,\"size\":1,"
-      "\"hits\":3,\"misses\":2,\"coalesced\":1,\"insertions\":2,"
+      "\"hits\":3,\"misses\":2,\"coalesced\":1,"
+      "\"coalesced_failures\":1,\"insertions\":2,"
       "\"refreshes\":4,\"evictions\":1,\"expirations\":0,\"collisions\":0,"
       "\"warm_hits\":1},\"fleet\":null,\"jobs\":["
       "{\"index\":0,\"name\":\"phased-0\",\"ok\":true,\"error\":\"\","
@@ -278,10 +283,12 @@ TEST(ResultJson, GoldenStreamedJobWithWindows) {
 
   EXPECT_EQ(
       batch_result_to_json(result),
-      "{\"schema\":\"hyperrec-batch-result\",\"version\":4,"
+      "{\"schema\":\"hyperrec-batch-result\",\"version\":5,"
       "\"parallelism\":1,\"elapsed_us\":900,\"job_count\":1,"
+      "\"tenant\":null,\"queue\":null,"
       "\"cache\":{\"enabled\":false,\"capacity\":0,\"size\":0,"
-      "\"hits\":0,\"misses\":0,\"coalesced\":0,\"insertions\":0,"
+      "\"hits\":0,\"misses\":0,\"coalesced\":0,"
+      "\"coalesced_failures\":0,\"insertions\":0,"
       "\"refreshes\":0,\"evictions\":0,\"expirations\":0,\"collisions\":0,"
       "\"warm_hits\":0},\"fleet\":null,\"jobs\":["
       "{\"index\":0,\"name\":\"stream-0\",\"ok\":true,\"error\":\"\","
@@ -343,10 +350,12 @@ TEST(ResultJson, GoldenFleetSummary) {
 
   EXPECT_EQ(
       batch_result_to_json(result),
-      "{\"schema\":\"hyperrec-batch-result\",\"version\":4,"
+      "{\"schema\":\"hyperrec-batch-result\",\"version\":5,"
       "\"parallelism\":2,\"elapsed_us\":55,\"job_count\":0,"
+      "\"tenant\":null,\"queue\":null,"
       "\"cache\":{\"enabled\":true,\"capacity\":8,\"size\":2,"
-      "\"hits\":5,\"misses\":2,\"coalesced\":0,\"insertions\":2,"
+      "\"hits\":5,\"misses\":2,\"coalesced\":0,"
+      "\"coalesced_failures\":0,\"insertions\":2,"
       "\"refreshes\":1,\"evictions\":0,\"expirations\":0,\"collisions\":0,"
       "\"warm_hits\":0},\"fleet\":"
       "{\"streams\":2,\"accepted\":20,\"applied\":18,\"resolves\":6,"
@@ -358,6 +367,37 @@ TEST(ResultJson, GoldenFleetSummary) {
       "\"epoch\":8,\"poisoned\":true,\"published_cost\":null}]},"
       "\"jobs\":[]}\n");
   EXPECT_TRUE(JsonChecker(batch_result_to_json(result)).valid());
+}
+
+TEST(ResultJson, GoldenServiceEnvelopeCarriesTenantAndQueue) {
+  engine::BatchResult result;
+  result.parallelism = 1;
+  result.elapsed = std::chrono::microseconds{10};
+
+  ServiceFields service;
+  service.tenant = "acme";
+  service.priority = 7;
+  service.queue_depth = 3;
+  service.wait = std::chrono::microseconds{250};
+  EXPECT_EQ(batch_result_to_json(result, &service),
+            "{\"schema\":\"hyperrec-batch-result\",\"version\":5,"
+            "\"parallelism\":1,\"elapsed_us\":10,\"job_count\":0,"
+            "\"tenant\":\"acme\","
+            "\"queue\":{\"priority\":7,\"depth\":3,\"wait_us\":250},"
+            "\"cache\":{\"enabled\":false,\"capacity\":0,\"size\":0,"
+            "\"hits\":0,\"misses\":0,\"coalesced\":0,"
+            "\"coalesced_failures\":0,\"insertions\":0,"
+            "\"refreshes\":0,\"evictions\":0,\"expirations\":0,"
+            "\"collisions\":0,\"warm_hits\":0},\"fleet\":null,"
+            "\"jobs\":[]}\n");
+  EXPECT_TRUE(JsonChecker(batch_result_to_json(result, &service)).valid());
+
+  // The envelope is strictly additive: stripping it yields the CLI document.
+  const std::string with = batch_result_to_json(result, &service);
+  const std::string without = batch_result_to_json(result);
+  EXPECT_NE(with, without);
+  EXPECT_NE(without.find("\"tenant\":null,\"queue\":null"),
+            std::string::npos);
 }
 
 TEST(ResultJson, HostileStringsAreEscapedAndStillValidJson) {
@@ -397,8 +437,14 @@ TEST(ResultJson, RealEngineOutputParsesAndIsNaNFree) {
 
   const std::string json = batch_result_to_json(result);
   EXPECT_TRUE(JsonChecker(json).valid()) << json;
-  for (const char* forbidden : {"nan", "inf", "NaN", "Inf"}) {
-    EXPECT_EQ(json.find(forbidden), std::string::npos) << forbidden;
+  // A NaN/Inf literal could only sit in a value position — right after a
+  // ':', ',' or '['.  (A bare substring scan would trip on the "tenant"
+  // key, which contains "nan".)
+  for (const std::string forbidden : {"nan", "inf", "NaN", "Inf"}) {
+    for (const char before : {':', ',', '['}) {
+      EXPECT_EQ(json.find(before + forbidden), std::string::npos)
+          << before << forbidden;
+    }
   }
 }
 

@@ -1,0 +1,206 @@
+// Admission control: token buckets, the tenant registry's accounting
+// identity, and the bounded priority queue's ordering/drain semantics.
+#include "service/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hyperrec::service {
+namespace {
+
+using Clock = TokenBucket::Clock;
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+TEST(TokenBucket, UnlimitedQuotaAlwaysAdmits) {
+  TokenBucket bucket(QuotaConfig{0.0, 1.0});
+  const Clock::time_point now = Clock::now();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bucket.try_acquire(now).admitted);
+  }
+}
+
+TEST(TokenBucket, BurstThenRateRejectionWithRetryAfter) {
+  TokenBucket bucket(QuotaConfig{2.0, 3.0});
+  const Clock::time_point t0 = Clock::now();
+  // Burst of 3 at the same instant, then empty.
+  EXPECT_TRUE(bucket.try_acquire(t0).admitted);
+  EXPECT_TRUE(bucket.try_acquire(t0).admitted);
+  EXPECT_TRUE(bucket.try_acquire(t0).admitted);
+  const Admission rejected = bucket.try_acquire(t0);
+  EXPECT_FALSE(rejected.admitted);
+  // 2 tokens/s: one token refills in 500 ms.
+  EXPECT_GE(rejected.retry_after, milliseconds{1});
+  EXPECT_LE(rejected.retry_after, milliseconds{500});
+  // Sleeping exactly retry_after must admit, never re-reject at 0 ms.
+  EXPECT_TRUE(bucket.try_acquire(t0 + rejected.retry_after).admitted);
+}
+
+TEST(TokenBucket, RefillIsCappedAtBurst) {
+  TokenBucket bucket(QuotaConfig{10.0, 2.0});
+  const Clock::time_point t0 = Clock::now();
+  EXPECT_TRUE(bucket.try_acquire(t0).admitted);
+  // An hour of idle refill still caps at burst = 2.
+  const Clock::time_point t1 = t0 + seconds{3600};
+  EXPECT_TRUE(bucket.try_acquire(t1).admitted);
+  EXPECT_TRUE(bucket.try_acquire(t1).admitted);
+  EXPECT_FALSE(bucket.try_acquire(t1).admitted);
+}
+
+TEST(TokenBucket, BurstBelowOneStillAdmitsOneRequest) {
+  TokenBucket bucket(QuotaConfig{1.0, 0.0});  // burst clamps up to 1
+  const Clock::time_point t0 = Clock::now();
+  EXPECT_TRUE(bucket.try_acquire(t0).admitted);
+  EXPECT_FALSE(bucket.try_acquire(t0).admitted);
+}
+
+TEST(TenantRegistry, AccountingIdentityHoldsAcrossVerdicts) {
+  TenantRegistry registry(QuotaConfig{0.0, 1.0},
+                          {{"limited", QuotaConfig{0.001, 1.0}}});
+  const Clock::time_point now = Clock::now();
+
+  // default-quota tenant: 3 admitted (bucket + queue), 1 backpressure.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(registry.admit("acme", now).admitted);
+    registry.record_admitted("acme");
+  }
+  ASSERT_TRUE(registry.admit("acme", now).admitted);
+  registry.record_backpressure("acme");
+  registry.record_completed("acme");
+  registry.record_completed("acme");
+  registry.record_failed("acme");
+
+  // limited tenant: 1 admitted, then rate-rejected, then a draining turn.
+  ASSERT_TRUE(registry.admit("limited", now).admitted);
+  registry.record_admitted("limited");
+  EXPECT_FALSE(registry.admit("limited", now).admitted);
+  registry.record_draining("limited");
+
+  const auto rows = registry.snapshot();
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& [name, counters] : rows) {
+    EXPECT_EQ(counters.received,
+              counters.admitted + counters.rejected_rate +
+                  counters.rejected_backpressure + counters.rejected_draining)
+        << "identity broken for tenant " << name;
+  }
+  EXPECT_EQ(rows[0].first, "acme");
+  EXPECT_EQ(rows[0].second.received, 4u);
+  EXPECT_EQ(rows[0].second.admitted, 3u);
+  EXPECT_EQ(rows[0].second.rejected_backpressure, 1u);
+  EXPECT_EQ(rows[0].second.completed, 2u);
+  EXPECT_EQ(rows[0].second.failed, 1u);
+  EXPECT_EQ(rows[1].first, "limited");
+  EXPECT_EQ(rows[1].second.received, 3u);
+  EXPECT_EQ(rows[1].second.admitted, 1u);
+  EXPECT_EQ(rows[1].second.rejected_rate, 1u);
+  EXPECT_EQ(rows[1].second.rejected_draining, 1u);
+}
+
+TEST(TenantRegistry, OverrideQuotaBindsToTheNamedTenantOnly) {
+  TenantRegistry registry(QuotaConfig{0.0, 1.0},
+                          {{"limited", QuotaConfig{0.001, 1.0}}});
+  const Clock::time_point now = Clock::now();
+  ASSERT_TRUE(registry.admit("limited", now).admitted);
+  EXPECT_FALSE(registry.admit("limited", now).admitted);
+  // Everyone else inherits the unlimited default.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(registry.admit("other", now).admitted);
+  }
+}
+
+TEST(BoundedPriorityQueue, HigherPriorityPopsFirstFifoWithin) {
+  BoundedPriorityQueue<int> queue(16);
+  ASSERT_TRUE(queue.try_push(10, 0));
+  ASSERT_TRUE(queue.try_push(20, 5));
+  ASSERT_TRUE(queue.try_push(21, 5));
+  ASSERT_TRUE(queue.try_push(30, 9));
+  EXPECT_EQ(queue.pop(), 30);  // highest priority
+  EXPECT_EQ(queue.pop(), 20);  // FIFO within priority 5
+  EXPECT_EQ(queue.pop(), 21);
+  EXPECT_EQ(queue.pop(), 10);
+}
+
+TEST(BoundedPriorityQueue, FullQueueRejectsWithoutBlocking) {
+  BoundedPriorityQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1, 0));
+  EXPECT_TRUE(queue.try_push(2, 0));
+  EXPECT_FALSE(queue.try_push(3, 99));  // priority does not bypass the bound
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.peak_depth(), 2u);
+  ASSERT_TRUE(queue.pop().has_value());
+  EXPECT_TRUE(queue.try_push(3, 0));
+}
+
+TEST(BoundedPriorityQueue, CloseDrainsAcceptedItemsThenSignalsEnd) {
+  BoundedPriorityQueue<int> queue(8);
+  ASSERT_TRUE(queue.try_push(1, 0));
+  ASSERT_TRUE(queue.try_push(2, 0));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(3, 0));  // closed: no new admissions
+  // ...but everything accepted before close() still pops (drain), and only
+  // then do waiters see the end-of-queue signal.
+  EXPECT_TRUE(queue.pop().has_value());
+  EXPECT_TRUE(queue.pop().has_value());
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(BoundedPriorityQueue, CloseWakesBlockedConsumers) {
+  BoundedPriorityQueue<int> queue(4);
+  std::atomic<int> finished{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&queue, &finished] {
+      while (queue.pop().has_value()) {
+      }
+      finished.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(milliseconds{20});
+  queue.close();
+  for (std::thread& consumer : consumers) consumer.join();
+  EXPECT_EQ(finished.load(), 3);
+}
+
+TEST(BoundedPriorityQueue, ConcurrentProducersConsumersLoseNothing) {
+  BoundedPriorityQueue<std::uint64_t> queue(32);
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 500;
+  std::atomic<std::uint64_t> popped_sum{0};
+  std::atomic<std::uint64_t> pushed_sum{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      while (auto value = queue.pop()) {
+        popped_sum.fetch_add(*value);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t value =
+            static_cast<std::uint64_t>(p) * kPerProducer + i + 1;
+        while (!queue.try_push(value, i % 3)) {
+          std::this_thread::yield();  // backpressure: retry like a client
+        }
+        pushed_sum.fetch_add(value);
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  queue.close();
+  for (std::thread& consumer : consumers) consumer.join();
+  EXPECT_EQ(popped_sum.load(), pushed_sum.load());
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_LE(queue.peak_depth(), queue.capacity());
+}
+
+}  // namespace
+}  // namespace hyperrec::service

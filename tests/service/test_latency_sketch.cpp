@@ -1,0 +1,84 @@
+// LatencySketch: the geometric-bucket streaming-quantile estimator behind
+// the /statz p50/p99 numbers.
+#include "service/latency_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace hyperrec::service {
+namespace {
+
+using std::chrono::microseconds;
+
+TEST(LatencySketch, EmptySketchAnswersZero) {
+  LatencySketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.max(), 0u);
+  EXPECT_EQ(sketch.quantile(0.50), 0u);
+  EXPECT_EQ(sketch.quantile(0.99), 0u);
+}
+
+TEST(LatencySketch, SingleSampleIsEveryQuantile) {
+  LatencySketch sketch;
+  sketch.record(microseconds{1234});
+  EXPECT_EQ(sketch.count(), 1u);
+  EXPECT_EQ(sketch.max(), 1234u);
+  // One sample: every quantile is that sample, up to bucket resolution
+  // (the estimate is a bucket upper bound, never below the true value by
+  // more than the bucket width and never above the observed max).
+  EXPECT_EQ(sketch.quantile(0.50), 1234u);
+  EXPECT_EQ(sketch.quantile(1.0), 1234u);
+}
+
+TEST(LatencySketch, QuantilesAreMonotoneAndBracketTheData) {
+  LatencySketch sketch;
+  for (std::uint64_t us = 1; us <= 1000; ++us) {
+    sketch.record(microseconds{static_cast<long>(us)});
+  }
+  const std::uint64_t p50 = sketch.quantile(0.50);
+  const std::uint64_t p90 = sketch.quantile(0.90);
+  const std::uint64_t p99 = sketch.quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, sketch.max());
+  EXPECT_EQ(sketch.max(), 1000u);
+  // Geometric buckets guarantee ~12.5% relative error: p50 of 1..1000 is
+  // 500, so the estimate must land in [500, 570].
+  EXPECT_GE(p50, 500u);
+  EXPECT_LE(p50, 570u);
+  EXPECT_GE(p99, 990u);
+}
+
+TEST(LatencySketch, ZeroAndHugeSamplesLandInRange) {
+  LatencySketch sketch;
+  sketch.record(microseconds{0});
+  sketch.record(microseconds::max());
+  EXPECT_EQ(sketch.count(), 2u);
+  EXPECT_EQ(sketch.quantile(1.0), sketch.max());
+}
+
+TEST(LatencySketch, ConcurrentRecordsAllLand) {
+  LatencySketch sketch;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sketch, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        sketch.record(microseconds{(t + 1) * 100 + (i % 50)});
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(sketch.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_GE(sketch.quantile(0.50), 100u);
+  EXPECT_LE(sketch.quantile(1.0), sketch.max());
+}
+
+}  // namespace
+}  // namespace hyperrec::service

@@ -1,0 +1,165 @@
+// Compressed soak: an hours-equivalent request mix squeezed into seconds.
+//
+// Several client threads hammer one SolveService with thousands of solve
+// requests — mostly repeating shapes (the daemon's bread and butter: cache
+// hits), a trickle of fresh shapes (inserts + evictions past the cache
+// bound), a rate-limited tenant bouncing off its quota, and streaming
+// tenants appending through the shared multiplexer — then the gates check
+// what a long-lived daemon must guarantee:
+//
+//   * no unbounded growth: cache entries <= capacity, inflight drains to 0,
+//     the admission queue returns to depth 0;
+//   * quota accounting closes: received == admitted + rejected_* per
+//     tenant and in aggregate, and every admitted job was answered
+//     (admitted == completed + failed == documents the clients saw);
+//   * the drain at the end loses nothing.
+#include "service/solve_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/json.hpp"
+
+namespace hyperrec::service {
+namespace {
+
+constexpr int kClients = 4;
+constexpr int kRequestsPerClient = 300;
+constexpr int kStreams = 2;
+constexpr int kStepsPerStream = 150;
+
+std::string solve_line(const std::string& tenant, std::uint64_t seed,
+                       std::size_t steps) {
+  return R"({"op":"solve","tenant":")" + tenant +
+         R"(","job":{"workload":"random","tasks":2,"steps":)" +
+         std::to_string(steps) + R"(,"universe":6,"seed":)" +
+         std::to_string(seed) + "}}";
+}
+
+TEST(ServiceSoak, ThousandsOfRequestsNoUnboundedGrowth) {
+  ServiceConfig config;
+  config.workers = 3;
+  config.queue_capacity = 24;
+  config.cache.capacity = 48;  // far fewer than distinct shapes: evictions
+  config.portfolio = {"aligned-dp"};
+  config.stream_window = 64;
+  config.stream_trigger = "steps:16";
+  config.tenant_quotas["metered"] = QuotaConfig{50.0, 4.0};
+  SolveService service(std::move(config));
+
+  std::atomic<std::uint64_t> documents{0};
+  std::atomic<std::uint64_t> rejections{0};
+  std::atomic<std::uint64_t> errors{0};
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&service, &documents, &rejections, &errors, c] {
+      // Client 0 is the metered tenant (quota bounces expected); the rest
+      // run unlimited.  Seeds mostly repeat (8 hot shapes) with a fresh
+      // shape every 10th request to churn the cache.
+      const std::string tenant = c == 0 ? "metered" : "bulk-" +
+                                                          std::to_string(c);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const bool fresh = i % 10 == 9;
+        const std::uint64_t seed =
+            fresh ? 1000u + static_cast<std::uint64_t>(c * kRequestsPerClient
+                                                       + i)
+                  : static_cast<std::uint64_t>(i % 8);
+        const std::size_t steps = fresh ? 8 + i % 5 : 8;
+        const std::string response =
+            service.handle_line(solve_line(tenant, seed, steps));
+        const JsonValue doc = parse_json(response);
+        if (doc.get("schema") != nullptr &&
+            doc.get("schema")->as_string() == "hyperrec-batch-result") {
+          documents.fetch_add(1);
+        } else if (doc.get("reject") != nullptr) {
+          rejections.fetch_add(1);
+        } else {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Streaming tenants ride along on the shared multiplexer.
+  std::vector<std::thread> streamers;
+  std::atomic<std::uint64_t> appended{0};
+  for (int s = 0; s < kStreams; ++s) {
+    streamers.emplace_back([&service, &appended, s] {
+      const JsonValue opened = parse_json(service.handle_line(
+          R"({"op":"stream_open","tenant":"streamer","universes":[5,5]})"));
+      ASSERT_TRUE(opened.get("ok")->as_bool());
+      const std::uint64_t id = opened.get("stream")->as_uint();
+      for (int i = 0; i < kStepsPerStream; ++i) {
+        const std::string append =
+            R"({"op":"stream_append","stream":)" + std::to_string(id) +
+            R"(,"step":[{"bits":[)" + std::to_string((i + s) % 5) +
+            R"(]},{"bits":[)" + std::to_string(i % 5) + "]}]}";
+        const JsonValue ack = parse_json(service.handle_line(append));
+        if (ack.get("ok") != nullptr && ack.get("ok")->as_bool()) {
+          appended.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  for (std::thread& client : clients) client.join();
+  for (std::thread& streamer : streamers) streamer.join();
+  service.shutdown();
+
+  const std::uint64_t total_requests =
+      static_cast<std::uint64_t>(kClients) * kRequestsPerClient;
+  EXPECT_EQ(documents.load() + rejections.load() + errors.load(),
+            total_requests);
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_GE(documents.load(), total_requests / 2);  // mostly admitted
+
+  // --- no unbounded growth ------------------------------------------------
+  EXPECT_LE(service.cache().size(), service.cache().capacity());
+  EXPECT_EQ(service.cache().inflight(), 0u);
+  EXPECT_EQ(service.queue_depth(), 0u);
+
+  const JsonValue statz = parse_json(service.statz_json());
+  const JsonValue& requests = *statz.get("requests");
+  const std::uint64_t admitted = requests.get("admitted")->as_uint();
+  const std::uint64_t received = requests.get("received")->as_uint();
+
+  // --- accounting closes --------------------------------------------------
+  EXPECT_EQ(received, admitted + requests.get("rejected_rate")->as_uint() +
+                          requests.get("rejected_backpressure")->as_uint() +
+                          requests.get("rejected_draining")->as_uint());
+  for (const JsonValue& tenant : statz.get("tenants")->as_array()) {
+    EXPECT_EQ(tenant.get("received")->as_uint(),
+              tenant.get("admitted")->as_uint() +
+                  tenant.get("rejected_rate")->as_uint() +
+                  tenant.get("rejected_backpressure")->as_uint() +
+                  tenant.get("rejected_draining")->as_uint())
+        << "tenant " << tenant.get("name")->as_string();
+  }
+  // Every admitted solve was answered (stream_opens are admitted too).
+  EXPECT_EQ(admitted, requests.get("completed")->as_uint() +
+                          requests.get("failed")->as_uint() +
+                          static_cast<std::uint64_t>(kStreams));
+  EXPECT_EQ(documents.load(), requests.get("completed")->as_uint() +
+                                  requests.get("failed")->as_uint());
+
+  // The hot shapes must actually have been served by the shared cache.
+  EXPECT_GT(statz.get("cache")->get("hits")->as_uint(), total_requests / 4);
+  // Streams all arrived and were applied by the drained fleet.
+  EXPECT_EQ(statz.get("requests")->get("appends")->as_uint(),
+            appended.load());
+  const JsonValue& fleet = *statz.get("fleet");
+  EXPECT_EQ(fleet.get("streams")->as_uint(),
+            static_cast<std::uint64_t>(kStreams));
+  EXPECT_EQ(fleet.get("accepted")->as_uint(), appended.load());
+  EXPECT_EQ(fleet.get("applied")->as_uint(), appended.load());
+  EXPECT_EQ(fleet.get("dropped")->as_uint(), 0u);
+}
+
+}  // namespace
+}  // namespace hyperrec::service

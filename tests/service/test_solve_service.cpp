@@ -1,0 +1,256 @@
+// SolveService end-to-end (in-process, no socket): admission pipeline,
+// shared-cache reuse, quota and backpressure rejections, strict trigger
+// validation on daemon requests, /statz accounting, graceful drain.
+#include "service/solve_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/json.hpp"
+#include "support/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace hyperrec::service {
+namespace {
+
+ServiceConfig small_config() {
+  ServiceConfig config;
+  config.workers = 2;
+  config.queue_capacity = 16;
+  config.cache.capacity = 32;
+  config.portfolio = {"aligned-dp", "greedy-w8"};
+  config.stream_window = 32;
+  config.stream_trigger = "steps:8";
+  return config;
+}
+
+std::string solve_line(const std::string& tenant, std::uint64_t seed,
+                       std::size_t steps = 12) {
+  return R"({"op":"solve","tenant":")" + tenant +
+         R"(","id":"t","job":{"workload":"phased","tasks":2,"steps":)" +
+         std::to_string(steps) + R"(,"universe":8,"seed":)" +
+         std::to_string(seed) + "}}";
+}
+
+TEST(SolveService, SolveMatchesADirectEngineRun) {
+  SolveService service(small_config());
+  const std::string response = service.handle_line(solve_line("acme", 5));
+  const JsonValue doc = parse_json(response);
+  EXPECT_EQ(doc.get("schema")->as_string(), "hyperrec-batch-result");
+  EXPECT_EQ(doc.get("version")->as_int(), 5);
+  EXPECT_EQ(doc.get("tenant")->as_string(), "acme");
+  ASSERT_NE(doc.get("queue"), nullptr);
+  EXPECT_GE(doc.get("queue")->get("wait_us")->as_int(), 0);
+  const JsonValue& job = doc.get("jobs")->as_array().at(0);
+  ASSERT_TRUE(job.get("ok")->as_bool());
+
+  // Reference: the same job solved directly through a fresh engine.
+  Xoshiro256 root(5);
+  Xoshiro256 rng = root.split(0);
+  engine::BatchJob reference;
+  reference.trace = workload::make_multi_family("phased", 2, 12, 8, rng);
+  std::vector<std::size_t> locals;
+  for (std::size_t j = 0; j < reference.trace.task_count(); ++j) {
+    locals.push_back(reference.trace.task(j).local_universe());
+  }
+  reference.machine = MachineSpec::local_only(locals);
+  engine::BatchEngineConfig engine_config;
+  engine_config.parallelism = 1;
+  engine_config.portfolio.solvers = {"aligned-dp", "greedy-w8"};
+  const engine::BatchEngine engine(std::move(engine_config));
+  const engine::BatchResult direct = engine.solve({reference});
+  ASSERT_TRUE(direct.jobs.front().ok);
+
+  EXPECT_EQ(job.get("cost")->get("total")->as_uint(),
+            direct.jobs.front().solution.breakdown.total);
+  EXPECT_EQ(job.get("winner")->as_string(), direct.jobs.front().winner);
+  EXPECT_EQ(job.get("name")->as_string(), "phased-0");
+}
+
+TEST(SolveService, RepeatRequestsHitTheSharedCache) {
+  SolveService service(small_config());
+  const JsonValue first = parse_json(service.handle_line(solve_line("a", 7)));
+  EXPECT_EQ(first.get("jobs")->as_array().at(0).get("cache")->as_string(),
+            "miss");
+  const JsonValue second = parse_json(service.handle_line(solve_line("b", 7)));
+  EXPECT_EQ(second.get("jobs")->as_array().at(0).get("cache")->as_string(),
+            "hit");
+  // Cached schedules are bit-identical by construction.
+  EXPECT_EQ(second.get("jobs")->as_array().at(0).get("cost")->get("total")
+                ->as_uint(),
+            first.get("jobs")->as_array().at(0).get("cost")->get("total")
+                ->as_uint());
+  const JsonValue statz = parse_json(service.statz_json());
+  EXPECT_GE(statz.get("cache")->get("hits")->as_uint(), 1u);
+  EXPECT_EQ(statz.get("cache")->get("inflight")->as_uint(), 0u);
+}
+
+TEST(SolveService, QuotaRejectsWithRetryAfterWhileOthersComplete) {
+  ServiceConfig config = small_config();
+  config.tenant_quotas["limited"] = QuotaConfig{0.000001, 1.0};
+  SolveService service(std::move(config));
+
+  const JsonValue admitted =
+      parse_json(service.handle_line(solve_line("limited", 3)));
+  EXPECT_EQ(admitted.get("schema")->as_string(), "hyperrec-batch-result");
+  const JsonValue rejected =
+      parse_json(service.handle_line(solve_line("limited", 3)));
+  EXPECT_EQ(rejected.get("reject")->as_string(), "rate");
+  EXPECT_GT(rejected.get("retry_after_ms")->as_int(), 0);
+  // The default-quota tenant is unaffected.
+  const JsonValue other = parse_json(service.handle_line(solve_line("ok", 3)));
+  EXPECT_EQ(other.get("schema")->as_string(), "hyperrec-batch-result");
+}
+
+TEST(SolveService, MalformedRequestsAnswerErrorLinesNotExceptions) {
+  SolveService service(small_config());
+  const JsonValue bad_json = parse_json(service.handle_line("{nope"));
+  EXPECT_FALSE(bad_json.get("ok")->as_bool());
+  EXPECT_NE(bad_json.get("error")->as_string().find("JSON"),
+            std::string::npos);
+  const JsonValue bad_op =
+      parse_json(service.handle_line(R"({"op":"fly"})"));
+  EXPECT_NE(bad_op.get("error")->as_string().find("unknown op"),
+            std::string::npos);
+}
+
+TEST(SolveService, StreamOpenValidatesTriggerSpecsStrictly) {
+  SolveService service(small_config());
+  // Satellite: a malformed trigger key in a daemon request dies loudly,
+  // naming the offending item — never silently ignored.
+  const JsonValue typo = parse_json(service.handle_line(
+      R"({"op":"stream_open","universes":[6],"trigger":"spkie:2.0"})"));
+  EXPECT_FALSE(typo.get("ok")->as_bool());
+  EXPECT_NE(typo.get("error")->as_string().find("spkie"), std::string::npos);
+
+  // A VALID spec that differs from the fleet-wide one is an explicit
+  // error, not a silent override (one trigger config per multiplexer).
+  const JsonValue divergent = parse_json(service.handle_line(
+      R"({"op":"stream_open","universes":[6],"trigger":"steps:4"})"));
+  EXPECT_FALSE(divergent.get("ok")->as_bool());
+  EXPECT_NE(divergent.get("error")->as_string().find("fleet-wide"),
+            std::string::npos);
+
+  // Matching the fleet spec (or omitting it) opens the stream.
+  const JsonValue opened = parse_json(service.handle_line(
+      R"({"op":"stream_open","universes":[6],"trigger":"steps:8"})"));
+  EXPECT_TRUE(opened.get("ok")->as_bool());
+}
+
+TEST(SolveService, StreamLifecycleThroughTheSharedMux) {
+  SolveService service(small_config());
+  const JsonValue opened = parse_json(service.handle_line(
+      R"({"op":"stream_open","tenant":"s","universes":[5,5]})"));
+  ASSERT_TRUE(opened.get("ok")->as_bool());
+  const std::uint64_t stream = opened.get("stream")->as_uint();
+  for (int i = 0; i < 20; ++i) {
+    const std::string append =
+        R"({"op":"stream_append","stream":)" + std::to_string(stream) +
+        R"(,"step":[{"bits":[)" + std::to_string(i % 5) +
+        R"(]},{"bits":[)" + std::to_string((i + 2) % 5) + "]}]}";
+    ASSERT_TRUE(parse_json(service.handle_line(append)).get("ok")->as_bool())
+        << "append " << i;
+  }
+  // Out-of-universe bits and private demands are answered at the boundary.
+  const JsonValue bad_bit = parse_json(service.handle_line(
+      R"({"op":"stream_append","stream":)" + std::to_string(stream) +
+      R"(,"step":[{"bits":[5]},{"bits":[0]}]})"));
+  EXPECT_NE(bad_bit.get("error")->as_string().find("universe"),
+            std::string::npos);
+  const JsonValue demand = parse_json(service.handle_line(
+      R"({"op":"stream_append","stream":)" + std::to_string(stream) +
+      R"(,"step":[{"bits":[0],"demand":2},{"bits":[0]}]})"));
+  EXPECT_NE(demand.get("error")->as_string().find("demand"),
+            std::string::npos);
+  const JsonValue unknown = parse_json(service.handle_line(
+      R"({"op":"stream_append","stream":99,"step":[{"bits":[0]}]})"));
+  EXPECT_NE(unknown.get("error")->as_string().find("unknown stream"),
+            std::string::npos);
+
+  const JsonValue summary = parse_json(service.handle_line(
+      R"({"op":"stream_result","stream":)" + std::to_string(stream) + "}"));
+  ASSERT_TRUE(summary.get("ok")->as_bool());
+  EXPECT_EQ(summary.get("steps")->as_uint(), 20u);
+  EXPECT_GE(summary.get("resolves")->as_uint(), 2u);  // steps:8 over 20 steps
+  EXPECT_FALSE(summary.get("poisoned")->as_bool());
+  EXPECT_NE(summary.get("published_cost"), nullptr);
+}
+
+TEST(SolveService, GracefulDrainLosesNoAcceptedJob) {
+  ServiceConfig config = small_config();
+  config.workers = 1;  // one worker: jobs queue up, the drain has work left
+  SolveService service(std::move(config));
+
+  constexpr int kClients = 6;
+  std::atomic<int> documents{0};
+  std::atomic<int> rejections{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&service, &documents, &rejections, c] {
+      for (int i = 0; i < 4; ++i) {
+        const std::string response = service.handle_line(
+            solve_line("drain", static_cast<std::uint64_t>(c * 10 + i)));
+        const JsonValue doc = parse_json(response);
+        if (doc.get("schema")->as_string() == "hyperrec-batch-result") {
+          documents.fetch_add(1);
+        } else {
+          rejections.fetch_add(1);
+          EXPECT_NE(doc.get("reject"), nullptr) << response;
+        }
+      }
+    });
+  }
+  // Shut down while requests are in flight: every admitted job must still
+  // be answered with a full document, never dropped.
+  std::this_thread::sleep_for(std::chrono::milliseconds{30});
+  service.shutdown();
+  for (std::thread& client : clients) client.join();
+
+  const JsonValue statz = parse_json(service.statz_json());
+  const JsonValue& requests = *statz.get("requests");
+  EXPECT_EQ(requests.get("received")->as_uint(),
+            requests.get("admitted")->as_uint() +
+                requests.get("rejected_rate")->as_uint() +
+                requests.get("rejected_backpressure")->as_uint() +
+                requests.get("rejected_draining")->as_uint());
+  // Accepted == answered-with-document: nothing admitted was lost.
+  EXPECT_EQ(requests.get("admitted")->as_uint(),
+            requests.get("completed")->as_uint() +
+                requests.get("failed")->as_uint());
+  EXPECT_EQ(static_cast<std::uint64_t>(documents.load()),
+            requests.get("admitted")->as_uint());
+  EXPECT_EQ(static_cast<std::uint64_t>(documents.load() + rejections.load()),
+            requests.get("received")->as_uint());
+  EXPECT_EQ(service.queue_depth(), 0u);
+  EXPECT_TRUE(statz.get("draining")->as_bool());
+
+  // Draining is sticky: post-shutdown requests are rejected, and a second
+  // shutdown() is a no-op.
+  const JsonValue late = parse_json(service.handle_line(solve_line("x", 1)));
+  EXPECT_EQ(late.get("reject")->as_string(), "draining");
+  service.shutdown();
+}
+
+TEST(SolveService, StatzCarriesSolverWinsAndLatency) {
+  SolveService service(small_config());
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    (void)service.handle_line(solve_line("t", seed));
+  }
+  const JsonValue statz = parse_json(service.statz_json());
+  std::uint64_t wins = 0;
+  for (const JsonValue& row : statz.get("solvers")->as_array()) {
+    wins += row.get("wins")->as_uint();
+  }
+  EXPECT_EQ(wins, 3u);
+  EXPECT_EQ(statz.get("latency")->get("solve")->get("count")->as_uint(), 3u);
+  EXPECT_GE(statz.get("latency")->get("solve")->get("p99_us")->as_uint(),
+            statz.get("latency")->get("solve")->get("p50_us")->as_uint());
+  EXPECT_EQ(statz.get("queue")->get("depth")->as_uint(), 0u);
+}
+
+}  // namespace
+}  // namespace hyperrec::service

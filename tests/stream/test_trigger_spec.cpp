@@ -1,0 +1,116 @@
+// Strict trigger-spec parsing: every well-formed item lands in the right
+// TriggerConfig field, and every malformed spec — unknown keys, typos,
+// missing/partial/negative values, values on flag-only keys, duplicates —
+// throws loudly instead of silently running the wrong re-solve policy.
+#include "streaming/trigger_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/ensure.hpp"
+
+namespace hyperrec::streaming {
+namespace {
+
+TEST(TriggerSpec, ParsesEveryKindIntoTheRightField) {
+  const TriggerConfig trigger =
+      parse_trigger_spec("steps:16,spike:2.5,spike-min:3,rent-or-buy,tick:40");
+  EXPECT_EQ(trigger.every_steps, 16u);
+  EXPECT_DOUBLE_EQ(trigger.spike_factor, 2.5);
+  EXPECT_EQ(trigger.spike_min_demand, 3u);
+  EXPECT_TRUE(trigger.rent_or_buy);
+  EXPECT_EQ(trigger.tick, std::chrono::milliseconds{40});
+}
+
+TEST(TriggerSpec, SingleItemSpecsLeaveOtherTriggersAtDefaults) {
+  const TriggerConfig trigger = parse_trigger_spec("steps:8");
+  EXPECT_EQ(trigger.every_steps, 8u);
+  EXPECT_DOUBLE_EQ(trigger.spike_factor, 0.0);
+  EXPECT_EQ(trigger.spike_min_demand, TriggerConfig{}.spike_min_demand);
+  EXPECT_FALSE(trigger.rent_or_buy);
+  EXPECT_EQ(trigger.tick.count(), 0);
+}
+
+TEST(TriggerSpec, ZeroValuesDisableWithoutThrowing) {
+  // 0 is the documented "disabled" value for steps and tick.
+  const TriggerConfig trigger = parse_trigger_spec("steps:0,tick:0");
+  EXPECT_EQ(trigger.every_steps, 0u);
+  EXPECT_EQ(trigger.tick.count(), 0);
+}
+
+TEST(TriggerSpec, UnknownKeysThrowLoudly) {
+  // The motivating bug: a typo'd key used to be silently dropped, so the
+  // daemon ran with the wrong re-solve policy and nobody noticed.
+  const std::vector<std::string> typos = {
+      "spkie:2.0", "step:16", "ticks:40", "steps:16,spkie:2.0", "bogus"};
+  for (const std::string& spec : typos) {
+    EXPECT_THROW((void)parse_trigger_spec(spec), PreconditionError) << spec;
+  }
+}
+
+TEST(TriggerSpec, MalformedValuesThrow) {
+  const std::vector<std::string> bad = {
+      "steps",        // missing value
+      "steps:",       // empty value
+      "steps:16abc",  // trailing junk (std::stoul used to accept this)
+      "steps:-4",     // negative
+      "steps: 16",    // embedded space
+      "spike",        // missing value
+      "spike:",       // empty value
+      "spike:fast",   // not a number
+      "spike:-1.5",   // negative
+      "spike:1e999",  // overflows to inf
+      "spike:nan",    // not finite
+      "spike-min:",   // empty value
+      "spike-min:2x", // trailing junk
+      "tick:-5",      // negative (std::stoll used to accept this)
+      "tick:5ms",     // trailing junk
+      "tick:",        // empty value
+  };
+  for (const std::string& spec : bad) {
+    EXPECT_THROW((void)parse_trigger_spec(spec), PreconditionError) << spec;
+  }
+}
+
+TEST(TriggerSpec, ValueOnFlagOnlyKeyThrows) {
+  // "rent-or-buy:5" used to parse with the value silently dropped.
+  EXPECT_THROW((void)parse_trigger_spec("rent-or-buy:5"), PreconditionError);
+  EXPECT_THROW((void)parse_trigger_spec("rent-or-buy:"), PreconditionError);
+  EXPECT_NO_THROW((void)parse_trigger_spec("rent-or-buy"));
+}
+
+TEST(TriggerSpec, DuplicateKeysThrow) {
+  EXPECT_THROW((void)parse_trigger_spec("steps:4,steps:8"), PreconditionError);
+  EXPECT_THROW((void)parse_trigger_spec("rent-or-buy,rent-or-buy"),
+               PreconditionError);
+}
+
+TEST(TriggerSpec, EmptySpecAndEmptyItemsThrow) {
+  EXPECT_THROW((void)parse_trigger_spec(""), PreconditionError);
+  EXPECT_THROW((void)parse_trigger_spec(","), PreconditionError);
+  EXPECT_THROW((void)parse_trigger_spec("steps:4,"), PreconditionError);
+  EXPECT_THROW((void)parse_trigger_spec(",steps:4"), PreconditionError);
+}
+
+TEST(TriggerSpec, ErrorMessagesNameTheOffendingItem) {
+  try {
+    (void)parse_trigger_spec("steps:16,spkie:2.0");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find("spkie"), std::string::npos)
+        << error.what();
+  }
+  try {
+    (void)parse_trigger_spec("steps:16abc");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find("steps:16abc"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+}  // namespace
+}  // namespace hyperrec::streaming
