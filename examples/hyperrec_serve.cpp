@@ -35,9 +35,13 @@
 // The daemon runs until a client sends {"op":"shutdown"} (graceful drain:
 // accepted jobs finish, streams flush) or it receives SIGINT/SIGTERM.
 // Exit status: 0 on clean shutdown, 1 on malformed invocation.
+#include <cerrno>
+#include <chrono>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <string>
 
 #include "service/socket_server.hpp"
@@ -48,11 +52,12 @@ namespace {
 
 using namespace hyperrec;
 
-service::SocketServer* g_server = nullptr;
+// The handler only sets a flag — SocketServer::stop() locks mutexes and
+// joins threads, none of which is async-signal-safe.  The main thread
+// polls the flag between bounded waits and runs the actual shutdown.
+volatile std::sig_atomic_t g_signal_received = 0;
 
-void handle_signal(int) {
-  if (g_server != nullptr) g_server->stop();
-}
+void handle_signal(int) { g_signal_received = 1; }
 
 bool parse_flag(const char* arg, const char* name, std::string& value) {
   const std::size_t len = std::strlen(name);
@@ -74,6 +79,21 @@ std::vector<std::string> split_csv(const std::string& text) {
   return parts;
 }
 
+/// Full-consumption non-negative decimal parse (the strict-grammar
+/// counterpart of trigger_spec's parse_decimal): a typo'd quota must be a
+/// startup error, never a silently different policy.
+double parse_quota_number(const std::string& text, const std::string& spec) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = text.empty() ? 0.0 : std::strtod(text.c_str(), &end);
+  HYPERREC_ENSURE(!text.empty() && end == text.c_str() + text.size() &&
+                      errno != ERANGE && value >= 0.0 &&
+                      value <= std::numeric_limits<double>::max(),
+                  "--tenant-quota needs non-negative decimal RATE and BURST, "
+                  "got \"" + spec + "\"");
+  return value;
+}
+
 /// NAME:RATE:BURST — tenant names must not contain ':'.
 void parse_tenant_quota(const std::string& spec,
                         std::map<std::string, service::QuotaConfig>& quotas) {
@@ -81,11 +101,13 @@ void parse_tenant_quota(const std::string& spec,
   const std::size_t second =
       first == std::string::npos ? std::string::npos : spec.find(':', first + 1);
   HYPERREC_ENSURE(first != std::string::npos && second != std::string::npos &&
-                      first > 0,
+                      first > 0 &&
+                      spec.find(':', second + 1) == std::string::npos,
                   "--tenant-quota needs NAME:RATE:BURST, got \"" + spec + "\"");
   service::QuotaConfig quota;
-  quota.rate_per_sec = std::stod(spec.substr(first + 1, second - first - 1));
-  quota.burst = std::stod(spec.substr(second + 1));
+  quota.rate_per_sec =
+      parse_quota_number(spec.substr(first + 1, second - first - 1), spec);
+  quota.burst = parse_quota_number(spec.substr(second + 1), spec);
   quotas[spec.substr(0, first)] = quota;
 }
 
@@ -143,13 +165,15 @@ int main(int argc, char** argv) {
           response.stop = solve_service.draining();
           return response;
         });
-    g_server = &server;
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
     std::cerr << "hyperrec_serve: listening on " << socket_path << "\n";
-    server.wait();
+    // Poll the signal flag between bounded waits: the graceful drain runs
+    // here on the main thread, never inside the signal handler.
+    while (g_signal_received == 0 &&
+           !server.wait_for(std::chrono::milliseconds{200})) {
+    }
     server.stop();
-    g_server = nullptr;
     solve_service.shutdown();
     std::cerr << "hyperrec_serve: drained, bye\n";
   } catch (const std::exception& error) {

@@ -14,6 +14,11 @@ namespace {
 
 class Parser {
  public:
+  /// Containers deeper than this are rejected.  The parser recurses per
+  /// nesting level and reads untrusted socket input, so without a ceiling
+  /// a '[[[[…' line turns into a stack overflow that kills the daemon.
+  static constexpr int kMaxDepth = 64;
+
   explicit Parser(const std::string& text) : text_(text) {}
 
   JsonValue parse() {
@@ -77,10 +82,12 @@ class Parser {
 
   JsonValue parse_object() {
     expect('{');
+    enter_container();
     JsonObject object;
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return JsonValue(std::move(object));
     }
     while (true) {
@@ -100,15 +107,18 @@ class Parser {
         fail("expected ',' or '}' in object");
       }
     }
+    --depth_;
     return JsonValue(std::move(object));
   }
 
   JsonValue parse_array() {
     expect('[');
+    enter_container();
     JsonArray array;
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return JsonValue(std::move(array));
     }
     while (true) {
@@ -122,6 +132,7 @@ class Parser {
         fail("expected ',' or ']' in array");
       }
     }
+    --depth_;
     return JsonValue(std::move(array));
   }
 
@@ -231,8 +242,15 @@ class Parser {
     return JsonValue(value);
   }
 
+  void enter_container() {
+    if (++depth_ > kMaxDepth) {
+      fail("nesting deeper than " + std::to_string(kMaxDepth) + " levels");
+    }
+  }
+
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

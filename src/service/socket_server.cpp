@@ -4,6 +4,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -13,6 +14,15 @@
 namespace hyperrec::service {
 
 namespace {
+
+/// Hard cap on one request line.  The protocol is one JSON document per
+/// line; anything past this is a broken or hostile peer whose newline-free
+/// stream must not grow daemon memory without bound.
+constexpr std::size_t kMaxLineBytes = std::size_t{8} << 20;
+
+/// True on threads running serve_connection(); stop() uses it to avoid
+/// waiting for the calling thread's own exit.
+thread_local bool t_connection_thread = false;
 
 /// send() the whole buffer; MSG_NOSIGNAL turns a dead peer into an error
 /// return instead of SIGPIPE.
@@ -70,7 +80,16 @@ void SocketServer::accept_loop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Transient fd/memory pressure: back off and keep accepting.  A
+        // persistent daemon must not silently stop serving forever over a
+        // condition that clears as soon as a connection closes.
+        std::this_thread::sleep_for(std::chrono::milliseconds{10});
+        continue;
+      }
       break;  // listener closed (stop) or unrecoverable
     }
     std::lock_guard<std::mutex> lock(mutex_);
@@ -79,11 +98,24 @@ void SocketServer::accept_loop() {
       break;
     }
     connection_fds_.push_back(fd);
-    connections_.emplace_back([this, fd] { serve_connection(fd); });
+    ++active_connections_;
+    try {
+      std::thread([this, fd] { serve_connection(fd); }).detach();
+    } catch (...) {
+      connection_fds_.pop_back();
+      --active_connections_;
+      ::close(fd);
+    }
   }
+  // Unrecoverable accept failure: wake wait() so the driver can stop()
+  // and exit loudly instead of lingering alive but deaf.
+  std::lock_guard<std::mutex> lock(mutex_);
+  stopped_ = true;
+  stopped_cv_.notify_all();
 }
 
 void SocketServer::serve_connection(int fd) {
+  t_connection_thread = true;
   std::string buffer;
   char chunk[4096];
   bool stop_requested = false;
@@ -111,14 +143,26 @@ void SocketServer::serve_connection(int fd) {
         break;
       }
     }
+    if (buffer.size() > kMaxLineBytes) break;  // oversized line: drop peer
   }
   ::shutdown(fd, SHUT_RDWR);
   if (stop_requested) {
-    // Handler asked for shutdown: wake wait() and the acceptor, but leave
-    // the joins to stop() — this thread cannot join itself.
     stopping_.store(true, std::memory_order_release);
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    std::lock_guard<std::mutex> lock(mutex_);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stop_requested && listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);  // wake the acceptor
+  }
+  connection_fds_.erase(
+      std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
+      connection_fds_.end());
+  // Close under mutex_, after untracking: stop() snapshots the fd list
+  // under the same lock and must never shutdown() a recycled fd number.
+  ::close(fd);
+  --active_connections_;
+  connections_cv_.notify_all();
+  if (stop_requested) {
+    // Handler asked for shutdown: wake wait(); stop() runs on the waiter.
     stopped_ = true;
     stopped_cv_.notify_all();
   }
@@ -129,29 +173,30 @@ void SocketServer::wait() {
   stopped_cv_.wait(lock, [this] { return stopped_; });
 }
 
+bool SocketServer::wait_for(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return stopped_cv_.wait_for(lock, timeout, [this] { return stopped_; });
+}
+
 void SocketServer::stop() {
   stopping_.store(true, std::memory_order_release);
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-
-  std::vector<int> fds;
-  std::vector<std::thread> threads;
+  std::thread acceptor;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    fds.swap(connection_fds_);
-    threads.swap(connections_);
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
     stopped_ = true;
     stopped_cv_.notify_all();
+    acceptor.swap(acceptor_);  // claim the join; stop() may race itself
   }
-  for (const int fd : fds) ::shutdown(fd, SHUT_RDWR);
-  if (acceptor_.joinable()) acceptor_.join();
-  for (std::thread& thread : threads) {
-    if (thread.get_id() == std::this_thread::get_id()) {
-      thread.detach();  // stop() from a connection thread: cannot self-join
-    } else if (thread.joinable()) {
-      thread.join();
-    }
-  }
-  for (const int fd : fds) ::close(fd);
+  if (acceptor.joinable()) acceptor.join();
+  // Connection threads are detached and reclaim themselves; wait for the
+  // fleet to drain.  From a connection thread stop() cannot wait for its
+  // own exit, so that one thread is excluded — it finishes right after.
+  const std::size_t self = t_connection_thread ? 1u : 0u;
+  std::unique_lock<std::mutex> lock(mutex_);
+  connections_cv_.wait(lock,
+                       [this, self] { return active_connections_ <= self; });
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;

@@ -14,7 +14,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -44,6 +46,11 @@ class SocketServer {
   /// Blocks until the server stopped (handler-requested or stop()).
   void wait();
 
+  /// Bounded wait(); returns true when the server stopped within `timeout`.
+  /// Lets a driver poll an async-signal-set flag between waits instead of
+  /// calling stop() from a signal handler (none of stop() is signal-safe).
+  [[nodiscard]] bool wait_for(std::chrono::milliseconds timeout);
+
   /// Stops accepting, shuts down live connections, joins all threads.
   /// Idempotent and safe from any thread (including a connection thread).
   void stop();
@@ -62,8 +69,13 @@ class SocketServer {
   std::mutex mutex_;
   std::condition_variable stopped_cv_;
   bool stopped_ = false;
-  std::vector<int> connection_fds_;      ///< guarded by mutex_
-  std::vector<std::thread> connections_; ///< guarded by mutex_
+  /// Live connection fds, guarded by mutex_.  Each connection runs on a
+  /// detached thread that closes its fd and removes it here when it ends,
+  /// so a long-lived daemon reclaims per-connection resources as it goes
+  /// instead of hoarding fds and thread handles until stop().
+  std::vector<int> connection_fds_;
+  std::size_t active_connections_ = 0;   ///< guarded by mutex_
+  std::condition_variable connections_cv_; ///< signalled per finished conn
   std::thread acceptor_;
 };
 

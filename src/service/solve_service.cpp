@@ -123,6 +123,7 @@ std::string SolveService::handle_solve(const Request& request) {
 
   Pending pending;
   pending.job = make_job(request.job);
+  pending.id = request.id;
   pending.tenant = request.tenant;
   pending.priority = request.priority;
   pending.depth_at_admission = queue_.depth();
@@ -144,9 +145,11 @@ void SolveService::worker_loop() {
     const Clock::time_point dequeued = Clock::now();
     const auto wait = std::chrono::duration_cast<std::chrono::microseconds>(
         dequeued - pending->enqueued);
+    // Every dequeued job counts: recording only after a successful solve
+    // would bias the queue-wait quantiles toward successes.
+    queue_wait_.record(wait);
     try {
       const engine::BatchResult result = engine_->solve({pending->job});
-      queue_wait_.record(wait);
       if (!result.jobs.empty()) {
         const engine::JobResult& job = result.jobs.front();
         solve_latency_.record(job.elapsed);
@@ -170,7 +173,7 @@ void SolveService::worker_loop() {
       pending->response->set_value(std::move(document));
     } catch (const std::exception& error) {
       tenants_.record_failed(pending->tenant);
-      pending->response->set_value(error_line("", error.what()));
+      pending->response->set_value(error_line(pending->id, error.what()));
     }
   }
 }

@@ -113,6 +113,7 @@ class SolveService {
   /// An admitted solve waiting for a worker.
   struct Pending {
     engine::BatchJob job;
+    std::string id;  ///< client request id, echoed on the error path
     std::string tenant;
     std::uint64_t priority = 0;
     std::size_t depth_at_admission = 0;

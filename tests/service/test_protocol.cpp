@@ -170,6 +170,30 @@ TEST(Protocol, MalformedRequestsThrowNamingTheProblem) {
   }
 }
 
+TEST(Protocol, DeeplyNestedJsonIsRejectedNotAStackOverflow) {
+  // The parser reads untrusted socket input; a '[[[[…' line must come back
+  // as a parse error, not recurse the daemon into a stack overflow.
+  const std::string open(100000, '[');
+  try {
+    (void)parse_json(open + std::string(100000, ']'));
+    FAIL() << "no exception for 100k-deep nesting";
+  } catch (const PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find("nesting"), std::string::npos)
+        << "message was: " << error.what();
+  }
+  // Unbalanced variant dies on depth too (never on end-of-input first).
+  EXPECT_THROW((void)parse_json(open), PreconditionError);
+  // Mixed object/array nesting counts both container kinds.
+  std::string mixed;
+  for (int i = 0; i < 200; ++i) mixed += R"({"k":[)";
+  EXPECT_THROW((void)parse_json(mixed), PreconditionError);
+
+  // Sane depth stays parseable: 63 levels is comfortably within the limit.
+  std::string sane(63, '[');
+  sane += std::string(63, ']');
+  EXPECT_EQ(parse_json(sane).as_array().size(), 1u);
+}
+
 TEST(Protocol, ResponseLinesAreWellFormedJson) {
   const std::string error = error_line("r1", "bad \"thing\"\n");
   const JsonValue error_doc = parse_json(error);

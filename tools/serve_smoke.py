@@ -118,6 +118,23 @@ def main():
 
     sock_path = args.socket or os.path.join(
         tempfile.mkdtemp(prefix="hyperrec-smoke-"), "serve.sock")
+
+    # --- 0. malformed flags are startup errors, never silent policy ------
+    for bad in ("--tenant-quota=limited:0.5:1junk",
+                "--tenant-quota=limited:0.5:1:9",
+                "--tenant-quota=limited:fast:1",
+                "--trigger=spkie:2.0"):
+        probe = subprocess.run(
+            [args.serve, f"--socket={sock_path}.probe", bad],
+            capture_output=True, text=True, timeout=30)
+        check(probe.returncode == 1,
+              f"daemon accepted malformed flag {bad!r} "
+              f"(exit {probe.returncode})")
+        check("tenant-quota" in probe.stderr or "trigger" in probe.stderr,
+              f"startup error for {bad!r} should name the flag, "
+              f"got: {probe.stderr!r}")
+    print("serve_smoke: malformed flags rejected loudly ok")
+
     daemon = subprocess.Popen(
         [args.serve, f"--socket={sock_path}", "--workers=2",
          "--queue-capacity=32", "--cache-capacity=64",
