@@ -4,9 +4,10 @@
 #include <atomic>
 #include <bit>
 #include <future>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
+
+#include "support/thread_annotations.hpp"
 
 namespace hyperrec::cache {
 
@@ -41,21 +42,23 @@ struct SolveCache::Shard {
     std::shared_future<MTSolution> future;
   };
 
-  mutable std::mutex mutex;
+  /// One lock class for all shards — stripes of one family never nest.
+  mutable Mutex mutex{"SolveCache::shard"};
   /// This shard's slice of the total capacity (remainder spread one per
   /// shard, so Σ shard capacities == the configured capacity exactly).
   std::size_t capacity = 0;
-  std::unordered_map<Fingerprint128, Entry, Fingerprint128Hash> map;
+  std::unordered_map<Fingerprint128, Entry, Fingerprint128Hash> map
+      GUARDED_BY(mutex);
   /// Front = most recently used; erased entries are unlinked via lru_it.
-  std::list<Fingerprint128> lru;
+  std::list<Fingerprint128> lru GUARDED_BY(mutex);
   std::unordered_map<Fingerprint128, std::shared_ptr<Flight>,
                      Fingerprint128Hash>
-      inflight;
+      inflight GUARDED_BY(mutex);
 
   /// Locked helper: finds a live, full-key-verified entry, expiring stale
   /// ones and counting forged/unlucky fingerprint collisions.
   Entry* find_live(const InstanceKey& key, Clock::time_point now,
-                   Counters& counters) {
+                   Counters& counters) REQUIRES(mutex) {
     const auto it = map.find(key.fingerprint);
     if (it == map.end()) return nullptr;
     if (it->second.expires != Clock::time_point::max() &&
@@ -73,7 +76,7 @@ struct SolveCache::Shard {
     return &it->second;
   }
 
-  void touch(Entry& entry) {
+  void touch(Entry& entry) REQUIRES(mutex) {
     lru.splice(lru.begin(), lru, entry.lru_it);
   }
 
@@ -81,7 +84,7 @@ struct SolveCache::Shard {
   /// shard is at capacity.
   void store(const InstanceKey& key, const MTSolution& solution,
              Clock::time_point expires, std::size_t shard_capacity,
-             Counters& counters) {
+             Counters& counters) REQUIRES(mutex) {
     const auto it = map.find(key.fingerprint);
     if (it != map.end()) {
       if (it->second.canonical != key.canonical) {
@@ -120,13 +123,14 @@ struct SolveCache::WarmIndex {
     std::list<Fingerprint128>::iterator lru_it;
   };
 
-  mutable std::mutex mutex;
-  std::unordered_map<Fingerprint128, Entry, Fingerprint128Hash> map;
-  std::list<Fingerprint128> lru;
+  mutable Mutex mutex{"SolveCache::warm"};
+  std::unordered_map<Fingerprint128, Entry, Fingerprint128Hash> map
+      GUARDED_BY(mutex);
+  std::list<Fingerprint128> lru GUARDED_BY(mutex);
   std::size_t capacity = 0;
 
   void store(const Fingerprint128& shape, const MultiTaskSchedule& schedule) {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     const auto it = map.find(shape);
     if (it != map.end()) {
       it->second.schedule = schedule;
@@ -142,7 +146,7 @@ struct SolveCache::WarmIndex {
   }
 
   std::optional<MultiTaskSchedule> find(const Fingerprint128& shape) {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const MutexLock lock(mutex);
     const auto it = map.find(shape);
     if (it == map.end()) return std::nullopt;
     lru.splice(lru.begin(), lru, it->second.lru_it);
@@ -190,7 +194,7 @@ SolveCache::Shard& SolveCache::shard_for(
 
 std::optional<MTSolution> SolveCache::lookup(const InstanceKey& key) {
   Shard& shard = shard_for(key.fingerprint);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const MutexLock lock(shard.mutex);
   Shard::Entry* entry = shard.find_live(key, Clock::now(), *counters_);
   if (entry == nullptr) {
     counters_->misses.fetch_add(1, std::memory_order_relaxed);
@@ -207,7 +211,7 @@ void SolveCache::insert(const InstanceKey& key, const MTSolution& solution) {
                                         : Clock::time_point::max();
   Shard& shard = shard_for(key.fingerprint);
   {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const MutexLock lock(shard.mutex);
     shard.store(key, solution, expires, shard.capacity, *counters_);
   }
   update_warm_index(key, solution);
@@ -228,7 +232,7 @@ MTSolution SolveCache::get_or_compute_guarded(
   std::promise<MTSolution> promise;
   bool leader = false;
   {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const MutexLock lock(shard.mutex);
     Shard::Entry* entry = shard.find_live(key, Clock::now(), *counters_);
     if (entry != nullptr) {
       shard.touch(*entry);
@@ -278,7 +282,7 @@ MTSolution SolveCache::get_or_compute_guarded(
   } catch (...) {
     if (leader) {
       promise.set_exception(std::current_exception());
-      const std::lock_guard<std::mutex> lock(shard.mutex);
+      const MutexLock lock(shard.mutex);
       shard.inflight.erase(key.fingerprint);
     }
     throw;
@@ -289,7 +293,7 @@ MTSolution SolveCache::get_or_compute_guarded(
                                           ? Clock::now() + ttl_
                                           : Clock::time_point::max();
     {
-      const std::lock_guard<std::mutex> lock(shard.mutex);
+      const MutexLock lock(shard.mutex);
       shard.inflight.erase(key.fingerprint);
       if (result.cacheable) {
         shard.store(key, result.solution, expires, shard.capacity,
@@ -352,7 +356,7 @@ SolveCacheStats SolveCache::stats() const {
 std::size_t SolveCache::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const MutexLock lock(shard->mutex);
     total += shard->map.size();
   }
   return total;
@@ -361,7 +365,7 @@ std::size_t SolveCache::size() const {
 std::size_t SolveCache::inflight() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const MutexLock lock(shard->mutex);
     total += shard->inflight.size();
   }
   return total;

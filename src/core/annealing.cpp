@@ -59,12 +59,17 @@ MTSolution solve_annealing(const SolveInstance& instance,
                            ? config.initial_temperature
                            : static_cast<double>(machine.total_switches());
 
+  // Hoisted out of the iteration loop: copy-assignment below reuses the
+  // vector's (and each bitset's) capacity instead of reallocating per move.
+  std::vector<DynamicBitset> neighbour;
+
+  // lint: hot-loop begin
   for (std::size_t it = 0; it < config.iterations; ++it) {
     if (config.cancel.cancelled()) break;
     // Move: flip a random boundary bit, or slide a boundary by one step.
     const std::size_t j = rng.uniform(m);
     const std::size_t s = 1 + rng.uniform(n - 1);
-    std::vector<DynamicBitset> neighbour = masks;
+    neighbour = masks;
     if (rng.flip(0.7) || n < 3) {
       if (neighbour[j].test(s)) {
         neighbour[j].reset(s);
@@ -98,6 +103,7 @@ MTSolution solve_annealing(const SolveInstance& instance,
     }
     temperature *= config.cooling;
   }
+  // lint: hot-loop end
   return make_solution(instance, build(best));
 }
 

@@ -64,6 +64,7 @@ Partition optimize_task(const SolveInstance& instance,
   std::vector<std::size_t> parent(n + 1, 0);
   best[0] = 0;
 
+  // lint: hot-loop begin
   for (std::size_t end = 1; end <= n; ++end) {
     DynamicBitset running(task.local_universe());
     std::size_t union_size = 0;
@@ -90,6 +91,7 @@ Partition optimize_task(const SolveInstance& instance,
       }
     }
   }
+  // lint: hot-loop end
 
   std::vector<std::size_t> starts;
   for (std::size_t cursor = n; cursor != 0; cursor = parent[cursor]) {
@@ -135,6 +137,7 @@ MTSolution solve_coordinate_descent(const SolveInstance& instance,
   Cost current = evaluate_fully_sync_switch(instance, schedule).total;
 
   const std::size_t m = trace.task_count();
+  // lint: hot-loop begin
   for (std::size_t round = 0; round < config.max_rounds; ++round) {
     bool improved = false;
     for (std::size_t t = 0; t < m; ++t) {
@@ -154,6 +157,7 @@ MTSolution solve_coordinate_descent(const SolveInstance& instance,
     }
     if (!improved) break;
   }
+  // lint: hot-loop end
   return make_solution(instance, std::move(schedule));
 }
 

@@ -177,13 +177,20 @@ GaResult solve_genetic(const SolveInstance& instance, const GaConfig& config) {
   Cost best_cost = fitness[best_index()];
   std::size_t stale = 0;
 
+  // Hoisted out of the generation loop: the population size is fixed, so
+  // clearing and refilling reuses both buffers' capacity every generation.
+  std::vector<Chromosome> next;
+  next.reserve(population.size());
+  std::vector<std::size_t> order(population.size());
+
+  // lint: hot-loop begin
   for (std::size_t gen = 0; gen < config.generations; ++gen) {
     if (config.cancel.cancelled()) break;
     // --- breed the next generation (serial, deterministic) ----------------
-    std::vector<Chromosome> next;
+    next.clear();
     next.reserve(population.size());
 
-    std::vector<std::size_t> order(population.size());
+    order.resize(population.size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
       return fitness[a] < fitness[b];
@@ -219,6 +226,7 @@ GaResult solve_genetic(const SolveInstance& instance, const GaConfig& config) {
     result.history.push_back(best_cost);
     if (config.patience > 0 && stale >= config.patience) break;
   }
+  // lint: hot-loop end
 
   result.best =
       make_solution(instance, decode(best_genes, global_resources));

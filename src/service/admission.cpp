@@ -66,7 +66,7 @@ TenantRegistry::Tenant& TenantRegistry::tenant_locked(
 
 Admission TenantRegistry::admit(const std::string& tenant,
                                 TokenBucket::Clock::time_point now) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   Tenant& entry = tenant_locked(tenant);
   entry.counters.received += 1;
   const Admission verdict = entry.bucket.try_acquire(now);
@@ -75,40 +75,40 @@ Admission TenantRegistry::admit(const std::string& tenant,
 }
 
 void TenantRegistry::record_admitted(const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   tenant_locked(tenant).counters.admitted += 1;
 }
 
 void TenantRegistry::record_backpressure(const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   tenant_locked(tenant).counters.rejected_backpressure += 1;
 }
 
 void TenantRegistry::record_draining(const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   Tenant& entry = tenant_locked(tenant);
   entry.counters.received += 1;
   entry.counters.rejected_draining += 1;
 }
 
 void TenantRegistry::record_completed(const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   tenant_locked(tenant).counters.completed += 1;
 }
 
 void TenantRegistry::record_failed(const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   tenant_locked(tenant).counters.failed += 1;
 }
 
 void TenantRegistry::record_append(const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   tenant_locked(tenant).counters.appends += 1;
 }
 
 std::vector<std::pair<std::string, TenantCounters>> TenantRegistry::snapshot()
     const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::vector<std::pair<std::string, TenantCounters>> rows;
   rows.reserve(tenants_.size());
   for (const auto& [name, tenant] : tenants_) {

@@ -15,14 +15,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <string>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace hyperrec::service {
 
@@ -118,12 +118,12 @@ class TenantRegistry {
     explicit Tenant(QuotaConfig quota) : bucket(quota) {}
   };
 
-  Tenant& tenant_locked(const std::string& name);
+  Tenant& tenant_locked(const std::string& name) REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_{"TenantRegistry::mutex"};
   QuotaConfig default_quota_;
-  std::map<std::string, QuotaConfig> overrides_;
-  std::map<std::string, Tenant> tenants_;
+  std::map<std::string, QuotaConfig> overrides_ GUARDED_BY(mutex_);
+  std::map<std::string, Tenant> tenants_ GUARDED_BY(mutex_);
 };
 
 /// Bounded MPMC priority queue: higher priority pops first, FIFO within a
@@ -138,7 +138,7 @@ class BoundedPriorityQueue {
   /// False when full or closed — the caller rejects with retry-after.
   bool try_push(T value, std::uint64_t priority) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       if (closed_ || heap_.size() >= capacity_) return false;
       heap_.push(Entry{priority, next_seq_++, std::move(value)});
       peak_ = std::max(peak_, heap_.size());
@@ -151,8 +151,8 @@ class BoundedPriorityQueue {
   /// close() lets workers finish every accepted item before exiting, which
   /// is what "graceful drain loses no accepted job" rests on.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return closed_ || !heap_.empty(); });
+    const MutexLock lock(mutex_);
+    while (!closed_ && heap_.empty()) cv_.wait(mutex_);
     if (heap_.empty()) return std::nullopt;
     // std::priority_queue::top() is const&; the move is safe because pop()
     // immediately destroys the entry.
@@ -164,26 +164,26 @@ class BoundedPriorityQueue {
   /// Stops admissions and wakes every waiter; queued items still drain.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   [[nodiscard]] std::size_t depth() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return heap_.size();
   }
 
   [[nodiscard]] std::size_t peak_depth() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return peak_;
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return closed_;
   }
 
@@ -200,12 +200,12 @@ class BoundedPriorityQueue {
   };
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::priority_queue<Entry> heap_;
-  std::uint64_t next_seq_ = 0;
-  std::size_t peak_ = 0;
-  bool closed_ = false;
+  mutable Mutex mutex_{"BoundedPriorityQueue::mutex"};
+  CondVar cv_;
+  std::priority_queue<Entry> heap_ GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ GUARDED_BY(mutex_) = 0;
+  std::size_t peak_ GUARDED_BY(mutex_) = 0;
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace hyperrec::service

@@ -71,14 +71,14 @@ SocketServer::SocketServer(std::string path, Handler handler)
     HYPERREC_ENSURE(false, "listen(" + path_ +
                                ") failed: " + std::strerror(saved));
   }
-  acceptor_ = std::thread([this] { accept_loop(); });
+  acceptor_ = std::thread([this, fd = listen_fd_] { accept_loop(fd); });
 }
 
 SocketServer::~SocketServer() { stop(); }
 
-void SocketServer::accept_loop() {
+void SocketServer::accept_loop(int listen_fd) {
   while (!stopping_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (stopping_.load(std::memory_order_acquire)) break;
       if (errno == EINTR || errno == ECONNABORTED) continue;
@@ -92,7 +92,7 @@ void SocketServer::accept_loop() {
       }
       break;  // listener closed (stop) or unrecoverable
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(fd);
       break;
@@ -109,7 +109,7 @@ void SocketServer::accept_loop() {
   }
   // Unrecoverable accept failure: wake wait() so the driver can stop()
   // and exit loudly instead of lingering alive but deaf.
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   stopped_ = true;
   stopped_cv_.notify_all();
 }
@@ -149,7 +149,7 @@ void SocketServer::serve_connection(int fd) {
   if (stop_requested) {
     stopping_.store(true, std::memory_order_release);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (stop_requested && listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);  // wake the acceptor
   }
@@ -169,20 +169,27 @@ void SocketServer::serve_connection(int fd) {
 }
 
 void SocketServer::wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  stopped_cv_.wait(lock, [this] { return stopped_; });
+  const MutexLock lock(mutex_);
+  while (!stopped_) stopped_cv_.wait(mutex_);
 }
 
 bool SocketServer::wait_for(std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  return stopped_cv_.wait_for(lock, timeout, [this] { return stopped_; });
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const MutexLock lock(mutex_);
+  while (!stopped_) {
+    if (stopped_cv_.wait_until(mutex_, deadline) ==
+        std::cv_status::timeout) {
+      return stopped_;
+    }
+  }
+  return true;
 }
 
 void SocketServer::stop() {
   stopping_.store(true, std::memory_order_release);
   std::thread acceptor;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
     for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
     stopped_ = true;
@@ -194,9 +201,8 @@ void SocketServer::stop() {
   // fleet to drain.  From a connection thread stop() cannot wait for its
   // own exit, so that one thread is excluded — it finishes right after.
   const std::size_t self = t_connection_thread ? 1u : 0u;
-  std::unique_lock<std::mutex> lock(mutex_);
-  connections_cv_.wait(lock,
-                       [this, self] { return active_connections_ <= self; });
+  const MutexLock lock(mutex_);
+  while (active_connections_ > self) connections_cv_.wait(mutex_);
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;

@@ -15,13 +15,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace hyperrec::service {
 
@@ -58,25 +58,29 @@ class SocketServer {
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
-  void accept_loop();
+  /// The listening fd is passed in by value: the accept loop must not read
+  /// the guarded member unlocked, and the fd it was started with can never
+  /// change (stop() only shuts it down, which is exactly how the loop is
+  /// told to exit).
+  void accept_loop(int listen_fd);
   void serve_connection(int fd);
 
   std::string path_;
   Handler handler_;
-  int listen_fd_ = -1;
   std::atomic<bool> stopping_{false};
 
-  std::mutex mutex_;
-  std::condition_variable stopped_cv_;
-  bool stopped_ = false;
-  /// Live connection fds, guarded by mutex_.  Each connection runs on a
-  /// detached thread that closes its fd and removes it here when it ends,
-  /// so a long-lived daemon reclaims per-connection resources as it goes
-  /// instead of hoarding fds and thread handles until stop().
-  std::vector<int> connection_fds_;
-  std::size_t active_connections_ = 0;   ///< guarded by mutex_
-  std::condition_variable connections_cv_; ///< signalled per finished conn
-  std::thread acceptor_;
+  mutable Mutex mutex_{"SocketServer::mutex"};
+  CondVar stopped_cv_;
+  bool stopped_ GUARDED_BY(mutex_) = false;
+  int listen_fd_ GUARDED_BY(mutex_) = -1;
+  /// Live connection fds.  Each connection runs on a detached thread that
+  /// closes its fd and removes it here when it ends, so a long-lived
+  /// daemon reclaims per-connection resources as it goes instead of
+  /// hoarding fds and thread handles until stop().
+  std::vector<int> connection_fds_ GUARDED_BY(mutex_);
+  std::size_t active_connections_ GUARDED_BY(mutex_) = 0;
+  CondVar connections_cv_;  ///< signalled per finished conn
+  std::thread acceptor_ GUARDED_BY(mutex_);  ///< swap-claimed in stop()
 };
 
 }  // namespace hyperrec::service

@@ -76,7 +76,7 @@ void SolveService::shutdown() {
     for (std::thread& worker : workers_) worker.join();
     // Producers are rejected (draining) and in-flight appends hold the
     // shared lock; take it exclusively, then flush and drain the fleet.
-    std::unique_lock<std::shared_mutex> lock(streams_mutex_);
+    const WriterMutexLock lock(streams_mutex_);
     mux_->flush_all();
     mux_->drain();
   });
@@ -155,7 +155,7 @@ void SolveService::worker_loop() {
         solve_latency_.record(job.elapsed);
         if (job.ok) {
           tenants_.record_completed(pending->tenant);
-          std::lock_guard<std::mutex> lock(wins_mutex_);
+          const MutexLock lock(wins_mutex_);
           solver_wins_[job.winner] += 1;
         } else {
           tenants_.record_failed(pending->tenant);
@@ -204,7 +204,7 @@ std::string SolveService::handle_stream_open(const Request& request) {
   }
   tenants_.record_admitted(request.tenant);
 
-  std::unique_lock<std::shared_mutex> lock(streams_mutex_);
+  const WriterMutexLock lock(streams_mutex_);
   const std::size_t id =
       mux_->open_stream(MachineSpec::local_only(request.universes));
   streams_.emplace(id, StreamInfo{request.tenant, request.universes});
@@ -216,7 +216,7 @@ std::string SolveService::handle_stream_append(const Request& request) {
     tenants_.record_draining(request.tenant);
     return reject_line(request.id, RejectReason::kDraining, {});
   }
-  std::shared_lock<std::shared_mutex> lock(streams_mutex_);
+  const ReaderMutexLock lock(streams_mutex_);
   const auto it = streams_.find(request.stream);
   if (it == streams_.end()) {
     return error_line(request.id,
@@ -257,7 +257,7 @@ std::string SolveService::handle_stream_append(const Request& request) {
 }
 
 std::string SolveService::handle_stream_flush(const Request& request) {
-  std::shared_lock<std::shared_mutex> lock(streams_mutex_);
+  const ReaderMutexLock lock(streams_mutex_);
   if (streams_.find(request.stream) == streams_.end()) {
     return error_line(request.id,
                       "unknown stream " + std::to_string(request.stream));
@@ -269,7 +269,7 @@ std::string SolveService::handle_stream_flush(const Request& request) {
 std::string SolveService::handle_stream_result(const Request& request) {
   // Exclusive: drain() needs producers paused (appends hold the shared
   // lock), and engine-backed summaries need a quiesced fleet.
-  std::unique_lock<std::shared_mutex> lock(streams_mutex_);
+  const WriterMutexLock lock(streams_mutex_);
   if (streams_.find(request.stream) == streams_.end()) {
     return error_line(request.id,
                       "unknown stream " + std::to_string(request.stream));
@@ -358,7 +358,7 @@ std::string SolveService::statz_json() const {
 
   os << ",\"solvers\":[";
   {
-    std::lock_guard<std::mutex> lock(wins_mutex_);
+    const MutexLock lock(wins_mutex_);
     bool first = true;
     for (const auto& [name, wins] : solver_wins_) {
       if (!first) os << ',';

@@ -32,10 +32,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 #include "engine/batch_engine.hpp"
 #include "service/admission.hpp"
@@ -146,14 +147,15 @@ class SolveService {
     std::string tenant;
     std::vector<std::size_t> universes;
   };
-  mutable std::shared_mutex streams_mutex_;
-  std::map<std::size_t, StreamInfo> streams_;
+  mutable SharedMutex streams_mutex_{"SolveService::streams"};
+  std::map<std::size_t, StreamInfo> streams_ GUARDED_BY(streams_mutex_);
 
   // Metrics.
   LatencySketch solve_latency_;
   LatencySketch queue_wait_;
-  mutable std::mutex wins_mutex_;
-  std::map<std::string, std::uint64_t> solver_wins_;
+  mutable Mutex wins_mutex_{"SolveService::wins"};
+  std::map<std::string, std::uint64_t> solver_wins_
+      GUARDED_BY(wins_mutex_);
 
   std::atomic<bool> draining_{false};
   std::once_flag shutdown_once_;

@@ -47,7 +47,7 @@ std::size_t StreamMultiplexer::open_stream(MachineSpec machine,
   auto stream = std::make_shared<Stream>();
   stream->engine = std::make_unique<StreamingEngine>(
       std::move(machine), options, std::move(stream_config));
-  const std::lock_guard<std::mutex> lock(streams_mutex_);
+  const MutexLock lock(streams_mutex_);
   stream->id = streams_.size();
   streams_.push_back(std::move(stream));
   return streams_.back()->id;
@@ -55,7 +55,7 @@ std::size_t StreamMultiplexer::open_stream(MachineSpec machine,
 
 std::shared_ptr<StreamMultiplexer::Stream> StreamMultiplexer::stream_ptr(
     std::size_t id) const {
-  const std::lock_guard<std::mutex> lock(streams_mutex_);
+  const MutexLock lock(streams_mutex_);
   HYPERREC_ENSURE(id < streams_.size(), "stream id out of range");
   return streams_[id];
 }
@@ -79,8 +79,8 @@ void StreamMultiplexer::enqueue(std::size_t id, Op op) {
   Shard& shard = *shards_[id % shards_.size()];
   bool spawn = false;
   {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
-    if (stream->poisoned) {
+    const MutexLock lock(shard.mutex);
+    if (shard.lane(id).poisoned) {
       stream->dropped.fetch_add(1, std::memory_order_relaxed);
       return;
     }
@@ -105,19 +105,20 @@ void StreamMultiplexer::drain_shard(Shard& shard) {
     Stream* stream = nullptr;
     Op op;
     {
-      const std::lock_guard<std::mutex> lock(shard.mutex);
+      const MutexLock lock(shard.mutex);
       while (!shard.queue.empty()) {
         auto& front = shard.queue.front();
-        if (front.first->poisoned) {
+        LaneState& lane = shard.lane(front.first->id);
+        if (lane.poisoned) {
           front.first->dropped.fetch_add(1, std::memory_order_relaxed);
           shard.queue.pop_front();
           finish_unit();  // the dropped op's unit
           continue;
         }
-        if (front.first->resolving) {
+        if (lane.resolving) {
           // Park: the re-solve job must see the trace exactly as it was at
           // the trigger, so no op may touch the engine until it returns.
-          front.first->parked.push_back(std::move(front.second));
+          lane.parked.push_back(std::move(front.second));
           shard.queue.pop_front();
           continue;  // the op keeps its unit while parked
         }
@@ -154,8 +155,8 @@ void StreamMultiplexer::apply(Shard& shard, Stream& stream, Op op) {
   }
   if (trigger.has_value()) {
     {
-      const std::lock_guard<std::mutex> lock(shard.mutex);
-      stream.resolving = true;
+      const MutexLock lock(shard.mutex);
+      shard.lane(stream.id).resolving = true;
     }
     inflight_.fetch_add(1, std::memory_order_relaxed);  // the job's unit
     pool_->submit([this, &shard, &stream]() { run_resolve(shard, stream); });
@@ -183,12 +184,13 @@ void StreamMultiplexer::run_resolve(Shard& shard, Stream& stream) {
   // in order — anything the stream enqueued later is still behind them.
   bool spawn = false;
   {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
-    stream.resolving = false;
-    for (auto it = stream.parked.rbegin(); it != stream.parked.rend(); ++it) {
+    const MutexLock lock(shard.mutex);
+    LaneState& lane = shard.lane(stream.id);
+    lane.resolving = false;
+    for (auto it = lane.parked.rbegin(); it != lane.parked.rend(); ++it) {
       shard.queue.emplace_front(&stream, std::move(*it));
     }
-    stream.parked.clear();
+    lane.parked.clear();
     if (!shard.queue.empty() && !shard.active) {
       shard.active = true;
       spawn = true;
@@ -206,7 +208,7 @@ void StreamMultiplexer::publish(Stream& stream) {
   auto snapshot = std::make_shared<StreamSnapshot>();
   std::shared_ptr<const StreamSnapshot> previous;
   {
-    const std::lock_guard<std::mutex> lock(stream.publish_mutex);
+    const MutexLock lock(stream.publish_mutex);
     previous = stream.published;
   }
   snapshot->epoch = (previous != nullptr ? previous->epoch : 0) + 1;
@@ -225,7 +227,7 @@ void StreamMultiplexer::publish(Stream& stream) {
     }
   }
   {
-    const std::lock_guard<std::mutex> lock(stream.publish_mutex);
+    const MutexLock lock(stream.publish_mutex);
     stream.published = std::move(snapshot);
   }
   publications_.fetch_add(1, std::memory_order_relaxed);
@@ -234,17 +236,18 @@ void StreamMultiplexer::publish(Stream& stream) {
 void StreamMultiplexer::poison(Shard& shard, Stream& stream,
                                const char* what) {
   {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
-    stream.poisoned = true;
+    const MutexLock lock(shard.mutex);
+    LaneState& lane = shard.lane(stream.id);
+    lane.poisoned = true;
     // Parked ops will never apply; account them as dropped right here.
-    for (std::size_t i = 0; i < stream.parked.size(); ++i) {
+    for (std::size_t i = 0; i < lane.parked.size(); ++i) {
       stream.dropped.fetch_add(1, std::memory_order_relaxed);
       finish_unit();
     }
-    stream.parked.clear();
+    lane.parked.clear();
   }
   failures_.fetch_add(1, std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lock(failure_mutex_);
+  const MutexLock lock(failure_mutex_);
   if (!first_failure_.has_value()) {
     first_failure_ = FirstFailure{stream.id, stream.engine->steps(), what};
   }
@@ -252,7 +255,7 @@ void StreamMultiplexer::poison(Shard& shard, Stream& stream,
 
 void StreamMultiplexer::finish_unit() {
   if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    const std::lock_guard<std::mutex> lock(drain_mutex_);
+    const MutexLock lock(drain_mutex_);
     drain_cv_.notify_all();
   }
 }
@@ -260,21 +263,21 @@ void StreamMultiplexer::finish_unit() {
 void StreamMultiplexer::drain() {
   HYPERREC_ENSURE(!pool_->on_worker_thread(),
                   "drain() would deadlock on a pool worker thread");
-  std::unique_lock<std::mutex> lock(drain_mutex_);
-  drain_cv_.wait(lock, [this]() {
-    return inflight_.load(std::memory_order_acquire) == 0;
-  });
+  const MutexLock lock(drain_mutex_);
+  while (inflight_.load(std::memory_order_acquire) != 0) {
+    drain_cv_.wait(drain_mutex_);
+  }
 }
 
 std::shared_ptr<const StreamSnapshot> StreamMultiplexer::snapshot(
     std::size_t stream) const {
   const std::shared_ptr<Stream> owner = stream_ptr(stream);
-  const std::lock_guard<std::mutex> lock(owner->publish_mutex);
+  const MutexLock lock(owner->publish_mutex);
   return owner->published;
 }
 
 std::size_t StreamMultiplexer::stream_count() const {
-  const std::lock_guard<std::mutex> lock(streams_mutex_);
+  const MutexLock lock(streams_mutex_);
   return streams_.size();
 }
 
@@ -285,7 +288,7 @@ const StreamingEngine& StreamMultiplexer::engine(std::size_t stream) const {
 FleetStats StreamMultiplexer::fleet_stats() const {
   FleetStats stats;
   {
-    const std::lock_guard<std::mutex> lock(streams_mutex_);
+    const MutexLock lock(streams_mutex_);
     stats.streams = streams_.size();
     for (const std::shared_ptr<Stream>& stream : streams_) {
       stats.applied += stream->applied.load(std::memory_order_relaxed);
@@ -303,31 +306,37 @@ FleetStats StreamMultiplexer::fleet_stats() const {
 }
 
 std::optional<FirstFailure> StreamMultiplexer::first_failure() const {
-  const std::lock_guard<std::mutex> lock(failure_mutex_);
+  const MutexLock lock(failure_mutex_);
   return first_failure_;
 }
 
 std::vector<StreamSummary> StreamMultiplexer::stream_summaries() const {
-  const std::lock_guard<std::mutex> lock(streams_mutex_);
+  const MutexLock lock(streams_mutex_);
   std::vector<StreamSummary> rows;
   rows.reserve(streams_.size());
   for (const std::shared_ptr<Stream>& stream : streams_) {
     StreamSummary row;
     row.id = stream->id;
-    row.steps = stream->engine->steps();
+    // The `applied` counter, not engine->steps(): the engine may be live on
+    // its lane, and every applied append ingested exactly one step.
+    row.steps = stream->applied.load(std::memory_order_relaxed);
     row.resolves = stream->resolves.load(std::memory_order_relaxed);
     row.failed_windows =
         stream->failed_windows.load(std::memory_order_relaxed);
     std::shared_ptr<const StreamSnapshot> snapshot;
     {
-      const std::lock_guard<std::mutex> publish_lock(stream->publish_mutex);
+      const MutexLock publish_lock(stream->publish_mutex);
       snapshot = stream->published;
     }
     if (snapshot != nullptr) {
       row.epoch = snapshot->epoch;
       row.published_cost = snapshot->published_cost;
     }
-    row.poisoned = stream->poisoned;
+    {
+      Shard& shard = *shards_[stream->id % shards_.size()];
+      const MutexLock shard_lock(shard.mutex);
+      row.poisoned = shard.lane(stream->id).poisoned;
+    }
     rows.push_back(std::move(row));
   }
   return rows;

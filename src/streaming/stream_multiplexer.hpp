@@ -39,17 +39,17 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/solve_cache.hpp"
 #include "streaming/streaming_engine.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/thread_pool.hpp"
 
 namespace hyperrec::streaming {
@@ -118,9 +118,9 @@ struct StreamSummary {
 };
 
 /// Multiplexes many StreamingEngines over the thread pool.  append_step /
-/// flush / snapshot are safe from any thread; drain() quiesces the fleet
-/// (call it from a non-pool thread, after producers stopped).  engine() and
-/// stream_summaries() read engine state and require a quiesced fleet.
+/// flush / snapshot / stream_summaries are safe from any thread; drain()
+/// quiesces the fleet (call it from a non-pool thread, after producers
+/// stopped).  engine() reads engine state and requires a quiesced fleet.
 class StreamMultiplexer {
  public:
   explicit StreamMultiplexer(MultiplexerConfig config = {});
@@ -168,7 +168,10 @@ class StreamMultiplexer {
   [[nodiscard]] FleetStats fleet_stats() const;
   [[nodiscard]] std::optional<FirstFailure> first_failure() const;
 
-  /// Per-stream rows for the fleet summary; requires a quiesced fleet.
+  /// Per-stream rows for the fleet summary.  Safe on a live fleet: every
+  /// field comes from an atomic counter, the published snapshot or the
+  /// owning shard's lane state (taken under its mutex), so concurrent rows
+  /// are merely slightly stale, never torn.
   [[nodiscard]] std::vector<StreamSummary> stream_summaries() const;
 
  private:
@@ -186,12 +189,9 @@ class StreamMultiplexer {
     /// (never snapshot construction), so readers pay a pointer copy, not a
     /// wait on solver work.  (std::atomic<shared_ptr> would express this
     /// directly, but libstdc++'s lock-bit protocol is opaque to TSan.)
-    mutable std::mutex publish_mutex;
-    std::shared_ptr<const StreamSnapshot> published;
-    // The fields below are guarded by the owning shard's mutex.
-    std::deque<Op> parked;   ///< ops held while a re-solve job is in flight
-    bool resolving = false;  ///< a re-solve pool job owns the engine
-    bool poisoned = false;   ///< lane fault: later ops are dropped
+    mutable Mutex publish_mutex{"StreamMultiplexer::publish"};
+    std::shared_ptr<const StreamSnapshot> published
+        GUARDED_BY(publish_mutex);
     // Monotonic per-stream counters (relaxed atomics; exact once drained).
     std::atomic<std::uint64_t> applied{0};
     std::atomic<std::uint64_t> resolves{0};
@@ -199,10 +199,27 @@ class StreamMultiplexer {
     std::atomic<std::uint64_t> dropped{0};
   };
 
+  /// Per-stream lane bookkeeping, OWNED by the stream's shard so every
+  /// field is expressibly guarded by that shard's mutex (a flag living on
+  /// Stream but guarded by "the owning shard's mutex" is a cross-object
+  /// convention neither Clang's analysis nor a reviewer can check).
+  struct LaneState {
+    std::deque<Op> parked;   ///< ops held while a re-solve job is in flight
+    bool resolving = false;  ///< a re-solve pool job owns the engine
+    bool poisoned = false;   ///< lane fault: later ops are dropped
+  };
+
   struct Shard {
-    std::mutex mutex;
-    std::deque<std::pair<Stream*, Op>> queue;
-    bool active = false;  ///< a drain job for this shard is scheduled/running
+    /// One lock class for all shards — lanes of one family never nest.
+    Mutex mutex{"StreamMultiplexer::shard"};
+    std::deque<std::pair<Stream*, Op>> queue GUARDED_BY(mutex);
+    bool active GUARDED_BY(mutex) =
+        false;  ///< a drain job for this shard is scheduled/running
+    std::unordered_map<std::size_t, LaneState> lanes GUARDED_BY(mutex);
+
+    LaneState& lane(std::size_t stream_id) REQUIRES(mutex) {
+      return lanes[stream_id];
+    }
   };
 
   [[nodiscard]] std::shared_ptr<Stream> stream_ptr(std::size_t id) const;
@@ -219,21 +236,21 @@ class StreamMultiplexer {
   std::shared_ptr<cache::SolveCache> cache_;
   CancelToken cancel_;
 
-  mutable std::mutex streams_mutex_;
-  std::vector<std::shared_ptr<Stream>> streams_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable Mutex streams_mutex_{"StreamMultiplexer::streams"};
+  std::vector<std::shared_ptr<Stream>> streams_ GUARDED_BY(streams_mutex_);
+  std::vector<std::unique_ptr<Shard>> shards_;  ///< immutable after ctor
 
   /// Units of outstanding work: every accepted op and every scheduled
   /// re-solve job counts one from acceptance to completion.
   std::atomic<std::uint64_t> inflight_{0};
-  std::mutex drain_mutex_;
-  std::condition_variable drain_cv_;
+  Mutex drain_mutex_{"StreamMultiplexer::drain"};
+  CondVar drain_cv_;
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> publications_{0};
   std::atomic<std::uint64_t> failures_{0};
-  mutable std::mutex failure_mutex_;
-  std::optional<FirstFailure> first_failure_;
+  mutable Mutex failure_mutex_{"StreamMultiplexer::failure"};
+  std::optional<FirstFailure> first_failure_ GUARDED_BY(failure_mutex_);
 };
 
 }  // namespace hyperrec::streaming

@@ -1,0 +1,216 @@
+#include "support/lock_order.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "support/ensure.hpp"
+
+namespace hyperrec::lock_order {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{
+#if defined(HYPERREC_LOCK_ORDER) && HYPERREC_LOCK_ORDER
+    true
+#else
+    false
+#endif
+};
+
+}  // namespace detail
+
+namespace {
+
+/// Locks one thread can plausibly hold at once; the deepest real nesting in
+/// the library is 3 (service streams → mux streams → shard).
+constexpr std::size_t kMaxHeld = 64;
+
+/// Per-thread held-lock stack.  Deliberately trivially destructible (plain
+/// arrays, no heap): unlocks can still happen during static destruction
+/// (ThreadPool::global()'s teardown) after non-trivial thread_locals died.
+struct HeldSet {
+  const void* mutex[kMaxHeld];
+  const char* name[kMaxHeld];
+  std::size_t count;
+};
+
+thread_local HeldSet t_held{};
+
+/// The global acquired-before graph: one node per lock class (name), one
+/// edge per observed held→acquired pair.  Guarded by its own raw mutex —
+/// the validator's bookkeeping lock must not itself be order-tracked.
+struct Graph {
+  std::mutex mutex;
+  std::unordered_map<std::string, std::unordered_set<std::string>> edges;
+
+  bool has_edge(const std::string& from, const std::string& to) const {
+    const auto it = edges.find(from);
+    return it != edges.end() && it->second.count(to) > 0;
+  }
+
+  /// Shortest already-established chain from → ... → to, empty when `to`
+  /// is unreachable.  Used both as the cycle test and for the message.
+  std::vector<std::string> chain(const std::string& from,
+                                 const std::string& to) const {
+    if (from == to) return {from, to};
+    std::unordered_map<std::string, std::string> parent;
+    std::deque<std::string> frontier{from};
+    parent.emplace(from, std::string());
+    while (!frontier.empty()) {
+      const std::string node = std::move(frontier.front());
+      frontier.pop_front();
+      const auto it = edges.find(node);
+      if (it == edges.end()) continue;
+      for (const std::string& next : it->second) {
+        if (parent.count(next) > 0) continue;
+        parent.emplace(next, node);
+        if (next == to) {
+          std::vector<std::string> path{to};
+          for (std::string hop = node; !hop.empty(); hop = parent[hop]) {
+            path.push_back(hop);
+          }
+          std::reverse(path.begin(), path.end());
+          return path;
+        }
+        frontier.push_back(next);
+      }
+    }
+    return {};
+  }
+};
+
+/// Immortal singleton (intentionally leaked — see the naked-new allowlist
+/// in tools/lint.py): a Meyers static would be constructed lazily on the
+/// first lock and therefore destroyed BEFORE longer-lived statics such as
+/// ThreadPool::global(), whose teardown still locks.
+Graph& graph() {
+  static Graph* g = new Graph;
+  return *g;
+}
+
+std::string quote(const char* name) {
+  std::string out = "\"";
+  out += (name != nullptr ? name : "?");
+  out += '"';
+  return out;
+}
+
+std::string format_chain(const std::vector<std::string>& chain) {
+  std::string out;
+  for (const std::string& hop : chain) {
+    if (!out.empty()) out += " -> ";
+    out += "\"" + hop + "\"";
+  }
+  return out;
+}
+
+}  // namespace
+
+bool set_enabled(bool enabled) noexcept {
+  return detail::g_enabled.exchange(enabled, std::memory_order_relaxed);
+}
+
+namespace {
+
+void push_held(const void* mutex, const char* name) {
+  HeldSet& held = t_held;
+  HYPERREC_ENSURE(held.count < kMaxHeld,
+                  "lock-order validator: more than 64 locks held by one "
+                  "thread — raise kMaxHeld if this is intentional");
+  held.mutex[held.count] = mutex;
+  held.name[held.count] = name;
+  held.count += 1;
+}
+
+void check_not_held(const void* mutex, const char* name) {
+  const HeldSet& held = t_held;
+  for (std::size_t i = 0; i < held.count; ++i) {
+    HYPERREC_ENSURE(held.mutex[i] != mutex,
+                    "recursive acquisition: mutex " + quote(name) +
+                        " is already held by this thread (self-deadlock "
+                        "with a non-recursive mutex)");
+  }
+}
+
+}  // namespace
+
+void on_acquire(const void* mutex, const char* name) {
+  if (!enabled()) return;
+  check_not_held(mutex, name);
+  const HeldSet& held = t_held;
+  if (held.count > 0) {
+    Graph& g = graph();
+    const std::lock_guard<std::mutex> lock(g.mutex);
+    const std::string acquired(name != nullptr ? name : "?");
+    for (std::size_t i = 0; i < held.count; ++i) {
+      const std::string holder(held.name[i] != nullptr ? held.name[i] : "?");
+      // Same lock class: sharded/hierarchical same-name nesting is allowed
+      // by construction; ordering is only tracked BETWEEN classes.
+      if (holder == acquired) continue;
+      if (g.has_edge(holder, acquired)) continue;
+      // Adding holder→acquired: would it close a cycle?  If acquired
+      // already reaches holder, the opposite order was established earlier
+      // — fail NOW, before the underlying lock() can block, naming both
+      // locks and the established acquisition order.
+      const std::vector<std::string> established = g.chain(acquired, holder);
+      HYPERREC_ENSURE(
+          established.empty(),
+          "lock-order inversion: acquiring " + quote(name) +
+              " while holding \"" + holder +
+              "\", but the opposite acquisition order was established "
+              "earlier (acquired-before chain: " +
+              format_chain(established) + ")");
+      g.edges[holder].insert(acquired);
+    }
+  }
+  push_held(mutex, name);
+}
+
+void on_acquire_try(const void* mutex, const char* name) {
+  if (!enabled()) return;
+  // A successful try_lock is still a hold (release must balance, and later
+  // blocking acquisitions order against it) but contributes no edges of its
+  // own: try_lock never blocks, so it cannot participate in a deadlock as
+  // the waiting side.
+  check_not_held(mutex, name);
+  push_held(mutex, name);
+}
+
+void on_release(const void* mutex) noexcept {
+  HeldSet& held = t_held;
+  // Search from the back: releases are almost always LIFO, and out-of-order
+  // release is legal for std::mutex so it must be legal here too.
+  for (std::size_t i = held.count; i-- > 0;) {
+    if (held.mutex[i] != mutex) continue;
+    for (std::size_t j = i + 1; j < held.count; ++j) {
+      held.mutex[j - 1] = held.mutex[j];
+      held.name[j - 1] = held.name[j];
+    }
+    held.count -= 1;
+    return;
+  }
+  // Not tracked: validation was off when this mutex was acquired.
+}
+
+std::size_t edge_count() {
+  Graph& g = graph();
+  const std::lock_guard<std::mutex> lock(g.mutex);
+  std::size_t total = 0;
+  for (const auto& [node, out] : g.edges) total += out.size();
+  return total;
+}
+
+std::size_t held_count() noexcept { return t_held.count; }
+
+void reset() {
+  Graph& g = graph();
+  const std::lock_guard<std::mutex> lock(g.mutex);
+  g.edges.clear();
+}
+
+}  // namespace hyperrec::lock_order

@@ -1,0 +1,93 @@
+// Lockdep-lite: a runtime lock-order validator for hyperrec::Mutex.
+//
+// TSan catches a lock-order inversion only when a test run actually
+// interleaves the two acquisition paths; this validator catches it on the
+// FIRST time the second order is ever attempted, on any thread, before the
+// underlying mutex call can block — so a would-be deadlock surfaces as a
+// deterministic ENSURE failure naming both locks instead of a hung test.
+//
+// Model (the same one the kernel's lockdep uses, minus stack traces):
+//
+//   * every hyperrec::Mutex carries a NAME — its lock class.  Sharded
+//     same-class locks (e.g. the solve cache's shard stripes) share one
+//     name; ordering is tracked between classes, never within one, so
+//     hierarchical same-class nesting is allowed by construction.
+//   * a thread-local stack records the locks each thread currently holds.
+//   * a global acquired-before graph accumulates one edge per observed
+//     (held-class → acquired-class) pair.  Before adding an edge A→B the
+//     validator checks whether B already reaches A; if so, the two orders
+//     form a cycle and the acquisition ENSURE-fails with both lock names
+//     and the previously established chain.
+//   * re-acquiring the SAME mutex object on one thread is a guaranteed
+//     self-deadlock with std::mutex and fails immediately.
+//
+// The checks run only while enabled: builds configured with
+// -DHYPERREC_LOCK_ORDER=ON (the Debug and sanitizer CI jobs) enable them
+// process-wide so the whole test suite doubles as a lock-order fuzzer;
+// tests can also opt in locally with ScopedEnable regardless of build
+// flags.  Disabled cost is one relaxed atomic load per lock operation.
+//
+// This file and thread_annotations.hpp are the two deliberate holders of
+// raw std::mutex in the library (see tools/lint.py rule `raw-mutex`): the
+// validator's own bookkeeping lock must not be order-tracked.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace hyperrec::lock_order {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when acquisitions are being validated.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns validation on or off process-wide; returns the previous state.
+bool set_enabled(bool enabled) noexcept;
+
+/// Records intent to acquire `mutex` (class `name`) on this thread and
+/// validates ordering against every lock the thread already holds.  Called
+/// BEFORE the underlying lock so an inversion fails instead of deadlocking.
+/// Throws PreconditionError (via HYPERREC_ENSURE) on a same-object
+/// re-acquisition or an acquired-before cycle.
+void on_acquire(const void* mutex, const char* name);
+
+/// Records a successful try_lock.  A try_lock can never block, so it
+/// contributes no ordering edges; the hold is tracked so release balances.
+void on_acquire_try(const void* mutex, const char* name);
+
+/// Removes `mutex` from this thread's held set (no-op when validation was
+/// off at acquisition time — the sets stay balanced either way).
+void on_release(const void* mutex) noexcept;
+
+/// Number of distinct acquired-before edges observed so far.
+[[nodiscard]] std::size_t edge_count();
+
+/// Number of locks the calling thread currently holds (tracked ones).
+[[nodiscard]] std::size_t held_count() noexcept;
+
+/// Clears the global acquired-before graph.  Per-thread held sets are left
+/// alone (they are empty whenever no lock is held).  Test-only.
+void reset();
+
+/// RAII test helper: enables validation and clears the graph on entry,
+/// restores the previous enablement (and clears again) on exit.
+class ScopedEnable {
+ public:
+  ScopedEnable() : previous_(set_enabled(true)) { reset(); }
+  ~ScopedEnable() {
+    reset();
+    set_enabled(previous_);
+  }
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace hyperrec::lock_order

@@ -1,0 +1,236 @@
+// Clang thread-safety annotations and the annotated locking primitives
+// every hyperrec subsystem uses.
+//
+// The macros expand to Clang's capability attributes under Clang (where the
+// CI `clang-thread-safety` job builds with -Werror=thread-safety) and to
+// nothing elsewhere, so GCC builds are unaffected.  Conventions for new
+// code:
+//
+//   * declare locks as `hyperrec::Mutex` (never raw std::mutex — enforced
+//     by tools/lint.py rule `raw-mutex`), giving each a lock-class name;
+//     sharded locks of one class share one name (see lock_order.hpp).
+//   * every field written under a lock is declared `GUARDED_BY(mutex_)`.
+//   * helpers that expect the caller to hold a lock are `REQUIRES(mutex_)`.
+//   * scope-based acquisition uses `MutexLock` (or Writer/ReaderMutexLock
+//     for SharedMutex); condition waits use `CondVar::wait(mutex)` inside
+//     an explicit `while (!predicate)` loop — Clang's analysis does not
+//     propagate REQUIRES into predicate lambdas.
+//
+// The wrappers also feed the lockdep-lite validator: every blocking
+// acquisition is reported to lock_order BEFORE the underlying lock call,
+// so order inversions fail deterministically instead of deadlocking.
+//
+// This file and lock_order.{hpp,cpp} are the deliberate holders of raw
+// standard-library lock types in the library.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "support/lock_order.hpp"
+
+#if defined(__clang__)
+#define HYPERREC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HYPERREC_THREAD_ANNOTATION(x)
+#endif
+
+#define CAPABILITY(x) HYPERREC_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY HYPERREC_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) HYPERREC_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) HYPERREC_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  HYPERREC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  HYPERREC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  HYPERREC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  HYPERREC_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  HYPERREC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  HYPERREC_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  HYPERREC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  HYPERREC_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  HYPERREC_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  HYPERREC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  HYPERREC_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) HYPERREC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) HYPERREC_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) HYPERREC_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  HYPERREC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace hyperrec {
+
+/// An annotated, lock-order-validated mutual-exclusion lock.  The name is
+/// the lock CLASS for ordering purposes: give sharded locks of one family
+/// the same name, distinct families distinct names.
+class CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const char* name) noexcept : name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() {
+    lock_order::on_acquire(this, name_);
+    inner_.lock();
+  }
+
+  void unlock() RELEASE() {
+    inner_.unlock();
+    lock_order::on_release(this);
+  }
+
+  bool try_lock() TRY_ACQUIRE(true) {
+    if (!inner_.try_lock()) return false;
+    lock_order::on_acquire_try(this, name_);
+    return true;
+  }
+
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+
+ private:
+  friend class CondVar;
+  std::mutex inner_;
+  const char* name_;
+};
+
+/// RAII scope lock over Mutex (std::lock_guard equivalent — the raw guard
+/// is banned outside this header by lint rule `raw-mutex`).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable paired with Mutex.  wait() requires the caller to
+/// hold the mutex and is annotated so; use an explicit while-loop around
+/// it rather than the predicate overload (see the header comment).
+///
+/// The lock-order validator deliberately keeps the mutex in the caller's
+/// held set across the wait: the post-wakeup re-acquisition re-takes the
+/// lock in the same class order the caller already established, so no new
+/// ordering information exists to record.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mutex) REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.inner_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mutex,
+                          const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.inner_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status;
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      Mutex& mutex, const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.inner_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Annotated reader/writer lock (std::shared_mutex wrapper).  Shared
+/// acquisitions participate in lock-order validation like exclusive ones:
+/// they can block behind a writer, so they can close a deadlock cycle.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  explicit SharedMutex(const char* name) noexcept : name_(name) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() {
+    lock_order::on_acquire(this, name_);
+    inner_.lock();
+  }
+
+  void unlock() RELEASE() {
+    inner_.unlock();
+    lock_order::on_release(this);
+  }
+
+  void lock_shared() ACQUIRE_SHARED() {
+    lock_order::on_acquire(this, name_);
+    inner_.lock_shared();
+  }
+
+  void unlock_shared() RELEASE_SHARED() {
+    inner_.unlock_shared();
+    lock_order::on_release(this);
+  }
+
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+
+ private:
+  std::shared_mutex inner_;
+  const char* name_;
+};
+
+/// RAII exclusive scope over SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mutex) ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~WriterMutexLock() RELEASE() { mutex_.unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// RAII shared scope over SharedMutex.  The destructor is RELEASE_GENERIC:
+/// Clang models a scoped capability's release generically when the scope
+/// was acquired shared, and the generic form accepts either mode.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mutex) ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  ~ReaderMutexLock() RELEASE_GENERIC() { mutex_.unlock_shared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+}  // namespace hyperrec

@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -37,8 +37,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      const MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       job = std::move(queue_.front());
       queue_.pop_front();

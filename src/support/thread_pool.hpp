@@ -10,16 +10,15 @@
 // points; direct submit() is available for irregular work.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "support/ensure.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace hyperrec {
 
@@ -52,7 +51,7 @@ class ThreadPool {
         std::forward<Fn>(fn));
     std::future<Result> result = task->get_future();
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       HYPERREC_ENSURE(!stopping_, "submit() on a stopped ThreadPool");
       queue_.emplace_back([task]() { (*task)(); });
     }
@@ -67,10 +66,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_{"ThreadPool::mutex"};
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace hyperrec

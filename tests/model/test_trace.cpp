@@ -35,7 +35,7 @@ TEST(TaskTrace, SliceMatchesPerStepCopyAcrossWordSeams) {
       if (i % 3 == 0) bits.set(universe / 2);
       trace.push_back({std::move(bits), static_cast<std::uint32_t>(i)});
     }
-    for (const auto [lo, hi] :
+    for (const auto& [lo, hi] :
          {std::pair<std::size_t, std::size_t>{0, 12}, {3, 9}, {5, 5},
           {11, 12}, {0, 1}}) {
       const TaskTrace cut = trace.slice(lo, hi);

@@ -252,5 +252,74 @@ TEST(SolveService, StatzCarriesSolverWinsAndLatency) {
   EXPECT_EQ(statz.get("queue")->get("depth")->as_uint(), 0u);
 }
 
+TEST(SolveService, ConcurrentStreamsWinsAndStatzStayConsistent) {
+  // Regression for the guarded-field sweep: the stream registry (behind a
+  // reader/writer SharedMutex) and the solver-win tallies (behind their own
+  // Mutex) are hammered from concurrent opens, appends, solves and statz
+  // polls.  Every acquisition runs through the annotated wrappers, so this
+  // doubles as a lock-order workload; the bookkeeping must balance exactly
+  // once the dust settles.
+  SolveService service(small_config());
+
+  constexpr int kThreads = 4;
+  constexpr int kSolvesPerThread = 3;
+  std::atomic<bool> stop{false};
+  std::thread statz_poller([&]() {
+    std::uint64_t last_wins = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const JsonValue statz = parse_json(service.statz_json());
+      std::uint64_t wins = 0;
+      for (const JsonValue& row : statz.get("solvers")->as_array()) {
+        wins += row.get("wins")->as_uint();
+      }
+      // Wins only ever grow, and never past the work actually issued.
+      EXPECT_GE(wins, last_wins);
+      EXPECT_LE(wins,
+                static_cast<std::uint64_t>(kThreads * kSolvesPerThread));
+      last_wins = wins;
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&service, t]() {
+      const JsonValue opened = parse_json(service.handle_line(
+          R"({"op":"stream_open","tenant":"w","universes":[5,5]})"));
+      ASSERT_TRUE(opened.get("ok")->as_bool());
+      const std::uint64_t stream = opened.get("stream")->as_uint();
+      for (int i = 0; i < 12; ++i) {
+        const std::string append =
+            R"({"op":"stream_append","stream":)" + std::to_string(stream) +
+            R"(,"step":[{"bits":[)" + std::to_string((t + i) % 5) +
+            R"(]},{"bits":[)" + std::to_string((t + i + 2) % 5) + "]}]}";
+        ASSERT_TRUE(
+            parse_json(service.handle_line(append)).get("ok")->as_bool());
+      }
+      for (int i = 0; i < kSolvesPerThread; ++i) {
+        const JsonValue doc = parse_json(service.handle_line(solve_line(
+            "w", static_cast<std::uint64_t>(t * 100 + i))));
+        EXPECT_EQ(doc.get("schema")->as_string(), "hyperrec-batch-result");
+      }
+      const JsonValue summary = parse_json(service.handle_line(
+          R"({"op":"stream_result","stream":)" + std::to_string(stream) +
+          "}"));
+      ASSERT_TRUE(summary.get("ok")->as_bool());
+      EXPECT_EQ(summary.get("steps")->as_uint(), 12u);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  stop.store(true, std::memory_order_release);
+  statz_poller.join();
+
+  const JsonValue statz = parse_json(service.statz_json());
+  std::uint64_t wins = 0;
+  for (const JsonValue& row : statz.get("solvers")->as_array()) {
+    wins += row.get("wins")->as_uint();
+  }
+  EXPECT_EQ(wins, static_cast<std::uint64_t>(kThreads * kSolvesPerThread));
+  EXPECT_EQ(statz.get("fleet")->get("streams")->as_uint(),
+            static_cast<std::uint64_t>(kThreads));
+}
+
 }  // namespace
 }  // namespace hyperrec::service

@@ -375,5 +375,61 @@ TEST(StreamMultiplexer, BatchEngineMultiplexedReplayMatchesPerJobReplay) {
   }
 }
 
+TEST(StreamMultiplexer, ConcurrentSummariesDuringLiveAppends) {
+  // Regression for the unguarded per-lane `poisoned` read: stream_summaries()
+  // used to peek lane flags without the owning shard's lock and report steps
+  // from a live engine.  It now snapshots the `applied` atomic and takes each
+  // shard lock for the lane flags, so calling it concurrently with appends is
+  // data-race-free (this is part of the TSan `mux` workload) and every row is
+  // internally consistent: steps never exceeds what was accepted, and never
+  // decreases between observations of the same stream.
+  const std::size_t universe = 6;
+  const std::size_t streams = 6;
+  const std::size_t steps = 24;
+  const MachineSpec machine = MachineSpec::local_only({universe});
+
+  StreamMultiplexer mux(mux_config(4, 4, 3));
+  for (std::size_t i = 0; i < streams; ++i) mux.open_stream(machine);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> observations{0};
+  std::thread reader([&]() {
+    std::vector<std::uint64_t> last_steps(streams, 0);
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::vector<StreamSummary> rows = mux.stream_summaries();
+      ASSERT_EQ(rows.size(), streams);
+      for (std::size_t i = 0; i < streams; ++i) {
+        EXPECT_EQ(rows[i].id, i);
+        EXPECT_FALSE(rows[i].poisoned) << "stream " << i;
+        EXPECT_LE(rows[i].steps, steps) << "stream " << i;
+        EXPECT_GE(rows[i].steps, last_steps[i]) << "stream " << i;
+        last_steps[i] = rows[i].steps;
+      }
+      observations.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (std::size_t i = 0; i < streams; ++i) {
+    writers.emplace_back([&, i]() {
+      for (std::size_t s = 0; s < steps; ++s) {
+        mux.append_step(i, {req_bits(universe, {(i + s) % universe})});
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  mux.flush_all();
+  mux.drain();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_GT(observations.load(), 0u);
+  const std::vector<StreamSummary> rows = mux.stream_summaries();
+  for (std::size_t i = 0; i < streams; ++i) {
+    EXPECT_EQ(rows[i].steps, steps);
+    EXPECT_FALSE(rows[i].poisoned);
+  }
+}
+
 }  // namespace
 }  // namespace hyperrec::streaming

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy (config: .clang-tidy) over the src/ translation units.
+
+Needs a build directory with compile_commands.json — every CMake preset
+exports one (CMAKE_EXPORT_COMPILE_COMMANDS=ON).  Usage:
+
+    python3 tools/run_tidy.py [--build-dir build] [--jobs N] [files...]
+
+With no files given, every src/**/*.cpp entry from the compilation
+database is checked.  Exit code 0 = clean (or tool unavailable — see
+below), 1 = findings, 2 = usage/setup error.
+
+When clang-tidy is not installed the script reports that and exits 0 so
+the lint pipeline degrades gracefully on toolchains without clang (the
+CI clang job is where the check is load-bearing).  Pass --require to
+turn a missing tool into a hard error instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def compilation_sources(build_dir: Path) -> list[str]:
+    database = build_dir / "compile_commands.json"
+    if not database.is_file():
+        print(f"run_tidy: no compile_commands.json in {build_dir} — "
+              "configure with a preset (they export it) first",
+              file=sys.stderr)
+        raise SystemExit(2)
+    entries = json.loads(database.read_text())
+    sources = []
+    src_root = (REPO_ROOT / "src").resolve()
+    for entry in entries:
+        path = Path(entry["file"])
+        if not path.is_absolute():
+            path = Path(entry["directory"]) / path
+        path = path.resolve()
+        if src_root in path.parents and path.suffix == ".cpp":
+            sources.append(str(path))
+    return sorted(set(sources))
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", type=Path,
+                        default=REPO_ROOT / "build",
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, multiprocessing.cpu_count() - 1))
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 2) when clang-tidy is missing "
+                             "instead of skipping")
+    parser.add_argument("files", nargs="*",
+                        help="specific files (default: all src/ TUs in the "
+                             "compilation database)")
+    args = parser.parse_args(argv)
+
+    tidy = shutil.which("clang-tidy")
+    if tidy is None:
+        message = "run_tidy: clang-tidy not found on PATH"
+        if args.require:
+            print(message, file=sys.stderr)
+            return 2
+        print(f"{message} — skipping (pass --require to make this fatal)")
+        return 0
+
+    sources = args.files or compilation_sources(args.build_dir.resolve())
+    if not sources:
+        print("run_tidy: no src/ translation units in the database",
+              file=sys.stderr)
+        return 2
+
+    def check(source: str) -> tuple[str, int, str]:
+        result = subprocess.run(
+            [tidy, "-p", str(args.build_dir), "--quiet", source],
+            capture_output=True, text=True)
+        return source, result.returncode, result.stdout + result.stderr
+
+    failures = 0
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for source, code, output in pool.map(check, sources):
+            shown = Path(source)
+            try:
+                shown = shown.relative_to(REPO_ROOT)
+            except ValueError:
+                pass
+            if code != 0:
+                failures += 1
+                print(f"run_tidy: FAIL {shown}\n{output}")
+            elif output.strip():
+                # Warnings that are not errors still deserve eyeballs.
+                print(f"run_tidy: warn {shown}\n{output}")
+            else:
+                print(f"run_tidy: ok   {shown}")
+
+    if failures:
+        print(f"run_tidy: {failures} file(s) failed", file=sys.stderr)
+        return 1
+    print(f"run_tidy: clean ({len(sources)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
