@@ -1,6 +1,7 @@
 #include "core/coordinate_descent.hpp"
 
 #include "core/aligned_dp.hpp"
+#include "support/bitset_kernels.hpp"
 #include "support/cost_math.hpp"
 
 namespace hyperrec {
@@ -64,25 +65,70 @@ Partition optimize_task(const SolveInstance& instance,
   std::vector<std::size_t> parent(n + 1, 0);
   best[0] = 0;
 
+  // For sequential reconfig upload each step of the interval contributes
+  // exactly `size` to the delta against the frozen profile — unless
+  // cost_add saturates, which can only happen when size pushes some
+  // profile.reconfig[l] past the sentinel.  Hoisting the profile maximum
+  // lets the DP take the O(1) closed form (size · steps) per candidate
+  // interval and fall back to the exact per-step loop only for
+  // near-sentinel costs; this turns the dominant O(n³) term into O(n²).
+  const bool sequential =
+      options.reconfig_upload == UploadMode::kTaskSequential;
+  Cost max_reconfig = 0;
+  for (const Cost r : profile.reconfig) {
+    max_reconfig = std::max(max_reconfig, r);
+  }
+
+  // Single-word fast path mirrors interval_dp: hoist each step's local
+  // requirement word and private demand into contiguous arrays so the
+  // O(n²) pair loop touches no bitset storage.
+  const bool single_word = task.local_universe() <= DynamicBitset::kWordBits;
+  using Word = DynamicBitset::Word;
+  std::vector<Word> locals;
+  std::vector<std::uint32_t> demands;
+  if (single_word) {
+    locals.assign(n, 0);
+    demands.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const ContextRequirement& req = task.at(i);
+      if (!req.local.words().empty()) locals[i] = req.local.words().front();
+      demands[i] = req.private_demand;
+    }
+  }
+
   // lint: hot-loop begin
+  DynamicBitset running(task.local_universe());
   for (std::size_t end = 1; end <= n; ++end) {
-    DynamicBitset running(task.local_universe());
+    running.reset_all();
+    Word running_word = 0;
     std::size_t union_size = 0;
     std::uint32_t max_priv = 0;
     for (std::size_t start = end; start-- > 0;) {
-      union_size += running.merge_counting(task.at(start).local);
-      max_priv = std::max(max_priv, task.at(start).private_demand);
+      if (single_word) {
+        const Word local = locals[start];
+        union_size += kernels::popcount_word(local & ~running_word);
+        running_word |= local;
+        max_priv = std::max(max_priv, demands[start]);
+      } else {
+        union_size += running.merge_counting(task.at(start).local);
+        max_priv = std::max(max_priv, task.at(start).private_demand);
+      }
       const Cost size =
           static_cast<Cost>(union_size) + static_cast<Cost>(max_priv);
 
       const Cost hyper_with =
           combine(options.hyper_upload, profile.hyper[start], v);
       Cost interval_cost = hyper_with - profile.hyper[start];
-      for (std::size_t l = start; l < end; ++l) {
+      if (sequential && size <= kInfinity - max_reconfig) {
         interval_cost = cost_add(
-            interval_cost,
-            combine(options.reconfig_upload, profile.reconfig[l], size) -
-                profile.reconfig[l]);
+            interval_cost, cost_mul(size, static_cast<Cost>(end - start)));
+      } else {
+        for (std::size_t l = start; l < end; ++l) {
+          interval_cost = cost_add(
+              interval_cost,
+              combine(options.reconfig_upload, profile.reconfig[l], size) -
+                  profile.reconfig[l]);
+        }
       }
       const Cost candidate = cost_add(best[start], interval_cost);
       if (candidate < best[end]) {

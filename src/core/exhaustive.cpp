@@ -31,33 +31,38 @@ MTSolution solve_exhaustive(const SolveInstance& instance) {
   Cost best_cost = std::numeric_limits<Cost>::max();
   std::uint64_t best_code = 0;
 
-  auto decode = [&](std::uint64_t code) {
-    MultiTaskSchedule schedule;
-    schedule.tasks.reserve(m);
+  // One schedule and one boundary mask, rebuilt in place per code: at
+  // 2^{m(n-1)} evaluations the enumeration loop cannot afford per-code
+  // allocations (the mask is inline storage for n <= 64, and
+  // assign_boundary_mask reuses each partition's starts vector).
+  MultiTaskSchedule schedule;
+  schedule.tasks.assign(m, Partition::single(n));
+  if (machine.has_global_resources()) {
+    schedule.global_boundaries.push_back(0);
+  }
+  DynamicBitset mask(n);
+  auto decode_into = [&](std::uint64_t code) {
     for (std::size_t j = 0; j < m; ++j) {
-      DynamicBitset mask(n);
+      mask.reset_all();
       mask.set(0);
       for (std::size_t s = 1; s < n; ++s) {
         if ((code >> (j * (n - 1) + (s - 1))) & 1u) mask.set(s);
       }
-      schedule.tasks.push_back(Partition::from_boundary_mask(mask));
+      schedule.tasks[j].assign_boundary_mask(mask);
     }
-    if (machine.has_global_resources()) {
-      schedule.global_boundaries.push_back(0);
-    }
-    return schedule;
   };
 
   const std::uint64_t limit = std::uint64_t{1} << free_bits;
   for (std::uint64_t code = 0; code < limit; ++code) {
-    const MultiTaskSchedule schedule = decode(code);
+    decode_into(code);
     const Cost total = evaluate_fully_sync_switch(instance, schedule).total;
     if (total < best_cost) {
       best_cost = total;
       best_code = code;
     }
   }
-  return make_solution(instance, decode(best_code));
+  decode_into(best_code);
+  return make_solution(instance, schedule);
 }
 
 }  // namespace hyperrec

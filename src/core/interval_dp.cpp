@@ -1,6 +1,7 @@
 #include "core/interval_dp.hpp"
 
 #include "model/trace_stats.hpp"
+#include "support/bitset_kernels.hpp"
 #include "support/cost_math.hpp"
 
 namespace hyperrec {
@@ -40,13 +41,52 @@ SingleTaskSolution solve_single_task_switch(const TaskTraceStats& stats,
   const std::size_t n = trace.size();
   HYPERREC_ENSURE(n > 0, "empty trace");
 
-  // The stats back the reconstruction-time union queries; the DP's inner
-  // loop keeps its incrementally merged running union (amortised O(words)
-  // per extension beats a table query per pair).
   std::vector<Cost> best(n + 1, kInfinity);
   std::vector<std::size_t> parent(n + 1, 0);
   best[0] = 0;
 
+  if (trace.local_universe() <= DynamicBitset::kWordBits) {
+    // Small-universe fast path: every local requirement is one word, so the
+    // O(n²) inner loop runs on hoisted raw words — no bounds checks, no
+    // storage indirection, and the union merge is two ALU ops plus a
+    // popcount.  Most workload families live here (universe 6..64).
+    using Word = DynamicBitset::Word;
+    std::vector<Word> locals(n, 0);
+    std::vector<std::uint32_t> demands(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const ContextRequirement& req = trace.at(i);
+      if (!req.local.words().empty()) locals[i] = req.local.words().front();
+      demands[i] = req.private_demand;
+    }
+    for (std::size_t end = 1; end <= n; ++end) {
+      Word running = 0;
+      std::size_t union_size = 0;
+      std::uint32_t max_priv = 0;
+      // Extend the candidate interval [start, end) leftwards.
+      for (std::size_t start = end; start-- > 0;) {
+        const Word local = locals[start];
+        union_size += kernels::popcount_word(local & ~running);
+        running |= local;
+        max_priv = std::max(max_priv, demands[start]);
+        const Cost per_step =
+            static_cast<Cost>(union_size) + static_cast<Cost>(max_priv);
+        // Saturating arithmetic: adversarial hyper_init/private_demand must
+        // clamp at the sentinel instead of wrapping Cost (UB).
+        const Cost candidate =
+            cost_add(cost_add(best[start], hyper_init),
+                     cost_mul(per_step, static_cast<Cost>(end - start)));
+        if (candidate < best[end]) {
+          best[end] = candidate;
+          parent[end] = start;
+        }
+      }
+    }
+    return reconstruct(stats, parent, best[n]);
+  }
+
+  // General path: the DP's inner loop keeps its incrementally merged
+  // running union (amortised O(words) per extension beats a table query
+  // per pair); the stats back the reconstruction-time union queries.
   DynamicBitset running(trace.local_universe());
   for (std::size_t end = 1; end <= n; ++end) {
     running.reset_all();
@@ -58,8 +98,7 @@ SingleTaskSolution solve_single_task_switch(const TaskTraceStats& stats,
       max_priv = std::max(max_priv, trace.at(start).private_demand);
       const Cost per_step =
           static_cast<Cost>(union_size) + static_cast<Cost>(max_priv);
-      // Saturating arithmetic: adversarial hyper_init/private_demand must
-      // clamp at the sentinel instead of wrapping Cost (UB).
+      // Saturating arithmetic (see the fast path above).
       const Cost candidate =
           cost_add(cost_add(best[start], hyper_init),
                    cost_mul(per_step, static_cast<Cost>(end - start)));

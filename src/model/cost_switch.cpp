@@ -40,17 +40,20 @@ void check_private_feasibility(const MultiTaskTraceStats& stats,
                                const MultiTaskSchedule& schedule,
                                std::size_t steps) {
   if (machine.private_global_units == 0) return;
-  std::vector<std::size_t> blocks = schedule.global_boundaries;
-  if (blocks.empty()) blocks.push_back(0);
-  blocks.push_back(steps);
-  for (std::size_t b = 0; b + 1 < blocks.size(); ++b) {
+  // Walk block bounds [lo, hi) without materialising a boundary vector —
+  // this check runs once per evaluation, and the exhaustive/coordinate-
+  // descent loops evaluate millions of schedules.
+  const std::vector<std::size_t>& bounds = schedule.global_boundaries;
+  const std::size_t blocks = bounds.empty() ? 1 : bounds.size();
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = bounds.empty() ? 0 : bounds[b];
+    const std::size_t hi = (b + 1 < bounds.size()) ? bounds[b + 1] : steps;
     std::uint64_t quota_sum = 0;
     // The per-step demand sum is a lower bound on the quota sum, so the
     // O(1) cross-task query short-circuits clearly infeasible blocks.
-    if (stats.max_step_demand_sum(blocks[b], blocks[b + 1]) <=
-        machine.private_global_units) {
+    if (stats.max_step_demand_sum(lo, hi) <= machine.private_global_units) {
       for (std::size_t j = 0; j < stats.task_count(); ++j) {
-        quota_sum += stats.task(j).max_private_demand(blocks[b], blocks[b + 1]);
+        quota_sum += stats.task(j).max_private_demand(lo, hi);
       }
     } else {
       quota_sum = machine.private_global_units + 1;
@@ -88,28 +91,39 @@ CostBreakdown evaluate_fully_sync_impl(const MultiTaskTrace& trace,
   }
   check_private_feasibility(stats, machine, schedule, n);
 
-  // Per task: interval sizes |U| + priv from the stats views; union bitsets
+  // Per task: interval sizes |U| + priv from the stats views, flattened into
+  // one arena indexed by a per-task offset + interval cursor (one allocation
+  // instead of one per task — the exhaustive and coordinate-descent loops
+  // run this evaluation millions of times).  Union bitsets are materialised
   // only under changeover (the Δ term needs the actual sets).
-  std::vector<std::vector<Cost>> sizes(m);
-  std::vector<std::vector<DynamicBitset>> unions(m);
+  struct TaskCursor {
+    std::size_t offset = 0;  ///< task's first entry in flat_sizes
+    std::size_t k = 0;       ///< interval index at the current step
+  };
+  std::vector<TaskCursor> cursors(m);
+  std::size_t total_intervals = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    total_intervals += schedule.tasks[j].interval_count();
+  }
+  std::vector<Cost> flat_sizes;
+  flat_sizes.reserve(total_intervals);
+  std::vector<std::vector<DynamicBitset>> unions(options.changeover ? m : 0);
   for (std::size_t j = 0; j < m; ++j) {
     const TaskTraceStats& task = stats.task(j);
     const Partition& partition = schedule.tasks[j];
-    sizes[j].reserve(partition.interval_count());
+    cursors[j].offset = flat_sizes.size();
     if (options.changeover) unions[j].reserve(partition.interval_count());
     for (std::size_t k = 0; k < partition.interval_count(); ++k) {
       const auto [start, end] = partition.interval_bounds(k);
-      sizes[j].push_back(static_cast<Cost>(task.local_union_count(start, end)) +
-                         static_cast<Cost>(task.max_private_demand(start, end)));
+      flat_sizes.push_back(
+          static_cast<Cost>(task.local_union_count(start, end)) +
+          static_cast<Cost>(task.max_private_demand(start, end)));
       if (options.changeover) unions[j].push_back(task.local_union(start, end));
     }
   }
 
   CostBreakdown breakdown;
   breakdown.per_step.resize(n);
-
-  // Per-task cursor over interval indices; advanced in step order.
-  std::vector<std::size_t> interval_index(m, 0);
 
   for (std::size_t l = 0; l < n; ++l) {
     bool any_boundary = false;
@@ -120,16 +134,24 @@ CostBreakdown evaluate_fully_sync_impl(const MultiTaskTrace& trace,
 
     for (std::size_t j = 0; j < m; ++j) {
       const Partition& partition = schedule.tasks[j];
-      if (l > 0 && partition.is_boundary(l)) ++interval_index[j];
-      const std::size_t k = interval_index[j];
-      if (partition.is_boundary(l)) {
+      // The cursor knows the next boundary (starts are sorted and walked in
+      // step order), so no per-step binary search.
+      const std::size_t next = cursors[j].k + 1;
+      const bool boundary =
+          l == 0 || (next < partition.interval_count() &&
+                     partition.starts()[next] == l);
+      if (boundary && l > 0) cursors[j].k = next;
+      const std::size_t k = cursors[j].k;
+      if (boundary) {
         any_boundary = true;
         hyper_term = combine(
             options.hyper_upload, hyper_term,
-            local_hyper_cost(machine, j, unions[j], k, options.changeover));
+            options.changeover
+                ? local_hyper_cost(machine, j, unions[j], k, true)
+                : machine.tasks[j].local_init);
       }
-      reconfig_term =
-          combine(options.reconfig_upload, reconfig_term, sizes[j][k]);
+      reconfig_term = combine(options.reconfig_upload, reconfig_term,
+                              flat_sizes[cursors[j].offset + k]);
     }
 
     Cost global_term = 0;

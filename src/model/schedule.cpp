@@ -41,6 +41,16 @@ Partition Partition::from_boundary_mask(const DynamicBitset& mask) {
   return Partition(std::move(starts), mask.size());
 }
 
+void Partition::assign_boundary_mask(const DynamicBitset& mask) {
+  HYPERREC_ENSURE(mask.size() > 0, "partition of an empty range");
+  starts_.clear();
+  starts_.push_back(0);
+  mask.for_each_set([this](std::size_t pos) {
+    if (pos != 0) starts_.push_back(pos);
+  });
+  n_ = mask.size();
+}
+
 std::size_t Partition::interval_of(std::size_t step) const {
   HYPERREC_ENSURE(step < n_, "step out of range");
   const auto it = std::upper_bound(starts_.begin(), starts_.end(), step);

@@ -36,6 +36,11 @@ class Partition {
   /// Bit 0 is implicitly treated as set.
   [[nodiscard]] static Partition from_boundary_mask(const DynamicBitset& mask);
 
+  /// In-place from_boundary_mask: rebuilds this partition reusing the starts
+  /// storage.  The alloc-free rebuild path for enumeration loops that walk
+  /// millions of candidate schedules (core/exhaustive.cpp).
+  void assign_boundary_mask(const DynamicBitset& mask);
+
   [[nodiscard]] std::size_t n() const noexcept { return n_; }
   [[nodiscard]] std::size_t interval_count() const noexcept {
     return starts_.size();

@@ -53,7 +53,7 @@ TaskTraceStats::TaskTraceStats(const TaskTrace& trace)
       const DynamicBitset::Word* b =
           union_rows_.data() + row(k - 1, i + half) * words_;
       DynamicBitset::Word* out = union_rows_.data() + row(k, i) * words_;
-      for (std::size_t w = 0; w < words_; ++w) out[w] = a[w] | b[w];
+      kernels::or_words(out, a, b, words_);
       priv_rows_[row(k, i)] =
           std::max(priv_rows_[row(k - 1, i)], priv_rows_[row(k - 1, i + half)]);
     }
@@ -83,14 +83,6 @@ TaskTraceStats::TaskTraceStats(const TaskTrace& trace)
   }
 }
 
-TaskTraceStats::RowPair TaskTraceStats::union_rows_for(std::size_t lo,
-                                                       std::size_t hi) const {
-  const std::size_t k = log2_[hi - lo];
-  const std::size_t span = std::size_t{1} << k;
-  return {union_rows_.data() + row(k, lo) * words_,
-          union_rows_.data() + row(k, hi - span) * words_};
-}
-
 DynamicBitset TaskTraceStats::local_union(std::size_t lo,
                                           std::size_t hi) const {
   check_range(lo, hi);
@@ -99,36 +91,6 @@ DynamicBitset TaskTraceStats::local_union(std::size_t lo,
   // Tail bits past size() are zero in both rows by DynamicBitset's
   // invariant, so the OR of the rows is already a valid word image.
   return DynamicBitset::from_or_words(universe_, rows.a, rows.b, words_);
-}
-
-std::size_t TaskTraceStats::local_union_count(std::size_t lo,
-                                              std::size_t hi) const {
-  check_range(lo, hi);
-  if (lo == hi || words_ == 0) return 0;
-  const RowPair rows = union_rows_for(lo, hi);
-  std::size_t count = 0;
-  for (std::size_t w = 0; w < words_; ++w) {
-    count += static_cast<std::size_t>(__builtin_popcountll(rows.a[w] |
-                                                           rows.b[w]));
-  }
-  return count;
-}
-
-std::size_t TaskTraceStats::local_union_count_with(const DynamicBitset& base,
-                                                   std::size_t lo,
-                                                   std::size_t hi) const {
-  check_range(lo, hi);
-  HYPERREC_ENSURE(base.size() == universe_,
-                  "base universe differs from the task universe");
-  if (lo == hi || words_ == 0) return base.count();
-  const RowPair rows = union_rows_for(lo, hi);
-  const std::vector<DynamicBitset::Word>& extra = base.words();
-  std::size_t count = 0;
-  for (std::size_t w = 0; w < words_; ++w) {
-    count += static_cast<std::size_t>(
-        __builtin_popcountll(rows.a[w] | rows.b[w] | extra[w]));
-  }
-  return count;
 }
 
 bool TaskTraceStats::switch_present(std::size_t b, std::size_t lo,
@@ -144,15 +106,6 @@ std::uint32_t TaskTraceStats::switch_step_count(std::size_t b, std::size_t lo,
   if (si == kNoSupport) return 0;
   const std::size_t width = support_.size();
   return presence_[hi * width + si] - presence_[lo * width + si];
-}
-
-std::uint32_t TaskTraceStats::max_private_demand(std::size_t lo,
-                                                 std::size_t hi) const {
-  check_range(lo, hi);
-  if (lo == hi) return 0;
-  const std::size_t k = log2_[hi - lo];
-  const std::size_t span = std::size_t{1} << k;
-  return std::max(priv_rows_[row(k, lo)], priv_rows_[row(k, hi - span)]);
 }
 
 MultiTaskTraceStats::MultiTaskTraceStats(const MultiTaskTrace& trace)

@@ -34,11 +34,13 @@
 // owns trace and stats together and is the unit the solver stack shares.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "model/trace.hpp"
 #include "support/bitset.hpp"
+#include "support/bitset_kernels.hpp"
 
 namespace hyperrec {
 
@@ -60,15 +62,30 @@ class TaskTraceStats {
                                           std::size_t hi) const;
 
   /// |local_union(lo, hi)| without materialising the union; O(universe/64).
+  /// Inline (header-defined): the O(n²) interval DPs call this from other
+  /// translation units, and the two-row kernel popcount is cheaper than the
+  /// call that would otherwise wrap it.
   [[nodiscard]] std::size_t local_union_count(std::size_t lo,
-                                              std::size_t hi) const;
+                                              std::size_t hi) const {
+    check_range(lo, hi);
+    if (lo == hi || words_ == 0) return 0;
+    const RowPair rows = union_rows_for(lo, hi);
+    return kernels::or_popcount(rows.a, rows.b, words_);
+  }
 
   /// |base ∪ local_union(lo, hi)| in one fused pass — no materialisation.
   /// `base` must share the task's universe.  Greedy's window scoring uses
   /// this to price extending the current hypercontext.
   [[nodiscard]] std::size_t local_union_count_with(const DynamicBitset& base,
                                                    std::size_t lo,
-                                                   std::size_t hi) const;
+                                                   std::size_t hi) const {
+    check_range(lo, hi);
+    HYPERREC_ENSURE(base.size() == universe_,
+                    "base universe differs from the task universe");
+    if (lo == hi || words_ == 0) return base.count();
+    const RowPair rows = union_rows_for(lo, hi);
+    return kernels::or3_popcount(rows.a, rows.b, base.words().data(), words_);
+  }
 
   /// True iff switch b appears in some step of [lo, hi); O(1).
   [[nodiscard]] bool switch_present(std::size_t b, std::size_t lo,
@@ -80,7 +97,13 @@ class TaskTraceStats {
 
   /// Maximum private demand over [lo, hi); 0 for an empty range; O(1).
   [[nodiscard]] std::uint32_t max_private_demand(std::size_t lo,
-                                                 std::size_t hi) const;
+                                                 std::size_t hi) const {
+    check_range(lo, hi);
+    if (lo == hi) return 0;
+    const std::size_t k = log2_[hi - lo];
+    const std::size_t span = std::size_t{1} << k;
+    return std::max(priv_rows_[row(k, lo)], priv_rows_[row(k, hi - span)]);
+  }
 
   /// Switches that appear in at least one step, ascending.
   [[nodiscard]] const std::vector<std::size_t>& support() const noexcept {
@@ -110,7 +133,12 @@ class TaskTraceStats {
     const DynamicBitset::Word* a;
     const DynamicBitset::Word* b;
   };
-  [[nodiscard]] RowPair union_rows_for(std::size_t lo, std::size_t hi) const;
+  [[nodiscard]] RowPair union_rows_for(std::size_t lo, std::size_t hi) const {
+    const std::size_t k = log2_[hi - lo];
+    const std::size_t span = std::size_t{1} << k;
+    return {union_rows_.data() + row(k, lo) * words_,
+            union_rows_.data() + row(k, hi - span) * words_};
+  }
 
   /// floor(log2(len)) for len in [1, steps].
   std::vector<std::uint8_t> log2_;

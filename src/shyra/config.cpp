@@ -1,7 +1,6 @@
 #include "shyra/config.hpp"
 
-#include <bit>
-
+#include "support/bitset_kernels.hpp"
 #include "support/ensure.hpp"
 
 namespace hyperrec::shyra {
@@ -48,7 +47,7 @@ ShyraConfig ShyraConfig::unpack(std::uint64_t word) {
 }
 
 std::size_t ShyraConfig::distance(const ShyraConfig& other) const {
-  return static_cast<std::size_t>(std::popcount(pack() ^ other.pack()));
+  return kernels::popcount_word(pack() ^ other.pack());
 }
 
 ConfigUsage analyze_usage(const ShyraConfig& config) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/bitset_kernels.hpp"
 #include "support/ensure.hpp"
 
 namespace hyperrec::streaming {
@@ -59,7 +60,7 @@ TaskStreamStats::TaskStreamStats(const TaskTrace& trace)
       const DynamicBitset::Word* b =
           union_levels_[level - 1].data() + (i + half) * words_;
       DynamicBitset::Word* out = union_levels_[level].data() + i * words_;
-      for (std::size_t w = 0; w < words_; ++w) out[w] = a[w] | b[w];
+      kernels::or_words(out, a, b, words_);
       priv_levels_[level][i] = std::max(priv_levels_[level - 1][i],
                                         priv_levels_[level - 1][i + half]);
     }
@@ -124,7 +125,7 @@ void TaskStreamStats::append(const ContextRequirement& req) {
     const DynamicBitset::Word* b =
         union_levels_[k - 1].data() + (i + half) * words_;
     DynamicBitset::Word* out = union_levels_[k].data() + old_words;
-    for (std::size_t w = 0; w < words_; ++w) out[w] = a[w] | b[w];
+    kernels::or_words(out, a, b, words_);
     priv_levels_[k].push_back(
         std::max(priv_levels_[k - 1][i], priv_levels_[k - 1][i + half]));
   }
@@ -168,12 +169,7 @@ std::size_t TaskStreamStats::local_union_count(std::size_t lo,
   check_range(lo, hi);
   if (lo == hi || words_ == 0) return 0;
   const RowPair rows = union_rows_for(lo, hi);
-  std::size_t count = 0;
-  for (std::size_t w = 0; w < words_; ++w) {
-    count += static_cast<std::size_t>(__builtin_popcountll(rows.a[w] |
-                                                           rows.b[w]));
-  }
-  return count;
+  return kernels::or_popcount(rows.a, rows.b, words_);
 }
 
 std::uint32_t TaskStreamStats::max_private_demand(std::size_t lo,

@@ -1,18 +1,14 @@
 #include "support/bitset.hpp"
 
+#include <algorithm>
 #include <bit>
 
 namespace hyperrec {
 
-std::size_t DynamicBitset::count() const noexcept {
-  std::size_t total = 0;
-  for (const Word w : words_) total += static_cast<std::size_t>(std::popcount(w));
-  return total;
-}
-
 DynamicBitset& DynamicBitset::set_range(std::size_t first, std::size_t last) {
   HYPERREC_ENSURE(first <= last && last <= size_, "bit range out of bounds");
   if (first == last) return *this;
+  Word* words = data();
   const std::size_t first_word = first / kWordBits;
   const std::size_t last_word = (last - 1) / kWordBits;
   const Word first_mask = ~Word{0} << (first % kWordBits);
@@ -20,113 +16,71 @@ DynamicBitset& DynamicBitset::set_range(std::size_t first, std::size_t last) {
   const Word last_mask =
       last_rem == 0 ? ~Word{0} : ~Word{0} >> (kWordBits - last_rem);
   if (first_word == last_word) {
-    words_[first_word] |= first_mask & last_mask;
+    words[first_word] |= first_mask & last_mask;
     return *this;
   }
-  words_[first_word] |= first_mask;
-  for (std::size_t w = first_word + 1; w < last_word; ++w) words_[w] = ~Word{0};
-  words_[last_word] |= last_mask;
+  words[first_word] |= first_mask;
+  for (std::size_t w = first_word + 1; w < last_word; ++w) words[w] = ~Word{0};
+  words[last_word] |= last_mask;
   return *this;
 }
 
 DynamicBitset& DynamicBitset::reset_all() noexcept {
-  for (Word& w : words_) w = 0;
+  Word* words = data();
+  for (std::size_t i = 0; i < nwords_; ++i) words[i] = 0;
   return *this;
 }
 
 bool DynamicBitset::any() const noexcept {
-  for (const Word w : words_)
-    if (w != 0) return true;
-  return false;
-}
-
-DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
-  check_same_size(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
-  return *this;
-}
-
-DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
-  check_same_size(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
-  return *this;
-}
-
-DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& other) {
-  check_same_size(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
-  return *this;
-}
-
-DynamicBitset& DynamicBitset::operator-=(const DynamicBitset& other) {
-  check_same_size(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
-  return *this;
-}
-
-bool DynamicBitset::subset_of(const DynamicBitset& other) const {
-  check_same_size(other);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    if ((words_[i] & ~other.words_[i]) != 0) return false;
-  return true;
-}
-
-bool DynamicBitset::intersects(const DynamicBitset& other) const {
-  check_same_size(other);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    if ((words_[i] & other.words_[i]) != 0) return true;
-  return false;
-}
-
-std::size_t DynamicBitset::union_count(const DynamicBitset& other) const {
-  check_same_size(other);
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    total += static_cast<std::size_t>(std::popcount(words_[i] | other.words_[i]));
-  return total;
-}
-
-std::size_t DynamicBitset::symmetric_difference_count(
-    const DynamicBitset& other) const {
-  check_same_size(other);
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    total += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
-  return total;
-}
-
-std::size_t DynamicBitset::merge_counting(const DynamicBitset& other) {
-  check_same_size(other);
-  std::size_t added = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    const Word gained = other.words_[i] & ~words_[i];
-    added += static_cast<std::size_t>(std::popcount(gained));
-    words_[i] |= other.words_[i];
+  const Word* words = data();
+  for (std::size_t i = 0; i < nwords_; ++i) {
+    if (words[i] != 0) return true;
   }
-  return added;
+  return false;
 }
 
 std::size_t DynamicBitset::find_first() const noexcept {
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    if (words_[w] != 0) {
-      return w * kWordBits + static_cast<std::size_t>(std::countr_zero(words_[w]));
+  const Word* words = data();
+  for (std::size_t w = 0; w < nwords_; ++w) {
+    if (words[w] != 0) {
+      return w * kWordBits + static_cast<std::size_t>(std::countr_zero(words[w]));
     }
   }
   return size_;
 }
 
 std::string DynamicBitset::to_string() const {
+  // Word-at-a-time: only set bits are written, with no per-bit bounds
+  // checks — the tail-bits-zero invariant guarantees every position fits.
   std::string out(size_, '0');
-  for_each_set([&out](std::size_t pos) { out[pos] = '1'; });
+  const Word* words = data();
+  for (std::size_t w = 0; w < nwords_; ++w) {
+    Word word = words[w];
+    char* chunk = out.data() + w * kWordBits;
+    while (word != 0) {
+      chunk[std::countr_zero(word)] = '1';
+      word &= word - 1;
+    }
+  }
   return out;
 }
 
 DynamicBitset DynamicBitset::from_string(const std::string& bits) {
+  // One validation pass up front, then branch-free word assembly — this
+  // runs inside trace-io and fuzz-failure diagnostics where the old
+  // per-bit set() (a bounds ENSURE per character) dominated.
+  HYPERREC_ENSURE(bits.find_first_not_of("01") == std::string::npos,
+                  "bitset string must contain only '0' and '1'");
   DynamicBitset result(bits.size());
-  for (std::size_t i = 0; i < bits.size(); ++i) {
-    HYPERREC_ENSURE(bits[i] == '0' || bits[i] == '1',
-                    "bitset string must contain only '0' and '1'");
-    if (bits[i] == '1') result.set(i);
+  Word* words = result.data();
+  for (std::size_t w = 0; w < result.nwords_; ++w) {
+    const std::size_t base = w * kWordBits;
+    const std::size_t limit = std::min(kWordBits, bits.size() - base);
+    Word word = 0;
+    for (std::size_t i = 0; i < limit; ++i) {
+      word |= static_cast<Word>(bits[base + i] - '0') << i;
+    }
+    words[w] = word;
   }
   return result;
 }
@@ -134,19 +88,18 @@ DynamicBitset DynamicBitset::from_string(const std::string& bits) {
 DynamicBitset DynamicBitset::from_or_words(std::size_t size, const Word* a,
                                            const Word* b, std::size_t words) {
   DynamicBitset result(size);
-  HYPERREC_ENSURE(words == result.words_.size(),
+  HYPERREC_ENSURE(words == result.nwords_,
                   "word count does not match the universe size");
-  for (std::size_t w = 0; w < words; ++w) {
-    result.words_[w] = a[w] | b[w];
-  }
+  kernels::or_words(result.data(), a, b, words);
   result.clear_tail();
   return result;
 }
 
 std::size_t DynamicBitset::hash() const noexcept {
   std::size_t h = 1469598103934665603ull;
-  for (const Word w : words_) {
-    h ^= static_cast<std::size_t>(w);
+  const Word* words = data();
+  for (std::size_t i = 0; i < nwords_; ++i) {
+    h ^= static_cast<std::size_t>(words[i]);
     h *= 1099511628211ull;
   }
   h ^= size_;
@@ -155,8 +108,8 @@ std::size_t DynamicBitset::hash() const noexcept {
 
 void DynamicBitset::clear_tail() noexcept {
   const std::size_t rem = size_ % kWordBits;
-  if (rem != 0 && !words_.empty()) {
-    words_.back() &= (Word{1} << rem) - 1;
+  if (rem != 0 && nwords_ != 0) {
+    data()[nwords_ - 1] &= (Word{1} << rem) - 1;
   }
 }
 

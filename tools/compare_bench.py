@@ -11,9 +11,21 @@ Intended as a *non-blocking* CI step: the exit code is 1 when a regression
 is flagged so the step shows red, but the workflow marks it
 continue-on-error.
 
+A second, same-session A/B mode compares two build trees of the *same
+machine and day* directly — the measurement the baseline's own caveat says
+to prefer.  Rounds are interleaved (before, after, before, after, ...) so
+neither side monopolises a warm cache or a quiet scheduler slice, and the
+per-side minimum over rounds is reported (minimum, not mean: on a shared
+1-core box the distribution is one-sided noise over a true floor).
+Google-Benchmark benches (bench_solver_scaling) are recognised and run
+with --benchmark_format=json so the A/B report covers individual BM_*
+timings rather than process wall time.
+
 Usage:
   tools/compare_bench.py --build-dir build              # compare
   tools/compare_bench.py --build-dir build --update     # rewrite baseline
+  tools/compare_bench.py --before build-old --after build-new \
+      [--rounds 5] [--benches bench_streaming,bench_solver_scaling]
 """
 
 import argparse
@@ -51,6 +63,104 @@ def run_bench(executable: pathlib.Path) -> dict:
     }
 
 
+# Benches driven by Google Benchmark: A/B mode runs these with
+# --benchmark_format=json and compares per-BM_* real times instead of
+# process wall time.
+GBENCH_BENCHES = {"bench_solver_scaling"}
+
+
+def wall_seconds(executable: pathlib.Path, extra_args: list) -> float:
+    start = time.monotonic()
+    proc = subprocess.run(
+        [str(executable)] + extra_args,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{executable} exited {proc.returncode}:\n{proc.stderr}")
+    return time.monotonic() - start
+
+
+def gbench_times(executable: pathlib.Path, bench_filter: str) -> dict:
+    """Runs a Google-Benchmark binary, returns {benchmark name: seconds}."""
+    cmd = [str(executable), "--benchmark_format=json"]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=1200)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{executable} exited {proc.returncode}:\n{proc.stderr}")
+    report = json.loads(proc.stdout)
+    times = {}
+    for entry in report.get("benchmarks", []):
+        if "real_time" not in entry:  # error / aggregate-only entries
+            continue
+        scale = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}[
+            entry.get("time_unit", "ns")]
+        times[entry["name"]] = entry["real_time"] * scale
+    return times
+
+
+def merge_min(totals: dict, sample: dict) -> None:
+    for name, seconds in sample.items():
+        if name not in totals or seconds < totals[name]:
+            totals[name] = seconds
+
+
+def run_ab(args) -> int:
+    before_dir = pathlib.Path(args.before) / "bench"
+    after_dir = pathlib.Path(args.after) / "bench"
+    if args.benches:
+        names = args.benches.split(",")
+    else:
+        names = sorted(
+            p.name for p in after_dir.glob("bench_*")
+            if p.is_file() and p.stat().st_mode & 0o111
+            and (before_dir / p.name).is_file()
+        )
+    if not names:
+        print("no common bench executables to A/B", file=sys.stderr)
+        return 2
+
+    # {report row: [before seconds, after seconds]}; min over rounds.
+    before_times, after_times = {}, {}
+    for bench in names:
+        before_exe = before_dir / bench
+        after_exe = after_dir / bench
+        for exe, side in ((before_exe, "before"), (after_exe, "after")):
+            if not exe.is_file():
+                print(f"missing executable: {exe}", file=sys.stderr)
+                return 2
+        for _ in range(args.rounds):
+            if bench in GBENCH_BENCHES:
+                merge_min(before_times,
+                          {f"{bench}:{k}": v for k, v in
+                           gbench_times(before_exe, args.filter).items()})
+                merge_min(after_times,
+                          {f"{bench}:{k}": v for k, v in
+                           gbench_times(after_exe, args.filter).items()})
+            else:
+                merge_min(before_times,
+                          {bench: wall_seconds(before_exe, ["--smoke"])})
+                merge_min(after_times,
+                          {bench: wall_seconds(after_exe, ["--smoke"])})
+
+    print(f"A/B over {args.rounds} interleaved rounds "
+          f"(min per side; negative = faster after):")
+    width = max(len(name) for name in after_times)
+    for name in sorted(after_times):
+        if name not in before_times:
+            continue
+        before = before_times[name]
+        after = after_times[name]
+        change = (after / before - 1.0) * 100.0 if before > 0 else 0.0
+        print(f"  {name:<{width}}  {before * 1e3:10.3f}ms -> "
+              f"{after * 1e3:10.3f}ms  {change:+7.1f}%")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
@@ -67,7 +177,24 @@ def main() -> int:
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from this run instead of "
                              "comparing")
+    parser.add_argument("--before",
+                        help="A/B mode: build dir of the 'before' tree")
+    parser.add_argument("--after",
+                        help="A/B mode: build dir of the 'after' tree")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="A/B mode: interleaved measurement rounds")
+    parser.add_argument("--benches",
+                        help="A/B mode: comma-separated bench names "
+                             "(default: every bench present in both trees)")
+    parser.add_argument("--filter", default="",
+                        help="A/B mode: --benchmark_filter for "
+                             "Google-Benchmark benches")
     args = parser.parse_args()
+
+    if bool(args.before) != bool(args.after):
+        parser.error("--before and --after must be given together")
+    if args.before:
+        return run_ab(args)
 
     bench_dir = pathlib.Path(args.build_dir) / "bench"
     executables = sorted(

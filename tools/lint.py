@@ -17,6 +17,12 @@ Rules (each reported as ``file:line: [rule-id] message``):
                  `// lint: hot-loop begin` ... `// lint: hot-loop end`
                  (the SA/GA/coordinate-descent inner loops — ROADMAP item
                  3's allocation audit, enforced).
+  word-kernel    word algebra goes through the runtime-dispatched kernel
+                 layer (support/bitset_kernels.hpp) — raw
+                 `__builtin_popcount*` / `std::popcount` calls are banned
+                 in src/, examples/ and bench/ outside that layer, so hot
+                 loops cannot quietly fork from the dispatched kernels
+                 (use kernels::popcount_word for one-off words).
 
 Run from anywhere: `python3 tools/lint.py` (add `--root DIR` to lint a
 different tree, `--self-test` to prove every rule fires on a seeded
@@ -49,6 +55,12 @@ NAKED_NEW_ALLOWLIST = {
 # `_naive` definitions live here; everything else may not mention them.
 NAIVE_DEF_PREFIX = "src/model/trace"
 
+# The one home for raw popcount intrinsics (the kernel layer itself).
+WORD_KERNEL_ALLOWLIST = {
+    "src/support/bitset_kernels.hpp",
+    "src/support/bitset_kernels.cpp",
+}
+
 RAW_MUTEX_RE = re.compile(
     r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
     r"lock_guard|unique_lock|shared_lock|scoped_lock|condition_variable)\b"
@@ -57,6 +69,7 @@ NAIVE_RE = re.compile(r"\w*_naive\b")
 NEW_RE = re.compile(r"\bnew\b\s*(?:\(|[A-Za-z_:])")
 DELETE_RE = re.compile(r"\bdelete\b\s*(?:\[\s*\]\s*)?[A-Za-z_:(*]")
 VECTOR_RE = re.compile(r"\bstd::vector\s*<")
+POPCOUNT_RE = re.compile(r"__builtin_popcount\w*|\bstd::popcount\b")
 
 HOT_LOOP_BEGIN = "lint: hot-loop begin"
 HOT_LOOP_END = "lint: hot-loop end"
@@ -121,6 +134,7 @@ def lint_file(path: Path, rel: str, violations: list[Violation]) -> None:
     check_naive = not rel.startswith(NAIVE_DEF_PREFIX)
     check_mutex = in_src and rel not in RAW_MUTEX_ALLOWLIST
     check_new = in_src and rel not in NAKED_NEW_ALLOWLIST
+    check_popcount = rel not in WORD_KERNEL_ALLOWLIST
 
     # Raw-line scan for the hot-loop fences (they live in comments).
     fenced: set[int] = set()
@@ -155,6 +169,11 @@ def lint_file(path: Path, rel: str, violations: list[Violation]) -> None:
                     path, number, "naked-new",
                     "no naked new/delete in src/ — use smart pointers or "
                     "containers"))
+        if check_popcount and POPCOUNT_RE.search(code):
+            violations.append(Violation(
+                path, number, "word-kernel",
+                "raw popcount outside support/bitset_kernels — use the "
+                "kernels:: wrappers (kernels::popcount_word for one word)"))
         if in_src and number in fenced and VECTOR_RE.search(code):
             violations.append(Violation(
                 path, number, "hot-loop-alloc",
@@ -194,6 +213,14 @@ FIXTURES = {
         "int* leak() { return new int(7); }\n",
         1,
     ),
+    "word-kernel": (
+        "src/core/bad_popcount.cpp",
+        "#include <bit>\n"
+        "int count(unsigned long long w) {\n"
+        "  return __builtin_popcountll(w) + std::popcount(w);\n"
+        "}\n",
+        3,
+    ),
     "hot-loop-alloc": (
         "src/core/bad_hot.cpp",
         "void f() {\n"
@@ -210,7 +237,7 @@ FIXTURES = {
 CLEAN_FIXTURE = (
     "src/core/clean.cpp",
     '#include "support/thread_annotations.hpp"\n'
-    "// prose may say std::mutex or mention new ideas or _naive oracles\n"
+    "// prose may say std::mutex, std::popcount, new ideas or _naive ones\n"
     "hyperrec::Mutex ok{\"clean\"};\n"
     "void g() {\n"
     "  // lint: hot-loop begin\n"
