@@ -1,7 +1,7 @@
 // Differential solver fuzzer: random small instances, every registered
 // solver vs the exhaustive oracle.
 //
-//   fuzz_harness [--seed=S] [--iters=N] [--smoke] [--mux]
+//   fuzz_harness [--seed=S] [--iters=N] [--smoke] [--mux] [--hierarchical]
 //
 //     --seed=S   root seed (default 1); iteration i fuzzes stream S+i, so a
 //                failure's reproducer is `--seed=<printed seed> --iters=1`
@@ -12,6 +12,12 @@
 //                cache, interleaved appends, randomized window/triggers/
 //                shards) and diffs every stream's published windows,
 //                schedule and cost against its solo StreamingEngine replay
+//     --hierarchical
+//                hierarchical differential mode: each iteration solves a
+//                random instance through solve_hierarchical with a tiny
+//                segment (forcing the fan-out/stitch/boundary-DP/seam-repair
+//                path) and checks the spliced schedule, re-evaluated cost
+//                and the certificate bracket lower_bound <= optimum <= cost
 //
 // Each iteration draws a random instance small enough for solve_exhaustive
 // (random workload family, task count, step count, universes, machine costs,
@@ -37,6 +43,7 @@
 #include <vector>
 
 #include "core/exhaustive.hpp"
+#include "core/hierarchical.hpp"
 #include "core/solver.hpp"
 #include "io/trace_io.hpp"
 #include "model/cost_switch.hpp"
@@ -287,12 +294,82 @@ bool check_mux_iteration(std::uint64_t seed) {
   return true;
 }
 
+/// One --hierarchical iteration: a random instance (changeover forced off —
+/// the hierarchical tier declines it by documented precondition) is solved
+/// through solve_hierarchical with a tiny segment length, so even the 2..8
+/// step fuzz traces genuinely exercise the segment fan-out, stitch, boundary
+/// DP and seam repair.  Oracles: the spliced schedule validates, the
+/// reported cost equals an independent re-evaluation, the cost is bounded
+/// below by the exhaustive optimum, and the attached certificate brackets it
+/// (lower_bound <= optimum <= hierarchical cost).
+bool check_hierarchical_iteration(std::uint64_t seed) {
+  Xoshiro256 rng(seed * 0x9E3779B97F4A7C15ull + 0x41E12);
+  FuzzInstance fuzz = draw_instance(rng);
+  fuzz.options.changeover = false;
+
+  HierarchicalConfig config;
+  config.segment = 2 + rng.uniform(2);  // 2..3: always multi-segment
+  config.seam_repair = rng.flip(0.7);
+  config.parallel = false;  // deterministic reproducers
+  const std::string tag =
+      "hierarchical[segment=" + std::to_string(config.segment) +
+      (config.seam_repair ? ",repair" : "") + "]";
+
+  const SolveInstance instance(fuzz.trace, fuzz.machine, fuzz.options);
+  const Cost optimum = solve_exhaustive(instance).total();
+  HierarchicalResult result;
+  try {
+    result = solve_hierarchical(instance, config);
+  } catch (const std::exception& error) {
+    dump_reproducer(fuzz, seed, tag,
+                    std::string("solver threw: ") + error.what());
+    return false;
+  }
+  const MTSolution& solution = result.solution;
+  try {
+    solution.schedule.validate(instance.task_count(), instance.steps());
+    const CostBreakdown replay =
+        evaluate_fully_sync_switch(instance, solution.schedule);
+    if (replay.total != solution.total()) {
+      dump_reproducer(fuzz, seed, tag,
+                      "reported cost " + std::to_string(solution.total()) +
+                          " != re-evaluated cost " +
+                          std::to_string(replay.total));
+      return false;
+    }
+  } catch (const std::exception& error) {
+    dump_reproducer(fuzz, seed, tag,
+                    std::string("spliced schedule invalid: ") + error.what());
+    return false;
+  }
+  if (solution.total() < optimum) {
+    dump_reproducer(fuzz, seed, tag,
+                    "cost " + std::to_string(solution.total()) +
+                        " beats the exhaustive optimum " +
+                        std::to_string(optimum));
+    return false;
+  }
+  if (!solution.lower_bound.has_value()) {
+    dump_reproducer(fuzz, seed, tag, "missing lower_bound certificate");
+    return false;
+  }
+  if (*solution.lower_bound > optimum) {
+    dump_reproducer(fuzz, seed, tag,
+                    "lower bound " + std::to_string(*solution.lower_bound) +
+                        " exceeds the exhaustive optimum " +
+                        std::to_string(optimum));
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::size_t iters = 100;
   bool mux = false;
+  bool hierarchical = false;
   try {
     for (int i = 1; i < argc; ++i) {
       const char* arg = argv[i];
@@ -304,12 +381,27 @@ int main(int argc, char** argv) {
         iters = 25;
       } else if (std::strcmp(arg, "--mux") == 0) {
         mux = true;
+      } else if (std::strcmp(arg, "--hierarchical") == 0) {
+        hierarchical = true;
       } else {
-        std::fprintf(
-            stderr, "usage: %s [--seed=S] [--iters=N] [--smoke] [--mux]\n",
-            argv[0]);
+        std::fprintf(stderr,
+                     "usage: %s [--seed=S] [--iters=N] [--smoke] [--mux] "
+                     "[--hierarchical]\n",
+                     argv[0]);
         return 1;
       }
+    }
+
+    if (hierarchical) {
+      for (std::size_t iter = 0; iter < iters; ++iter) {
+        if (!check_hierarchical_iteration(seed + iter)) return 1;
+      }
+      std::printf("fuzz_harness: %zu hierarchical solves consistent with the "
+                  "exhaustive oracle and their certificates "
+                  "(seeds %llu..%llu)\n",
+                  iters, static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(seed + iters - 1));
+      return 0;
     }
 
     if (mux) {

@@ -7,6 +7,7 @@
 //                [--cache-capacity=C] [--cache-ttl-ms=T] [--warm-start]
 //                [--stream] [--window=W] [--trigger=SPEC]
 //                [--streams=N] [--mux-shards=K]
+//                [--hierarchical] [--segment=N] [--certify]
 //                [--repeat=R] [--out=FILE] [--smoke]
 //
 //     --batch=N        number of generated jobs (default 8)
@@ -41,6 +42,16 @@
 //                      --stream, overrides --batch; the JSON gains the
 //                      "fleet" object)
 //     --mux-shards=K   multiplexer shard lanes (default 4; needs --streams)
+//     --hierarchical   solve each job with the hierarchical segment-parallel
+//                      solver (core/hierarchical.hpp) instead of a flat
+//                      portfolio race; each job's solution carries a
+//                      certified lower_bound / gap_pct, and with
+//                      --cache-capacity the segment solves share the cache.
+//                      Offline only (incompatible with --stream/--streams)
+//     --segment=N      hierarchical segment length in steps (default 512;
+//                      needs --hierarchical)
+//     --certify        attach lower_bound / gap_pct certificates to flat
+//                      portfolio solves too (implied by --hierarchical)
 //     --repeat=R       solve the batch R times through the same engine and
 //                      cache (default 1); the JSON reports the last round,
 //                      whose cache stats are cumulative — with a cache,
@@ -59,6 +70,7 @@
 #include <vector>
 
 #include "cache/solve_cache.hpp"
+#include "core/hierarchical.hpp"
 #include "engine/batch_engine.hpp"
 #include "io/result_json.hpp"
 #include "io/trace_io.hpp"
@@ -89,6 +101,9 @@ struct CliOptions {
   std::string trigger;
   std::size_t streams = 0;
   std::size_t mux_shards = 4;
+  bool hierarchical = false;
+  std::size_t segment = 512;
+  bool certify = false;
   std::size_t repeat = 1;
   std::string out;
 };
@@ -202,6 +217,12 @@ int main(int argc, char** argv) {
         options.streams = std::stoul(value);
       } else if (parse_flag(arg, "--mux-shards", value)) {
         options.mux_shards = std::stoul(value);
+      } else if (std::strcmp(arg, "--hierarchical") == 0) {
+        options.hierarchical = true;
+      } else if (parse_flag(arg, "--segment", value)) {
+        options.segment = std::stoul(value);
+      } else if (std::strcmp(arg, "--certify") == 0) {
+        options.certify = true;
       } else if (parse_flag(arg, "--repeat", value)) {
         options.repeat = std::stoul(value);
       } else if (parse_flag(arg, "--out", value)) {
@@ -215,6 +236,7 @@ int main(int argc, char** argv) {
                      "[--cache-capacity=C] [--cache-ttl-ms=T] [--warm-start] "
                      "[--stream] [--window=W] [--trigger=SPEC] "
                      "[--streams=N] [--mux-shards=K] "
+                     "[--hierarchical] [--segment=N] [--certify] "
                      "[--repeat=R] [--out=FILE] [--smoke]\n",
                      argv[0]);
         return 1;
@@ -246,6 +268,9 @@ int main(int argc, char** argv) {
                     "--warm-start requires --cache-capacity > 0");
     HYPERREC_ENSURE(options.trigger.empty() || options.stream,
                     "--trigger requires --stream");
+    HYPERREC_ENSURE(!options.hierarchical || !options.stream,
+                    "--hierarchical is an offline solver; it cannot be "
+                    "combined with --stream/--streams");
     engine::BatchEngineConfig config;
     config.parallelism = options.jobs;
     config.portfolio.solvers = options.portfolio;
@@ -268,6 +293,25 @@ int main(int argc, char** argv) {
       cache_config.ttl = options.cache_ttl;
       config.cache = std::make_shared<cache::SolveCache>(cache_config);
       config.warm_start = options.warm_start;
+    }
+    config.certify = options.certify;
+    if (options.hierarchical) {
+      // Per-job custom solver: the hierarchical tier fans segments out on
+      // the *global* pool (distinct from the engine's job pool, so the two
+      // levels of parallelism cannot deadlock each other) and shares the
+      // engine's cache for segment memoization.
+      config.solver = [segment = options.segment, cache = config.cache,
+                       solvers = options.portfolio](
+                          const engine::BatchJob& job,
+                          const CancelToken& token) {
+        const SolveInstance instance(job.trace, job.machine, job.options);
+        HierarchicalConfig hier;
+        hier.segment = segment;
+        hier.portfolio.solvers = solvers;
+        hier.cache = cache;
+        hier.cancel = token;
+        return solve_hierarchical(instance, hier).solution;
+      };
     }
     const engine::BatchEngine batch_engine(std::move(config));
 

@@ -1,0 +1,84 @@
+// Hierarchical segment-parallel solver for huge instances (ROADMAP item 4).
+//
+// Exhaustive and the DPs cap out at toy sizes; 1e6-step traces need a
+// divide-and-conquer tier that extends the paper's §4 interval DP exactly
+// one level up.  solve_hierarchical
+//
+//   1. segments the trace into fixed-length windows and solves each window
+//      independently through engine::solve_portfolio — in parallel on the
+//      ThreadPool, optionally memoized through one shared SolveCache so
+//      repeated segment shapes (periodic workloads, multi-tenant batches)
+//      are solved once;
+//   2. stitches the per-segment partitions back together — every segment
+//      start is a boundary of every task, so the splice is always a valid
+//      MultiTaskSchedule (the offline analogue of StreamingEngine's window
+//      splice);
+//   3. places global hyperreconfigurations with a boundary DP over the
+//      segment edges, generalizing the outer DP in solve_private_global:
+//      given the stitched local partitions, the block structure only
+//      decides the w·#blocks term and per-block quota feasibility, so the
+//      DP is exact at segment granularity;
+//   4. optionally repairs the seams: a forced boundary at a segment edge is
+//      dropped again for any task where merging the two adjacent intervals
+//      is an exact-cost improvement (computed from the full instance's
+//      stats tables — this is where segment-local myopia gets paid back).
+//
+// Every result carries a certified optimality gap (core/lower_bound.hpp).
+//
+// Preconditions: synchronized trace, and options.changeover == false — with
+// changeover the cost of an interval depends on its predecessor across the
+// seam, so segment costs would not be independent.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "cache/solve_cache.hpp"
+#include "core/lower_bound.hpp"
+#include "core/solver.hpp"
+#include "engine/portfolio.hpp"
+#include "support/cancel.hpp"
+#include "support/thread_pool.hpp"
+
+namespace hyperrec {
+
+struct HierarchicalConfig {
+  /// Segment length in steps.  Traces no longer than this are handed to
+  /// the portfolio directly.
+  std::size_t segment = 512;
+  /// Per-segment portfolio; `parallel`/`pool` are ignored (segments, not
+  /// members, are the parallel unit here).
+  engine::PortfolioConfig portfolio;
+  /// Optional shared memoization: segment solves go through
+  /// get_or_compute_guarded keyed by the segment's instance fingerprint.
+  std::shared_ptr<cache::SolveCache> cache;
+  /// Pool for the segment fan-out (nullptr: the global pool).  When the
+  /// caller already runs on a worker of that pool, segments are solved
+  /// serially (same no-work-stealing rule as the portfolio racer).
+  ThreadPool* pool = nullptr;
+  bool parallel = true;
+  /// Drop forced seam boundaries again where merging adjacent intervals is
+  /// an exact-cost win (task-sequential reconfig upload only; under the
+  /// per-step-max mode the deltas are not task-separable).
+  bool seam_repair = true;
+  /// Attach a lower bound + gap certificate to the result.
+  bool certify = true;
+  LowerBoundConfig bound;
+  CancelToken cancel;
+};
+
+struct HierarchicalResult {
+  MTSolution solution;
+  std::size_t segments = 0;       ///< windows solved (1 = flat fallback)
+  std::size_t global_blocks = 0;  ///< blocks the boundary DP settled on
+  std::size_t seam_merges = 0;    ///< seam boundaries removed by repair
+  std::size_t cache_hits = 0;     ///< segment solves served by the cache
+};
+
+/// Solves `instance` hierarchically.  The returned schedule is always
+/// re-evaluated against the full instance (cost == evaluator cost by
+/// construction) and, with `certify`, carries lower_bound / gap_pct.
+[[nodiscard]] HierarchicalResult solve_hierarchical(
+    const SolveInstance& instance, const HierarchicalConfig& config = {});
+
+}  // namespace hyperrec

@@ -77,50 +77,51 @@ PrivateGlobalSolution solve_private_global(const MultiTaskTrace& trace,
   }
   const std::size_t c = candidates.size();
 
-  // Inner solutions per candidate block [candidates[a], candidates[b] or n).
-  // Machines inside a block have no global resources (quotas are fixed), so
-  // blocks are solved as local-only problems with the private demands kept
-  // in the trace (their cost contribution is identical once feasible).
+  // Blocks are solved against the parent machine minus its global
+  // hyperreconfiguration cost: the private-global pool stays intact
+  // (validate_trace and the evaluator's quota check need the real unit
+  // count, and the private demands stay in the trace so the evaluator adds
+  // them to |h^loc|), but global_init drops to 0 because the outer DP
+  // charges w per block itself.
   MachineSpec block_machine = machine;
-  block_machine.private_global_units = 0;
-  block_machine.public_context_size = machine.public_context_size;
-  // The private demands stay in the trace; evaluator adds them to |h^loc|.
-  // Feasibility against the pool is checked here, per block.
-  block_machine.private_global_units = machine.private_global_units;
   block_machine.global_init = 0;
 
-  std::vector<Cost> block_cost(c * (c + 1), kInfinity);
-  std::vector<MTSolution> block_solution(c * (c + 1));
-  auto block_index = [c](std::size_t a, std::size_t b) { return a * (c + 1) + b; };
+  // An inner solver must treat its block as a single global block: any
+  // further global boundary it placed would silently vanish in the stitch,
+  // leaving the DP's cost estimate and the stitched schedule inconsistent.
+  static const std::vector<std::size_t> kSingleBlock{0};
 
+  // Forward DP over candidate boundaries, interleaved with the block
+  // solves.  When row `a` is processed best[a] is final, so blocks starting
+  // at a candidate the DP cannot reach are never solved; and because the
+  // per-block quotas are range maxima, a superset of an infeasible block is
+  // infeasible too — the scan `break`s at the first infeasible end.
+  PrivateGlobalSolution result;
+  std::vector<Cost> best(c + 1, kInfinity);
+  std::vector<std::size_t> parent(c + 1, 0);
+  std::vector<MTSolution> best_block(c + 1);  // inner solution of (parent[b], b)
+  best[0] = 0;
   for (std::size_t a = 0; a < c; ++a) {
+    if (best[a] >= kInfinity) continue;  // unreachable from candidate 0
     for (std::size_t b = a + 1; b <= c; ++b) {
       const std::size_t lo = candidates[a];
       const std::size_t hi = b < c ? candidates[b] : n;
-      if (!block_feasible(stats, machine, lo, hi)) continue;
+      if (!block_feasible(stats, machine, lo, hi)) break;
       // One SolveInstance per block: the inner solver (and anything it
       // races) shares the block's precomputation.
       const SolveInstance block(subtrace(trace, lo, hi), block_machine,
                                 options);
       MTSolution solution = inner(block, config.cancel);
-      block_cost[block_index(a, b)] = solution.total();
-      block_solution[block_index(a, b)] = std::move(solution);
-    }
-  }
-
-  // Outer DP over candidate boundaries.
-  std::vector<Cost> best(c + 1, kInfinity);
-  std::vector<std::size_t> parent(c + 1, 0);
-  best[0] = 0;
-  for (std::size_t b = 1; b <= c; ++b) {
-    for (std::size_t a = 0; a < b; ++a) {
-      if (best[a] >= kInfinity) continue;
-      if (block_cost[block_index(a, b)] >= kInfinity) continue;
-      const Cost candidate =
-          best[a] + machine.global_init + block_cost[block_index(a, b)];
+      ++result.inner_invocations;
+      HYPERREC_ENSURE(solution.schedule.global_boundaries == kSingleBlock,
+                      "inner solver split a private-global block with extra "
+                      "global hyperreconfigurations; blocks must stay single "
+                      "global blocks (add candidates instead)");
+      const Cost candidate = best[a] + machine.global_init + solution.total();
       if (candidate < best[b]) {
         best[b] = candidate;
         parent[b] = a;
+        best_block[b] = std::move(solution);
       }
     }
   }
@@ -135,12 +136,11 @@ PrivateGlobalSolution solve_private_global(const MultiTaskTrace& trace,
   std::reverse(blocks.begin(), blocks.end());
 
   // Stitch per-block schedules into one global schedule.
-  PrivateGlobalSolution result;
   std::vector<std::vector<std::size_t>> starts(m);
   for (const auto& [a, b] : blocks) {
     const std::size_t lo = candidates[a];
     const std::size_t hi = b < c ? candidates[b] : n;
-    const MTSolution& sol = block_solution[block_index(a, b)];
+    const MTSolution& sol = best_block[b];
     for (std::size_t j = 0; j < m; ++j) {
       for (const std::size_t s : sol.schedule.tasks[j].starts()) {
         starts[j].push_back(lo + s);

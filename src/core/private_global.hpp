@@ -23,8 +23,10 @@ struct PrivateGlobalConfig {
   /// means every step — O(n²) blocks, fine up to a few hundred steps.
   std::vector<std::size_t> candidates;
   /// Inner solver for each block; defaults to coordinate descent.  Each
-  /// block is handed its own SolveInstance (local-only machine, the block's
-  /// sub-trace) with freshly built precomputation.
+  /// block is handed its own SolveInstance (the parent machine with its
+  /// private-global pool intact but global_init = 0, the block's sub-trace)
+  /// with freshly built precomputation.  Inner solutions must keep the block
+  /// a single global block (global_boundaries == {0}); anything else throws.
   MTSolverFn inner;
   /// Passed to the inner solver for every block, so a deadline set here
   /// bounds the whole decomposition.  Default: never cancels.
@@ -35,6 +37,10 @@ struct PrivateGlobalSolution {
   MTSolution solution;
   /// quotas[b][j] — private units assigned to task j in global block b.
   std::vector<std::vector<std::uint32_t>> quotas;
+  /// Number of inner-solver calls the block scan actually made.  Feasibility
+  /// is monotone, so the scan stops at the first infeasible block per row
+  /// and skips rows the outer DP cannot reach — this counter pins that.
+  std::size_t inner_invocations = 0;
 };
 
 [[nodiscard]] PrivateGlobalSolution solve_private_global(

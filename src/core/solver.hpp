@@ -12,6 +12,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,14 @@ namespace hyperrec {
 struct MTSolution {
   MultiTaskSchedule schedule;
   CostBreakdown breakdown;
+
+  /// Optimality certificate (core/lower_bound.hpp), attached by
+  /// attach_certificate — e.g. via solve_hierarchical or a certify-enabled
+  /// portfolio/batch run.  nullopt means no bound was computed.
+  std::optional<Cost> lower_bound;
+  /// (total − lower_bound) · 100 / lower_bound; 0 when the bound is met,
+  /// nullopt when no bound was computed or the bound is 0 with total > 0.
+  std::optional<double> gap_pct;
 
   [[nodiscard]] Cost total() const noexcept { return breakdown.total; }
 };

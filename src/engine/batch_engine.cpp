@@ -59,6 +59,7 @@ BatchResult BatchEngine::solve(const std::vector<BatchJob>& jobs) const {
     per_job.parallel = false;  // the job is the unit of parallelism
     per_job.pool = nullptr;
     per_job.deadline = std::chrono::milliseconds{0};  // already in token
+    per_job.certify = config_.certify;
     bool warm_used = false;
     // A caller-preset portfolio warm_start takes precedence — appending the
     // cached incumbent next to it would trip the portfolio's one-seed

@@ -98,6 +98,11 @@ struct BatchEngineConfig {
   /// schedule to the portfolio's iterative solvers as their initial
   /// incumbent (see PortfolioConfig::warm_start).
   bool warm_start = false;
+  /// Certify fresh portfolio solves: lower_bound + gap_pct stamped on each
+  /// job's solution (see PortfolioConfig::certify).  Cache hits reuse
+  /// whatever certificate the memoized solution carries; custom-solver and
+  /// streaming-replay jobs attach their own or none.
+  bool certify = false;
   /// Streaming replay: when enabled, each job's trace is fed step-by-step
   /// through a streaming::StreamingEngine (windowed warm-started re-solves
   /// + final flush) instead of one offline portfolio solve.  The job-level

@@ -3,6 +3,8 @@
 #include <future>
 #include <utility>
 
+#include "core/lower_bound.hpp"
+
 namespace hyperrec::engine {
 
 namespace {
@@ -142,6 +144,9 @@ PortfolioResult solve_portfolio(const SolveInstance& instance,
                                    result.entries.front().error);
   result.best = std::move(solutions[winner]);
   result.winner = members[winner].name;
+  if (config.certify && instance.synchronized()) {
+    attach_certificate(instance, result.best);
+  }
   return result;
 }
 

@@ -57,6 +57,10 @@ struct PortfolioConfig {
   /// experiments and tests (e.g. asserting that every racer observes the
   /// same SolveInstance).  Unlike `solvers`, these need no registry entry.
   std::vector<NamedSolver> extra;
+  /// Attach an optimality certificate (core/lower_bound.hpp) to the winner:
+  /// lower_bound + gap_pct stamped on the best solution.  Synchronized
+  /// traces only; skipped silently otherwise.
+  bool certify = false;
 };
 
 struct PortfolioEntry {

@@ -84,7 +84,24 @@ void write_job(std::ostream& os, const engine::JobResult& job) {
      << cost.total << ",\"hyper\":" << cost.hyper << ",\"reconfig\":"
      << cost.reconfig << ",\"global_hyper\":" << cost.global_hyper
      << ",\"partial_hyper_steps\":" << cost.partial_hyper_steps
-     << "},\"solvers\":[";
+     << "},\"lower_bound\":";
+  if (job.solution.lower_bound.has_value()) {
+    os << *job.solution.lower_bound;
+  } else {
+    os << "null";
+  }
+  os << ",\"gap_pct\":";
+  if (job.solution.gap_pct.has_value()) {
+    // Fixed four-decimal rendering: gap_pct is a finite non-negative ratio
+    // of integral costs, so NaN/Inf cannot occur and the output stays a
+    // plain JSON number.
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.4f", *job.solution.gap_pct);
+    os << buffer;
+  } else {
+    os << "null";
+  }
+  os << ",\"solvers\":[";
   for (std::size_t i = 0; i < job.entries.size(); ++i) {
     if (i > 0) os << ',';
     write_entry(os, job.entries[i]);
@@ -134,7 +151,7 @@ void save_batch_result_json(std::ostream& os,
                             const engine::BatchResult& result,
                             const ServiceFields* service) {
   const cache::SolveCacheStats& stats = result.cache_stats;
-  os << "{\"schema\":\"hyperrec-batch-result\",\"version\":5"
+  os << "{\"schema\":\"hyperrec-batch-result\",\"version\":6"
      << ",\"parallelism\":" << result.parallelism
      << ",\"elapsed_us\":" << result.elapsed.count()
      << ",\"job_count\":" << result.jobs.size() << ",\"tenant\":";

@@ -6,7 +6,7 @@
 //
 //   {
 //     "schema": "hyperrec-batch-result",
-//     "version": 5,
+//     "version": 6,
 //     "parallelism": <workers>,
 //     "elapsed_us": <batch wall time>,
 //     "job_count": <n>,
@@ -46,6 +46,11 @@
 //         "elapsed_us": <job wall time>,
 //         "cost": { "total": t, "hyper": h, "reconfig": r,
 //                   "global_hyper": g, "partial_hyper_steps": s },
+//         "lower_bound": b|null,    // certified optimality floor
+//                                   // (core/lower_bound.hpp); null when the
+//                                   // job was not certified
+//         "gap_pct": g|null,        // (total - b) * 100 / b, four decimals;
+//                                   // null when uncertified or b <= 0
 //         "solvers": [
 //           { "name": "...", "ok": true|false, "total": t,
 //             "elapsed_us": us }, ... ],
@@ -80,9 +85,14 @@
 // is how the serve smoke proves daemon answers match CLI answers), cache
 // "coalesced_failures" counter (piggybacked waits whose leader threw).
 //
+// v5 → v6: per-job "lower_bound" / "gap_pct" fields (optimality
+// certificates from core/lower_bound.hpp, attached when the engine or the
+// hierarchical solver certifies a solve; null when no bound applies).
+//
 // Guarantees: keys always appear, in exactly this order (goldens may diff
-// the output); every number is a decimal integer — costs and durations are
-// integral, so NaN/Inf cannot occur; strings are escaped per RFC 8259.
+// the output); every number is a decimal integer except "gap_pct", which is
+// a finite non-negative decimal rendered with four fractional digits —
+// NaN/Inf cannot occur; strings are escaped per RFC 8259.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,7 @@
 #include "service/solve_service.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <future>
 #include <sstream>
 #include <utility>
@@ -25,7 +27,17 @@ engine::BatchEngineConfig make_engine_config(
   engine.portfolio.deadline = config.deadline;
   engine.cache = cache;
   engine.warm_start = config.warm_start;
+  engine.certify = config.certify;
   return engine;
+}
+
+/// Fixed four-decimal rendering for statz gap percentages — finite
+/// non-negative ratios of integral costs, so NaN/Inf cannot occur and the
+/// output stays a plain JSON number (matching result_json's "gap_pct").
+std::string fixed4(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.4f", value);
+  return buffer;
 }
 
 streaming::MultiplexerConfig make_mux_config(
@@ -157,6 +169,11 @@ void SolveService::worker_loop() {
           tenants_.record_completed(pending->tenant);
           const MutexLock lock(wins_mutex_);
           solver_wins_[job.winner] += 1;
+          if (job.solution.gap_pct.has_value()) {
+            certified_ += 1;
+            gap_sum_pct_ += *job.solution.gap_pct;
+            gap_max_pct_ = std::max(gap_max_pct_, *job.solution.gap_pct);
+          }
         } else {
           tenants_.record_failed(pending->tenant);
         }
@@ -357,6 +374,9 @@ std::string SolveService::statz_json() const {
      << ",\"warm_hits\":" << cache_stats.warm_hits << '}';
 
   os << ",\"solvers\":[";
+  std::uint64_t certified = 0;
+  double gap_sum = 0.0;
+  double gap_max = 0.0;
   {
     const MutexLock lock(wins_mutex_);
     bool first = true;
@@ -365,8 +385,15 @@ std::string SolveService::statz_json() const {
       first = false;
       os << "{\"name\":" << json_quote(name) << ",\"wins\":" << wins << '}';
     }
+    certified = certified_;
+    gap_sum = gap_sum_pct_;
+    gap_max = gap_max_pct_;
   }
-  os << "],\"tenants\":[";
+  os << "],\"certificates\":{\"count\":" << certified
+     << ",\"gap_avg_pct\":"
+     << fixed4(certified > 0 ? gap_sum / static_cast<double>(certified) : 0.0)
+     << ",\"gap_max_pct\":" << fixed4(gap_max) << '}';
+  os << ",\"tenants\":[";
   bool first = true;
   for (const auto& [name, counters] : tenant_rows) {
     if (!first) os << ',';

@@ -62,6 +62,11 @@ struct ServiceConfig {
   std::chrono::milliseconds deadline{0};
   /// Seed misses with same-shape cached incumbents (the warm-start index).
   bool warm_start = true;
+  /// Stamp optimality certificates (lower_bound / gap_pct, see
+  /// core/lower_bound.hpp) on offline solves; /statz then aggregates the
+  /// certified count and gap statistics.  On by default — the bound is a
+  /// cheap by-product next to a portfolio race.
+  bool certify = true;
   /// Default tenant quota; rate_per_sec <= 0 = unlimited.
   QuotaConfig default_quota;
   /// Per-tenant quota overrides by tenant name.
@@ -156,6 +161,11 @@ class SolveService {
   mutable Mutex wins_mutex_{"SolveService::wins"};
   std::map<std::string, std::uint64_t> solver_wins_
       GUARDED_BY(wins_mutex_);
+  // Certificate telemetry (certified offline solves only; cache hits count
+  // too when the memoized solution carries a certificate).
+  std::uint64_t certified_ GUARDED_BY(wins_mutex_) = 0;
+  double gap_sum_pct_ GUARDED_BY(wins_mutex_) = 0.0;
+  double gap_max_pct_ GUARDED_BY(wins_mutex_) = 0.0;
 
   std::atomic<bool> draining_{false};
   std::once_flag shutdown_once_;

@@ -28,6 +28,12 @@ std::uint64_t parse_u64(const std::string& text, const std::string& item) {
 double parse_decimal(const std::string& text, const std::string& item) {
   HYPERREC_ENSURE(!text.empty(), "malformed trigger value in '" + item +
                                      "': expected a decimal number");
+  // strtod also accepts C99 hex floats ("0x1p4") — an accidental hex
+  // prefix or exponent in a config almost never means what it parses to,
+  // so restrict the grammar to plain decimals up front.
+  HYPERREC_ENSURE(text.find_first_of("xXpP") == std::string::npos,
+                  "malformed trigger value in '" + item +
+                      "': hexadecimal floats are not accepted");
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
   HYPERREC_ENSURE(end == text.c_str() + text.size() &&
@@ -66,12 +72,20 @@ TriggerConfig parse_trigger_spec(const std::string& spec) {
       HYPERREC_ENSURE(!seen_steps, "duplicate trigger key in '" + item + "'");
       HYPERREC_ENSURE(has_value, "trigger 'steps' needs a value (steps:N)");
       seen_steps = true;
-      trigger.every_steps = static_cast<std::size_t>(parse_u64(value, item));
+      const std::uint64_t steps = parse_u64(value, item);
+      HYPERREC_ENSURE(steps > 0, "trigger value in '" + item +
+                                     "' must be positive (to disable the "
+                                     "step trigger, omit the key)");
+      trigger.every_steps = static_cast<std::size_t>(steps);
     } else if (kind == "spike") {
       HYPERREC_ENSURE(!seen_spike, "duplicate trigger key in '" + item + "'");
       HYPERREC_ENSURE(has_value, "trigger 'spike' needs a value (spike:F)");
       seen_spike = true;
       trigger.spike_factor = parse_decimal(value, item);
+      HYPERREC_ENSURE(trigger.spike_factor > 0.0,
+                      "trigger value in '" + item +
+                          "' must be positive (to disable the spike "
+                          "trigger, omit the key)");
     } else if (kind == "spike-min") {
       HYPERREC_ENSURE(!seen_spike_min,
                       "duplicate trigger key in '" + item + "'");
@@ -95,6 +109,9 @@ TriggerConfig parse_trigger_spec(const std::string& spec) {
       HYPERREC_ENSURE(has_value, "trigger 'tick' needs a value (tick:MS)");
       seen_tick = true;
       const std::uint64_t ms = parse_u64(value, item);
+      HYPERREC_ENSURE(ms > 0, "trigger value in '" + item +
+                                  "' must be positive (to disable the "
+                                  "tick trigger, omit the key)");
       HYPERREC_ENSURE(
           ms <= static_cast<std::uint64_t>(
                     std::numeric_limits<std::int64_t>::max() / 1000000),

@@ -2,19 +2,21 @@
 //
 // A trigger spec is a comma-separated list of re-solve triggers:
 //
-//   steps:N       re-solve every N appended steps (N = 0 disables)
-//   spike:F       demand-spike factor (decimal, > 0)
+//   steps:N       re-solve every N appended steps (N > 0)
+//   spike:F       demand-spike factor (plain decimal, > 0)
 //   spike-min:D   absolute demand floor for the spike trigger
 //   rent-or-buy   per-task rent-or-buy controller (flag, no value)
-//   tick:MS       wall-clock budget in milliseconds (MS >= 0)
+//   tick:MS       wall-clock budget in milliseconds (MS > 0)
 //
 // Parsing is strict on purpose: a daemon config (or a long-running bench
 // invocation) with a silently dropped trigger key runs with the *wrong
 // policy* and nobody notices until the latency graphs do.  Unknown keys
 // ("spkie:2.0"), missing/empty/partial values ("steps", "steps:",
-// "steps:16abc"), values on flag-only keys ("rent-or-buy:5"), negative or
-// non-finite numbers and duplicate keys all throw PreconditionError with
-// the offending item in the message.
+// "steps:16abc"), values on flag-only keys ("rent-or-buy:5"), negative,
+// zero or non-finite numbers, hex floats ("spike:0x1p4") and duplicate
+// keys all throw PreconditionError with the offending item in the message.
+// Zero is rejected rather than treated as "disabled": a disabled trigger
+// is expressed by omitting the key, so "steps:0" is always a config bug.
 #pragma once
 
 #include <string>

@@ -176,6 +176,8 @@ engine::BatchResult handcrafted_result() {
   job.solution.breakdown.reconfig = 30;
   job.solution.breakdown.global_hyper = 0;
   job.solution.breakdown.partial_hyper_steps = 3;
+  job.solution.lower_bound = 40;  // certified: gap = (42-40)*100/40
+  job.solution.gap_pct = 5.0;
   engine::PortfolioEntry entry;
   entry.solver = "coord-descent";
   entry.total = 42;
@@ -199,7 +201,7 @@ TEST(ResultJson, GoldenEmptyBatch) {
   result.parallelism = 4;
   result.elapsed = std::chrono::microseconds{0};
   EXPECT_EQ(batch_result_to_json(result),
-            "{\"schema\":\"hyperrec-batch-result\",\"version\":5,"
+            "{\"schema\":\"hyperrec-batch-result\",\"version\":6,"
             "\"parallelism\":4,\"elapsed_us\":0,\"job_count\":0,"
             "\"tenant\":null,\"queue\":null,"
             "\"cache\":{\"enabled\":false,\"capacity\":0,\"size\":0,"
@@ -213,7 +215,7 @@ TEST(ResultJson, GoldenEmptyBatch) {
 TEST(ResultJson, GoldenTwoJobBatchWithStableKeyOrder) {
   EXPECT_EQ(
       batch_result_to_json(handcrafted_result()),
-      "{\"schema\":\"hyperrec-batch-result\",\"version\":5,"
+      "{\"schema\":\"hyperrec-batch-result\",\"version\":6,"
       "\"parallelism\":2,\"elapsed_us\":777,\"job_count\":2,"
       "\"tenant\":null,\"queue\":null,"
       "\"cache\":{\"enabled\":true,\"capacity\":16,\"size\":1,"
@@ -226,13 +228,15 @@ TEST(ResultJson, GoldenTwoJobBatchWithStableKeyOrder) {
       "\"warm_started\":true,\"streamed\":false,\"elapsed_us\":123,"
       "\"cost\":{\"total\":42,\"hyper\":12,\"reconfig\":30,"
       "\"global_hyper\":0,\"partial_hyper_steps\":3},"
+      "\"lower_bound\":40,\"gap_pct\":5.0000,"
       "\"solvers\":[{\"name\":\"coord-descent\",\"ok\":true,\"total\":42,"
       "\"elapsed_us\":99}],\"windows\":[]},"
       "{\"index\":1,\"name\":\"bad\",\"ok\":false,"
       "\"error\":\"machine/trace mismatch\",\"winner\":\"\","
       "\"cache\":\"bypass\",\"warm_started\":false,\"streamed\":false,"
       "\"elapsed_us\":4,\"cost\":{\"total\":0,\"hyper\":0,\"reconfig\":0,"
-      "\"global_hyper\":0,\"partial_hyper_steps\":0},\"solvers\":[],"
+      "\"global_hyper\":0,\"partial_hyper_steps\":0},"
+      "\"lower_bound\":null,\"gap_pct\":null,\"solvers\":[],"
       "\"windows\":[]}]}\n");
 }
 
@@ -283,7 +287,7 @@ TEST(ResultJson, GoldenStreamedJobWithWindows) {
 
   EXPECT_EQ(
       batch_result_to_json(result),
-      "{\"schema\":\"hyperrec-batch-result\",\"version\":5,"
+      "{\"schema\":\"hyperrec-batch-result\",\"version\":6,"
       "\"parallelism\":1,\"elapsed_us\":900,\"job_count\":1,"
       "\"tenant\":null,\"queue\":null,"
       "\"cache\":{\"enabled\":false,\"capacity\":0,\"size\":0,"
@@ -295,7 +299,8 @@ TEST(ResultJson, GoldenStreamedJobWithWindows) {
       "\"winner\":\"streaming\",\"cache\":\"bypass\","
       "\"warm_started\":false,\"streamed\":true,\"elapsed_us\":456,"
       "\"cost\":{\"total\":99,\"hyper\":40,\"reconfig\":59,"
-      "\"global_hyper\":0,\"partial_hyper_steps\":5},\"solvers\":[],"
+      "\"global_hyper\":0,\"partial_hyper_steps\":5},"
+      "\"lower_bound\":null,\"gap_pct\":null,\"solvers\":[],"
       "\"windows\":["
       "{\"index\":0,\"trigger\":\"initial\",\"lo\":0,\"hi\":1,"
       "\"ok\":true,\"error\":\"\",\"winner\":\"aligned-dp\","
@@ -350,7 +355,7 @@ TEST(ResultJson, GoldenFleetSummary) {
 
   EXPECT_EQ(
       batch_result_to_json(result),
-      "{\"schema\":\"hyperrec-batch-result\",\"version\":5,"
+      "{\"schema\":\"hyperrec-batch-result\",\"version\":6,"
       "\"parallelism\":2,\"elapsed_us\":55,\"job_count\":0,"
       "\"tenant\":null,\"queue\":null,"
       "\"cache\":{\"enabled\":true,\"capacity\":8,\"size\":2,"
@@ -380,7 +385,7 @@ TEST(ResultJson, GoldenServiceEnvelopeCarriesTenantAndQueue) {
   service.queue_depth = 3;
   service.wait = std::chrono::microseconds{250};
   EXPECT_EQ(batch_result_to_json(result, &service),
-            "{\"schema\":\"hyperrec-batch-result\",\"version\":5,"
+            "{\"schema\":\"hyperrec-batch-result\",\"version\":6,"
             "\"parallelism\":1,\"elapsed_us\":10,\"job_count\":0,"
             "\"tenant\":\"acme\","
             "\"queue\":{\"priority\":7,\"depth\":3,\"wait_us\":250},"

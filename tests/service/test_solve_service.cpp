@@ -41,7 +41,7 @@ TEST(SolveService, SolveMatchesADirectEngineRun) {
   const std::string response = service.handle_line(solve_line("acme", 5));
   const JsonValue doc = parse_json(response);
   EXPECT_EQ(doc.get("schema")->as_string(), "hyperrec-batch-result");
-  EXPECT_EQ(doc.get("version")->as_int(), 5);
+  EXPECT_EQ(doc.get("version")->as_int(), 6);
   EXPECT_EQ(doc.get("tenant")->as_string(), "acme");
   ASSERT_NE(doc.get("queue"), nullptr);
   EXPECT_GE(doc.get("queue")->get("wait_us")->as_int(), 0);
@@ -250,6 +250,29 @@ TEST(SolveService, StatzCarriesSolverWinsAndLatency) {
   EXPECT_GE(statz.get("latency")->get("solve")->get("p99_us")->as_uint(),
             statz.get("latency")->get("solve")->get("p50_us")->as_uint());
   EXPECT_EQ(statz.get("queue")->get("depth")->as_uint(), 0u);
+}
+
+TEST(SolveService, StatzAggregatesCertificates) {
+  // certify defaults on, so every completed offline solve lands in the
+  // certificates block; the averaged gap is a finite non-negative percent.
+  SolveService service(small_config());
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    (void)service.handle_line(solve_line("t", seed));
+  }
+  const JsonValue statz = parse_json(service.statz_json());
+  const JsonValue* certs = statz.get("certificates");
+  ASSERT_NE(certs, nullptr);
+  EXPECT_EQ(certs->get("count")->as_uint(), 3u);
+  EXPECT_GE(certs->get("gap_avg_pct")->as_double(), 0.0);
+  EXPECT_GE(certs->get("gap_max_pct")->as_double(),
+            certs->get("gap_avg_pct")->as_double());
+
+  ServiceConfig uncertified = small_config();
+  uncertified.certify = false;
+  SolveService plain(uncertified);
+  (void)plain.handle_line(solve_line("t", 0));
+  const JsonValue off = parse_json(plain.statz_json());
+  EXPECT_EQ(off.get("certificates")->get("count")->as_uint(), 0u);
 }
 
 TEST(SolveService, ConcurrentStreamsWinsAndStatzStayConsistent) {

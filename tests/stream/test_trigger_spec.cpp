@@ -33,11 +33,15 @@ TEST(TriggerSpec, SingleItemSpecsLeaveOtherTriggersAtDefaults) {
   EXPECT_EQ(trigger.tick.count(), 0);
 }
 
-TEST(TriggerSpec, ZeroValuesDisableWithoutThrowing) {
-  // 0 is the documented "disabled" value for steps and tick.
-  const TriggerConfig trigger = parse_trigger_spec("steps:0,tick:0");
-  EXPECT_EQ(trigger.every_steps, 0u);
-  EXPECT_EQ(trigger.tick.count(), 0);
+TEST(TriggerSpec, ZeroValuesAreRejected) {
+  // 0 used to mean "disabled", but a disabled trigger is expressed by
+  // omitting the key — "steps:0" in a daemon config is always a bug (most
+  // often a templating variable that rendered empty-ish), so it throws.
+  const std::vector<std::string> zeros = {
+      "steps:0", "tick:0", "spike:0", "spike:0.0", "steps:16,tick:0"};
+  for (const std::string& spec : zeros) {
+    EXPECT_THROW((void)parse_trigger_spec(spec), PreconditionError) << spec;
+  }
 }
 
 TEST(TriggerSpec, UnknownKeysThrowLoudly) {
@@ -63,6 +67,8 @@ TEST(TriggerSpec, MalformedValuesThrow) {
       "spike:-1.5",   // negative
       "spike:1e999",  // overflows to inf
       "spike:nan",    // not finite
+      "spike:0x1p4",  // hex float (strtod would accept it as 16.0)
+      "spike:0X1P4",  // hex float, upper-case prefix/exponent
       "spike-min:",   // empty value
       "spike-min:2x", // trailing junk
       "tick:-5",      // negative (std::stoll used to accept this)

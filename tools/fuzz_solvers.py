@@ -12,6 +12,9 @@ Usage:
   tools/fuzz_solvers.py --binary ... --seed 1234 --chunk 100   # fixed start
   tools/fuzz_solvers.py --binary ... --mux --seconds 30        # multiplexer
                                                                # vs solo mode
+  tools/fuzz_solvers.py --binary ... --hierarchical --seconds 30
+                                                               # hierarchical
+                                                               # vs exhaustive
 
 CI runs a 60-second slice; the ctest `fuzz` label runs the harness's own
 --smoke mode instead (no python needed there).
@@ -38,6 +41,10 @@ def main() -> int:
                         help="fuzz the StreamMultiplexer against solo "
                              "StreamingEngine replays instead of the "
                              "solver-vs-exhaustive oracle")
+    parser.add_argument("--hierarchical", action="store_true",
+                        help="fuzz solve_hierarchical (tiny segments, "
+                             "certificate bracket) against the exhaustive "
+                             "oracle instead of the flat solver line-up")
     args = parser.parse_args()
 
     binary = pathlib.Path(args.binary)
@@ -53,6 +60,8 @@ def main() -> int:
         command = [str(binary), f"--seed={seed}", f"--iters={args.chunk}"]
         if args.mux:
             command.append("--mux")
+        if args.hierarchical:
+            command.append("--hierarchical")
         proc = subprocess.run(command, capture_output=True, text=True)
         if proc.returncode != 0:
             sys.stderr.write(proc.stdout)

@@ -80,9 +80,14 @@ def strip_volatile(doc):
 
 
 def cli_reference_job(cli, shape):
-    """Solves the same generated job one-shot through hyperrec_cli."""
+    """Solves the same generated job one-shot through hyperrec_cli.
+
+    The daemon certifies solves by default, so the CLI reference passes
+    --certify to keep the documents bit-identical (the bound is a
+    deterministic function of the instance).
+    """
     out = subprocess.run(
-        [cli, "--batch=1", f"--workload={shape['workload']}",
+        [cli, "--batch=1", "--certify", f"--workload={shape['workload']}",
          f"--tasks={shape['tasks']}", f"--steps={shape['steps']}",
          f"--universe={shape['universe']}", f"--seed={shape['seed']}"],
         capture_output=True, text=True, timeout=300)
@@ -164,7 +169,7 @@ def main():
                  "id": shape["workload"], "job": dict(shape)})
             check(response.get("schema") == "hyperrec-batch-result",
                   f"solve answered {response}")
-            check(response["version"] == 5, "result schema must be v5")
+            check(response["version"] == 6, "result schema must be v6")
             check(response["tenant"] == "acme", "tenant echo missing")
             check(response["queue"]["priority"] == 1, "queue envelope missing")
             check(response["job_count"] == 1, "daemon solves one job per request")
